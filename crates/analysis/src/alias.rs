@@ -1,0 +1,618 @@
+//! Module-wide, inclusion-based (Andersen-style) points-to analysis.
+//!
+//! The paper's algorithms lean on alias analysis in three places: branch
+//! decomposition must follow data flow *through memory* (a load's value
+//! comes from the stores that may write the same object), the CPA scheme
+//! must find may-aliases of signed variables (Alg. 2), and interprocedural
+//! overflow handling checks whether pointer arguments may point at
+//! vulnerable variables (§4.4).
+//!
+//! The analysis is field-insensitive and context-insensitive, which matches
+//! the LLVM `basic-aa`/`globals-aa` pipeline the paper uses closely enough
+//! for the shapes we reproduce. `inttoptr` (pointer forging, paper §3.1)
+//! poisons a value with the ⊤ ("unknown") marker, which the clients treat
+//! as may-alias-anything.
+
+use pythia_ir::{Callee, FuncId, GlobalId, Inst, Intrinsic, Module, ValueId, ValueKind};
+use std::collections::{BTreeSet, HashMap};
+
+/// What an abstract memory object is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MemObjectKind {
+    /// A stack slot: `alloca` instruction `value` in function `func`.
+    Stack {
+        /// Owning function.
+        func: FuncId,
+        /// The alloca instruction's value id.
+        value: ValueId,
+    },
+    /// A module global.
+    Global(GlobalId),
+    /// A heap allocation site: the allocating call `value` in `func`.
+    Heap {
+        /// Function containing the allocation site.
+        func: FuncId,
+        /// The call instruction's value id.
+        value: ValueId,
+    },
+}
+
+/// Index of an abstract object in [`PointsTo::objects`].
+pub type ObjId = u32;
+
+/// A points-to set: a set of abstract objects, possibly widened to ⊤.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObjSet {
+    /// Concrete objects.
+    pub objects: BTreeSet<ObjId>,
+    /// ⊤ marker: may point anywhere (set by `inttoptr` and its flows).
+    pub unknown: bool,
+}
+
+impl ObjSet {
+    /// Union `other` into `self`; returns whether anything changed.
+    pub fn merge(&mut self, other: &ObjSet) -> bool {
+        let before = self.objects.len();
+        self.objects.extend(other.objects.iter().copied());
+        let mut changed = self.objects.len() != before;
+        if other.unknown && !self.unknown {
+            self.unknown = true;
+            changed = true;
+        }
+        changed
+    }
+
+    /// Whether the set is empty and not ⊤.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty() && !self.unknown
+    }
+
+    /// May this set and `other` refer to a common object?
+    pub fn may_overlap(&self, other: &ObjSet) -> bool {
+        if (self.unknown && !other.is_empty()) || (other.unknown && !self.is_empty()) {
+            return true;
+        }
+        if self.unknown && other.unknown {
+            return true;
+        }
+        self.objects.intersection(&other.objects).next().is_some()
+    }
+}
+
+/// Result of the points-to analysis.
+#[derive(Debug, Clone)]
+pub struct PointsTo {
+    objects: Vec<MemObjectKind>,
+    obj_index: HashMap<MemObjectKind, ObjId>,
+    /// pts for each value node.
+    value_pts: Vec<ObjSet>,
+    /// pts of each object's *memory* (what stored pointers may point to).
+    mem_pts: Vec<ObjSet>,
+    /// node numbering
+    value_base: Vec<u32>,
+}
+
+impl PointsTo {
+    fn node(&self, func: FuncId, value: ValueId) -> usize {
+        (self.value_base[func.0 as usize] + value.0) as usize
+    }
+
+    /// All abstract objects discovered.
+    pub fn objects(&self) -> &[MemObjectKind] {
+        &self.objects
+    }
+
+    /// Object id for a kind, if it exists.
+    pub fn obj_id(&self, kind: MemObjectKind) -> Option<ObjId> {
+        self.obj_index.get(&kind).copied()
+    }
+
+    /// Object kind by id.
+    pub fn obj_kind(&self, id: ObjId) -> MemObjectKind {
+        self.objects[id as usize]
+    }
+
+    /// Points-to set of value `value` in `func`.
+    pub fn points_to(&self, func: FuncId, value: ValueId) -> &ObjSet {
+        &self.value_pts[self.node(func, value)]
+    }
+
+    /// What the memory of object `obj` may point to.
+    pub fn memory_points_to(&self, obj: ObjId) -> &ObjSet {
+        &self.mem_pts[obj as usize]
+    }
+
+    /// May two pointer values alias (refer to overlapping objects)?
+    pub fn may_alias(&self, a: (FuncId, ValueId), b: (FuncId, ValueId)) -> bool {
+        self.points_to(a.0, a.1)
+            .may_overlap(self.points_to(b.0, b.1))
+    }
+
+    /// Objects a store through `ptr` may write. `None` means ⊤ (anything).
+    pub fn write_targets(&self, func: FuncId, ptr: ValueId) -> Option<Vec<ObjId>> {
+        let pts = self.points_to(func, ptr);
+        if pts.unknown {
+            None
+        } else {
+            Some(pts.objects.iter().copied().collect())
+        }
+    }
+
+    /// Run the analysis over a module.
+    pub fn analyze(m: &Module) -> Self {
+        Builder::new(m).solve()
+    }
+}
+
+/// Constraint kinds gathered from the IR.
+#[derive(Debug, Clone, Copy)]
+enum Constraint {
+    /// `pts(dst) ⊇ pts(src)`
+    Copy { src: usize, dst: usize },
+    /// `pts(dst) ⊇ mem(o)` for each `o ∈ pts(ptr)`
+    Load { ptr: usize, dst: usize },
+    /// `mem(o) ⊇ pts(src)` for each `o ∈ pts(ptr)`
+    Store { ptr: usize, src: usize },
+}
+
+struct Builder<'m> {
+    m: &'m Module,
+    pt: PointsTo,
+    constraints: Vec<Constraint>,
+    address_taken: Vec<FuncId>,
+}
+
+impl<'m> Builder<'m> {
+    fn new(m: &'m Module) -> Self {
+        // Number value nodes.
+        let mut value_base = Vec::with_capacity(m.functions().len());
+        let mut total = 0u32;
+        for f in m.functions() {
+            value_base.push(total);
+            total += f.num_values() as u32;
+        }
+        let pt = PointsTo {
+            objects: Vec::new(),
+            obj_index: HashMap::new(),
+            value_pts: vec![ObjSet::default(); total as usize],
+            mem_pts: Vec::new(),
+            value_base,
+        };
+        Builder {
+            m,
+            pt,
+            constraints: Vec::new(),
+            address_taken: Vec::new(),
+        }
+    }
+
+    fn intern_obj(&mut self, kind: MemObjectKind) -> ObjId {
+        if let Some(&id) = self.pt.obj_index.get(&kind) {
+            return id;
+        }
+        let id = self.pt.objects.len() as ObjId;
+        self.pt.objects.push(kind);
+        self.pt.obj_index.insert(kind, id);
+        self.pt.mem_pts.push(ObjSet::default());
+        id
+    }
+
+    fn seed(&mut self, node: usize, obj: ObjId) {
+        self.pt.value_pts[node].objects.insert(obj);
+    }
+
+    fn seed_unknown(&mut self, node: usize) {
+        self.pt.value_pts[node].unknown = true;
+    }
+
+    fn gather(&mut self) {
+        // Pre-create global objects.
+        for g in self.m.global_ids() {
+            self.intern_obj(MemObjectKind::Global(g));
+        }
+        // Collect address-taken functions for indirect-call resolution.
+        for fid in self.m.func_ids() {
+            let f = self.m.func(fid);
+            for v in f.value_ids() {
+                if let ValueKind::FuncAddr(target) = f.value(v).kind {
+                    if !self.address_taken.contains(&target) {
+                        self.address_taken.push(target);
+                    }
+                }
+            }
+        }
+
+        for fid in self.m.func_ids() {
+            let f = self.m.func(fid);
+            for v in f.value_ids() {
+                let node = self.pt.node(fid, v);
+                match &f.value(v).kind {
+                    ValueKind::GlobalAddr(g) => {
+                        let o = self.intern_obj(MemObjectKind::Global(*g));
+                        self.seed(node, o);
+                    }
+                    ValueKind::Inst(inst) => self.gather_inst(fid, v, node, inst),
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn gather_inst(&mut self, fid: FuncId, v: ValueId, node: usize, inst: &Inst) {
+        match inst {
+            Inst::Alloca { .. } => {
+                let o = self.intern_obj(MemObjectKind::Stack {
+                    func: fid,
+                    value: v,
+                });
+                self.seed(node, o);
+            }
+            Inst::Load { ptr } => {
+                let p = self.pt.node(fid, *ptr);
+                self.constraints
+                    .push(Constraint::Load { ptr: p, dst: node });
+            }
+            Inst::Store { ptr, value } => {
+                let p = self.pt.node(fid, *ptr);
+                let s = self.pt.node(fid, *value);
+                self.constraints.push(Constraint::Store { ptr: p, src: s });
+            }
+            Inst::Gep { base, .. } | Inst::FieldAddr { base, .. } => {
+                let b = self.pt.node(fid, *base);
+                self.constraints
+                    .push(Constraint::Copy { src: b, dst: node });
+            }
+            Inst::Bin { lhs, rhs, .. } => {
+                // Pointer arithmetic through integer ops keeps the base
+                // objects (conservative: union both sides).
+                for s in [lhs, rhs] {
+                    let sn = self.pt.node(fid, *s);
+                    self.constraints
+                        .push(Constraint::Copy { src: sn, dst: node });
+                }
+            }
+            Inst::Cast { kind, value, .. } => {
+                use pythia_ir::CastKind;
+                let sn = self.pt.node(fid, *value);
+                match kind {
+                    CastKind::IntToPtr => {
+                        // Forged pointer: ⊤, but also keep whatever the
+                        // integer was carrying (ptrtoint round trips).
+                        self.seed_unknown(node);
+                        self.constraints
+                            .push(Constraint::Copy { src: sn, dst: node });
+                    }
+                    _ => {
+                        self.constraints
+                            .push(Constraint::Copy { src: sn, dst: node });
+                    }
+                }
+            }
+            Inst::Select {
+                on_true, on_false, ..
+            } => {
+                for s in [on_true, on_false] {
+                    let sn = self.pt.node(fid, *s);
+                    self.constraints
+                        .push(Constraint::Copy { src: sn, dst: node });
+                }
+            }
+            Inst::Phi { incomings } => {
+                for (_, s) in incomings {
+                    let sn = self.pt.node(fid, *s);
+                    self.constraints
+                        .push(Constraint::Copy { src: sn, dst: node });
+                }
+            }
+            Inst::PacSign { value, .. }
+            | Inst::PacAuth { value, .. }
+            | Inst::PacStrip { value } => {
+                let sn = self.pt.node(fid, *value);
+                self.constraints
+                    .push(Constraint::Copy { src: sn, dst: node });
+            }
+            Inst::Call { callee, args } => self.gather_call(fid, v, node, callee, args),
+            _ => {}
+        }
+    }
+
+    fn gather_call(
+        &mut self,
+        fid: FuncId,
+        v: ValueId,
+        node: usize,
+        callee: &Callee,
+        args: &[ValueId],
+    ) {
+        match callee {
+            Callee::Func(target) => self.link_call(fid, v, node, *target, args),
+            Callee::Indirect(_) => {
+                let candidates: Vec<FuncId> = self
+                    .address_taken
+                    .iter()
+                    .copied()
+                    .filter(|t| self.m.func(*t).params.len() == args.len())
+                    .collect();
+                for t in candidates {
+                    self.link_call(fid, v, node, t, args);
+                }
+            }
+            Callee::Intrinsic(i) => {
+                if i.is_allocator() {
+                    let o = self.intern_obj(MemObjectKind::Heap {
+                        func: fid,
+                        value: v,
+                    });
+                    self.seed(node, o);
+                }
+                match i {
+                    // Channels that return their destination argument.
+                    Intrinsic::Memcpy
+                    | Intrinsic::Memmove
+                    | Intrinsic::Strcpy
+                    | Intrinsic::Strncpy
+                    | Intrinsic::Sstrncpy
+                    | Intrinsic::Strcat
+                    | Intrinsic::Strncat
+                    | Intrinsic::Fgets
+                    | Intrinsic::Gets
+                    | Intrinsic::Memset => {
+                        if let Some(dst) = args.first() {
+                            let sn = self.pt.node(fid, *dst);
+                            self.constraints
+                                .push(Constraint::Copy { src: sn, dst: node });
+                        }
+                    }
+                    Intrinsic::Realloc => {
+                        if let Some(old) = args.first() {
+                            let sn = self.pt.node(fid, *old);
+                            self.constraints
+                                .push(Constraint::Copy { src: sn, dst: node });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn link_call(
+        &mut self,
+        fid: FuncId,
+        _v: ValueId,
+        node: usize,
+        target: FuncId,
+        args: &[ValueId],
+    ) {
+        let callee = self.m.func(target);
+        for (i, a) in args.iter().enumerate() {
+            if i >= callee.params.len() {
+                break;
+            }
+            let an = self.pt.node(fid, *a);
+            let pn = self.pt.node(target, callee.arg(i));
+            self.constraints.push(Constraint::Copy { src: an, dst: pn });
+        }
+        // Return values flow back to the call node.
+        for bb in callee.block_ids() {
+            if let Some(Inst::Ret { value: Some(rv) }) = callee.terminator(bb) {
+                let rn = self.pt.node(target, *rv);
+                self.constraints
+                    .push(Constraint::Copy { src: rn, dst: node });
+            }
+        }
+    }
+
+    fn solve(mut self) -> PointsTo {
+        self.gather();
+        // Simple round-robin fixpoint; the constraint sets in generated
+        // benchmarks are small enough (tens of thousands) that this
+        // converges in a handful of rounds.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for ci in 0..self.constraints.len() {
+                match self.constraints[ci] {
+                    Constraint::Copy { src, dst } => {
+                        if src == dst {
+                            continue;
+                        }
+                        let (s, d) = get_two(&mut self.pt.value_pts, src, dst);
+                        if d.merge(s) {
+                            changed = true;
+                        }
+                    }
+                    Constraint::Load { ptr, dst } => {
+                        let objs: Vec<ObjId> =
+                            self.pt.value_pts[ptr].objects.iter().copied().collect();
+                        let ptr_unknown = self.pt.value_pts[ptr].unknown;
+                        for o in objs {
+                            let mem = self.pt.mem_pts[o as usize].clone();
+                            if self.pt.value_pts[dst].merge(&mem) {
+                                changed = true;
+                            }
+                        }
+                        if ptr_unknown && !self.pt.value_pts[dst].unknown {
+                            self.pt.value_pts[dst].unknown = true;
+                            changed = true;
+                        }
+                    }
+                    Constraint::Store { ptr, src } => {
+                        let objs: Vec<ObjId> =
+                            self.pt.value_pts[ptr].objects.iter().copied().collect();
+                        let val = self.pt.value_pts[src].clone();
+                        for o in objs {
+                            if self.pt.mem_pts[o as usize].merge(&val) {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.pt
+    }
+}
+
+fn get_two<T>(v: &mut [T], a: usize, b: usize) -> (&T, &mut T) {
+    debug_assert_ne!(a, b);
+    if a < b {
+        let (lo, hi) = v.split_at_mut(b);
+        (&lo[a], &mut hi[0])
+    } else {
+        let (lo, hi) = v.split_at_mut(a);
+        (&hi[0], &mut lo[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_ir::{CastKind, FunctionBuilder, Module, Ty};
+
+    #[test]
+    fn alloca_points_to_its_object() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![], Ty::Void);
+        let p = b.alloca(Ty::I64);
+        b.ret(None);
+        let fid = m.add_function(b.finish());
+        let pt = PointsTo::analyze(&m);
+        let pts = pt.points_to(fid, p);
+        assert_eq!(pts.objects.len(), 1);
+        let o = *pts.objects.iter().next().unwrap();
+        assert_eq!(
+            pt.obj_kind(o),
+            MemObjectKind::Stack {
+                func: fid,
+                value: p
+            }
+        );
+    }
+
+    #[test]
+    fn pointer_stored_then_loaded_aliases_original() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![], Ty::Void);
+        let x = b.alloca(Ty::I64); // object X
+        let pp = b.alloca(Ty::ptr(Ty::I64)); // pointer slot
+        b.store(x, pp);
+        let loaded = b.load(pp);
+        b.ret(None);
+        let fid = m.add_function(b.finish());
+        let pt = PointsTo::analyze(&m);
+        assert!(pt.may_alias((fid, loaded), (fid, x)));
+        assert!(!pt.may_alias((fid, pp), (fid, x)));
+    }
+
+    #[test]
+    fn gep_keeps_base_object() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![], Ty::Void);
+        let buf = b.alloca(Ty::array(Ty::I8, 16));
+        let i = b.const_i64(3);
+        let p = b.gep(buf, i);
+        b.ret(None);
+        let fid = m.add_function(b.finish());
+        let pt = PointsTo::analyze(&m);
+        assert!(pt.may_alias((fid, p), (fid, buf)));
+    }
+
+    #[test]
+    fn inttoptr_is_top() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![], Ty::Void);
+        let x = b.const_i64(0x1000);
+        let p = b.cast(CastKind::IntToPtr, x, Ty::ptr(Ty::I64));
+        let other = b.alloca(Ty::I64);
+        b.ret(None);
+        let fid = m.add_function(b.finish());
+        let pt = PointsTo::analyze(&m);
+        assert!(pt.points_to(fid, p).unknown);
+        // ⊤ may alias any real object.
+        assert!(pt.may_alias((fid, p), (fid, other)));
+        assert!(pt.write_targets(fid, p).is_none());
+    }
+
+    #[test]
+    fn malloc_sites_are_distinct_objects() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![], Ty::Void);
+        let n = b.const_i64(32);
+        let h1 = b.call_intrinsic(Intrinsic::Malloc, vec![n], Ty::ptr(Ty::I8));
+        let h2 = b.call_intrinsic(Intrinsic::Malloc, vec![n], Ty::ptr(Ty::I8));
+        b.ret(None);
+        let fid = m.add_function(b.finish());
+        let pt = PointsTo::analyze(&m);
+        assert!(!pt.may_alias((fid, h1), (fid, h2)));
+        assert!(matches!(
+            pt.obj_kind(*pt.points_to(fid, h1).objects.iter().next().unwrap()),
+            MemObjectKind::Heap { .. }
+        ));
+    }
+
+    #[test]
+    fn interprocedural_arg_flow() {
+        let mut m = Module::new("m");
+        // callee(p) { return p; }
+        let mut cb = FunctionBuilder::new("callee", vec![Ty::ptr(Ty::I64)], Ty::ptr(Ty::I64));
+        let p = cb.func().arg(0);
+        cb.ret(Some(p));
+        let callee = m.add_function(cb.finish());
+        // caller: x = alloca; r = callee(x)
+        let mut b = FunctionBuilder::new("caller", vec![], Ty::Void);
+        let x = b.alloca(Ty::I64);
+        let r = b.call(callee, vec![x], Ty::ptr(Ty::I64));
+        b.ret(None);
+        let caller = m.add_function(b.finish());
+        let pt = PointsTo::analyze(&m);
+        assert!(pt.may_alias((caller, r), (caller, x)));
+        // The callee's parameter also points at the caller's alloca.
+        let pf = m.func(callee).arg(0);
+        assert!(pt.may_alias((callee, pf), (caller, x)));
+    }
+
+    #[test]
+    fn indirect_call_links_address_taken_functions() {
+        let mut m = Module::new("m");
+        let mut cb = FunctionBuilder::new("target", vec![Ty::ptr(Ty::I64)], Ty::Void);
+        cb.ret(None);
+        let target = m.add_function(cb.finish());
+        let mut b = FunctionBuilder::new("caller", vec![], Ty::Void);
+        let x = b.alloca(Ty::I64);
+        let fp = b.func_addr(target);
+        b.call_indirect(fp, vec![x], Ty::Void);
+        b.ret(None);
+        let caller = m.add_function(b.finish());
+        let pt = PointsTo::analyze(&m);
+        let param = m.func(target).arg(0);
+        assert!(pt.may_alias((target, param), (caller, x)));
+    }
+
+    #[test]
+    fn global_objects_aliased_via_address() {
+        let mut m = Module::new("m");
+        let g = m.add_str_global("msg", "hi");
+        let mut b = FunctionBuilder::new("f", vec![], Ty::Void);
+        let ga1 = b.global_addr(g, Ty::array(Ty::I8, 3));
+        let ga2 = b.global_addr(g, Ty::array(Ty::I8, 3));
+        b.ret(None);
+        let fid = m.add_function(b.finish());
+        let pt = PointsTo::analyze(&m);
+        assert!(pt.may_alias((fid, ga1), (fid, ga2)));
+    }
+
+    #[test]
+    fn strcpy_returns_destination() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![], Ty::Void);
+        let dst = b.alloca(Ty::array(Ty::I8, 8));
+        let src = b.alloca(Ty::array(Ty::I8, 8));
+        let r = b.call_intrinsic(Intrinsic::Strcpy, vec![dst, src], Ty::ptr(Ty::I8));
+        b.ret(None);
+        let fid = m.add_function(b.finish());
+        let pt = PointsTo::analyze(&m);
+        assert!(pt.may_alias((fid, r), (fid, dst)));
+        assert!(!pt.may_alias((fid, r), (fid, src)));
+    }
+}

@@ -1,0 +1,303 @@
+//! The module call graph: direct and (address-taken-resolved) indirect
+//! edges, reachability from an entry point, and recursion detection via
+//! Tarjan's strongly-connected components.
+//!
+//! Used by the CLI's `analyze` summary and by clients that want to bound
+//! interprocedural work (e.g. limiting slicing to the reachable portion of
+//! a module), and it documents the indirect-call resolution the points-to
+//! analysis also uses: an indirect call may target any address-taken
+//! function of matching arity.
+
+use pythia_ir::{Callee, FuncId, Inst, Module, ValueKind};
+use std::collections::HashSet;
+
+/// The call graph of a module.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// `callees[f]` — functions `f` may call (deduplicated, sorted).
+    callees: Vec<Vec<FuncId>>,
+    /// `callers[f]` — functions that may call `f`.
+    callers: Vec<Vec<FuncId>>,
+}
+
+impl CallGraph {
+    /// Build the graph for `m`.
+    pub fn build(m: &Module) -> Self {
+        let n = m.functions().len();
+        // Address-taken functions, for indirect-call resolution.
+        let mut address_taken: Vec<FuncId> = Vec::new();
+        for fid in m.func_ids() {
+            let f = m.func(fid);
+            for v in f.value_ids() {
+                if let ValueKind::FuncAddr(t) = f.value(v).kind {
+                    if !address_taken.contains(&t) {
+                        address_taken.push(t);
+                    }
+                }
+            }
+        }
+
+        let mut callees: Vec<HashSet<FuncId>> = vec![HashSet::new(); n];
+        for fid in m.func_ids() {
+            let f = m.func(fid);
+            for bb in f.block_ids() {
+                for &iv in &f.block(bb).insts {
+                    if let Some(Inst::Call { callee, args }) = f.inst(iv) {
+                        match callee {
+                            Callee::Func(t) => {
+                                callees[fid.0 as usize].insert(*t);
+                            }
+                            Callee::Indirect(_) => {
+                                for &t in &address_taken {
+                                    if m.func(t).params.len() == args.len() {
+                                        callees[fid.0 as usize].insert(t);
+                                    }
+                                }
+                            }
+                            Callee::Intrinsic(_) => {}
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut callers: Vec<Vec<FuncId>> = vec![Vec::new(); n];
+        let callees: Vec<Vec<FuncId>> = callees
+            .into_iter()
+            .map(|s| {
+                let mut v: Vec<FuncId> = s.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        for fid in m.func_ids() {
+            for &t in &callees[fid.0 as usize] {
+                callers[t.0 as usize].push(fid);
+            }
+        }
+        CallGraph { callees, callers }
+    }
+
+    /// Functions `f` may call.
+    pub fn callees(&self, f: FuncId) -> &[FuncId] {
+        &self.callees[f.0 as usize]
+    }
+
+    /// Functions that may call `f`.
+    pub fn callers(&self, f: FuncId) -> &[FuncId] {
+        &self.callers[f.0 as usize]
+    }
+
+    /// All functions reachable from `entry` (including `entry`).
+    pub fn reachable_from(&self, entry: FuncId) -> HashSet<FuncId> {
+        let mut seen = HashSet::new();
+        let mut stack = vec![entry];
+        while let Some(f) = stack.pop() {
+            if seen.insert(f) {
+                stack.extend(self.callees(f).iter().copied());
+            }
+        }
+        seen
+    }
+
+    /// Strongly-connected components (Tarjan), in reverse topological
+    /// order. Components with more than one member — or a self-loop —
+    /// are recursion cycles.
+    pub fn sccs(&self) -> Vec<Vec<FuncId>> {
+        let n = self.callees.len();
+        let mut index = vec![usize::MAX; n];
+        let mut lowlink = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut out: Vec<Vec<FuncId>> = Vec::new();
+
+        // Iterative Tarjan with an explicit work stack of (node, child#).
+        for start in 0..n {
+            if index[start] != usize::MAX {
+                continue;
+            }
+            let mut work: Vec<(usize, usize)> = vec![(start, 0)];
+            while let Some(&(v, ci)) = work.last() {
+                if ci == 0 {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                let kids = &self.callees[v];
+                if ci < kids.len() {
+                    work.last_mut().expect("non-empty").1 += 1;
+                    let w = kids[ci].0 as usize;
+                    if index[w] == usize::MAX {
+                        work.push((w, 0));
+                    } else if on_stack[w] {
+                        lowlink[v] = lowlink[v].min(index[w]);
+                    }
+                } else {
+                    work.pop();
+                    if let Some(&(parent, _)) = work.last() {
+                        lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                    }
+                    if lowlink[v] == index[v] {
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("scc stack");
+                            on_stack[w] = false;
+                            comp.push(FuncId(w as u32));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort_unstable();
+                        out.push(comp);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Functions involved in recursion (a multi-member SCC or a self-call).
+    pub fn recursive_functions(&self) -> HashSet<FuncId> {
+        let mut out = HashSet::new();
+        for comp in self.sccs() {
+            if comp.len() > 1 {
+                out.extend(comp);
+            } else {
+                let f = comp[0];
+                if self.callees(f).contains(&f) {
+                    out.insert(f);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_ir::{FunctionBuilder, Ty};
+
+    /// main -> a -> b; b -> a (cycle); main -> c; orphan d.
+    fn graph_module() -> Module {
+        let mut m = Module::new("cg");
+        // Pre-declare to get stable ids: a=0, b=1, c=2, d=3, main=4.
+        let mut fa = FunctionBuilder::new("a", vec![], Ty::Void);
+        let mut fb = FunctionBuilder::new("b", vec![], Ty::Void);
+        let mut fc = FunctionBuilder::new("c", vec![], Ty::Void);
+        let mut fd = FunctionBuilder::new("d", vec![], Ty::Void);
+        // a calls b (id 1), b calls a (id 0), c/d call nothing.
+        fa.call(FuncId(1), vec![], Ty::Void);
+        fa.ret(None);
+        fb.call(FuncId(0), vec![], Ty::Void);
+        fb.ret(None);
+        fc.ret(None);
+        fd.ret(None);
+        m.add_function(fa.finish());
+        m.add_function(fb.finish());
+        m.add_function(fc.finish());
+        m.add_function(fd.finish());
+        let mut fm = FunctionBuilder::new("main", vec![], Ty::Void);
+        fm.call(FuncId(0), vec![], Ty::Void);
+        fm.call(FuncId(2), vec![], Ty::Void);
+        fm.ret(None);
+        m.add_function(fm.finish());
+        m
+    }
+
+    #[test]
+    fn edges_and_callers() {
+        let m = graph_module();
+        let cg = CallGraph::build(&m);
+        let main = m.func_by_name("main").unwrap();
+        assert_eq!(cg.callees(main), &[FuncId(0), FuncId(2)]);
+        assert_eq!(cg.callers(FuncId(0)), &[FuncId(1), main]);
+        assert!(cg.callees(FuncId(3)).is_empty());
+    }
+
+    #[test]
+    fn reachability_excludes_orphans() {
+        let m = graph_module();
+        let cg = CallGraph::build(&m);
+        let main = m.func_by_name("main").unwrap();
+        let r = cg.reachable_from(main);
+        assert_eq!(r.len(), 4); // main, a, b, c
+        assert!(!r.contains(&FuncId(3)), "d is unreachable");
+    }
+
+    #[test]
+    fn scc_finds_the_mutual_recursion() {
+        let m = graph_module();
+        let cg = CallGraph::build(&m);
+        let rec = cg.recursive_functions();
+        assert_eq!(rec.len(), 2);
+        assert!(rec.contains(&FuncId(0)) && rec.contains(&FuncId(1)));
+        // SCCs are in reverse topological order: {a,b} appears before main.
+        let sccs = cg.sccs();
+        let ab_pos = sccs.iter().position(|c| c.len() == 2).unwrap();
+        let main_pos = sccs
+            .iter()
+            .position(|c| c == &vec![m.func_by_name("main").unwrap()])
+            .unwrap();
+        assert!(ab_pos < main_pos);
+    }
+
+    #[test]
+    fn self_recursion_detected() {
+        let mut m = Module::new("selfrec");
+        let mut f = FunctionBuilder::new("r", vec![Ty::I64], Ty::I64);
+        let x = f.func().arg(0);
+        let r = f.call(FuncId(0), vec![x], Ty::I64);
+        f.ret(Some(r));
+        m.add_function(f.finish());
+        let cg = CallGraph::build(&m);
+        assert!(cg.recursive_functions().contains(&FuncId(0)));
+    }
+
+    #[test]
+    fn indirect_calls_link_address_taken_matching_arity() {
+        let mut m = Module::new("ind");
+        let mut t1 = FunctionBuilder::new("t1", vec![Ty::I64], Ty::Void);
+        t1.ret(None);
+        let mut t2 = FunctionBuilder::new("t2", vec![], Ty::Void); // wrong arity
+        t2.ret(None);
+        let t1id = m.add_function(t1.finish());
+        let t2id = m.add_function(t2.finish());
+        let mut main = FunctionBuilder::new("main", vec![], Ty::Void);
+        let fp = main.func_addr(t1id);
+        let _fp2 = main.func_addr(t2id); // address-taken but arity 0
+        let one = main.const_i64(1);
+        main.call_indirect(fp, vec![one], Ty::Void);
+        main.ret(None);
+        let mid = m.add_function(main.finish());
+        let cg = CallGraph::build(&m);
+        assert_eq!(cg.callees(mid), &[t1id], "only matching arity links");
+    }
+
+    #[test]
+    fn benchmarks_have_main_reaching_all_workers() {
+        let m = pythia_workloads_shim();
+        let cg = CallGraph::build(&m);
+        let main = m.func_by_name("main").unwrap();
+        assert_eq!(cg.reachable_from(main).len(), m.functions().len());
+        assert!(cg.recursive_functions().is_empty());
+    }
+
+    /// A tiny main->workers module shaped like the generator output.
+    fn pythia_workloads_shim() -> Module {
+        let mut m = Module::new("shim");
+        let mut w0 = FunctionBuilder::new("work_0", vec![Ty::I64], Ty::I64);
+        let x = w0.func().arg(0);
+        w0.ret(Some(x));
+        let w0id = m.add_function(w0.finish());
+        let mut fm = FunctionBuilder::new("main", vec![], Ty::I64);
+        let one = fm.const_i64(1);
+        let r = fm.call(w0id, vec![one], Ty::I64);
+        fm.ret(Some(r));
+        m.add_function(fm.finish());
+        m
+    }
+}

@@ -1,0 +1,353 @@
+//! Live-variable analysis (backward dataflow).
+//!
+//! Not required by the paper's algorithms directly, but the machine-level
+//! half of the paper ("to handle register spills at the machine code
+//! generation level, we leverage the instrumented metadata ... to detect
+//! additional encryption & authentication points", §5) is driven by
+//! exactly this information: a vulnerable value live across many blocks is
+//! a spill candidate, and every spill adds PA work under CPA. The cost
+//! model consumes [`Liveness::max_pressure`] as its spill proxy.
+
+use pythia_ir::{BlockId, Function, Inst, ValueId, ValueKind};
+use std::collections::{HashMap, HashSet};
+
+/// Per-block live-in/live-out sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<HashSet<ValueId>>,
+    live_out: Vec<HashSet<ValueId>>,
+}
+
+impl Liveness {
+    /// Compute liveness for `f` with the standard backward fixpoint.
+    ///
+    /// Arguments and constants are excluded (they are rematerializable);
+    /// only instruction results participate.
+    pub fn compute(f: &Function) -> Self {
+        let nb = f.num_blocks();
+        // Per-block use/def (upward-exposed uses).
+        let mut uses = vec![HashSet::new(); nb];
+        let mut defs = vec![HashSet::new(); nb];
+        let is_inst_value = |v: ValueId| matches!(f.value(v).kind, ValueKind::Inst(_));
+
+        for bb in f.block_ids() {
+            let b = bb.0 as usize;
+            for &iv in &f.block(bb).insts {
+                if let Some(inst) = f.inst(iv) {
+                    // Phi operands are uses on the incoming *edge*, not in
+                    // this block; the fixpoint handles them per-successor.
+                    if !matches!(inst, Inst::Phi { .. }) {
+                        for op in inst.operands() {
+                            if is_inst_value(op) && !defs[b].contains(&op) {
+                                uses[b].insert(op);
+                            }
+                        }
+                    }
+                    defs[b].insert(iv);
+                }
+            }
+        }
+
+        let mut live_in = vec![HashSet::new(); nb];
+        let mut live_out = vec![HashSet::new(); nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for bb in f.block_ids().rev_order() {
+                let b = bb.0 as usize;
+                let mut out: HashSet<ValueId> = HashSet::new();
+                for s in f.successors(bb) {
+                    out.extend(live_in[s.0 as usize].iter().copied());
+                    // Phi uses are live on the edge: a phi in the successor
+                    // using a value from *this* block keeps it live here.
+                    for &iv in &f.block(s).insts {
+                        if let Some(Inst::Phi { incomings }) = f.inst(iv) {
+                            for (pred, v) in incomings {
+                                if *pred == bb && is_inst_value(*v) {
+                                    out.insert(*v);
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut inn: HashSet<ValueId> = uses[b].clone();
+                for v in &out {
+                    if !defs[b].contains(v) {
+                        inn.insert(*v);
+                    }
+                }
+                if out != live_out[b] || inn != live_in[b] {
+                    live_out[b] = out;
+                    live_in[b] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Values live on entry to `bb`.
+    pub fn live_in(&self, bb: BlockId) -> &HashSet<ValueId> {
+        &self.live_in[bb.0 as usize]
+    }
+
+    /// Values live on exit from `bb`.
+    pub fn live_out(&self, bb: BlockId) -> &HashSet<ValueId> {
+        &self.live_out[bb.0 as usize]
+    }
+
+    /// Whether `v` is live across (into) any block other than its own —
+    /// the cheap spill-candidate predicate.
+    pub fn crosses_blocks(&self, v: ValueId) -> bool {
+        self.live_in.iter().any(|s| s.contains(&v))
+    }
+
+    /// Maximum number of simultaneously block-live values — a crude
+    /// register-pressure proxy.
+    pub fn max_pressure(&self) -> usize {
+        self.live_in.iter().map(HashSet::len).max().unwrap_or(0)
+    }
+}
+
+/// Iteration helper: blocks in reverse id order (a decent approximation of
+/// post-order for builder-produced CFGs, good enough for fixpoints).
+trait RevOrder {
+    fn rev_order(self) -> Vec<BlockId>;
+}
+
+impl<I: Iterator<Item = BlockId>> RevOrder for I {
+    fn rev_order(self) -> Vec<BlockId> {
+        let mut v: Vec<BlockId> = self.collect();
+        v.reverse();
+        v
+    }
+}
+
+/// Flow-sensitive reaching definitions over *memory objects*.
+///
+/// For each block and each object, which store instructions may reach its
+/// entry. This is the textbook analysis behind DFI's static def-sets
+/// (Castro et al. compute it with their "reaching definitions analysis");
+/// our DFI pass uses the cheaper flow-insensitive object sets, and this
+/// analysis exists to *measure* how much precision that costs
+/// (see `flow_sensitivity_gain`).
+#[derive(Debug, Clone)]
+pub struct ReachingStores {
+    /// block -> object -> set of store instruction values
+    reach_in: Vec<HashMap<u32, HashSet<ValueId>>>,
+}
+
+impl ReachingStores {
+    /// Compute for one function. `objects_of` maps a store's pointer to
+    /// the object ids it may write (points-to abstraction, supplied by
+    /// the caller so this module stays independent of the alias crate).
+    pub fn compute(f: &Function, objects_of: impl Fn(ValueId) -> Vec<u32>) -> Self {
+        let nb = f.num_blocks();
+        // gen/kill per block, object-indexed. A store *generates* itself
+        // for each object it may write; it only *kills* when it writes a
+        // single object (strong update).
+        let mut gen_sets: Vec<HashMap<u32, HashSet<ValueId>>> = vec![HashMap::new(); nb];
+        for bb in f.block_ids() {
+            let b = bb.0 as usize;
+            for &iv in &f.block(bb).insts {
+                if let Some(Inst::Store { ptr, .. }) = f.inst(iv) {
+                    let objs = objects_of(*ptr);
+                    let strong = objs.len() == 1;
+                    for o in objs {
+                        let entry = gen_sets[b].entry(o).or_default();
+                        if strong {
+                            entry.clear();
+                        }
+                        entry.insert(iv);
+                    }
+                }
+            }
+        }
+
+        let preds = f.predecessors();
+        let mut reach_in: Vec<HashMap<u32, HashSet<ValueId>>> = vec![HashMap::new(); nb];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for bb in f.block_ids() {
+                let b = bb.0 as usize;
+                let mut inn: HashMap<u32, HashSet<ValueId>> = HashMap::new();
+                for p in &preds[b] {
+                    let pb = p.0 as usize;
+                    // out[p] = gen[p] ∪ (in[p] minus strong kills); our gen
+                    // already applied strong updates block-locally, so
+                    // out[p][o] = gen[p][o] if the block writes o strongly,
+                    // else in[p][o] ∪ gen[p][o].
+                    let mut seen: HashSet<u32> = HashSet::new();
+                    for (o, g) in &gen_sets[pb] {
+                        inn.entry(*o).or_default().extend(g.iter().copied());
+                        seen.insert(*o);
+                    }
+                    for (o, r) in &reach_in[pb] {
+                        // Strong kill: a single-object store replaces all
+                        // prior defs of that object within its block.
+                        let strongly_redefined = seen.contains(o)
+                            && gen_sets[pb].get(o).map(|g| g.len() == 1).unwrap_or(false);
+                        if !strongly_redefined {
+                            inn.entry(*o).or_default().extend(r.iter().copied());
+                        }
+                    }
+                }
+                if inn != reach_in[b] {
+                    reach_in[b] = inn;
+                    changed = true;
+                }
+            }
+        }
+        ReachingStores { reach_in }
+    }
+
+    /// Stores of `obj` that may reach the entry of `bb`.
+    pub fn reaching(&self, bb: BlockId, obj: u32) -> HashSet<ValueId> {
+        self.reach_in[bb.0 as usize]
+            .get(&obj)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// How much smaller the flow-sensitive def-set at `bb` is compared to
+    /// the flow-insensitive set `all_defs` (1.0 = no gain).
+    pub fn flow_sensitivity_gain(&self, bb: BlockId, obj: u32, all_defs: usize) -> f64 {
+        if all_defs == 0 {
+            return 1.0;
+        }
+        self.reaching(bb, obj).len() as f64 / all_defs as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_ir::{CmpPred, FunctionBuilder, Ty};
+
+    /// entry: v = x+1; branch; t: a = v+1 -> j; e: b = v+2 -> j; j: ret phi
+    fn diamond_with_shared_value() -> (Function, ValueId) {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64);
+        let t = b.new_block("t");
+        let e = b.new_block("e");
+        let j = b.new_block("j");
+        let x = b.func().arg(0);
+        let one = b.const_i64(1);
+        let v = b.add(x, one);
+        let zero = b.const_i64(0);
+        let c = b.icmp(CmpPred::Sgt, x, zero);
+        b.br(c, t, e);
+        b.switch_to(t);
+        let a = b.add(v, one);
+        b.jmp(j);
+        b.switch_to(e);
+        let two = b.const_i64(2);
+        let bb = b.add(v, two);
+        b.jmp(j);
+        b.switch_to(j);
+        let ph = b.phi(vec![(t, a), (e, bb)]);
+        b.ret(Some(ph));
+        (b.finish(), v)
+    }
+
+    #[test]
+    fn value_used_in_both_arms_is_live_into_them() {
+        let (f, v) = diamond_with_shared_value();
+        let l = Liveness::compute(&f);
+        assert!(l.live_in(BlockId(1)).contains(&v));
+        assert!(l.live_in(BlockId(2)).contains(&v));
+        assert!(!l.live_in(BlockId(3)).contains(&v), "dead after the arms");
+        assert!(l.crosses_blocks(v));
+        assert!(l.max_pressure() >= 1);
+    }
+
+    #[test]
+    fn phi_operands_live_out_of_their_pred() {
+        let (f, _) = diamond_with_shared_value();
+        let l = Liveness::compute(&f);
+        // The `a` computed in block t must be live out of t (used by the
+        // phi along the t->j edge) …
+        let a = f.block(BlockId(1)).insts[0];
+        assert!(l.live_out(BlockId(1)).contains(&a));
+        // … but not live into the other arm.
+        assert!(!l.live_in(BlockId(2)).contains(&a));
+    }
+
+    #[test]
+    fn straight_line_liveness_is_local() {
+        let mut b = FunctionBuilder::new("f", vec![], Ty::I64);
+        let one = b.const_i64(1);
+        let v = b.add(one, one);
+        b.ret(Some(v));
+        let f = b.finish();
+        let l = Liveness::compute(&f);
+        assert!(l.live_in(f.entry()).is_empty());
+        assert_eq!(l.max_pressure(), 0);
+    }
+
+    #[test]
+    fn reaching_stores_flow_sensitively() {
+        // entry: store#1 obj0; br; t: store#2 obj0 -> j; e: (nothing) -> j
+        // at j, {store#2, store#1} reach (store#1 via e).
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64);
+        let t = b.new_block("t");
+        let e = b.new_block("e");
+        let j = b.new_block("j");
+        let slot = b.alloca(Ty::I64);
+        let x = b.func().arg(0);
+        let st1 = b.store(x, slot);
+        let zero = b.const_i64(0);
+        let c = b.icmp(CmpPred::Sgt, x, zero);
+        b.br(c, t, e);
+        b.switch_to(t);
+        let one = b.const_i64(1);
+        let st2 = b.store(one, slot);
+        b.jmp(j);
+        b.switch_to(e);
+        b.jmp(j);
+        b.switch_to(j);
+        let v = b.load(slot);
+        b.ret(Some(v));
+        let f = b.finish();
+
+        let rs = ReachingStores::compute(&f, |ptr| if ptr == slot { vec![0] } else { vec![] });
+        let at_join = rs.reaching(BlockId(3), 0);
+        assert!(at_join.contains(&st2), "then-arm store reaches the join");
+        assert!(at_join.contains(&st1), "entry store survives the else arm");
+        // Inside the then-arm, only the entry store has reached so far.
+        let at_t = rs.reaching(BlockId(1), 0);
+        assert_eq!(at_t.len(), 1);
+        assert!(at_t.contains(&st1));
+    }
+
+    #[test]
+    fn strong_update_kills_previous_defs() {
+        // entry: store#1; store#2 (same single object); next: load.
+        // Only store#2 reaches the next block.
+        let mut b = FunctionBuilder::new("f", vec![], Ty::I64);
+        let next = b.new_block("next");
+        let slot = b.alloca(Ty::I64);
+        let one = b.const_i64(1);
+        let two = b.const_i64(2);
+        let _st1 = b.store(one, slot);
+        let st2 = b.store(two, slot);
+        b.jmp(next);
+        b.switch_to(next);
+        let v = b.load(slot);
+        b.ret(Some(v));
+        let f = b.finish();
+
+        let rs = ReachingStores::compute(&f, |ptr| if ptr == slot { vec![0] } else { vec![] });
+        let at_next = rs.reaching(BlockId(1), 0);
+        assert_eq!(at_next.len(), 1, "strong update must kill store#1");
+        assert!(at_next.contains(&st2));
+    }
+
+    #[test]
+    fn gain_metric_bounded() {
+        let (f, _) = diamond_with_shared_value();
+        let rs = ReachingStores::compute(&f, |_| vec![]);
+        assert_eq!(rs.flow_sensitivity_gain(BlockId(0), 0, 0), 1.0);
+        assert_eq!(rs.flow_sensitivity_gain(BlockId(0), 0, 4), 0.0);
+    }
+}

@@ -1,0 +1,806 @@
+//! Program slicing: backward slices of branch predicates (*branch
+//! decomposition*, paper Alg. 1) and forward slices of input-channel
+//! destinations (*input channel construction*).
+//!
+//! Two modes exist (paper §6.2/§7):
+//!
+//! - [`SliceMode::Pythia`] traverses pointer arithmetic (`gep`), field
+//!   accesses and memory (through the points-to relation), producing long
+//!   slices;
+//! - [`SliceMode::Dfi`] models DFI's documented limitation: its data-flow
+//!   reasoning **terminates** at pointer arithmetic with a non-constant
+//!   index and at field-sensitive accesses, leaving the rest of the slice —
+//!   and hence the branch — unprotected.
+
+use crate::alias::{ObjId, PointsTo};
+use crate::channels::{IcSite, InputChannels};
+use pythia_ir::{Callee, FuncId, Inst, Intrinsic, Module, ValueId, ValueKind};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// Which technique's slicing rules to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SliceMode {
+    /// Full traversal (Pythia).
+    Pythia,
+    /// Terminate at pointer arithmetic / field accesses (DFI).
+    Dfi,
+}
+
+/// A backward slice rooted at one conditional branch.
+#[derive(Debug, Clone)]
+pub struct BackwardSlice {
+    /// The branch instruction (a `br`).
+    pub branch: ValueId,
+    /// Function containing the branch.
+    pub func: FuncId,
+    /// SSA values in the slice, per function.
+    pub values: BTreeSet<(FuncId, ValueId)>,
+    /// Memory objects whose contents feed the branch.
+    pub objects: BTreeSet<ObjId>,
+    /// Whether traversal completed without hitting a termination condition
+    /// the mode cannot reason past.
+    pub complete: bool,
+    /// Input channels that can taint the slice (write channels whose
+    /// destination may overlap a slice object).
+    pub tainting_ics: Vec<IcSite>,
+    /// ICs whose destination directly overlaps the branch's own predicate
+    /// load (paper's "directly affected" branches).
+    pub direct_ics: Vec<IcSite>,
+}
+
+impl BackwardSlice {
+    /// Number of slice values that are pointer-typed (Fig. 7a).
+    pub fn pointer_value_count(&self, m: &Module) -> usize {
+        self.values
+            .iter()
+            .filter(|(fid, v)| m.func(*fid).value(*v).ty.is_ptr())
+            .count()
+    }
+
+    /// Whether any input channel can taint this branch.
+    pub fn ic_affected(&self) -> bool {
+        !self.tainting_ics.is_empty()
+    }
+}
+
+/// A forward slice rooted at one input channel's destination.
+#[derive(Debug, Clone)]
+pub struct ForwardSlice {
+    /// The channel this slice grows from.
+    pub site: IcSite,
+    /// Values that carry channel-derived (attacker-influenced) data.
+    pub values: BTreeSet<(FuncId, ValueId)>,
+    /// Objects that may hold channel-derived data.
+    pub objects: BTreeSet<ObjId>,
+}
+
+/// Shared indexes for slicing over one module.
+pub struct SliceContext<'m> {
+    /// The module under analysis.
+    pub module: &'m Module,
+    /// Points-to results.
+    pub points_to: PointsTo,
+    /// Discovered input channels.
+    pub channels: InputChannels,
+    /// For each object: store instructions that may write it.
+    stores_by_object: HashMap<ObjId, Vec<(FuncId, ValueId)>>,
+    /// For each object: memory-writing IC sites that may write it.
+    ics_by_object: HashMap<ObjId, Vec<IcSite>>,
+    /// For each object: loads that may read it.
+    loads_by_object: HashMap<ObjId, Vec<(FuncId, ValueId)>>,
+    /// Call sites per callee.
+    callers: HashMap<FuncId, Vec<(FuncId, ValueId)>>,
+}
+
+impl<'m> SliceContext<'m> {
+    /// Build the context (runs points-to analysis).
+    pub fn new(module: &'m Module) -> Self {
+        let points_to = PointsTo::analyze(module);
+        let channels = InputChannels::find(module);
+        let mut stores_by_object: HashMap<ObjId, Vec<(FuncId, ValueId)>> = HashMap::new();
+        let mut callers: HashMap<FuncId, Vec<(FuncId, ValueId)>> = HashMap::new();
+
+        let mut loads_by_object: HashMap<ObjId, Vec<(FuncId, ValueId)>> = HashMap::new();
+        for fid in module.func_ids() {
+            let f = module.func(fid);
+            for bb in f.block_ids() {
+                for &iv in &f.block(bb).insts {
+                    match f.inst(iv) {
+                        Some(Inst::Store { ptr, .. }) => {
+                            if let Some(objs) = points_to.write_targets(fid, *ptr) {
+                                for o in objs {
+                                    stores_by_object.entry(o).or_default().push((fid, iv));
+                                }
+                            }
+                        }
+                        Some(Inst::Load { ptr }) => {
+                            let pts = points_to.points_to(fid, *ptr);
+                            for &o in &pts.objects {
+                                loads_by_object.entry(o).or_default().push((fid, iv));
+                            }
+                        }
+                        Some(Inst::Call {
+                            callee: Callee::Func(target),
+                            ..
+                        }) => {
+                            callers.entry(*target).or_default().push((fid, iv));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+
+        let mut ics_by_object: HashMap<ObjId, Vec<IcSite>> = HashMap::new();
+        for site in channels.sites.iter().filter(|s| s.writes_memory()) {
+            if let Some(dst) = site.dest_ptr(module) {
+                if let Some(objs) = points_to.write_targets(site.func, dst) {
+                    for o in objs {
+                        ics_by_object.entry(o).or_default().push(*site);
+                    }
+                }
+            }
+        }
+
+        SliceContext {
+            module,
+            points_to,
+            channels,
+            stores_by_object,
+            ics_by_object,
+            loads_by_object,
+            callers,
+        }
+    }
+
+    /// Stores that may write `obj`.
+    pub fn stores_of(&self, obj: ObjId) -> &[(FuncId, ValueId)] {
+        self.stores_by_object
+            .get(&obj)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Loads that may read `obj`.
+    pub fn loads_of(&self, obj: ObjId) -> &[(FuncId, ValueId)] {
+        self.loads_by_object
+            .get(&obj)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Memory-writing input channels that may write `obj`.
+    pub fn ics_writing(&self, obj: ObjId) -> &[IcSite] {
+        self.ics_by_object
+            .get(&obj)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Call sites of `callee`.
+    pub fn callers_of(&self, callee: FuncId) -> &[(FuncId, ValueId)] {
+        self.callers.get(&callee).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All conditional branches in a function.
+    pub fn branches_in(&self, fid: FuncId) -> Vec<ValueId> {
+        let f = self.module.func(fid);
+        let mut out = Vec::new();
+        for bb in f.block_ids() {
+            for &iv in &f.block(bb).insts {
+                if matches!(f.inst(iv), Some(Inst::Br { .. })) {
+                    out.push(iv);
+                }
+            }
+        }
+        out
+    }
+
+    /// Backward slice of one branch (paper Alg. 1 generalized with memory
+    /// and interprocedural edges).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `branch` is not a `br` instruction of `func`.
+    pub fn backward_slice(&self, func: FuncId, branch: ValueId, mode: SliceMode) -> BackwardSlice {
+        let f = self.module.func(func);
+        let cond = match f.inst(branch) {
+            Some(Inst::Br { cond, .. }) => *cond,
+            other => panic!("backward_slice on non-branch {other:?}"),
+        };
+
+        let mut slice = BackwardSlice {
+            branch,
+            func,
+            values: BTreeSet::new(),
+            objects: BTreeSet::new(),
+            complete: true,
+            tainting_ics: Vec::new(),
+            direct_ics: Vec::new(),
+        };
+
+        let mut work: VecDeque<(FuncId, ValueId)> = VecDeque::new();
+        let mut seen: HashSet<(FuncId, ValueId)> = HashSet::new();
+        work.push_back((func, cond));
+        seen.insert((func, cond));
+        // Objects whose loads feed the predicate *in the first traversal
+        // step* count as "direct" predicate storage.
+        let mut direct_objects: BTreeSet<ObjId> = BTreeSet::new();
+        let mut budget = 200_000usize; // hard cap to bound pathological cases
+
+        while let Some((fid, v)) = work.pop_front() {
+            if budget == 0 {
+                slice.complete = false;
+                break;
+            }
+            budget -= 1;
+            slice.values.insert((fid, v));
+            let fun = self.module.func(fid);
+            let push = |work: &mut VecDeque<(FuncId, ValueId)>,
+                        seen: &mut HashSet<(FuncId, ValueId)>,
+                        fid: FuncId,
+                        v: ValueId| {
+                if seen.insert((fid, v)) {
+                    work.push_back((fid, v));
+                }
+            };
+
+            match &fun.value(v).kind {
+                ValueKind::Arg(idx) => {
+                    // Interprocedural: extend into every caller's argument.
+                    for &(cf, cv) in self.callers_of(fid) {
+                        if let Some(Inst::Call { args, .. }) = self.module.func(cf).inst(cv) {
+                            if let Some(&a) = args.get(*idx as usize) {
+                                push(&mut work, &mut seen, cf, a);
+                            }
+                        }
+                    }
+                }
+                ValueKind::Inst(inst) => match inst {
+                    Inst::Load { ptr } => {
+                        push(&mut work, &mut seen, fid, *ptr);
+                        let pts = self.points_to.points_to(fid, *ptr);
+                        if pts.unknown {
+                            // Cannot enumerate the loaded-from objects.
+                            slice.complete = false;
+                        }
+                        for &o in &pts.objects {
+                            let newly = slice.objects.insert(o);
+                            if fid == func && is_direct_feed(fun, cond, v) {
+                                direct_objects.insert(o);
+                            }
+                            if newly {
+                                for &(sf, sv) in self.stores_of(o) {
+                                    if let Some(Inst::Store { value, .. }) =
+                                        self.module.func(sf).inst(sv)
+                                    {
+                                        push(&mut work, &mut seen, sf, *value);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Inst::Gep { base, index, .. } => match mode {
+                        SliceMode::Pythia => {
+                            push(&mut work, &mut seen, fid, *base);
+                            push(&mut work, &mut seen, fid, *index);
+                        }
+                        SliceMode::Dfi => {
+                            let fun2 = self.module.func(fid);
+                            if matches!(fun2.value(*index).kind, ValueKind::ConstInt(_)) {
+                                push(&mut work, &mut seen, fid, *base);
+                            } else {
+                                // DFI cannot reason about pointer arithmetic.
+                                slice.complete = false;
+                            }
+                        }
+                    },
+                    Inst::FieldAddr { base, .. } => match mode {
+                        SliceMode::Pythia => push(&mut work, &mut seen, fid, *base),
+                        SliceMode::Dfi => {
+                            // Field-insensitive: terminate.
+                            slice.complete = false;
+                        }
+                    },
+                    Inst::Call { callee, args } => {
+                        match callee {
+                            Callee::Func(target) => {
+                                // The call's value comes from the callee's
+                                // returns; extend into them.
+                                let cf = self.module.func(*target);
+                                for bb in cf.block_ids() {
+                                    if let Some(Inst::Ret { value: Some(rv) }) = cf.terminator(bb) {
+                                        push(&mut work, &mut seen, *target, *rv);
+                                    }
+                                }
+                            }
+                            Callee::Intrinsic(i) => {
+                                // Data-returning intrinsics depend on args.
+                                if matches!(
+                                    i,
+                                    Intrinsic::Strlen
+                                        | Intrinsic::Strcmp
+                                        | Intrinsic::Strncmp
+                                        | Intrinsic::Scanf
+                                        | Intrinsic::Sscanf
+                                        | Intrinsic::Read
+                                ) {
+                                    for &a in args {
+                                        push(&mut work, &mut seen, fid, a);
+                                    }
+                                }
+                            }
+                            Callee::Indirect(_) => {
+                                if mode == SliceMode::Dfi {
+                                    slice.complete = false;
+                                }
+                            }
+                        }
+                    }
+                    _ => {
+                        for op in inst.operands() {
+                            push(&mut work, &mut seen, fid, op);
+                        }
+                    }
+                },
+                _ => {}
+            }
+        }
+
+        // Which write-channels can taint the slice?
+        let mut seen_ic: HashSet<(FuncId, ValueId)> = HashSet::new();
+        for &o in &slice.objects {
+            for site in self.ics_writing(o) {
+                if seen_ic.insert((site.func, site.call)) {
+                    slice.tainting_ics.push(*site);
+                    if direct_objects.contains(&o) {
+                        slice.direct_ics.push(*site);
+                    }
+                }
+            }
+        }
+        slice
+    }
+
+    /// Extend a backward slice with *control dependencies*: the branch
+    /// conditions governing whether each slice member executes, and (by
+    /// transitive data slicing) everything those conditions depend on.
+    /// This is Ottenstein-complete slicing; the paper's Algorithm 1 is the
+    /// data-only core, and the extension strictly grows coverage — an
+    /// attacker who can flip a *governing* branch controls the guarded
+    /// definitions too.
+    pub fn extend_with_control_deps(&self, slice: &mut BackwardSlice, mode: SliceMode) {
+        use std::collections::HashMap as Map;
+        let mut cd_cache: Map<FuncId, Vec<Vec<pythia_ir::BlockId>>> = Map::new();
+        for _round in 0..8 {
+            // Collect governing branch instructions not yet in the slice.
+            // Both slice *values* and the *stores* that write slice objects
+            // are governed sites: flipping the branch that guards a store
+            // changes the loaded value just as surely as tainting it.
+            let mut sites: Vec<(FuncId, ValueId)> = slice.values.iter().copied().collect();
+            for &o in &slice.objects {
+                sites.extend(self.stores_of(o).iter().copied());
+            }
+            let mut new_branches: Vec<(FuncId, ValueId)> = Vec::new();
+            for (fid, v) in sites {
+                let f = self.module.func(fid);
+                let Some(bb) = f.block_of(v) else { continue };
+                let cd = cd_cache
+                    .entry(fid)
+                    .or_insert_with(|| crate::cfg::control_dependence(f));
+                for &gov in &cd[bb.0 as usize] {
+                    if let Some(&term) = f.block(gov).insts.last() {
+                        if matches!(f.inst(term), Some(Inst::Br { .. }))
+                            && !slice.values.contains(&(fid, term))
+                            && !new_branches.contains(&(fid, term))
+                        {
+                            new_branches.push((fid, term));
+                        }
+                    }
+                }
+            }
+            if new_branches.is_empty() {
+                break;
+            }
+            for (fid, br) in new_branches {
+                slice.values.insert((fid, br));
+                let sub = self.backward_slice(fid, br, mode);
+                slice.values.extend(sub.values.iter().copied());
+                slice.objects.extend(sub.objects.iter().copied());
+                slice.complete &= sub.complete;
+                for ic in sub.tainting_ics {
+                    if !slice
+                        .tainting_ics
+                        .iter()
+                        .any(|s| s.func == ic.func && s.call == ic.call)
+                    {
+                        slice.tainting_ics.push(ic);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Forward slice from one memory-writing input channel (input channel
+    /// construction).
+    pub fn forward_slice(&self, site: IcSite) -> ForwardSlice {
+        let mut out = ForwardSlice {
+            site,
+            values: BTreeSet::new(),
+            objects: BTreeSet::new(),
+        };
+        let Some(dst) = site.dest_ptr(self.module) else {
+            return out;
+        };
+        let Some(root_objs) = self.points_to.write_targets(site.func, dst) else {
+            return out;
+        };
+
+        // Taint propagation: objects -> loads -> value dataflow -> stores ->
+        // objects, to a fixpoint.
+        let mut obj_work: VecDeque<ObjId> = root_objs.iter().copied().collect();
+        out.objects.extend(root_objs);
+        let mut val_work: VecDeque<(FuncId, ValueId)> = VecDeque::new();
+        let mut seen_vals: HashSet<(FuncId, ValueId)> = HashSet::new();
+        let mut budget = 200_000usize;
+
+        // Precompute def-use once per touched function.
+        let mut du_cache: HashMap<FuncId, crate::defuse::DefUse> = HashMap::new();
+
+        loop {
+            while let Some(o) = obj_work.pop_front() {
+                // Every load that may read this object becomes tainted.
+                if let Some(loads) = self.loads_by_object.get(&o) {
+                    for &(fid, iv) in loads {
+                        if seen_vals.insert((fid, iv)) {
+                            val_work.push_back((fid, iv));
+                        }
+                    }
+                }
+            }
+            let Some((fid, v)) = val_work.pop_front() else {
+                break;
+            };
+            if budget == 0 {
+                break;
+            }
+            budget -= 1;
+            out.values.insert((fid, v));
+            let f = self.module.func(fid);
+            let du = du_cache
+                .entry(fid)
+                .or_insert_with(|| crate::defuse::DefUse::compute(f));
+            for &user in du.users(v) {
+                match f.inst(user) {
+                    Some(Inst::Store { ptr, value }) if *value == v => {
+                        if let Some(objs) = self.points_to.write_targets(fid, *ptr) {
+                            for o in objs {
+                                if out.objects.insert(o) {
+                                    obj_work.push_back(o);
+                                }
+                            }
+                        }
+                    }
+                    Some(Inst::Call { callee, args }) => {
+                        // Taint flows into callees via arguments.
+                        if let Callee::Func(target) = callee {
+                            let cf = self.module.func(*target);
+                            for (i, a) in args.iter().enumerate() {
+                                if *a == v && i < cf.params.len() {
+                                    let p = cf.arg(i);
+                                    if seen_vals.insert((*target, p)) {
+                                        val_work.push_back((*target, p));
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Some(inst) if !inst.is_terminator() => {
+                        // Any computed result is tainted.
+                        if f.value(user).ty != pythia_ir::Ty::Void && seen_vals.insert((fid, user))
+                        {
+                            val_work.push_back((fid, user));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Whether value `v` feeds the branch condition `cond` within one step
+/// (i.e. `v` is `cond` itself or a direct operand of the icmp).
+fn is_direct_feed(f: &pythia_ir::Function, cond: ValueId, v: ValueId) -> bool {
+    if v == cond {
+        return true;
+    }
+    if let Some(inst) = f.inst(cond) {
+        return inst.operands().contains(&v);
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_ir::{CmpPred, FunctionBuilder, Module, Ty};
+
+    /// Build the paper's Listing-1-style function:
+    /// user buffer checked by a branch, attacker channel writes nearby.
+    fn listing1_like() -> (Module, FuncId) {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("access", vec![], Ty::I64);
+        let user = b.alloca(Ty::array(Ty::I8, 8));
+        b.set_name(user, "user");
+        let input = b.alloca(Ty::array(Ty::I8, 8));
+        b.set_name(input, "someinput");
+        // strcpy(user, <ext>) -- fill user legitimately (scan-ish)
+        let n = b.const_i64(8);
+        b.call_intrinsic(Intrinsic::Fgets, vec![user, n], Ty::ptr(Ty::I8));
+        // strcpy(input-buffer, attacker) happens via gets
+        b.call_intrinsic(Intrinsic::Gets, vec![input], Ty::ptr(Ty::I8));
+        // branch on user[0]
+        let zero = b.const_i64(0);
+        let p0 = b.gep(user, zero);
+        let c0 = b.load(p0);
+        let admin = b.const_int(Ty::I8, 97);
+        let cond = b.icmp(CmpPred::Eq, c0, admin);
+        let t = b.new_block("super");
+        let e = b.new_block("normal");
+        b.br(cond, t, e);
+        b.switch_to(t);
+        let one = b.const_i64(1);
+        b.ret(Some(one));
+        b.switch_to(e);
+        b.ret(Some(zero));
+        let fid = m.add_function(b.finish());
+        (m, fid)
+    }
+
+    #[test]
+    fn branch_slice_reaches_ic() {
+        let (m, fid) = listing1_like();
+        let ctx = SliceContext::new(&m);
+        let branches = ctx.branches_in(fid);
+        assert_eq!(branches.len(), 1);
+        let slice = ctx.backward_slice(fid, branches[0], SliceMode::Pythia);
+        assert!(slice.complete);
+        assert!(slice.ic_affected());
+        // fgets writes the user buffer the branch reads -> tainting.
+        assert!(slice
+            .tainting_ics
+            .iter()
+            .any(|s| s.intrinsic == Intrinsic::Fgets));
+        // The `gets` into the *other* buffer must not appear: distinct objects.
+        assert!(!slice
+            .tainting_ics
+            .iter()
+            .any(|s| s.intrinsic == Intrinsic::Gets));
+        assert_eq!(slice.objects.len(), 1);
+    }
+
+    #[test]
+    fn dfi_mode_terminates_at_dynamic_gep() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64);
+        let buf = b.alloca(Ty::array(Ty::I64, 8));
+        let i = b.func().arg(0); // dynamic index
+        let p = b.gep(buf, i);
+        let v = b.load(p);
+        let zero = b.const_i64(0);
+        let cond = b.icmp(CmpPred::Sgt, v, zero);
+        let t = b.new_block("t");
+        let e = b.new_block("e");
+        b.br(cond, t, e);
+        b.switch_to(t);
+        b.ret(Some(v));
+        b.switch_to(e);
+        b.ret(Some(zero));
+        let fid = m.add_function(b.finish());
+        let ctx = SliceContext::new(&m);
+        let br = ctx.branches_in(fid)[0];
+        let pythia = ctx.backward_slice(fid, br, SliceMode::Pythia);
+        let dfi = ctx.backward_slice(fid, br, SliceMode::Dfi);
+        assert!(pythia.complete);
+        assert!(
+            !dfi.complete,
+            "DFI should stop at dynamic pointer arithmetic"
+        );
+        assert!(pythia.values.len() > dfi.values.len());
+    }
+
+    #[test]
+    fn dfi_mode_terminates_at_field_access() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![], Ty::I64);
+        let s = b.alloca(Ty::strukt(vec![Ty::I64, Ty::I64]));
+        let f1 = b.field_addr(s, 1);
+        let v = b.load(f1);
+        let zero = b.const_i64(0);
+        let cond = b.icmp(CmpPred::Sgt, v, zero);
+        let t = b.new_block("t");
+        let e = b.new_block("e");
+        b.br(cond, t, e);
+        b.switch_to(t);
+        b.ret(Some(v));
+        b.switch_to(e);
+        b.ret(Some(zero));
+        let fid = m.add_function(b.finish());
+        let ctx = SliceContext::new(&m);
+        let br = ctx.branches_in(fid)[0];
+        assert!(ctx.backward_slice(fid, br, SliceMode::Pythia).complete);
+        assert!(!ctx.backward_slice(fid, br, SliceMode::Dfi).complete);
+    }
+
+    #[test]
+    fn interprocedural_slice_through_argument() {
+        let mut m = Module::new("m");
+        // check(x) { if (x > 0) ... }
+        let mut cb = FunctionBuilder::new("check", vec![Ty::I64], Ty::I64);
+        let x = cb.func().arg(0);
+        let zero = cb.const_i64(0);
+        let cond = cb.icmp(CmpPred::Sgt, x, zero);
+        let t = cb.new_block("t");
+        let e = cb.new_block("e");
+        cb.br(cond, t, e);
+        cb.switch_to(t);
+        cb.ret(Some(x));
+        cb.switch_to(e);
+        cb.ret(Some(zero));
+        let check = m.add_function(cb.finish());
+        // main: v loaded from IC-written buffer, passed to check.
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let buf = b.alloca(Ty::array(Ty::I64, 4));
+        b.call_intrinsic(Intrinsic::Gets, vec![buf], Ty::ptr(Ty::I8));
+        let zero = b.const_i64(0);
+        let p = b.gep(buf, zero);
+        let v = b.load(p);
+        let r = b.call(check, vec![v], Ty::I64);
+        b.ret(Some(r));
+        m.add_function(b.finish());
+
+        let ctx = SliceContext::new(&m);
+        let br = ctx.branches_in(check)[0];
+        let slice = ctx.backward_slice(check, br, SliceMode::Pythia);
+        assert!(slice.ic_affected(), "taint must flow through the call");
+        assert!(slice
+            .tainting_ics
+            .iter()
+            .any(|s| s.intrinsic == Intrinsic::Gets));
+    }
+
+    #[test]
+    fn forward_slice_taints_derived_values_and_objects() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![], Ty::I64);
+        let buf = b.alloca(Ty::array(Ty::I64, 4));
+        let out = b.alloca(Ty::I64);
+        b.call_intrinsic(Intrinsic::Gets, vec![buf], Ty::ptr(Ty::I8));
+        let zero = b.const_i64(0);
+        let p = b.gep(buf, zero);
+        let v = b.load(p);
+        let one = b.const_i64(1);
+        let w = b.add(v, one);
+        b.store(w, out);
+        b.ret(Some(w));
+        let fid = m.add_function(b.finish());
+        let ctx = SliceContext::new(&m);
+        let site = *ctx
+            .channels
+            .sites
+            .iter()
+            .find(|s| s.intrinsic == Intrinsic::Gets)
+            .unwrap();
+        let fs = ctx.forward_slice(site);
+        assert!(fs.values.contains(&(fid, v)));
+        assert!(fs.values.contains(&(fid, w)));
+        // The store propagates taint into `out`'s object.
+        assert_eq!(fs.objects.len(), 2);
+    }
+
+    #[test]
+    fn untainted_branch_has_no_ics() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64);
+        let x = b.func().arg(0);
+        let zero = b.const_i64(0);
+        let cond = b.icmp(CmpPred::Sgt, x, zero);
+        let t = b.new_block("t");
+        let e = b.new_block("e");
+        b.br(cond, t, e);
+        b.switch_to(t);
+        b.ret(Some(x));
+        b.switch_to(e);
+        b.ret(Some(zero));
+        let fid = m.add_function(b.finish());
+        let ctx = SliceContext::new(&m);
+        let br = ctx.branches_in(fid)[0];
+        let slice = ctx.backward_slice(fid, br, SliceMode::Pythia);
+        assert!(!slice.ic_affected());
+        assert!(slice.objects.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod control_slice_tests {
+    use super::*;
+    use pythia_ir::{CmpPred, FunctionBuilder, Module, Ty};
+
+    /// `if (guard_from_channel) { flag = 1 }; if (flag) privileged` —
+    /// the second branch's *data* slice sees only `flag`; with control
+    /// dependencies it must also absorb the guard and its channel.
+    #[test]
+    fn control_extension_reaches_the_governing_channel() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let (gt, gj) = (b.new_block("gt"), b.new_block("gj"));
+        let (pt, pe) = (b.new_block("pt"), b.new_block("pe"));
+        let guard_slot = b.alloca(Ty::I64);
+        let flag = b.alloca(Ty::I64);
+        let zero = b.const_i64(0);
+        b.store(zero, flag);
+        b.call_intrinsic(Intrinsic::Gets, vec![guard_slot], Ty::ptr(Ty::I8));
+        let g = b.load(guard_slot);
+        let c1 = b.icmp(CmpPred::Sgt, g, zero);
+        b.br(c1, gt, gj);
+        b.switch_to(gt);
+        let one = b.const_i64(1);
+        b.store(one, flag);
+        b.jmp(gj);
+        b.switch_to(gj);
+        let fv = b.load(flag);
+        let c2 = b.icmp(CmpPred::Eq, fv, one);
+        b.br(c2, pt, pe);
+        b.switch_to(pt);
+        b.ret(Some(one));
+        b.switch_to(pe);
+        b.ret(Some(zero));
+        let fid = m.add_function(b.finish());
+
+        let ctx = SliceContext::new(&m);
+        let branches = ctx.branches_in(fid);
+        let second = branches[1];
+        let mut slice = ctx.backward_slice(fid, second, SliceMode::Pythia);
+        // Data-only: the store `flag = 1` is in the slice (a writer of
+        // flag), but not the *guard condition* governing it…
+        let data_values = slice.values.len();
+        ctx.extend_with_control_deps(&mut slice, SliceMode::Pythia);
+        assert!(
+            slice.values.len() > data_values,
+            "control extension must grow the slice"
+        );
+        // …after extension the gets-written guard object is included and
+        // its channel appears among the tainting ICs.
+        assert!(slice
+            .tainting_ics
+            .iter()
+            .any(|s| s.intrinsic == Intrinsic::Gets));
+    }
+
+    #[test]
+    fn control_extension_is_monotone_and_idempotent() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![Ty::I64], Ty::I64);
+        let (t, e) = (b.new_block("t"), b.new_block("e"));
+        let x = b.func().arg(0);
+        let zero = b.const_i64(0);
+        let c = b.icmp(CmpPred::Sgt, x, zero);
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.ret(Some(x));
+        b.switch_to(e);
+        b.ret(Some(zero));
+        let fid = m.add_function(b.finish());
+        let ctx = SliceContext::new(&m);
+        let br = ctx.branches_in(fid)[0];
+        let base = ctx.backward_slice(fid, br, SliceMode::Pythia);
+        let mut once = base.clone();
+        ctx.extend_with_control_deps(&mut once, SliceMode::Pythia);
+        assert!(once.values.is_superset(&base.values));
+        let mut twice = once.clone();
+        ctx.extend_with_control_deps(&mut twice, SliceMode::Pythia);
+        assert_eq!(once.values, twice.values, "second extension is a no-op");
+    }
+}

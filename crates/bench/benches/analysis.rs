@@ -1,0 +1,47 @@
+//! Analysis-pipeline benchmarks: points-to, branch decomposition, and the
+//! full vulnerability report over a large generated benchmark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pythia_analysis::{PointsTo, SliceContext, SliceMode, VulnerabilityReport};
+use pythia_workloads::{generate, profile_by_name};
+
+fn bench_analysis(c: &mut Criterion) {
+    let m = generate(profile_by_name("gcc").unwrap());
+
+    c.bench_function("analysis/points_to_gcc", |b| {
+        b.iter(|| std::hint::black_box(PointsTo::analyze(&m)))
+    });
+
+    c.bench_function("analysis/slice_context_gcc", |b| {
+        b.iter(|| std::hint::black_box(SliceContext::new(&m)))
+    });
+
+    let ctx = SliceContext::new(&m);
+    let fid = m.func_by_name("work_0").unwrap();
+    let branches = ctx.branches_in(fid);
+    c.bench_function("analysis/backward_slice_pythia", |b| {
+        b.iter(|| {
+            for &br in &branches {
+                std::hint::black_box(ctx.backward_slice(fid, br, SliceMode::Pythia));
+            }
+        })
+    });
+    c.bench_function("analysis/backward_slice_dfi", |b| {
+        b.iter(|| {
+            for &br in &branches {
+                std::hint::black_box(ctx.backward_slice(fid, br, SliceMode::Dfi));
+            }
+        })
+    });
+
+    c.bench_function("analysis/full_report_gcc", |b| {
+        b.iter(|| std::hint::black_box(VulnerabilityReport::analyze(&ctx)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_analysis
+}
+criterion_main!(benches);

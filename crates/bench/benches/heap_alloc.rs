@@ -1,0 +1,62 @@
+//! Allocator micro-benchmarks: churn on the glibc-flavoured free-list
+//! allocator and the sectioned heap (including the secure/shared split).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pythia_heap::{Allocator, Section, SectionedHeap};
+
+fn bench_allocator(c: &mut Criterion) {
+    c.bench_function("heap/alloc_free_churn", |b| {
+        b.iter(|| {
+            let mut a = Allocator::new(0x1000, 1 << 20);
+            let mut live = Vec::with_capacity(64);
+            for i in 0..256u64 {
+                let size = 16 + (i * 37) % 480;
+                if let Some(p) = a.alloc(size) {
+                    live.push(p);
+                }
+                if i % 3 == 0 {
+                    if let Some(p) = live.pop() {
+                        a.free(p).unwrap();
+                    }
+                }
+            }
+            std::hint::black_box(a.stats())
+        })
+    });
+
+    c.bench_function("heap/fastbin_reuse", |b| {
+        let mut a = Allocator::new(0x1000, 1 << 20);
+        b.iter(|| {
+            let p = a.alloc(64).unwrap();
+            a.free(p).unwrap();
+            std::hint::black_box(p)
+        })
+    });
+}
+
+fn bench_sectioned(c: &mut Criterion) {
+    c.bench_function("heap/sectioned_mixed", |b| {
+        b.iter(|| {
+            let mut h = SectionedHeap::default();
+            for i in 0..128u64 {
+                let sec = if i % 8 == 0 {
+                    Section::Isolated
+                } else {
+                    Section::Shared
+                };
+                let p = h.alloc(sec, 32 + i % 256).unwrap();
+                if i % 2 == 0 {
+                    h.free(p).unwrap();
+                }
+            }
+            std::hint::black_box(h.init_calls())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_allocator, bench_sectioned
+}
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Regenerate the paper's tables and figures (see DESIGN.md §4).
+//!
+//! Usage: `reproduce [section...]` where a section is one of
+//! `fig4a fig4b fig5a fig5b fig6a fig6b fig7a fig7b dist dynpa heap campaign
+//! models nginx motiv eq6 ablations` — or nothing for the full report.
+
+use pythia_bench::experiments as exp;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--out <dir>` writes the report to <dir>/report.md instead of stdout.
+    let mut out_dir: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--out") {
+        if i + 1 >= args.len() {
+            eprintln!("--out needs a directory");
+            std::process::exit(2);
+        }
+        out_dir = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    if args.is_empty() {
+        let report = exp::run_all();
+        match out_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(&dir).expect("create out dir");
+                let path = std::path::Path::new(&dir).join("report.md");
+                std::fs::write(&path, &report).expect("write report");
+                eprintln!("wrote {}", path.display());
+            }
+            None => println!("{report}"),
+        }
+        return;
+    }
+    // Experiments that need the evaluated suite share one run.
+    let needs_suite = [
+        "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b", "fig7a", "fig7b", "dist", "dynpa",
+        "heap", "models",
+    ];
+    let suite = if args.iter().any(|a| needs_suite.contains(&a.as_str())) {
+        Some(exp::run_suite())
+    } else {
+        None
+    };
+    for a in &args {
+        let section = match a.as_str() {
+            "fig4a" => exp::fig4a(suite.as_ref().unwrap()),
+            "fig4b" => exp::fig4b(suite.as_ref().unwrap()),
+            "fig5a" => exp::fig5a(suite.as_ref().unwrap()),
+            "fig5b" => exp::fig5b(suite.as_ref().unwrap()),
+            "fig6a" => exp::fig6a(suite.as_ref().unwrap()),
+            "fig6b" => exp::fig6b(suite.as_ref().unwrap()),
+            "fig7a" => exp::fig7a(suite.as_ref().unwrap()),
+            "fig7b" => exp::fig7b(suite.as_ref().unwrap()),
+            "dist" => exp::dist(suite.as_ref().unwrap()),
+            "dynpa" => exp::dynpa(suite.as_ref().unwrap()),
+            "heap" => exp::heap(suite.as_ref().unwrap()),
+            "models" => exp::models(suite.as_ref().unwrap()),
+            "nginx" => exp::nginx(),
+            "motiv" => exp::motiv(),
+            "campaign" => exp::campaign(),
+            "eq6" => exp::eq6(),
+            "ablations" => exp::ablations(),
+            other => {
+                eprintln!("unknown section `{other}`");
+                std::process::exit(2);
+            }
+        };
+        println!("{section}");
+    }
+}

@@ -1,0 +1,34 @@
+//! One-screen overview of the whole SPEC-like suite: overheads, security
+//! coverage and analysis facts per benchmark.
+//!
+//! Run with: `cargo run --release -p pythia-core --example suite_overview`
+
+use pythia_core::{evaluate, Scheme, VmConfig};
+use pythia_workloads::{generate, SPEC_PROFILES};
+
+fn main() {
+    println!(
+        "{:<18} {:>7} {:>8} {:>8} {:>8}  {:>7} {:>7}  {:>6}",
+        "benchmark", "branch", "cpa", "pythia", "dfi", "sec-P", "sec-D", "ICs"
+    );
+    for p in SPEC_PROFILES.iter() {
+        let m = generate(p);
+        let ev = evaluate(
+            &m,
+            &[Scheme::Cpa, Scheme::Pythia, Scheme::Dfi],
+            p.seed,
+            &VmConfig::default(),
+        );
+        println!(
+            "{:<18} {:>7} {:>+7.1}% {:>+7.1}% {:>+7.1}%  {:>6.1}% {:>6.1}%  {:>6}",
+            p.name,
+            ev.analysis.branches,
+            ev.overhead(Scheme::Cpa) * 100.0,
+            ev.overhead(Scheme::Pythia) * 100.0,
+            ev.overhead(Scheme::Dfi) * 100.0,
+            ev.analysis.pythia_secured * 100.0,
+            ev.analysis.dfi_secured * 100.0,
+            ev.analysis.ic_total,
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! The end-to-end evaluation pipeline: analyze a module once, derive every
+//! protection scheme from the same analysis, execute each variant, and
+//! aggregate the numbers the paper's figures report.
+
+use pythia_analysis::{InputChannels, SliceContext, VulnerabilityReport};
+use pythia_ir::{IcCategory, Module};
+use pythia_passes::{instrument_with, InstrumentationStats, Scheme};
+use pythia_vm::{ExitReason, InputPlan, RunMetrics, Vm, VmConfig};
+use std::collections::BTreeMap;
+
+/// Results of running one scheme's variant of a benchmark.
+#[derive(Debug, Clone)]
+pub struct SchemeResult {
+    /// Which scheme.
+    pub scheme: Scheme,
+    /// What the pass did statically.
+    pub stats: InstrumentationStats,
+    /// How the run ended (benign runs should return normally).
+    pub exit: ExitReason,
+    /// Dynamic counters.
+    pub metrics: RunMetrics,
+}
+
+/// Static analysis facts about a benchmark (independent of scheme).
+#[derive(Debug, Clone)]
+pub struct AnalysisSummary {
+    /// Conditional branch count.
+    pub branches: usize,
+    /// Fractions of branches unaffected / directly / indirectly affected
+    /// by input channels.
+    pub unaffected: f64,
+    /// Directly affected fraction.
+    pub direct: f64,
+    /// Indirectly affected fraction.
+    pub indirect: f64,
+    /// Branch-security fractions (Fig. 7b).
+    pub pythia_secured: f64,
+    /// DFI's fraction.
+    pub dfi_secured: f64,
+    /// Mean attack distances (Def. 2.4): input channel, DFI, Pythia.
+    pub ic_distance: f64,
+    /// DFI protection distance.
+    pub dfi_distance: f64,
+    /// Pythia protection distance.
+    pub pythia_distance: f64,
+    /// Fraction of all values CPA marks vulnerable (Fig. 6a).
+    pub cpa_value_fraction: f64,
+    /// Fraction of all values Pythia marks vulnerable.
+    pub pythia_value_fraction: f64,
+    /// Mean fraction of pointer values in backslices (Fig. 7a).
+    pub slice_pointer_fraction: f64,
+    /// Input-channel category histogram (Fig. 5b).
+    pub ic_histogram: BTreeMap<IcCategory, usize>,
+    /// Total input channels.
+    pub ic_total: usize,
+    /// Vulnerable stack variables (canary count under Pythia).
+    pub stack_vulns: usize,
+    /// Vulnerable heap allocation sites.
+    pub heap_vulns: usize,
+    /// Static instruction count.
+    pub insts: usize,
+}
+
+/// A fully evaluated benchmark: one entry per requested scheme.
+#[derive(Debug, Clone)]
+pub struct BenchEvaluation {
+    /// Benchmark name.
+    pub name: String,
+    /// Static analysis facts.
+    pub analysis: AnalysisSummary,
+    /// Per-scheme results (always includes `Scheme::Vanilla`).
+    pub results: Vec<SchemeResult>,
+}
+
+impl BenchEvaluation {
+    /// The result entry for `scheme`.
+    pub fn result(&self, scheme: Scheme) -> Option<&SchemeResult> {
+        self.results.iter().find(|r| r.scheme == scheme)
+    }
+
+    /// Runtime overhead of `scheme` relative to vanilla (`0.13` = +13 %).
+    pub fn overhead(&self, scheme: Scheme) -> f64 {
+        let (Some(v), Some(s)) = (self.result(Scheme::Vanilla), self.result(scheme)) else {
+            return 0.0;
+        };
+        let base = v.metrics.cycles();
+        if base == 0 {
+            return 0.0;
+        }
+        s.metrics.cycles() as f64 / base as f64 - 1.0
+    }
+
+    /// IPC degradation of `scheme` relative to vanilla (positive = worse).
+    pub fn ipc_degradation(&self, scheme: Scheme) -> f64 {
+        let (Some(v), Some(s)) = (self.result(Scheme::Vanilla), self.result(scheme)) else {
+            return 0.0;
+        };
+        let base = v.metrics.ipc();
+        if base == 0.0 {
+            return 0.0;
+        }
+        1.0 - s.metrics.ipc() / base
+    }
+
+    /// Binary-size growth of `scheme` (static instructions).
+    pub fn binary_growth(&self, scheme: Scheme) -> f64 {
+        self.result(scheme)
+            .map(|r| r.stats.binary_growth())
+            .unwrap_or(0.0)
+    }
+
+    /// Static PA instruction reduction factor of Pythia over CPA (Fig. 6b).
+    pub fn pa_reduction(&self) -> f64 {
+        let (Some(c), Some(p)) = (self.result(Scheme::Cpa), self.result(Scheme::Pythia)) else {
+            return 1.0;
+        };
+        let pythia_pa = p.stats.pa_total().max(1);
+        c.stats.pa_total() as f64 / pythia_pa as f64
+    }
+
+    /// Fraction of statically-inserted PA instructions that actually
+    /// executed at least once (the paper reports ~50 %).
+    pub fn dynamic_pa_fraction(&self, scheme: Scheme) -> f64 {
+        let Some(r) = self.result(scheme) else {
+            return 0.0;
+        };
+        let static_pa = r.stats.pa_total();
+        if static_pa == 0 {
+            return 0.0;
+        }
+        // Dynamic PA executions tell how *often* they ran; to estimate
+        // coverage we compare against the loop trip counts implied by the
+        // run: a static site that ran contributes >= 1 execution. We use
+        // the conservative proxy min(1, dyn/static) per-site aggregated as
+        // dyn-sites ≈ static * coverage; with uniform loops this reduces
+        // to the ratio of *distinct* sites executed, which the VM does not
+        // track per-site — so we report the bounded ratio.
+        (r.metrics.pa_insts as f64 / static_pa as f64).min(1.0)
+    }
+}
+
+/// Evaluate one module under the given schemes (vanilla is always added).
+///
+/// The analysis runs once; each scheme is instrumented from the shared
+/// report and executed on the same benign input plan/seed.
+pub fn evaluate(module: &Module, schemes: &[Scheme], seed: u64, cfg: &VmConfig) -> BenchEvaluation {
+    let ctx = SliceContext::new(module);
+    let report = VulnerabilityReport::analyze(&ctx);
+    let channels = InputChannels::find(module);
+
+    let analysis = AnalysisSummary {
+        branches: report.num_branches(),
+        unaffected: report.effect_fraction(pythia_analysis::IcEffect::Unaffected),
+        direct: report.effect_fraction(pythia_analysis::IcEffect::Direct),
+        indirect: report.effect_fraction(pythia_analysis::IcEffect::Indirect),
+        pythia_secured: report.pythia_secured_fraction(),
+        dfi_secured: report.dfi_secured_fraction(),
+        ic_distance: report.mean_ic_distance(),
+        dfi_distance: report.mean_dfi_distance(),
+        pythia_distance: report.mean_pythia_distance(),
+        cpa_value_fraction: report.cpa_value_fraction(),
+        pythia_value_fraction: report.pythia_value_fraction(),
+        slice_pointer_fraction: report.mean_slice_pointer_fraction(),
+        ic_histogram: channels.histogram(),
+        ic_total: channels.total(),
+        stack_vulns: report.num_stack_vulns(),
+        heap_vulns: report.heap_vulns.len(),
+        insts: module.num_insts(),
+    };
+
+    let mut all = vec![Scheme::Vanilla];
+    for s in schemes {
+        if !all.contains(s) {
+            all.push(*s);
+        }
+    }
+
+    let results = all
+        .into_iter()
+        .map(|scheme| {
+            let inst = instrument_with(module, &ctx, &report, scheme);
+            let mut vm = Vm::new(&inst.module, cfg.clone(), InputPlan::benign(seed));
+            let r = vm.run("main", &[]);
+            SchemeResult {
+                scheme,
+                stats: inst.stats,
+                exit: r.exit,
+                metrics: r.metrics,
+            }
+        })
+        .collect();
+
+    BenchEvaluation {
+        name: module.name.clone(),
+        analysis,
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_workloads::{generate, profile_by_name};
+
+    #[test]
+    fn evaluation_runs_all_schemes_cleanly() {
+        let m = generate(profile_by_name("lbm").unwrap());
+        let ev = evaluate(
+            &m,
+            &[Scheme::Cpa, Scheme::Pythia, Scheme::Dfi],
+            1,
+            &VmConfig::default(),
+        );
+        assert_eq!(ev.results.len(), 4);
+        for r in &ev.results {
+            assert!(
+                matches!(r.exit, ExitReason::Returned(_)),
+                "{:?} did not complete: {:?}",
+                r.scheme,
+                r.exit
+            );
+        }
+    }
+
+    #[test]
+    fn instrumented_runs_cost_more() {
+        let m = generate(profile_by_name("mcf").unwrap());
+        let ev = evaluate(&m, &[Scheme::Cpa, Scheme::Pythia], 1, &VmConfig::default());
+        assert!(ev.overhead(Scheme::Cpa) > 0.0);
+        assert!(ev.overhead(Scheme::Pythia) > 0.0);
+        assert!(ev.binary_growth(Scheme::Cpa) > 0.0);
+        assert_eq!(ev.overhead(Scheme::Vanilla), 0.0);
+    }
+
+    #[test]
+    fn schemes_preserve_benign_results() {
+        // Protection must not change what the program computes.
+        let m = generate(profile_by_name("x264").unwrap());
+        let ev = evaluate(
+            &m,
+            &[Scheme::Cpa, Scheme::Pythia, Scheme::Dfi],
+            3,
+            &VmConfig::default(),
+        );
+        let vanilla = ev.result(Scheme::Vanilla).unwrap().exit;
+        for r in &ev.results {
+            assert_eq!(
+                r.exit, vanilla,
+                "{:?} changed the program's benign result",
+                r.scheme
+            );
+        }
+    }
+
+    #[test]
+    fn analysis_summary_is_sane() {
+        let m = generate(profile_by_name("gcc").unwrap());
+        let ev = evaluate(&m, &[], 1, &VmConfig::default());
+        let a = &ev.analysis;
+        assert!(a.branches > 50);
+        let total = a.unaffected + a.direct + a.indirect;
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(a.pythia_secured >= a.dfi_secured);
+        assert!(a.pythia_distance >= a.dfi_distance);
+        assert!(a.cpa_value_fraction >= a.pythia_value_fraction);
+        assert!(a.ic_total > 0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Attack-scenario adjudication: run a [`Scenario`] benign and attacked
+//! under each protection scheme and classify the outcome.
+
+use pythia_passes::{instrument, Scheme};
+use pythia_vm::{DetectionMechanism, ExitReason, Vm, VmConfig};
+use pythia_workloads::Scenario;
+
+/// What happened when a scenario ran under a scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Which scheme was applied.
+    pub scheme: Scheme,
+    /// The benign run completed on the normal path.
+    pub benign_ok: bool,
+    /// The attack was detected (and by what).
+    pub detected: Option<DetectionMechanism>,
+    /// The attack bent the branch (reached the privileged/leak path).
+    pub bent: bool,
+    /// The attacked run's exit, for reporting.
+    pub attack_exit: ExitReason,
+}
+
+impl ScenarioOutcome {
+    /// A defense *succeeds* when benign behaviour is preserved and the
+    /// attack neither bends the branch nor silently corrupts state.
+    pub fn defense_succeeded(&self) -> bool {
+        self.benign_ok && !self.bent && self.detected.is_some()
+    }
+
+    /// The attack was *neutralized*: it no longer bends the branch even
+    /// though nothing trapped — e.g. heap sectioning moved the target out
+    /// of the overflow's reach, or the stack re-layout moved the victim
+    /// below the buffer. The program keeps running on the normal path.
+    pub fn neutralized(&self, normal_return: i64) -> bool {
+        self.benign_ok
+            && !self.bent
+            && self.detected.is_none()
+            && self.attack_exit == ExitReason::Returned(normal_return)
+    }
+
+    /// Either trapped or neutralized — the attacker did not win.
+    pub fn attack_defeated(&self, normal_return: i64) -> bool {
+        self.defense_succeeded() || self.neutralized(normal_return)
+    }
+}
+
+/// Run `scenario` under `scheme` (instrumenting the module) and classify.
+pub fn adjudicate(scenario: &Scenario, scheme: Scheme, cfg: &VmConfig) -> ScenarioOutcome {
+    let inst = instrument(&scenario.module, scheme);
+
+    let benign_exit = {
+        let mut vm = Vm::new(&inst.module, cfg.clone(), scenario.benign.clone());
+        vm.run("main", &[]).exit
+    };
+    let benign_ok = benign_exit == ExitReason::Returned(scenario.normal_return);
+
+    let attack_run = {
+        let mut vm = Vm::new(&inst.module, cfg.clone(), scenario.attack.clone());
+        vm.run("main", &[])
+    };
+    let detected = attack_run.detected();
+    let bent = attack_run.exit == ExitReason::Returned(scenario.bent_return);
+
+    ScenarioOutcome {
+        scheme,
+        benign_ok,
+        detected,
+        bent,
+        attack_exit: attack_run.exit,
+    }
+}
+
+/// Adjudicate a scenario under every scheme.
+pub fn adjudicate_all(scenario: &Scenario, cfg: &VmConfig) -> Vec<ScenarioOutcome> {
+    Scheme::ALL
+        .iter()
+        .map(|s| adjudicate(scenario, *s, cfg))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_workloads::all_scenarios;
+
+    #[test]
+    fn vanilla_bends_pythia_detects_every_listing() {
+        let cfg = VmConfig::default();
+        for scenario in all_scenarios() {
+            let vanilla = adjudicate(&scenario, Scheme::Vanilla, &cfg);
+            assert!(
+                vanilla.benign_ok,
+                "{}: vanilla benign broken",
+                scenario.name
+            );
+            assert!(
+                vanilla.bent,
+                "{}: attack must succeed without protection (exit {:?})",
+                scenario.name, vanilla.attack_exit
+            );
+
+            let pythia = adjudicate(&scenario, Scheme::Pythia, &cfg);
+            assert!(pythia.benign_ok, "{}: pythia broke benign", scenario.name);
+            assert!(
+                pythia.defense_succeeded(),
+                "{}: pythia failed to stop the attack ({:?})",
+                scenario.name,
+                pythia.attack_exit
+            );
+        }
+    }
+
+    #[test]
+    fn canary_is_the_stack_detection_mechanism() {
+        let cfg = VmConfig::default();
+        for scenario in all_scenarios() {
+            let pythia = adjudicate(&scenario, Scheme::Pythia, &cfg);
+            assert_eq!(
+                pythia.detected,
+                Some(DetectionMechanism::Canary),
+                "{}: expected canary detection",
+                scenario.name
+            );
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! The intrinsic (library-function) catalogue, including the six *input
+//! channel* categories from Definition 2.1 of the paper.
+//!
+//! An **input channel** is any library function that can move external data
+//! into program memory (or, for `print`-class functions, interact with it in
+//! a way that has historically been exploitable, e.g. format strings). The
+//! paper's six categories are `print`, `scan`, `move/copy`, `get`, `put` and
+//! `map`; attackers exploit the memory-*writing* channels to overflow into
+//! branch variables.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Category of an input-channel function (paper §2.6, Definition 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IcCategory {
+    /// Formatted output (`printf`, `fprintf`, `puts`, ...).
+    Print,
+    /// Formatted input (`scanf`, `sscanf`, ...).
+    Scan,
+    /// Bulk memory movement (`memcpy`, `memmove`, `strcpy`, `strncpy`, ...).
+    MoveCopy,
+    /// Line/stream readers (`fgets`, `gets`, `read`, ...).
+    Get,
+    /// Appending writers (`strcat`, `strncat`, `sprintf`, ...).
+    Put,
+    /// Address-space mapping (`mmap`).
+    Map,
+}
+
+impl IcCategory {
+    /// All categories, in a stable order.
+    pub const ALL: [IcCategory; 6] = [
+        IcCategory::Print,
+        IcCategory::Scan,
+        IcCategory::MoveCopy,
+        IcCategory::Get,
+        IcCategory::Put,
+        IcCategory::Map,
+    ];
+
+    /// Whether this category of channel writes attacker-influenced bytes
+    /// into program memory (and can therefore be the source of an overflow).
+    pub fn writes_memory(self) -> bool {
+        !matches!(self, IcCategory::Print)
+    }
+}
+
+impl fmt::Display for IcCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IcCategory::Print => "print",
+            IcCategory::Scan => "scan",
+            IcCategory::MoveCopy => "move/copy",
+            IcCategory::Get => "get",
+            IcCategory::Put => "put",
+            IcCategory::Map => "map",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A known library function modelled by the VM.
+///
+/// Besides input channels this includes allocation, string helpers and the
+/// runtime-support calls the instrumentation passes insert
+/// (`secure_malloc`, `pythia_random`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+#[allow(missing_docs)] // variants are the canonical C function names
+pub enum Intrinsic {
+    // --- print ---
+    Printf,
+    Fprintf,
+    Puts,
+    // --- scan ---
+    Scanf,
+    Sscanf,
+    // --- move/copy ---
+    Memcpy,
+    Memmove,
+    Strcpy,
+    Strncpy,
+    /// ProFTPd's safe-ish string copy (Listing 2).
+    Sstrncpy,
+    // --- get ---
+    Fgets,
+    Gets,
+    Read,
+    // --- put ---
+    Strcat,
+    Strncat,
+    Sprintf,
+    // --- map ---
+    Mmap,
+    // --- non-IC library calls ---
+    Malloc,
+    Calloc,
+    Realloc,
+    Free,
+    Strlen,
+    Strcmp,
+    Strncmp,
+    Memset,
+    Exit,
+    Abort,
+    // --- runtime support inserted by instrumentation ---
+    /// Allocate from the *isolated* heap section (Pythia, Alg. 4).
+    SecureMalloc,
+    /// Fresh random 64-bit canary value (Pythia, Alg. 3).
+    PythiaRandom,
+    /// One-time heap sectioning setup call (paper §6.1: ~"23ns" class cost).
+    HeapSectionInit,
+}
+
+impl Intrinsic {
+    /// All intrinsics, in a stable order.
+    pub const ALL: [Intrinsic; 29] = [
+        Intrinsic::Printf,
+        Intrinsic::Fprintf,
+        Intrinsic::Puts,
+        Intrinsic::Scanf,
+        Intrinsic::Sscanf,
+        Intrinsic::Memcpy,
+        Intrinsic::Memmove,
+        Intrinsic::Strcpy,
+        Intrinsic::Strncpy,
+        Intrinsic::Sstrncpy,
+        Intrinsic::Fgets,
+        Intrinsic::Gets,
+        Intrinsic::Read,
+        Intrinsic::Strcat,
+        Intrinsic::Strncat,
+        Intrinsic::Sprintf,
+        Intrinsic::Mmap,
+        Intrinsic::Malloc,
+        Intrinsic::Calloc,
+        Intrinsic::Realloc,
+        Intrinsic::Free,
+        Intrinsic::Strlen,
+        Intrinsic::Strcmp,
+        Intrinsic::Strncmp,
+        Intrinsic::Memset,
+        Intrinsic::Exit,
+        Intrinsic::Abort,
+        Intrinsic::SecureMalloc,
+        Intrinsic::PythiaRandom,
+    ];
+
+    /// Canonical (C-library) name of the function.
+    pub fn name(self) -> &'static str {
+        match self {
+            Intrinsic::Printf => "printf",
+            Intrinsic::Fprintf => "fprintf",
+            Intrinsic::Puts => "puts",
+            Intrinsic::Scanf => "scanf",
+            Intrinsic::Sscanf => "sscanf",
+            Intrinsic::Memcpy => "memcpy",
+            Intrinsic::Memmove => "memmove",
+            Intrinsic::Strcpy => "strcpy",
+            Intrinsic::Strncpy => "strncpy",
+            Intrinsic::Sstrncpy => "sstrncpy",
+            Intrinsic::Fgets => "fgets",
+            Intrinsic::Gets => "gets",
+            Intrinsic::Read => "read",
+            Intrinsic::Strcat => "strcat",
+            Intrinsic::Strncat => "strncat",
+            Intrinsic::Sprintf => "sprintf",
+            Intrinsic::Mmap => "mmap",
+            Intrinsic::Malloc => "malloc",
+            Intrinsic::Calloc => "calloc",
+            Intrinsic::Realloc => "realloc",
+            Intrinsic::Free => "free",
+            Intrinsic::Strlen => "strlen",
+            Intrinsic::Strcmp => "strcmp",
+            Intrinsic::Strncmp => "strncmp",
+            Intrinsic::Memset => "memset",
+            Intrinsic::Exit => "exit",
+            Intrinsic::Abort => "abort",
+            Intrinsic::SecureMalloc => "secure_malloc",
+            Intrinsic::PythiaRandom => "pythia_random",
+            Intrinsic::HeapSectionInit => "heap_section_init",
+        }
+    }
+
+    /// The input-channel category, or `None` for non-IC intrinsics.
+    pub fn ic_category(self) -> Option<IcCategory> {
+        use IcCategory::*;
+        match self {
+            Intrinsic::Printf | Intrinsic::Fprintf | Intrinsic::Puts => Some(Print),
+            Intrinsic::Scanf | Intrinsic::Sscanf => Some(Scan),
+            Intrinsic::Memcpy
+            | Intrinsic::Memmove
+            | Intrinsic::Strcpy
+            | Intrinsic::Strncpy
+            | Intrinsic::Sstrncpy => Some(MoveCopy),
+            Intrinsic::Fgets | Intrinsic::Gets | Intrinsic::Read => Some(Get),
+            Intrinsic::Strcat | Intrinsic::Strncat | Intrinsic::Sprintf => Some(Put),
+            Intrinsic::Mmap => Some(Map),
+            _ => None,
+        }
+    }
+
+    /// Whether this intrinsic is an input channel at all.
+    pub fn is_input_channel(self) -> bool {
+        self.ic_category().is_some()
+    }
+
+    /// Whether a call to this intrinsic can write attacker-influenced bytes
+    /// to the memory reachable from its arguments.
+    pub fn writes_memory(self) -> bool {
+        match self.ic_category() {
+            Some(c) => c.writes_memory(),
+            None => matches!(self, Intrinsic::Memset),
+        }
+    }
+
+    /// Index (position) of the *destination* pointer argument for writing
+    /// channels, i.e. the argument whose pointee an overflow corrupts.
+    pub fn dest_arg(self) -> Option<usize> {
+        match self {
+            Intrinsic::Memcpy
+            | Intrinsic::Memmove
+            | Intrinsic::Strcpy
+            | Intrinsic::Strncpy
+            | Intrinsic::Sstrncpy
+            | Intrinsic::Fgets
+            | Intrinsic::Gets
+            | Intrinsic::Strcat
+            | Intrinsic::Strncat
+            | Intrinsic::Sprintf
+            | Intrinsic::Memset => Some(0),
+            // scanf("%d", &x): all pointer args after the format are sinks;
+            // we model the first.
+            Intrinsic::Scanf => Some(1),
+            Intrinsic::Sscanf => Some(2),
+            Intrinsic::Read => Some(1),
+            _ => None,
+        }
+    }
+
+    /// Whether this intrinsic allocates heap memory and returns a pointer.
+    pub fn is_allocator(self) -> bool {
+        matches!(
+            self,
+            Intrinsic::Malloc
+                | Intrinsic::Calloc
+                | Intrinsic::Realloc
+                | Intrinsic::Mmap
+                | Intrinsic::SecureMalloc
+        )
+    }
+}
+
+impl fmt::Display for Intrinsic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown intrinsic name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIntrinsicError(pub String);
+
+impl fmt::Display for ParseIntrinsicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown intrinsic `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseIntrinsicError {}
+
+impl FromStr for Intrinsic {
+    type Err = ParseIntrinsicError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        for i in Intrinsic::ALL {
+            if i.name() == s {
+                return Ok(i);
+            }
+        }
+        if s == Intrinsic::HeapSectionInit.name() {
+            return Ok(Intrinsic::HeapSectionInit);
+        }
+        Err(ParseIntrinsicError(s.to_owned()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_match_paper() {
+        assert_eq!(Intrinsic::Printf.ic_category(), Some(IcCategory::Print));
+        assert_eq!(Intrinsic::Scanf.ic_category(), Some(IcCategory::Scan));
+        assert_eq!(Intrinsic::Memcpy.ic_category(), Some(IcCategory::MoveCopy));
+        assert_eq!(Intrinsic::Strcpy.ic_category(), Some(IcCategory::MoveCopy));
+        assert_eq!(Intrinsic::Fgets.ic_category(), Some(IcCategory::Get));
+        assert_eq!(Intrinsic::Strcat.ic_category(), Some(IcCategory::Put));
+        assert_eq!(Intrinsic::Mmap.ic_category(), Some(IcCategory::Map));
+        assert_eq!(Intrinsic::Malloc.ic_category(), None);
+    }
+
+    #[test]
+    fn print_channels_do_not_write() {
+        assert!(!Intrinsic::Printf.writes_memory());
+        assert!(Intrinsic::Strcpy.writes_memory());
+        assert!(Intrinsic::Scanf.writes_memory());
+        assert!(Intrinsic::Memset.writes_memory());
+        assert!(!Intrinsic::Strlen.writes_memory());
+    }
+
+    #[test]
+    fn dest_args() {
+        assert_eq!(Intrinsic::Strcpy.dest_arg(), Some(0));
+        assert_eq!(Intrinsic::Scanf.dest_arg(), Some(1));
+        assert_eq!(Intrinsic::Printf.dest_arg(), None);
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for i in Intrinsic::ALL {
+            assert_eq!(i.name().parse::<Intrinsic>().unwrap(), i);
+        }
+        assert!("not_a_function".parse::<Intrinsic>().is_err());
+    }
+
+    #[test]
+    fn allocators() {
+        assert!(Intrinsic::Malloc.is_allocator());
+        assert!(Intrinsic::SecureMalloc.is_allocator());
+        assert!(!Intrinsic::Free.is_allocator());
+    }
+}

@@ -1,0 +1,1038 @@
+//! Parser for the textual PIR format produced by [`crate::printer`].
+//!
+//! The grammar is line-oriented; see the printer's module docs for the
+//! conventions (parameters are `%0..%{n-1}`, constants inline as `42:i64`,
+//! block labels are canonical `bbN:` in ascending order).
+
+use crate::function::{Function, ValueData, ValueKind};
+use crate::instr::{BinOp, BlockId, Callee, CastKind, CmpPred, FuncId, Inst, PaKey, ValueId};
+use crate::intrinsics::Intrinsic;
+use crate::module::{Global, GlobalInit, Module};
+use crate::types::Ty;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Error produced while parsing PIR text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type PResult<T> = Result<T, ParseError>;
+
+// --------------------------------------------------------------------------
+// Lexer
+// --------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    /// `%name`
+    Value(String),
+    /// `@name`
+    Global(String),
+    /// `&name`
+    FuncRef(String),
+    Punct(char),
+    Arrow,
+    Eof,
+}
+
+#[derive(Debug, Clone)]
+struct SpannedTok {
+    tok: Tok,
+    line: usize,
+}
+
+fn lex(src: &str) -> PResult<Vec<SpannedTok>> {
+    let mut toks = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1usize;
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                line += 1;
+                chars.next();
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ';' => {
+                // comment to end of line
+                for c in chars.by_ref() {
+                    if c == '\n' {
+                        line += 1;
+                        break;
+                    }
+                }
+            }
+            '%' | '@' | '&' => {
+                let sigil = c;
+                chars.next();
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '.' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(ParseError {
+                        line,
+                        message: format!("dangling `{sigil}`"),
+                    });
+                }
+                let tok = match sigil {
+                    '%' => Tok::Value(name),
+                    '@' => Tok::Global(name),
+                    _ => Tok::FuncRef(name),
+                };
+                toks.push(SpannedTok { tok, line });
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some('\\') => match chars.next() {
+                            Some('n') => s.push('\n'),
+                            Some('t') => s.push('\t'),
+                            Some('\\') => s.push('\\'),
+                            Some('"') => s.push('"'),
+                            other => {
+                                return Err(ParseError {
+                                    line,
+                                    message: format!("bad escape {other:?}"),
+                                })
+                            }
+                        },
+                        Some('\n') | None => {
+                            return Err(ParseError {
+                                line,
+                                message: "unterminated string".into(),
+                            })
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                toks.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    line,
+                });
+            }
+            '-' => {
+                chars.next();
+                match chars.peek() {
+                    Some('>') => {
+                        chars.next();
+                        toks.push(SpannedTok {
+                            tok: Tok::Arrow,
+                            line,
+                        });
+                    }
+                    Some(d) if d.is_ascii_digit() => {
+                        let n = lex_int(&mut chars);
+                        toks.push(SpannedTok {
+                            tok: Tok::Int(-n),
+                            line,
+                        });
+                    }
+                    _ => {
+                        return Err(ParseError {
+                            line,
+                            message: "stray `-`".into(),
+                        })
+                    }
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let n = lex_int(&mut chars);
+                toks.push(SpannedTok {
+                    tok: Tok::Int(n),
+                    line,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_alphanumeric() || c == '_' || c == '.' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                toks.push(SpannedTok {
+                    tok: Tok::Ident(name),
+                    line,
+                });
+            }
+            '(' | ')' | '[' | ']' | '{' | '}' | ',' | ':' | '=' | '*' | '!' => {
+                chars.next();
+                toks.push(SpannedTok {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    toks.push(SpannedTok {
+        tok: Tok::Eof,
+        line,
+    });
+    Ok(toks)
+}
+
+fn lex_int(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> i64 {
+    let mut n: i64 = 0;
+    while let Some(&c) = chars.peek() {
+        if let Some(d) = c.to_digit(10) {
+            n = n.wrapping_mul(10).wrapping_add(i64::from(d));
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    n
+}
+
+// --------------------------------------------------------------------------
+// Parser
+// --------------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn line(&self) -> usize {
+        self.toks[self.pos].line
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> PResult<T> {
+        Err(ParseError {
+            line: self.line(),
+            message: message.into(),
+        })
+    }
+
+    fn expect_punct(&mut self, c: char) -> PResult<()> {
+        match self.next() {
+            Tok::Punct(p) if p == c => Ok(()),
+            other => Err(ParseError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                message: format!("expected `{c}`, found {other:?}"),
+            }),
+        }
+    }
+
+    fn expect_ident(&mut self, s: &str) -> PResult<()> {
+        match self.next() {
+            Tok::Ident(i) if i == s => Ok(()),
+            other => Err(ParseError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                message: format!("expected `{s}`, found {other:?}"),
+            }),
+        }
+    }
+
+    fn expect_int(&mut self) -> PResult<i64> {
+        match self.next() {
+            Tok::Int(n) => Ok(n),
+            other => Err(ParseError {
+                line: self.toks[self.pos.saturating_sub(1)].line,
+                message: format!("expected integer, found {other:?}"),
+            }),
+        }
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Tok::Punct(p) if *p == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_ty(&mut self) -> PResult<Ty> {
+        let base = match self.next() {
+            Tok::Ident(id) => match id.as_str() {
+                "void" => Ty::Void,
+                "i1" => Ty::I1,
+                "i8" => Ty::I8,
+                "i16" => Ty::I16,
+                "i32" => Ty::I32,
+                "i64" => Ty::I64,
+                other => return self.err(format!("unknown type `{other}`")),
+            },
+            Tok::Punct('[') => {
+                let n = self.expect_int()?;
+                self.expect_ident("x")?;
+                let elem = self.parse_ty()?;
+                self.expect_punct(']')?;
+                Ty::array(elem, n as u32)
+            }
+            Tok::Punct('{') => {
+                let mut fields = Vec::new();
+                if !self.eat_punct('}') {
+                    loop {
+                        fields.push(self.parse_ty()?);
+                        if self.eat_punct('}') {
+                            break;
+                        }
+                        self.expect_punct(',')?;
+                    }
+                }
+                Ty::Struct(fields)
+            }
+            other => return self.err(format!("expected type, found {other:?}")),
+        };
+        let mut ty = base;
+        while self.eat_punct('*') {
+            ty = Ty::ptr(ty);
+        }
+        Ok(ty)
+    }
+
+    fn parse_block_label(&mut self, name: &str) -> PResult<u32> {
+        match name.strip_prefix("bb").and_then(|s| s.parse::<u32>().ok()) {
+            Some(n) => Ok(n),
+            None => self.err(format!("bad block label `{name}`")),
+        }
+    }
+}
+
+/// Per-function operand resolution state.
+struct FuncCtx<'m> {
+    func: Function,
+    names: HashMap<String, ValueId>,
+    module_funcs: &'m HashMap<String, FuncId>,
+    module_globals: &'m HashMap<String, (crate::instr::GlobalId, Ty)>,
+    const_cache: HashMap<(Ty, i64), ValueId>,
+}
+
+impl FuncCtx<'_> {
+    fn intern_const(&mut self, ty: Ty, v: i64) -> ValueId {
+        if let Some(&id) = self.const_cache.get(&(ty.clone(), v)) {
+            return id;
+        }
+        let id = self.func.add_value(ValueData {
+            kind: ValueKind::ConstInt(v),
+            ty: ty.clone(),
+            name: None,
+        });
+        self.const_cache.insert((ty, v), id);
+        id
+    }
+}
+
+/// Parse a full module from text.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with a line number on malformed input.
+pub fn parse_module(src: &str) -> PResult<Module> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+
+    p.expect_ident("module")?;
+    let name = match p.next() {
+        Tok::Str(s) => s,
+        other => return p.err(format!("expected module name string, found {other:?}")),
+    };
+    let mut module = Module::new(name);
+
+    // Pre-scan: collect function names in declaration order so calls can be
+    // resolved regardless of definition order.
+    let mut func_names: HashMap<String, FuncId> = HashMap::new();
+    {
+        let mut i = p.pos;
+        let mut next_id = 0u32;
+        while i < p.toks.len() {
+            if let Tok::Ident(id) = &p.toks[i].tok {
+                if id == "func" {
+                    if let Tok::Global(fname) = &p.toks[i + 1].tok {
+                        func_names.insert(fname.clone(), FuncId(next_id));
+                        next_id += 1;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    let mut global_names: HashMap<String, (crate::instr::GlobalId, Ty)> = HashMap::new();
+
+    loop {
+        match p.peek().clone() {
+            Tok::Eof => break,
+            Tok::Ident(id) if id == "global" => {
+                p.next();
+                let gname = match p.next() {
+                    Tok::Global(n) => n,
+                    other => return p.err(format!("expected @name, found {other:?}")),
+                };
+                p.expect_punct(':')?;
+                let ty = p.parse_ty()?;
+                p.expect_punct('=')?;
+                let init = match p.next() {
+                    Tok::Ident(k) if k == "zero" => GlobalInit::Zero,
+                    Tok::Ident(k) if k == "str" => match p.next() {
+                        Tok::Str(s) => GlobalInit::Str(s),
+                        other => return p.err(format!("expected string, found {other:?}")),
+                    },
+                    Tok::Ident(k) if k == "bytes" => {
+                        p.expect_punct('[')?;
+                        let mut bytes = Vec::new();
+                        if !p.eat_punct(']') {
+                            loop {
+                                bytes.push(p.expect_int()? as u8);
+                                if p.eat_punct(']') {
+                                    break;
+                                }
+                                p.expect_punct(',')?;
+                            }
+                        }
+                        GlobalInit::Bytes(bytes)
+                    }
+                    other => return p.err(format!("bad global initializer {other:?}")),
+                };
+                let is_const = if matches!(p.peek(), Tok::Ident(k) if k == "const") {
+                    p.next();
+                    true
+                } else {
+                    false
+                };
+                let gid = module.add_global(Global {
+                    name: gname.clone(),
+                    ty: ty.clone(),
+                    init,
+                    is_const,
+                });
+                global_names.insert(gname, (gid, ty));
+            }
+            Tok::Ident(id) if id == "func" => {
+                let f = parse_function(&mut p, &func_names, &global_names)?;
+                module.add_function(f);
+            }
+            other => return p.err(format!("expected `global` or `func`, found {other:?}")),
+        }
+    }
+    Ok(module)
+}
+
+fn parse_function(
+    p: &mut Parser,
+    func_names: &HashMap<String, FuncId>,
+    global_names: &HashMap<String, (crate::instr::GlobalId, Ty)>,
+) -> PResult<Function> {
+    p.expect_ident("func")?;
+    let fname = match p.next() {
+        Tok::Global(n) => n,
+        other => return p.err(format!("expected @name, found {other:?}")),
+    };
+    p.expect_punct('(')?;
+    let mut params = Vec::new();
+    if !p.eat_punct(')') {
+        loop {
+            params.push(p.parse_ty()?);
+            if p.eat_punct(')') {
+                break;
+            }
+            p.expect_punct(',')?;
+        }
+    }
+    match p.next() {
+        Tok::Arrow => {}
+        other => return p.err(format!("expected `->`, found {other:?}")),
+    }
+    let ret = p.parse_ty()?;
+    p.expect_punct('{')?;
+
+    let nparams = params.len();
+    let mut ctx = FuncCtx {
+        func: Function::new(fname, params, ret),
+        names: HashMap::new(),
+        module_funcs: func_names,
+        module_globals: global_names,
+        const_cache: HashMap::new(),
+    };
+    for i in 0..nparams {
+        ctx.names.insert(i.to_string(), ValueId(i as u32));
+    }
+
+    // Pre-scan the body (to the matching close brace) to allocate ids for
+    // defined values and count blocks, enabling forward references in phis.
+    {
+        let start = p.pos;
+        let mut depth = 1usize;
+        let mut i = start;
+        let mut pending_defs: Vec<String> = Vec::new();
+        let mut blocks = 0usize;
+        while depth > 0 {
+            match &p.toks[i].tok {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => depth -= 1,
+                Tok::Value(name) => {
+                    if matches!(p.toks[i + 1].tok, Tok::Punct('=')) {
+                        pending_defs.push(name.clone());
+                    }
+                }
+                Tok::Ident(id) if id.starts_with("bb") => {
+                    if matches!(p.toks[i + 1].tok, Tok::Punct(':'))
+                        && id[2..].parse::<u32>().is_ok()
+                        && !matches!(
+                            p.toks[i.saturating_sub(1)].tok,
+                            Tok::Punct(',') | Tok::Punct('[')
+                        )
+                        && !matches!(p.toks[i.saturating_sub(1)].tok, Tok::Ident(ref k) if k=="jmp" || k=="br")
+                    {
+                        blocks += 1;
+                    }
+                }
+                Tok::Eof => {
+                    return p.err("unterminated function body");
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        // Reserve value ids for definitions, in textual order. Their kinds
+        // are patched when the instruction is parsed.
+        for name in pending_defs {
+            if ctx.names.contains_key(&name) {
+                return p.err(format!("duplicate value definition %{name}"));
+            }
+            let id = ctx.func.add_value(ValueData {
+                kind: ValueKind::ConstInt(0), // placeholder, patched later
+                ty: Ty::Void,
+                name: None,
+            });
+            ctx.names.insert(name, id);
+        }
+        // Blocks beyond the implicit entry.
+        for b in 1..blocks {
+            ctx.func.add_block(format!("bb{b}"));
+        }
+    }
+
+    // Parse body for real.
+    let mut cur_block: Option<BlockId> = None;
+    loop {
+        match p.peek().clone() {
+            Tok::Punct('}') => {
+                p.next();
+                break;
+            }
+            Tok::Ident(id)
+                if id.starts_with("bb") && matches!(p.toks[p.pos + 1].tok, Tok::Punct(':')) =>
+            {
+                p.next();
+                p.expect_punct(':')?;
+                let n = p.parse_block_label(&id)?;
+                if n as usize >= ctx.func.num_blocks() {
+                    return p.err(format!("block label bb{n} out of order"));
+                }
+                cur_block = Some(BlockId(n));
+            }
+            Tok::Eof => return p.err("unterminated function body"),
+            _ => {
+                let bb = match cur_block {
+                    Some(b) => b,
+                    None => return p.err("instruction before first block label"),
+                };
+                parse_instruction(p, &mut ctx, bb)?;
+            }
+        }
+    }
+    Ok(ctx.func)
+}
+
+fn resolve_operand(p: &mut Parser, ctx: &mut FuncCtx<'_>) -> PResult<ValueId> {
+    match p.next() {
+        Tok::Value(name) => match ctx.names.get(&name) {
+            Some(&id) => Ok(id),
+            None => p.err(format!("unknown value %{name}")),
+        },
+        Tok::Int(v) => {
+            p.expect_punct(':')?;
+            let ty = p.parse_ty()?;
+            Ok(ctx.intern_const(ty, v))
+        }
+        Tok::Ident(id) if id == "null" => {
+            p.expect_punct(':')?;
+            let ty = p.parse_ty()?;
+            Ok(ctx.func.add_value(ValueData {
+                kind: ValueKind::ConstNull,
+                ty,
+                name: None,
+            }))
+        }
+        Tok::Global(g) => match ctx.module_globals.get(&g) {
+            Some((gid, gty)) => Ok(ctx.func.add_value(ValueData {
+                kind: ValueKind::GlobalAddr(*gid),
+                ty: Ty::ptr(gty.clone()),
+                name: None,
+            })),
+            None => p.err(format!("unknown global @{g}")),
+        },
+        Tok::FuncRef(f) => match ctx.module_funcs.get(&f) {
+            Some(fid) => Ok(ctx.func.add_value(ValueData {
+                kind: ValueKind::FuncAddr(*fid),
+                ty: Ty::ptr(Ty::I8),
+                name: None,
+            })),
+            None => p.err(format!("unknown function &{f}")),
+        },
+        other => p.err(format!("expected operand, found {other:?}")),
+    }
+}
+
+fn parse_bb_ref(p: &mut Parser) -> PResult<BlockId> {
+    match p.next() {
+        Tok::Ident(id) if id.starts_with("bb") => {
+            let n = p.parse_block_label(&id)?;
+            Ok(BlockId(n))
+        }
+        other => p.err(format!("expected block label, found {other:?}")),
+    }
+}
+
+fn lookup_pa_key(p: &Parser, name: &str) -> PResult<PaKey> {
+    for k in PaKey::ALL {
+        if k.mnemonic() == name {
+            return Ok(k);
+        }
+    }
+    Err(ParseError {
+        line: p.line(),
+        message: format!("unknown PA key `{name}`"),
+    })
+}
+
+fn parse_instruction(p: &mut Parser, ctx: &mut FuncCtx<'_>, bb: BlockId) -> PResult<()> {
+    // Optional result binding.
+    let result_name = if let Tok::Value(name) = p.peek().clone() {
+        if matches!(p.toks[p.pos + 1].tok, Tok::Punct('=')) {
+            p.next();
+            p.next();
+            Some(name)
+        } else {
+            None
+        }
+    } else {
+        None
+    };
+
+    let mnemonic = match p.next() {
+        Tok::Ident(m) => m,
+        other => return p.err(format!("expected instruction, found {other:?}")),
+    };
+
+    let bin_op = BinOp::ALL
+        .iter()
+        .find(|b| b.mnemonic() == mnemonic)
+        .copied();
+    let cast_kind = match mnemonic.as_str() {
+        "zext" => Some(CastKind::Zext),
+        "sext" => Some(CastKind::Sext),
+        "trunc" => Some(CastKind::Trunc),
+        "ptrtoint" => Some(CastKind::PtrToInt),
+        "inttoptr" => Some(CastKind::IntToPtr),
+        "bitcast" => Some(CastKind::Bitcast),
+        _ => None,
+    };
+
+    let (inst, ty): (Inst, Ty) = if let Some(op) = bin_op {
+        let lhs = resolve_operand(p, ctx)?;
+        p.expect_punct(',')?;
+        let rhs = resolve_operand(p, ctx)?;
+        p.expect_punct(':')?;
+        let ty = p.parse_ty()?;
+        (Inst::Bin { op, lhs, rhs }, ty)
+    } else if let Some(kind) = cast_kind {
+        let value = resolve_operand(p, ctx)?;
+        p.expect_ident("to")?;
+        let to = p.parse_ty()?;
+        (
+            Inst::Cast {
+                kind,
+                value,
+                to: to.clone(),
+            },
+            to,
+        )
+    } else {
+        match mnemonic.as_str() {
+            "alloca" => {
+                let elem = p.parse_ty()?;
+                p.expect_ident("x")?;
+                let count = p.expect_int()? as u32;
+                let ty = Ty::ptr(elem.clone());
+                (Inst::Alloca { elem, count }, ty)
+            }
+            "load" => {
+                let ptr = resolve_operand(p, ctx)?;
+                p.expect_punct(':')?;
+                let ty = p.parse_ty()?;
+                (Inst::Load { ptr }, ty)
+            }
+            "store" => {
+                let value = resolve_operand(p, ctx)?;
+                p.expect_punct(',')?;
+                let ptr = resolve_operand(p, ctx)?;
+                (Inst::Store { ptr, value }, Ty::Void)
+            }
+            "gep" => {
+                let base = resolve_operand(p, ctx)?;
+                p.expect_punct(',')?;
+                let index = resolve_operand(p, ctx)?;
+                p.expect_punct(':')?;
+                let elem = p.parse_ty()?;
+                let ty = Ty::ptr(elem.clone());
+                (Inst::Gep { base, index, elem }, ty)
+            }
+            "fieldaddr" => {
+                let base = resolve_operand(p, ctx)?;
+                p.expect_punct(',')?;
+                let field = p.expect_int()? as u32;
+                p.expect_punct(':')?;
+                let fty = p.parse_ty()?;
+                (Inst::FieldAddr { base, field }, Ty::ptr(fty))
+            }
+            "icmp" => {
+                let pred_name = match p.next() {
+                    Tok::Ident(i) => i,
+                    other => return p.err(format!("expected predicate, found {other:?}")),
+                };
+                let pred = CmpPred::ALL
+                    .iter()
+                    .find(|c| c.mnemonic() == pred_name)
+                    .copied()
+                    .ok_or_else(|| ParseError {
+                        line: p.line(),
+                        message: format!("unknown predicate `{pred_name}`"),
+                    })?;
+                let lhs = resolve_operand(p, ctx)?;
+                p.expect_punct(',')?;
+                let rhs = resolve_operand(p, ctx)?;
+                (Inst::Icmp { pred, lhs, rhs }, Ty::I1)
+            }
+            "select" => {
+                let cond = resolve_operand(p, ctx)?;
+                p.expect_punct(',')?;
+                let on_true = resolve_operand(p, ctx)?;
+                p.expect_punct(',')?;
+                let on_false = resolve_operand(p, ctx)?;
+                p.expect_punct(':')?;
+                let ty = p.parse_ty()?;
+                (
+                    Inst::Select {
+                        cond,
+                        on_true,
+                        on_false,
+                    },
+                    ty,
+                )
+            }
+            "phi" => {
+                let ty = p.parse_ty()?;
+                let mut incomings = Vec::new();
+                loop {
+                    p.expect_punct('[')?;
+                    let bb_ref = parse_bb_ref(p)?;
+                    p.expect_punct(':')?;
+                    let v = resolve_operand(p, ctx)?;
+                    p.expect_punct(']')?;
+                    incomings.push((bb_ref, v));
+                    if !p.eat_punct(',') {
+                        break;
+                    }
+                }
+                (Inst::Phi { incomings }, ty)
+            }
+            "call" => {
+                let callee = if p.eat_punct('!') {
+                    let name = match p.next() {
+                        Tok::Ident(n) => n,
+                        other => return p.err(format!("expected intrinsic, found {other:?}")),
+                    };
+                    let i: Intrinsic = name.parse().map_err(|e| ParseError {
+                        line: p.line(),
+                        message: format!("{e}"),
+                    })?;
+                    Callee::Intrinsic(i)
+                } else if p.eat_punct('*') {
+                    let v = resolve_operand(p, ctx)?;
+                    Callee::Indirect(v)
+                } else {
+                    match p.next() {
+                        Tok::Global(n) => match ctx.module_funcs.get(&n) {
+                            Some(fid) => Callee::Func(*fid),
+                            None => return p.err(format!("unknown function @{n}")),
+                        },
+                        other => return p.err(format!("expected callee, found {other:?}")),
+                    }
+                };
+                p.expect_punct('(')?;
+                let mut args = Vec::new();
+                if !p.eat_punct(')') {
+                    loop {
+                        args.push(resolve_operand(p, ctx)?);
+                        if p.eat_punct(')') {
+                            break;
+                        }
+                        p.expect_punct(',')?;
+                    }
+                }
+                p.expect_punct(':')?;
+                let ty = p.parse_ty()?;
+                (Inst::Call { callee, args }, ty)
+            }
+            "pacsign" | "pacauth" => {
+                let value = resolve_operand(p, ctx)?;
+                p.expect_punct(',')?;
+                let key_name = match p.next() {
+                    Tok::Ident(k) => k,
+                    other => return p.err(format!("expected PA key, found {other:?}")),
+                };
+                let key = lookup_pa_key(p, &key_name)?;
+                p.expect_punct(',')?;
+                let modifier = resolve_operand(p, ctx)?;
+                p.expect_punct(':')?;
+                let ty = p.parse_ty()?;
+                let inst = if mnemonic == "pacsign" {
+                    Inst::PacSign {
+                        value,
+                        key,
+                        modifier,
+                    }
+                } else {
+                    Inst::PacAuth {
+                        value,
+                        key,
+                        modifier,
+                    }
+                };
+                (inst, ty)
+            }
+            "pacstrip" => {
+                let value = resolve_operand(p, ctx)?;
+                p.expect_punct(':')?;
+                let ty = p.parse_ty()?;
+                (Inst::PacStrip { value }, ty)
+            }
+            "setdef" => {
+                let ptr = resolve_operand(p, ctx)?;
+                p.expect_punct(',')?;
+                let def_id = p.expect_int()? as u32;
+                (Inst::SetDef { ptr, def_id }, Ty::Void)
+            }
+            "chkdef" => {
+                let ptr = resolve_operand(p, ctx)?;
+                p.expect_punct(',')?;
+                p.expect_punct('[')?;
+                let mut allowed = Vec::new();
+                if !p.eat_punct(']') {
+                    loop {
+                        allowed.push(p.expect_int()? as u32);
+                        if p.eat_punct(']') {
+                            break;
+                        }
+                        p.expect_punct(',')?;
+                    }
+                }
+                (Inst::ChkDef { ptr, allowed }, Ty::Void)
+            }
+            "br" => {
+                let cond = resolve_operand(p, ctx)?;
+                p.expect_punct(',')?;
+                let then_bb = parse_bb_ref(p)?;
+                p.expect_punct(',')?;
+                let else_bb = parse_bb_ref(p)?;
+                (
+                    Inst::Br {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    },
+                    Ty::Void,
+                )
+            }
+            "jmp" => {
+                let target = parse_bb_ref(p)?;
+                (Inst::Jmp { target }, Ty::Void)
+            }
+            "ret" => {
+                // `ret` with no operand ends the statement; detect by peeking.
+                let has_value = matches!(
+                    p.peek(),
+                    Tok::Value(_) | Tok::Int(_) | Tok::Global(_) | Tok::FuncRef(_)
+                ) || matches!(p.peek(), Tok::Ident(i) if i == "null");
+                let value = if has_value {
+                    Some(resolve_operand(p, ctx)?)
+                } else {
+                    None
+                };
+                (Inst::Ret { value }, Ty::Void)
+            }
+            "unreachable" => (Inst::Unreachable, Ty::Void),
+            other => return p.err(format!("unknown instruction `{other}`")),
+        }
+    };
+
+    match result_name {
+        Some(name) => {
+            let id = *ctx.names.get(&name).ok_or_else(|| ParseError {
+                line: p.line(),
+                message: format!("internal: unreserved def %{name}"),
+            })?;
+            let slot = ctx.func.value_mut(id);
+            slot.kind = ValueKind::Inst(inst);
+            slot.ty = ty;
+            ctx.func.block_mut(bb).insts.push(id);
+        }
+        None => {
+            if ty != Ty::Void {
+                return p.err("instruction with a result must be bound to a value");
+            }
+            let id = ctx.func.add_value(ValueData {
+                kind: ValueKind::Inst(inst),
+                ty,
+                name: None,
+            });
+            ctx.func.block_mut(bb).insts.push(id);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::printer::print_module;
+
+    const SAMPLE: &str = r#"
+module "demo"
+
+global @pw : [6 x i8] = str "admin" const
+global @ctr : i64 = zero
+
+func @main() -> i64 {
+bb0:
+  %0 = alloca [8 x i8] x 1
+  %1 = gep %0, 1:i64 : i8
+  %2 = load %1 : i8
+  %3 = add %2, 1:i8 : i8
+  store %3, %1
+  %4 = icmp eq %3, 0:i8
+  br %4, bb1, bb2
+bb1:
+  %5 = call! strlen(%1) : i64
+  ret %5
+bb2:
+  ret 0:i64
+}
+"#;
+
+    #[test]
+    fn parses_sample() {
+        let m = parse_module(SAMPLE).unwrap();
+        assert_eq!(m.name, "demo");
+        assert_eq!(m.functions().len(), 1);
+        assert_eq!(m.globals().len(), 2);
+        let f = &m.functions()[0];
+        assert_eq!(f.num_blocks(), 3);
+        assert_eq!(f.num_insts(), 10);
+    }
+
+    #[test]
+    fn round_trip_is_stable() {
+        let m1 = parse_module(SAMPLE).unwrap();
+        let t1 = print_module(&m1);
+        let m2 = parse_module(&t1).unwrap();
+        let t2 = print_module(&m2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn phi_forward_reference() {
+        let src = r#"
+module "loop"
+func @f(i64) -> i64 {
+bb0:
+  jmp bb1
+bb1:
+  %1 = phi i64 [bb0: 0:i64], [bb1: %2]
+  %2 = add %1, 1:i64 : i64
+  %3 = icmp slt %2, %0
+  br %3, bb1, bb2
+bb2:
+  ret %2
+}
+"#;
+        let m = parse_module(src).unwrap();
+        let f = &m.functions()[0];
+        assert_eq!(f.num_blocks(), 3);
+        let t1 = print_module(&m);
+        let m2 = parse_module(&t1).unwrap();
+        assert_eq!(t1, print_module(&m2));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let src = "module \"m\"\nfunc @f() -> i64 {\nbb0:\n  %0 = frobnicate 1:i64\n}\n";
+        let err = parse_module(src).unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn unknown_value_is_an_error() {
+        let src = "module \"m\"\nfunc @f() -> void {\nbb0:\n  store %9, %8\n}\n";
+        assert!(parse_module(src).is_err());
+    }
+
+    #[test]
+    fn negative_and_arrow_disambiguation() {
+        let src = "module \"m\"\nfunc @f() -> i64 {\nbb0:\n  ret -5:i64\n}\n";
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.functions()[0].num_insts(), 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! The PIR type system.
+//!
+//! PIR is a small, typed, SSA-style IR modelled on the subset of LLVM IR that
+//! the Pythia paper's algorithms operate on: integer scalars, pointers,
+//! fixed-size arrays and structs. The machine model is 64-bit: pointers are
+//! 8 bytes wide and carry an (optional) Pointer Authentication Code in their
+//! unused upper bits.
+
+use std::fmt;
+
+/// A PIR type.
+///
+/// # Examples
+///
+/// ```
+/// use pythia_ir::Ty;
+/// let buf = Ty::array(Ty::I8, 16);
+/// assert_eq!(buf.size(), 16);
+/// assert_eq!(Ty::ptr(Ty::I32).size(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// No value. Used as the result type of instructions that produce nothing.
+    Void,
+    /// A one-bit boolean, the result of comparisons.
+    I1,
+    /// An 8-bit integer.
+    I8,
+    /// A 16-bit integer.
+    I16,
+    /// A 32-bit integer.
+    I32,
+    /// A 64-bit integer.
+    I64,
+    /// A pointer to a value of the inner type.
+    Ptr(Box<Ty>),
+    /// A fixed-size array `[n x elem]`.
+    Array(Box<Ty>, u32),
+    /// An anonymous struct with the given field types.
+    Struct(Vec<Ty>),
+}
+
+impl Ty {
+    /// Shorthand for a pointer to `inner`.
+    pub fn ptr(inner: Ty) -> Ty {
+        Ty::Ptr(Box::new(inner))
+    }
+
+    /// Shorthand for `[count x elem]`.
+    pub fn array(elem: Ty, count: u32) -> Ty {
+        Ty::Array(Box::new(elem), count)
+    }
+
+    /// Shorthand for an anonymous struct type.
+    pub fn strukt(fields: Vec<Ty>) -> Ty {
+        Ty::Struct(fields)
+    }
+
+    /// Size of a value of this type in bytes under the 64-bit machine model.
+    ///
+    /// `Void` and `I1` occupy one byte when materialized in memory.
+    pub fn size(&self) -> u64 {
+        match self {
+            Ty::Void => 0,
+            Ty::I1 | Ty::I8 => 1,
+            Ty::I16 => 2,
+            Ty::I32 => 4,
+            Ty::I64 | Ty::Ptr(_) => 8,
+            Ty::Array(elem, n) => elem.size() * u64::from(*n),
+            Ty::Struct(fields) => {
+                let mut off = 0u64;
+                let mut max_align = 1u64;
+                for f in fields {
+                    let a = f.align();
+                    max_align = max_align.max(a);
+                    off = round_up(off, a) + f.size();
+                }
+                round_up(off, max_align)
+            }
+        }
+    }
+
+    /// Alignment of this type in bytes.
+    pub fn align(&self) -> u64 {
+        match self {
+            Ty::Void => 1,
+            Ty::I1 | Ty::I8 => 1,
+            Ty::I16 => 2,
+            Ty::I32 => 4,
+            Ty::I64 | Ty::Ptr(_) => 8,
+            Ty::Array(elem, _) => elem.align(),
+            Ty::Struct(fields) => fields.iter().map(Ty::align).max().unwrap_or(1),
+        }
+    }
+
+    /// Byte offset of field `idx` within this struct type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a struct or `idx` is out of range.
+    pub fn field_offset(&self, idx: u32) -> u64 {
+        match self {
+            Ty::Struct(fields) => {
+                assert!(
+                    (idx as usize) < fields.len(),
+                    "field index {idx} out of range for {self}"
+                );
+                let mut off = 0u64;
+                for (i, f) in fields.iter().enumerate() {
+                    off = round_up(off, f.align());
+                    if i == idx as usize {
+                        return off;
+                    }
+                    off += f.size();
+                }
+                unreachable!()
+            }
+            _ => panic!("field_offset on non-struct type {self}"),
+        }
+    }
+
+    /// The type of field `idx` of this struct type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not a struct or `idx` is out of range.
+    pub fn field_ty(&self, idx: u32) -> &Ty {
+        match self {
+            Ty::Struct(fields) => &fields[idx as usize],
+            _ => panic!("field_ty on non-struct type {self}"),
+        }
+    }
+
+    /// Returns `true` for any integer type (`i1`..`i64`).
+    pub fn is_int(&self) -> bool {
+        matches!(self, Ty::I1 | Ty::I8 | Ty::I16 | Ty::I32 | Ty::I64)
+    }
+
+    /// Returns `true` if this is a pointer type.
+    pub fn is_ptr(&self) -> bool {
+        matches!(self, Ty::Ptr(_))
+    }
+
+    /// Returns `true` if this is an aggregate (array or struct).
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, Ty::Array(..) | Ty::Struct(..))
+    }
+
+    /// The pointee type if this is a pointer.
+    pub fn pointee(&self) -> Option<&Ty> {
+        match self {
+            Ty::Ptr(inner) => Some(inner),
+            _ => None,
+        }
+    }
+
+    /// The element type if this is an array.
+    pub fn elem(&self) -> Option<&Ty> {
+        match self {
+            Ty::Array(elem, _) => Some(elem),
+            _ => None,
+        }
+    }
+
+    /// Number of bits for an integer type, `None` otherwise.
+    pub fn bits(&self) -> Option<u32> {
+        match self {
+            Ty::I1 => Some(1),
+            Ty::I8 => Some(8),
+            Ty::I16 => Some(16),
+            Ty::I32 => Some(32),
+            Ty::I64 => Some(64),
+            _ => None,
+        }
+    }
+
+    /// Truncate/wrap `raw` to this integer type's width (sign-extended back
+    /// into an `i64`). Pointers and `i64` pass through unchanged.
+    pub fn wrap(&self, raw: i64) -> i64 {
+        match self {
+            Ty::I1 => raw & 1,
+            Ty::I8 => raw as i8 as i64,
+            Ty::I16 => raw as i16 as i64,
+            Ty::I32 => raw as i32 as i64,
+            _ => raw,
+        }
+    }
+}
+
+/// Round `v` up to the next multiple of `align` (which must be a power of
+/// two or at least non-zero).
+pub fn round_up(v: u64, align: u64) -> u64 {
+    debug_assert!(align > 0);
+    v.div_ceil(align) * align
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Void => write!(f, "void"),
+            Ty::I1 => write!(f, "i1"),
+            Ty::I8 => write!(f, "i8"),
+            Ty::I16 => write!(f, "i16"),
+            Ty::I32 => write!(f, "i32"),
+            Ty::I64 => write!(f, "i64"),
+            Ty::Ptr(inner) => write!(f, "{inner}*"),
+            Ty::Array(elem, n) => write!(f, "[{n} x {elem}]"),
+            Ty::Struct(fields) => {
+                write!(f, "{{")?;
+                for (i, t) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes() {
+        assert_eq!(Ty::I1.size(), 1);
+        assert_eq!(Ty::I8.size(), 1);
+        assert_eq!(Ty::I16.size(), 2);
+        assert_eq!(Ty::I32.size(), 4);
+        assert_eq!(Ty::I64.size(), 8);
+        assert_eq!(Ty::ptr(Ty::I8).size(), 8);
+        assert_eq!(Ty::Void.size(), 0);
+    }
+
+    #[test]
+    fn array_sizes() {
+        assert_eq!(Ty::array(Ty::I8, 33).size(), 33);
+        assert_eq!(Ty::array(Ty::I64, 4).size(), 32);
+        assert_eq!(Ty::array(Ty::I32, 0).size(), 0);
+        assert_eq!(Ty::array(Ty::I64, 4).align(), 8);
+    }
+
+    #[test]
+    fn struct_layout_with_padding() {
+        // { i8, i64, i16 } -> offsets 0, 8, 16; size rounded to 24.
+        let s = Ty::strukt(vec![Ty::I8, Ty::I64, Ty::I16]);
+        assert_eq!(s.field_offset(0), 0);
+        assert_eq!(s.field_offset(1), 8);
+        assert_eq!(s.field_offset(2), 16);
+        assert_eq!(s.size(), 24);
+        assert_eq!(s.align(), 8);
+    }
+
+    #[test]
+    fn empty_struct() {
+        let s = Ty::strukt(vec![]);
+        assert_eq!(s.size(), 0);
+        assert_eq!(s.align(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn field_offset_out_of_range_panics() {
+        Ty::strukt(vec![Ty::I8]).field_offset(3);
+    }
+
+    #[test]
+    fn wrap_narrows() {
+        assert_eq!(Ty::I8.wrap(0x1_02), 2);
+        assert_eq!(Ty::I8.wrap(0xff), -1);
+        assert_eq!(Ty::I16.wrap(0x1_0001), 1);
+        assert_eq!(Ty::I1.wrap(3), 1);
+        assert_eq!(Ty::I64.wrap(-5), -5);
+    }
+
+    #[test]
+    fn display_round_trippable_syntax() {
+        assert_eq!(Ty::ptr(Ty::array(Ty::I8, 4)).to_string(), "[4 x i8]*");
+        assert_eq!(
+            Ty::strukt(vec![Ty::I32, Ty::ptr(Ty::I8)]).to_string(),
+            "{i32, i8*}"
+        );
+    }
+
+    #[test]
+    fn predicates() {
+        assert!(Ty::I32.is_int());
+        assert!(!Ty::ptr(Ty::I32).is_int());
+        assert!(Ty::ptr(Ty::I32).is_ptr());
+        assert!(Ty::array(Ty::I8, 2).is_aggregate());
+        assert_eq!(Ty::ptr(Ty::I16).pointee(), Some(&Ty::I16));
+        assert_eq!(Ty::array(Ty::I16, 3).elem(), Some(&Ty::I16));
+        assert_eq!(Ty::I32.bits(), Some(32));
+        assert_eq!(Ty::ptr(Ty::I8).bits(), None);
+    }
+}

@@ -1,0 +1,209 @@
+//! Shared helpers for the instrumentation passes.
+
+use pythia_analysis::{ObjId, SliceContext};
+use pythia_ir::{FuncId, Inst, ValueId};
+use std::collections::BTreeSet;
+
+/// Compute the *stably signable* subset of `candidates`.
+///
+/// A memory object can carry PAC-signed values only if every load/store of
+/// it moves a full 64-bit slot (a PAC does not fit in a narrower value),
+/// and only if every access that may touch it can be instrumented
+/// consistently — i.e. the access's points-to set stays inside the signed
+/// set (otherwise a signed store could land in an unsigned object or vice
+/// versa and desynchronize sign/auth pairs). This iterates to a fixpoint,
+/// dropping objects that would break consistency.
+pub fn stable_signable(ctx: &SliceContext<'_>, candidates: &BTreeSet<ObjId>) -> BTreeSet<ObjId> {
+    let m = ctx.module;
+    let mut set: BTreeSet<ObjId> = candidates
+        .iter()
+        .copied()
+        .filter(|&o| {
+            // Only single-slot (8-byte) objects are signable: the post-IC
+            // re-signing covers exactly one slot, so a larger object would
+            // leave raw slots that fail authentication on benign runs.
+            if object_byte_size(ctx, o) != Some(8) {
+                return false;
+            }
+            let all_loads_8 = ctx
+                .loads_of(o)
+                .iter()
+                .all(|&(fid, ld)| m.func(fid).value(ld).ty.size() == 8);
+            let all_stores_8 =
+                ctx.stores_of(o)
+                    .iter()
+                    .all(|&(fid, st)| match m.func(fid).inst(st) {
+                        Some(Inst::Store { value, .. }) => m.func(fid).value(*value).ty.size() == 8,
+                        _ => false,
+                    });
+            all_loads_8 && all_stores_8
+        })
+        .collect();
+
+    loop {
+        let mut drop: Vec<ObjId> = Vec::new();
+        for &o in &set {
+            let consistent = |fid: FuncId, ptr: ValueId| {
+                let pts = ctx.points_to.points_to(fid, ptr);
+                !pts.unknown && pts.objects.iter().all(|q| set.contains(q))
+            };
+            let loads_ok = ctx.loads_of(o).iter().all(|&(fid, ld)| {
+                matches!(m.func(fid).inst(ld), Some(Inst::Load { ptr }) if consistent(fid, *ptr))
+            });
+            let stores_ok = ctx.stores_of(o).iter().all(|&(fid, st)| {
+                matches!(m.func(fid).inst(st), Some(Inst::Store { ptr, .. }) if consistent(fid, *ptr))
+            });
+            if !(loads_ok && stores_ok) {
+                drop.push(o);
+            }
+        }
+        if drop.is_empty() {
+            break;
+        }
+        for o in drop {
+            set.remove(&o);
+        }
+    }
+    set
+}
+
+/// The accesses (loads, stores) of the given object set, grouped per
+/// function, each access listed once.
+pub struct AccessPlan {
+    /// `(function, load instruction, pointer operand)`
+    pub loads: Vec<(FuncId, ValueId, ValueId)>,
+    /// `(function, store instruction, pointer operand, value operand)`
+    pub stores: Vec<(FuncId, ValueId, ValueId, ValueId)>,
+}
+
+/// Collect unique accesses of every object in `objs` whose points-to set
+/// stays within `objs`.
+pub fn collect_accesses(ctx: &SliceContext<'_>, objs: &BTreeSet<ObjId>) -> AccessPlan {
+    let m = ctx.module;
+    let mut seen_loads: BTreeSet<(FuncId, ValueId)> = BTreeSet::new();
+    let mut seen_stores: BTreeSet<(FuncId, ValueId)> = BTreeSet::new();
+    let mut plan = AccessPlan {
+        loads: Vec::new(),
+        stores: Vec::new(),
+    };
+    for &o in objs {
+        for &(fid, ld) in ctx.loads_of(o) {
+            if !seen_loads.insert((fid, ld)) {
+                continue;
+            }
+            if let Some(Inst::Load { ptr }) = m.func(fid).inst(ld) {
+                plan.loads.push((fid, ld, *ptr));
+            }
+        }
+        for &(fid, st) in ctx.stores_of(o) {
+            if !seen_stores.insert((fid, st)) {
+                continue;
+            }
+            if let Some(Inst::Store { ptr, value }) = m.func(fid).inst(st) {
+                plan.stores.push((fid, st, *ptr, *value));
+            }
+        }
+    }
+    plan
+}
+
+/// For every memory-writing input channel whose destination lies in the
+/// signed object set, insert `v = load dest; store pacsign(v, key, dest)`
+/// *after* the channel call. Input channels write raw bytes; without this
+/// re-signing, the next authenticated load of a legitimately-written
+/// variable would trap (the paper's CPA accounting includes exactly this
+/// "encryption at store after the input channel" step, §6.2).
+pub fn resign_after_ics(
+    out: &mut pythia_ir::Module,
+    ctx: &SliceContext<'_>,
+    signed: &BTreeSet<ObjId>,
+    key: pythia_ir::PaKey,
+    plans: &mut std::collections::HashMap<FuncId, crate::editor::EditPlan>,
+    stats: &mut crate::stats::InstrumentationStats,
+) {
+    use crate::editor::EditPlan;
+    use pythia_ir::Ty;
+    for site in ctx.channels.sites.clone() {
+        if !site.writes_memory() {
+            continue;
+        }
+        let Some(dest) = site.dest_ptr(ctx.module) else {
+            continue;
+        };
+        let pts = ctx.points_to.points_to(site.func, dest);
+        if pts.unknown || pts.objects.is_empty() {
+            continue;
+        }
+        if !pts.objects.iter().all(|o| signed.contains(o)) {
+            continue;
+        }
+        let f = out.func_mut(site.func);
+        // View the (8-byte) destination as an i64 slot for the round trip.
+        let slot = EditPlan::new_inst(
+            f,
+            Inst::Cast {
+                kind: pythia_ir::CastKind::Bitcast,
+                value: dest,
+                to: Ty::ptr(Ty::I64),
+            },
+            Ty::ptr(Ty::I64),
+        );
+        let ld = EditPlan::new_inst(f, Inst::Load { ptr: slot }, Ty::I64);
+        let sign = EditPlan::new_inst(
+            f,
+            Inst::PacSign {
+                value: ld,
+                key,
+                modifier: slot,
+            },
+            Ty::I64,
+        );
+        let st = EditPlan::new_inst(
+            f,
+            Inst::Store {
+                ptr: slot,
+                value: sign,
+            },
+            Ty::Void,
+        );
+        let plan = plans.entry(site.func).or_default();
+        plan.insert_after(site.call, slot);
+        plan.insert_after(site.call, ld);
+        plan.insert_after(site.call, sign);
+        plan.insert_after(site.call, st);
+        stats.pa_signs += 1;
+    }
+}
+
+/// Statically-known total size of an abstract object, when determinable.
+pub fn object_byte_size(ctx: &SliceContext<'_>, obj: ObjId) -> Option<u64> {
+    use pythia_analysis::MemObjectKind;
+    use pythia_ir::{Callee, Intrinsic, ValueKind};
+    let m = ctx.module;
+    match ctx.points_to.obj_kind(obj) {
+        MemObjectKind::Stack { func, value } => match m.func(func).inst(value) {
+            Some(Inst::Alloca { elem, count }) => {
+                Some(elem.size().max(1) * u64::from((*count).max(1)))
+            }
+            _ => None,
+        },
+        MemObjectKind::Global(g) => Some(m.global(g).ty.size()),
+        MemObjectKind::Heap { func, value } => match m.func(func).inst(value) {
+            Some(Inst::Call {
+                callee: Callee::Intrinsic(i),
+                args,
+            }) => {
+                let const_arg = |n: usize| match args.get(n).map(|a| &m.func(func).value(*a).kind) {
+                    Some(ValueKind::ConstInt(v)) => Some(*v as u64),
+                    _ => None,
+                };
+                match i {
+                    Intrinsic::Malloc | Intrinsic::SecureMalloc | Intrinsic::Mmap => const_arg(0),
+                    Intrinsic::Calloc => Some(const_arg(0)? * const_arg(1)?),
+                    _ => None,
+                }
+            }
+            _ => None,
+        },
+    }
+}

@@ -1,0 +1,172 @@
+//! The conservative **Complete Pointer Authentication** scheme
+//! (paper §4.2, Algorithm 2).
+//!
+//! Every vulnerable variable (the *unrefined* union of all branch
+//! backslices) is PAC-signed when stored and authenticated on every load.
+//! The paper phrases this as "data pointers are created for each
+//! non-pointer vulnerable variable"; our memory-level realization signs
+//! the 64-bit value itself with the slot address as the PA modifier, which
+//! has the identical detection property (any raw overwrite fails the next
+//! authentication) and the identical instruction count (one `pacsign` per
+//! store, one `pacauth` per load).
+
+use crate::common::{collect_accesses, stable_signable};
+use crate::editor::EditPlan;
+use crate::stats::InstrumentationStats;
+use pythia_analysis::{SliceContext, VulnerabilityReport};
+use pythia_ir::{FuncId, Inst, Module, PaKey, Ty, ValueData, ValueId, ValueKind};
+use std::collections::{BTreeSet, HashMap};
+
+/// Apply CPA to `out` (a clone of the analyzed module).
+pub fn run_cpa(
+    out: &mut Module,
+    ctx: &SliceContext<'_>,
+    report: &VulnerabilityReport,
+    stats: &mut InstrumentationStats,
+) {
+    let signable = stable_signable(ctx, &report.cpa_slot_objects);
+    let plan = collect_accesses(ctx, &signable);
+
+    let mut per_func: HashMap<FuncId, EditPlan> = HashMap::new();
+
+    for (fid, st, ptr, value) in plan.stores {
+        let f = out.func_mut(fid);
+        let sign = EditPlan::new_inst(
+            f,
+            Inst::PacSign {
+                value,
+                key: PaKey::Da,
+                modifier: ptr,
+            },
+            Ty::I64,
+        );
+        if let Some(Inst::Store { value: v, .. }) = f.inst_mut(st) {
+            *v = sign;
+        }
+        per_func.entry(fid).or_default().insert_before(st, sign);
+        stats.pa_signs += 1;
+    }
+
+    for (fid, ld, ptr) in plan.loads {
+        let f = out.func_mut(fid);
+        let ty = f.value(ld).ty.clone();
+        let auth = EditPlan::new_inst(
+            f,
+            Inst::PacAuth {
+                value: ld,
+                key: PaKey::Da,
+                modifier: ptr,
+            },
+            ty,
+        );
+        let p = per_func.entry(fid).or_default();
+        p.insert_after(ld, auth);
+        p.replace_uses(ld, auth, &[auth]);
+        stats.pa_auths += 1;
+    }
+
+    sign_ssa_variables(out, ctx, report, &mut per_func, stats);
+
+    crate::common::resign_after_ics(out, ctx, &signable, PaKey::Da, &mut per_func, stats);
+
+    for (fid, plan) in per_func {
+        plan.apply(out.func_mut(fid));
+    }
+    stats.protected_objects = signable.len();
+}
+
+/// The paper's Eq. 1 instrumentation: every vulnerable *variable* is
+/// encrypted at its definition and authenticated before each use ("data
+/// pointers are created for each non-pointer vulnerable variable"),
+/// costing `1 + u_i` PA instructions per variable. Our register-level
+/// realization signs the SSA value right after its definition and
+/// authenticates before every use; semantics are preserved exactly
+/// (`auth(sign(v)) == v`), only the PA work is added — which is the whole
+/// point of the conservative scheme.
+fn sign_ssa_variables(
+    out: &mut Module,
+    _ctx: &SliceContext<'_>,
+    report: &VulnerabilityReport,
+    per_func: &mut HashMap<FuncId, EditPlan>,
+    stats: &mut InstrumentationStats,
+) {
+    // Group candidate values per function.
+    let mut by_func: HashMap<FuncId, BTreeSet<ValueId>> = HashMap::new();
+    for &(fid, v) in &report.cpa_sign_values {
+        by_func.entry(fid).or_default().insert(v);
+    }
+    for (fid, vals) in by_func {
+        let f = out.func_mut(fid);
+        // Placement index and use counts, computed once per function.
+        let mut home: HashMap<ValueId, (pythia_ir::BlockId, usize)> = HashMap::new();
+        for bb in f.block_ids() {
+            for (pos, &iv) in f.block(bb).insts.iter().enumerate() {
+                home.insert(iv, (bb, pos));
+            }
+        }
+        let du = pythia_analysis::DefUse::compute(f);
+        let zero = f.add_value(ValueData {
+            kind: ValueKind::ConstInt(0),
+            ty: Ty::I64,
+            name: None,
+        });
+        for v in vals {
+            let Some((bb, _)) = home.get(&v).copied() else {
+                continue; // arguments/constants: no definition point
+            };
+            let eligible = match &f.value(v).kind {
+                ValueKind::Inst(inst) => {
+                    !matches!(
+                        inst,
+                        Inst::Alloca { .. } | Inst::Load { .. } | Inst::Store { .. }
+                    ) && !inst.is_terminator()
+                        && !inst.is_pa()
+                        && matches!(f.value(v).ty, Ty::I64 | Ty::Ptr(_))
+                }
+                _ => false,
+            };
+            if !eligible || du.num_uses(v) == 0 {
+                continue;
+            }
+            let ty = f.value(v).ty.clone();
+            let sign = EditPlan::new_inst(
+                f,
+                Inst::PacSign {
+                    value: v,
+                    key: PaKey::Da,
+                    modifier: zero,
+                },
+                ty.clone(),
+            );
+            let auth = EditPlan::new_inst(
+                f,
+                Inst::PacAuth {
+                    value: sign,
+                    key: PaKey::Da,
+                    modifier: zero,
+                },
+                ty,
+            );
+            let plan = per_func.entry(fid).or_default();
+            if matches!(f.inst(v), Some(Inst::Phi { .. })) {
+                // Keep the phi group contiguous: insert after the last
+                // leading phi of the block.
+                let anchor = f
+                    .block(bb)
+                    .insts
+                    .iter()
+                    .copied()
+                    .find(|iv| !matches!(f.inst(*iv), Some(Inst::Phi { .. })))
+                    .expect("block has a terminator");
+                plan.insert_before(anchor, sign);
+                plan.insert_before(anchor, auth);
+            } else {
+                plan.insert_after(v, sign);
+                plan.insert_after(v, auth);
+            }
+            plan.replace_uses(v, auth, &[sign, auth]);
+            stats.pa_signs += 1;
+            stats.pa_auths += 1;
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Data-Flow Integrity instrumentation (Castro et al., OSDI'06 — the
+//! paper's state-of-the-art comparison, §7).
+//!
+//! Every store that may write a protected object is tagged with a
+//! definition id (`setdef`); every load of a protected object checks that
+//! the last writer of its slot belongs to the load's *static* set of
+//! legitimate reaching writers (`chkdef`). Memory-writing input channels
+//! count as writers of the objects they are statically allowed to write —
+//! the VM tags their writes with [`dfi_def_id`] of the call site, so a
+//! legitimate `gets(buf)` passes `buf`'s checks while its overflow into a
+//! *different* object trips that object's check.
+//!
+//! The protected set is the union of DFI-mode backward slices, which —
+//! faithfully to the paper's critique — terminates at pointer arithmetic
+//! and field accesses, leaving those branches unprotected (Fig. 7b).
+
+use crate::editor::EditPlan;
+use crate::stats::InstrumentationStats;
+use pythia_analysis::{SliceContext, VulnerabilityReport};
+use pythia_ir::{dfi_def_id, FuncId, Inst, Module, Ty, ValueId};
+use std::collections::{BTreeSet, HashMap};
+
+/// Apply DFI to `out` (a clone of the analyzed module).
+pub fn run_dfi(
+    out: &mut Module,
+    ctx: &SliceContext<'_>,
+    report: &VulnerabilityReport,
+    stats: &mut InstrumentationStats,
+) {
+    let protected = &report.dfi_objects;
+    let mut per_func: HashMap<FuncId, EditPlan> = HashMap::new();
+    let mut done_stores: BTreeSet<(FuncId, ValueId)> = BTreeSet::new();
+    let mut done_loads: BTreeSet<(FuncId, ValueId)> = BTreeSet::new();
+
+    for &o in protected.iter() {
+        // Instrument every store that may write the object.
+        for &(fid, st) in ctx.stores_of(o) {
+            if !done_stores.insert((fid, st)) {
+                continue;
+            }
+            let ptr = match ctx.module.func(fid).inst(st) {
+                Some(Inst::Store { ptr, .. }) => *ptr,
+                _ => continue,
+            };
+            let f = out.func_mut(fid);
+            let sd = EditPlan::new_inst(
+                f,
+                Inst::SetDef {
+                    ptr,
+                    def_id: dfi_def_id(fid, st),
+                },
+                Ty::Void,
+            );
+            per_func.entry(fid).or_default().insert_after(st, sd);
+            stats.setdefs += 1;
+        }
+
+        // Guard every load with the static reaching-writer set.
+        for &(fid, ld) in ctx.loads_of(o) {
+            if !done_loads.insert((fid, ld)) {
+                continue;
+            }
+            let ptr = match ctx.module.func(fid).inst(ld) {
+                Some(Inst::Load { ptr }) => *ptr,
+                _ => continue,
+            };
+            // Allowed writers: stores and write-channels of every protected
+            // object this pointer may reference.
+            let pts = ctx.points_to.points_to(fid, ptr);
+            let mut allowed: BTreeSet<u32> = BTreeSet::new();
+            for &q in pts.objects.iter().filter(|q| protected.contains(q)) {
+                for &(sf, sv) in ctx.stores_of(q) {
+                    allowed.insert(dfi_def_id(sf, sv));
+                }
+                for site in ctx.ics_writing(q) {
+                    allowed.insert(dfi_def_id(site.func, site.call));
+                }
+            }
+            let f = out.func_mut(fid);
+            let chk = EditPlan::new_inst(
+                f,
+                Inst::ChkDef {
+                    ptr,
+                    allowed: allowed.into_iter().collect(),
+                },
+                Ty::Void,
+            );
+            per_func.entry(fid).or_default().insert_before(ld, chk);
+            stats.chkdefs += 1;
+        }
+    }
+
+    for (fid, plan) in per_func {
+        plan.apply(out.func_mut(fid));
+    }
+    stats.protected_objects = protected.len();
+}

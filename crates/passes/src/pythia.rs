@@ -1,0 +1,388 @@
+//! The performance-aware **Pythia** scheme (paper §4.3, Algorithms 3–4):
+//! stack re-layout + PA-signed canaries for vulnerable stack variables,
+//! heap sectioning (+ PA on uses) for vulnerable heap allocations.
+//!
+//! Layout note: the paper groups vulnerable stack variables at one end of
+//! the frame so overflows cannot reach non-vulnerable locals. Our VM's
+//! stack grows upward and overflows write toward higher addresses, so the
+//! pass moves vulnerable buffers (each followed by its canary) *above* the
+//! non-vulnerable locals — the mirror image of the paper's layout with
+//! identical protection semantics.
+//!
+//! Interprocedural note: instead of the paper's global pointer canaries,
+//! canaries are additionally checked before every `ret`, so an overflow
+//! triggered inside a callee is caught when the owning frame exits at the
+//! latest (same detection guarantee, possibly later detection point).
+
+use crate::editor::EditPlan;
+use crate::stats::InstrumentationStats;
+use pythia_analysis::{MemObjectKind, SliceContext, VulnerabilityReport};
+use pythia_ir::{Callee, FuncId, Inst, Intrinsic, Module, PaKey, Ty, ValueId};
+use std::collections::BTreeSet;
+
+/// Ablation switches for the Pythia pass (all on by default; DESIGN.md §4
+/// lists the ablation experiments these power).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PythiaConfig {
+    /// Re-order the frame so vulnerable buffers sit above innocent locals
+    /// (Alg. 3's stack re-layout). Off: canaries are appended at the top
+    /// of the frame, not adjacent to their buffers.
+    pub relayout: bool,
+    /// Re-randomize each canary before every same-function input channel
+    /// (§4.4's leak defense). Off: only the entry initialization remains.
+    pub rerandomize: bool,
+    /// Check canaries before returns when a writing channel lives in a
+    /// callee (the interprocedural substitute for global pointer canaries).
+    pub ret_checks: bool,
+    /// Redirect vulnerable allocations to the isolated heap section and
+    /// PA-sign their uses (Alg. 4).
+    pub heap_sectioning: bool,
+}
+
+impl Default for PythiaConfig {
+    fn default() -> Self {
+        PythiaConfig {
+            relayout: true,
+            rerandomize: true,
+            ret_checks: true,
+            heap_sectioning: true,
+        }
+    }
+}
+
+/// Apply the Pythia scheme to `out` (a clone of the analyzed module).
+pub fn run_pythia(
+    out: &mut Module,
+    ctx: &SliceContext<'_>,
+    report: &VulnerabilityReport,
+    stats: &mut InstrumentationStats,
+) {
+    run_pythia_with(out, ctx, report, stats, PythiaConfig::default());
+}
+
+/// Apply the Pythia scheme with explicit ablation switches.
+pub fn run_pythia_with(
+    out: &mut Module,
+    ctx: &SliceContext<'_>,
+    report: &VulnerabilityReport,
+    stats: &mut InstrumentationStats,
+    config: PythiaConfig,
+) {
+    instrument_stack(out, report, stats, config);
+    if config.heap_sectioning {
+        instrument_heap(out, ctx, report, stats);
+    }
+    insert_section_init(out, stats);
+}
+
+// ---------------------------------------------------------------------
+// Stack: re-layout + canaries (Algorithm 3)
+// ---------------------------------------------------------------------
+
+fn instrument_stack(
+    out: &mut Module,
+    report: &VulnerabilityReport,
+    stats: &mut InstrumentationStats,
+    config: PythiaConfig,
+) {
+    for (&fid, vulns) in &report.stack_vulns {
+        if vulns.is_empty() {
+            continue;
+        }
+        let f = out.func_mut(fid);
+        let vuln_set: BTreeSet<ValueId> = vulns.iter().map(|v| v.alloca).collect();
+
+        // 1. Create one canary alloca per vulnerable variable.
+        let mut canaries: Vec<(ValueId, ValueId)> = Vec::new(); // (vuln, canary)
+        for v in &vuln_set {
+            let can = EditPlan::new_inst(
+                f,
+                Inst::Alloca {
+                    elem: Ty::I64,
+                    count: 1,
+                },
+                Ty::ptr(Ty::I64),
+            );
+            canaries.push((*v, can));
+            stats.canaries += 1;
+        }
+
+        // 2. Stack re-layout: hoist allocas to the top of the entry block,
+        //    non-vulnerable first, then each vulnerable buffer immediately
+        //    followed by its canary. Entry-block order *is* frame order.
+        let entry = f.entry();
+        let old = f.block(entry).insts.clone();
+        let mut non_vuln_allocas = Vec::new();
+        let mut rest = Vec::new();
+        for iv in old {
+            if matches!(f.inst(iv), Some(Inst::Alloca { .. })) {
+                if !vuln_set.contains(&iv) {
+                    non_vuln_allocas.push(iv);
+                }
+            } else {
+                rest.push(iv);
+            }
+        }
+        let mut rebuilt = if config.relayout {
+            let mut r = non_vuln_allocas;
+            for (v, c) in &canaries {
+                r.push(*v);
+                r.push(*c);
+            }
+            r
+        } else {
+            // Ablation: keep the original order; canary allocas are merely
+            // appended, losing the adjacency that makes them tripwires.
+            let mut r: Vec<_> = f
+                .block(entry)
+                .insts
+                .iter()
+                .copied()
+                .filter(|iv| matches!(f.inst(*iv), Some(Inst::Alloca { .. })))
+                .collect();
+            for (_, c) in &canaries {
+                r.push(*c);
+            }
+            r
+        };
+        rebuilt.extend(rest.iter().copied());
+        f.block_mut(entry).insts = rebuilt;
+
+        // 3. Canary lifecycle: initialize at entry, re-randomize before
+        //    each input-channel use, authenticate after it and before
+        //    every return.
+        let anchor_entry = *f
+            .block(entry)
+            .insts
+            .iter()
+            .find(|iv| !matches!(f.inst(**iv), Some(Inst::Alloca { .. })))
+            .expect("entry block has a terminator");
+        let rets: Vec<ValueId> = f
+            .block_ids()
+            .flat_map(|bb| f.block(bb).insts.clone())
+            .filter(|iv| matches!(f.inst(*iv), Some(Inst::Ret { .. })))
+            .collect();
+
+        let mut plan = EditPlan::new();
+        for (vuln, can) in &canaries {
+            let vuln_info = vulns
+                .iter()
+                .find(|s| s.alloca == *vuln)
+                .expect("canary built from vulns");
+
+            // Entry initialization.
+            push_randomize(f, &mut plan, *can, anchor_entry, stats);
+            stats.randomize_sites += 1;
+
+            // Around same-function input-channel uses.
+            let mut seen_sites: BTreeSet<ValueId> = BTreeSet::new();
+            for site in &vuln_info.ic_uses {
+                if site.func != fid || !seen_sites.insert(site.call) {
+                    continue;
+                }
+                if config.rerandomize {
+                    push_randomize(f, &mut plan, *can, site.call, stats);
+                    stats.randomize_sites += 1;
+                }
+                push_check_after(f, &mut plan, *can, site.call, stats);
+            }
+
+            // Before every return — but only when some channel that can
+            // write this variable lives in *another* function (the
+            // interprocedural-overflow case §4.4 handles with global
+            // pointer canaries; same-function channels are already
+            // checked right after the call).
+            let interproc = vuln_info.ic_uses.iter().any(|s| s.func != fid);
+            if interproc && config.ret_checks {
+                for &r in &rets {
+                    push_check_before(f, &mut plan, *can, r, stats);
+                }
+            }
+        }
+        plan.apply(f);
+    }
+}
+
+/// Queue `rnd = pythia_random(); store pacsign(rnd, ga, can) -> can`
+/// before `anchor`.
+fn push_randomize(
+    f: &mut pythia_ir::Function,
+    plan: &mut EditPlan,
+    can: ValueId,
+    anchor: ValueId,
+    stats: &mut InstrumentationStats,
+) {
+    let rnd = EditPlan::new_inst(
+        f,
+        Inst::Call {
+            callee: Callee::Intrinsic(Intrinsic::PythiaRandom),
+            args: vec![],
+        },
+        Ty::I64,
+    );
+    let sign = EditPlan::new_inst(
+        f,
+        Inst::PacSign {
+            value: rnd,
+            key: PaKey::Ga,
+            modifier: can,
+        },
+        Ty::I64,
+    );
+    let st = EditPlan::new_inst(
+        f,
+        Inst::Store {
+            ptr: can,
+            value: sign,
+        },
+        Ty::Void,
+    );
+    plan.insert_before(anchor, rnd);
+    plan.insert_before(anchor, sign);
+    plan.insert_before(anchor, st);
+    stats.pa_signs += 1;
+}
+
+/// Queue `pacauth(load can, ga, can)` after `anchor`.
+fn push_check_after(
+    f: &mut pythia_ir::Function,
+    plan: &mut EditPlan,
+    can: ValueId,
+    anchor: ValueId,
+    stats: &mut InstrumentationStats,
+) {
+    let ld = EditPlan::new_inst(f, Inst::Load { ptr: can }, Ty::I64);
+    let auth = EditPlan::new_inst(
+        f,
+        Inst::PacAuth {
+            value: ld,
+            key: PaKey::Ga,
+            modifier: can,
+        },
+        Ty::I64,
+    );
+    plan.insert_after(anchor, ld);
+    plan.insert_after(anchor, auth);
+    stats.pa_auths += 1;
+}
+
+/// Queue `pacauth(load can, ga, can)` before `anchor`.
+fn push_check_before(
+    f: &mut pythia_ir::Function,
+    plan: &mut EditPlan,
+    can: ValueId,
+    anchor: ValueId,
+    stats: &mut InstrumentationStats,
+) {
+    let ld = EditPlan::new_inst(f, Inst::Load { ptr: can }, Ty::I64);
+    let auth = EditPlan::new_inst(
+        f,
+        Inst::PacAuth {
+            value: ld,
+            key: PaKey::Ga,
+            modifier: can,
+        },
+        Ty::I64,
+    );
+    plan.insert_before(anchor, ld);
+    plan.insert_before(anchor, auth);
+    stats.pa_auths += 1;
+}
+
+// ---------------------------------------------------------------------
+// Heap: sectioning + PA on uses (Algorithm 4)
+// ---------------------------------------------------------------------
+
+fn instrument_heap(
+    out: &mut Module,
+    ctx: &SliceContext<'_>,
+    report: &VulnerabilityReport,
+    stats: &mut InstrumentationStats,
+) {
+    // 1. Redirect vulnerable allocation sites into the isolated section.
+    for hv in &report.heap_vulns {
+        let f = out.func_mut(hv.func);
+        if let Some(Inst::Call { callee, .. }) = f.inst_mut(hv.site) {
+            if *callee == Callee::Intrinsic(Intrinsic::Malloc) {
+                *callee = Callee::Intrinsic(Intrinsic::SecureMalloc);
+                stats.secure_malloc_rewrites += 1;
+            }
+        }
+    }
+
+    // 2. PA-sign the contents of vulnerable heap objects at their uses.
+    let heap_objs: BTreeSet<_> = report
+        .pythia_objects
+        .iter()
+        .copied()
+        .filter(|&o| matches!(ctx.points_to.obj_kind(o), MemObjectKind::Heap { .. }))
+        .collect();
+    let signable = crate::common::stable_signable(ctx, &heap_objs);
+    let plan = crate::common::collect_accesses(ctx, &signable);
+
+    let mut per_func: std::collections::HashMap<FuncId, EditPlan> = Default::default();
+    for (fid, st, ptr, value) in plan.stores {
+        let f = out.func_mut(fid);
+        let sign = EditPlan::new_inst(
+            f,
+            Inst::PacSign {
+                value,
+                key: PaKey::Db,
+                modifier: ptr,
+            },
+            Ty::I64,
+        );
+        if let Some(Inst::Store { value: v, .. }) = f.inst_mut(st) {
+            *v = sign;
+        }
+        per_func.entry(fid).or_default().insert_before(st, sign);
+        stats.pa_signs += 1;
+    }
+    for (fid, ld, ptr) in plan.loads {
+        let f = out.func_mut(fid);
+        let ty = f.value(ld).ty.clone();
+        let auth = EditPlan::new_inst(
+            f,
+            Inst::PacAuth {
+                value: ld,
+                key: PaKey::Db,
+                modifier: ptr,
+            },
+            ty,
+        );
+        let p = per_func.entry(fid).or_default();
+        p.insert_after(ld, auth);
+        p.replace_uses(ld, auth, &[auth]);
+        stats.pa_auths += 1;
+    }
+    crate::common::resign_after_ics(out, ctx, &signable, PaKey::Db, &mut per_func, stats);
+
+    for (fid, plan) in per_func {
+        plan.apply(out.func_mut(fid));
+    }
+    stats.protected_objects = report.pythia_objects.len();
+}
+
+/// Insert the one-time `heap_section_init()` library call at program
+/// entry — every Pythia-compiled program pays this, even with zero
+/// vulnerable heap variables (§6.2).
+fn insert_section_init(out: &mut Module, _stats: &mut InstrumentationStats) {
+    let entry_fid = out.func_by_name("main").or_else(|| out.func_ids().next());
+    let Some(fid) = entry_fid else { return };
+    let f = out.func_mut(fid);
+    let call = EditPlan::new_inst(
+        f,
+        Inst::Call {
+            callee: Callee::Intrinsic(Intrinsic::HeapSectionInit),
+            args: vec![],
+        },
+        Ty::Void,
+    );
+    let entry = f.entry();
+    let anchor = f.block(entry).insts.first().copied();
+    if let Some(anchor) = anchor {
+        let mut plan = EditPlan::new();
+        plan.insert_before(anchor, call);
+        plan.apply(f);
+    }
+}

@@ -1,0 +1,123 @@
+//! Static instrumentation accounting (feeds Figs. 4b, 6a, 6b and the
+//! Eq. 1/Eq. 5 instruction-count models).
+
+use std::fmt;
+
+/// Which protection scheme a module was instrumented with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Uninstrumented `-O3`-style baseline.
+    Vanilla,
+    /// Complete Pointer Authentication (conservative, §4.2).
+    Cpa,
+    /// The performance-aware Pythia scheme (§4.3).
+    Pythia,
+    /// Data-flow integrity (Castro et al., the paper's comparison point).
+    Dfi,
+}
+
+impl Scheme {
+    /// All schemes in presentation order.
+    pub const ALL: [Scheme; 4] = [Scheme::Vanilla, Scheme::Cpa, Scheme::Pythia, Scheme::Dfi];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::Vanilla => "vanilla",
+            Scheme::Cpa => "cpa",
+            Scheme::Pythia => "pythia",
+            Scheme::Dfi => "dfi",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Counters describing what a pass did to a module.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstrumentationStats {
+    /// Static instructions before instrumentation.
+    pub insts_before: usize,
+    /// Static instructions after instrumentation.
+    pub insts_after: usize,
+    /// `pacsign` instructions inserted.
+    pub pa_signs: usize,
+    /// `pacauth` instructions inserted.
+    pub pa_auths: usize,
+    /// Stack canaries created (Pythia).
+    pub canaries: usize,
+    /// Canary (re-)randomization sites (function entries + pre-IC).
+    pub randomize_sites: usize,
+    /// `setdef` instructions inserted (DFI).
+    pub setdefs: usize,
+    /// `chkdef` instructions inserted (DFI).
+    pub chkdefs: usize,
+    /// `malloc` call sites rewritten to `secure_malloc` (Pythia).
+    pub secure_malloc_rewrites: usize,
+    /// Objects the scheme ended up protecting with PA signing.
+    pub protected_objects: usize,
+}
+
+impl InstrumentationStats {
+    /// Total static PA instructions added (Fig. 6).
+    pub fn pa_total(&self) -> usize {
+        self.pa_signs + self.pa_auths
+    }
+
+    /// Total static DFI instructions added.
+    pub fn dfi_total(&self) -> usize {
+        self.setdefs + self.chkdefs
+    }
+
+    /// Relative binary-size growth (Fig. 4b), e.g. `0.21` = +21 %.
+    pub fn binary_growth(&self) -> f64 {
+        if self.insts_before == 0 {
+            0.0
+        } else {
+            (self.insts_after as f64 - self.insts_before as f64) / self.insts_before as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn growth_math() {
+        let s = InstrumentationStats {
+            insts_before: 100,
+            insts_after: 121,
+            ..Default::default()
+        };
+        assert!((s.binary_growth() - 0.21).abs() < 1e-12);
+        assert_eq!(
+            InstrumentationStats::default().binary_growth(),
+            0.0,
+            "empty module must not divide by zero"
+        );
+    }
+
+    #[test]
+    fn totals() {
+        let s = InstrumentationStats {
+            pa_signs: 3,
+            pa_auths: 4,
+            setdefs: 5,
+            chkdefs: 6,
+            ..Default::default()
+        };
+        assert_eq!(s.pa_total(), 7);
+        assert_eq!(s.dfi_total(), 11);
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(Scheme::Pythia.to_string(), "pythia");
+        assert_eq!(Scheme::ALL.len(), 4);
+    }
+}

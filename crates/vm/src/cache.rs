@@ -1,0 +1,230 @@
+//! A two-level set-associative data-cache simulator (L1D + LLC) with LRU
+//! replacement, sized like the paper's Apple M1 Pro testbed (24 MB LLC).
+//!
+//! The evaluation only needs *relative* miss behaviour — e.g. Pythia's heap
+//! sectioning fragments the heap and can add LLC misses for benchmarks
+//! with interleaved shared/isolated accesses (§6.1, `510.parest_r`) — so a
+//! straightforward LRU model suffices.
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Hit in L1D.
+    L1Hit,
+    /// Missed L1, hit LLC.
+    LlcHit,
+    /// Missed both levels (memory access).
+    Miss,
+}
+
+/// One set-associative level with LRU replacement.
+#[derive(Debug, Clone)]
+struct Level {
+    sets: Vec<Vec<u64>>, // each set: tags, most-recent last
+    ways: usize,
+    set_shift: u32,
+    set_mask: u64,
+}
+
+impl Level {
+    fn new(capacity: u64, line: u64, ways_hint: usize) -> Self {
+        let lines = (capacity / line).max(1) as usize;
+        // Round the set count down to a power of two and absorb the
+        // remainder into the associativity, so any capacity works.
+        let mut sets = (lines / ways_hint).max(1);
+        while !sets.is_power_of_two() {
+            sets &= sets - 1; // drop lowest set bit -> previous power of two
+        }
+        let ways = (lines / sets).max(1);
+        Level {
+            sets: vec![Vec::with_capacity(ways); sets],
+            ways,
+            set_shift: line.trailing_zeros(),
+            set_mask: sets as u64 - 1,
+        }
+    }
+
+    /// Access a line; returns `true` on hit.
+    fn access(&mut self, addr: u64) -> bool {
+        let line = addr >> self.set_shift;
+        let set = (line & self.set_mask) as usize;
+        let tags = &mut self.sets[set];
+        if let Some(pos) = tags.iter().position(|&t| t == line) {
+            let t = tags.remove(pos);
+            tags.push(t);
+            true
+        } else {
+            if tags.len() == self.ways {
+                tags.remove(0);
+            }
+            tags.push(line);
+            false
+        }
+    }
+}
+
+/// Per-level hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// L1D hits.
+    pub l1_hits: u64,
+    /// LLC hits (L1 misses that hit LLC).
+    pub llc_hits: u64,
+    /// Full misses.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// LLC miss rate over all accesses.
+    pub fn llc_miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// The two-level cache hierarchy.
+#[derive(Debug, Clone)]
+pub struct CacheSim {
+    l1: Level,
+    llc: Level,
+    line: u64,
+    stats: CacheStats,
+}
+
+impl CacheSim {
+    /// M1-Pro-like geometry: 64 KiB L1D (8-way), 24 MiB LLC (12-way),
+    /// 64-byte lines. (The LLC way count is rounded to keep sets a power
+    /// of two.)
+    pub fn m1_like() -> Self {
+        CacheSim::new(64 << 10, 24 << 20, 64)
+    }
+
+    /// Custom geometry (capacities in bytes). Way counts are fixed at 8
+    /// (L1) and 12 (LLC), adjusted if needed to keep set counts a power of
+    /// two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity / line / ways` is not a power of two after
+    /// adjustment.
+    pub fn new(l1_capacity: u64, llc_capacity: u64, line: u64) -> Self {
+        CacheSim {
+            l1: Level::new(l1_capacity, line, 8),
+            llc: Level::new(llc_capacity, line, 12),
+            line,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Cache line size.
+    pub fn line(&self) -> u64 {
+        self.line
+    }
+
+    /// Access one address.
+    pub fn access(&mut self, addr: u64) -> CacheOutcome {
+        self.stats.accesses += 1;
+        if self.l1.access(addr) {
+            self.stats.l1_hits += 1;
+            return CacheOutcome::L1Hit;
+        }
+        if self.llc.access(addr) {
+            self.stats.llc_hits += 1;
+            return CacheOutcome::LlcHit;
+        }
+        self.stats.misses += 1;
+        CacheOutcome::Miss
+    }
+
+    /// Access a byte range, touching every line it covers; returns the
+    /// worst outcome (used for bulk intrinsics like `memcpy`).
+    pub fn access_range(&mut self, addr: u64, len: u64) -> CacheOutcome {
+        let mut worst = CacheOutcome::L1Hit;
+        let first = addr / self.line;
+        let last = (addr + len.max(1) - 1) / self.line;
+        for l in first..=last {
+            let o = self.access(l * self.line);
+            worst = match (worst, o) {
+                (_, CacheOutcome::Miss) | (CacheOutcome::Miss, _) => CacheOutcome::Miss,
+                (_, CacheOutcome::LlcHit) | (CacheOutcome::LlcHit, _) => CacheOutcome::LlcHit,
+                _ => CacheOutcome::L1Hit,
+            };
+        }
+        worst
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+impl Default for CacheSim {
+    fn default() -> Self {
+        CacheSim::m1_like()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_touch_misses_second_hits() {
+        let mut c = CacheSim::m1_like();
+        assert_eq!(c.access(0x1000), CacheOutcome::Miss);
+        assert_eq!(c.access(0x1000), CacheOutcome::L1Hit);
+        assert_eq!(c.access(0x1038), CacheOutcome::L1Hit, "same 64B line");
+        assert_eq!(c.access(0x1040), CacheOutcome::Miss, "next line");
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_llc() {
+        let mut c = CacheSim::new(1024, 1 << 20, 64); // tiny L1: 16 lines, 2 sets
+                                                      // Fill one set beyond its 8 ways: lines mapping to set 0.
+        let stride = 2 * 64; // set count = 2 -> same set every 2 lines
+        for i in 0..9 {
+            c.access(i * stride);
+        }
+        // line 0 evicted from L1 but still in LLC
+        assert_eq!(c.access(0), CacheOutcome::LlcHit);
+    }
+
+    #[test]
+    fn lru_keeps_recently_used() {
+        let mut c = CacheSim::new(1024, 1 << 20, 64);
+        let stride = 2 * 64;
+        for i in 0..8 {
+            c.access(i * stride); // fill set
+        }
+        c.access(0); // refresh line 0 -> MRU
+        c.access(8 * stride); // evicts line 1 (LRU), not line 0
+        assert_eq!(c.access(0), CacheOutcome::L1Hit);
+        assert_eq!(c.access(stride), CacheOutcome::LlcHit);
+    }
+
+    #[test]
+    fn range_access_touches_every_line() {
+        let mut c = CacheSim::m1_like();
+        assert_eq!(c.access_range(0x2000, 200), CacheOutcome::Miss);
+        assert_eq!(c.stats().accesses, 4); // 200 bytes over 64B lines, aligned
+        assert_eq!(c.access_range(0x2000, 200), CacheOutcome::L1Hit);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut c = CacheSim::m1_like();
+        c.access(0x100);
+        c.access(0x100);
+        let s = c.stats();
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.misses, 1);
+        assert_eq!(s.l1_hits, 1);
+        assert!(s.llc_miss_rate() > 0.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! The cycle cost model.
+//!
+//! Costs are in *millicycles* (1/1000 cycle) so a 3-wide superscalar core
+//! can be approximated by sub-cycle costs for simple ALU operations. The
+//! absolute numbers are calibrated loosely against a 3.2 GHz M1-class core
+//! (1 ns ≈ 3.2 cycles); only *relative* overheads matter for the paper's
+//! figures.
+
+use crate::cache::CacheOutcome;
+use pythia_ir::Inst;
+
+/// Millicycles per cycle.
+pub const MILLI: u64 = 1000;
+
+/// Tunable cost table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Simple ALU op (add, icmp, cast, select, gep address math).
+    pub alu: u64,
+    /// Phi/copy-class ops (often free after regalloc).
+    pub copy: u64,
+    /// Load with an L1 hit.
+    pub load_l1: u64,
+    /// Extra penalty when the access only hits the LLC.
+    pub llc_penalty: u64,
+    /// Extra penalty on a full miss.
+    pub mem_penalty: u64,
+    /// Store (assume store buffer absorbs most latency).
+    pub store: u64,
+    /// Taken/not-taken branch (no misprediction modelled).
+    pub branch: u64,
+    /// Call/return bookkeeping.
+    pub call: u64,
+    /// One PA instruction (`pac*`/`aut*`): QARMA latency is ~4 cycles on
+    /// real silicon; out-of-order overlap brings the effective cost down.
+    pub pa_op: u64,
+    /// DFI SETDEF/CHKDEF (software table update/lookup — why DFI is slow).
+    pub dfi_op: u64,
+    /// Library-call dispatch overhead added to any intrinsic.
+    pub libcall: u64,
+    /// Per-byte cost of bulk memory intrinsics (memcpy and friends).
+    pub bulk_per_byte: u64,
+    /// Extra cost of the random-number library call used for canaries.
+    pub random_call: u64,
+    /// Extra cost of `secure_malloc`'s section dispatch (~23 ns, §6.1).
+    pub secure_malloc_extra: u64,
+    /// One-time heap sectioning setup (~126 ns, §6.2).
+    pub section_init: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            alu: 350,
+            copy: 120,
+            load_l1: 1100,
+            llc_penalty: 14 * MILLI,
+            mem_penalty: 95 * MILLI,
+            store: 900,
+            branch: 700,
+            call: 2200,
+            pa_op: 2800,
+            dfi_op: 9 * MILLI,
+            libcall: 2600,
+            bulk_per_byte: 55,
+            random_call: 3 * MILLI,
+            secure_malloc_extra: 74 * MILLI, // ≈23ns @3.2GHz
+            section_init: 403 * MILLI,       // ≈126ns @3.2GHz
+        }
+    }
+}
+
+impl CostModel {
+    /// Base cost of an instruction, excluding memory-hierarchy penalties
+    /// and intrinsic-specific extras.
+    pub fn base_cost(&self, inst: &Inst) -> u64 {
+        match inst {
+            Inst::Alloca { .. } => self.copy, // sp bump happens at entry
+            Inst::Load { .. } => self.load_l1,
+            Inst::Store { .. } => self.store,
+            Inst::Gep { .. } | Inst::FieldAddr { .. } => self.alu,
+            Inst::Bin { .. } | Inst::Icmp { .. } | Inst::Cast { .. } | Inst::Select { .. } => {
+                self.alu
+            }
+            Inst::Phi { .. } => self.copy,
+            Inst::Call { .. } => self.call,
+            Inst::PacSign { .. } | Inst::PacAuth { .. } | Inst::PacStrip { .. } => self.pa_op,
+            Inst::SetDef { .. } | Inst::ChkDef { .. } => self.dfi_op,
+            Inst::Br { .. } | Inst::Jmp { .. } => self.branch,
+            Inst::Ret { .. } => self.call,
+            Inst::Unreachable => 0,
+        }
+    }
+
+    /// Additional cost of a memory access with the given cache outcome.
+    pub fn cache_extra(&self, outcome: CacheOutcome) -> u64 {
+        match outcome {
+            CacheOutcome::L1Hit => 0,
+            CacheOutcome::LlcHit => self.llc_penalty,
+            CacheOutcome::Miss => self.mem_penalty,
+        }
+    }
+
+    /// Convert millicycles to cycles (rounded).
+    pub fn to_cycles(mc: u64) -> u64 {
+        mc.div_ceil(MILLI)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_ir::{BinOp, PaKey, Ty, ValueId};
+
+    #[test]
+    fn pa_costs_more_than_alu() {
+        let c = CostModel::default();
+        let alu = c.base_cost(&Inst::Bin {
+            op: BinOp::Add,
+            lhs: ValueId(0),
+            rhs: ValueId(1),
+        });
+        let pa = c.base_cost(&Inst::PacSign {
+            value: ValueId(0),
+            key: PaKey::Da,
+            modifier: ValueId(1),
+        });
+        assert!(pa > alu * 5);
+    }
+
+    #[test]
+    fn dfi_costs_more_than_pa() {
+        // This asymmetry is the paper's core performance argument: DFI's
+        // software SETDEF/CHKDEF beats hardware PA ops on no dimension.
+        let c = CostModel::default();
+        let pa = c.base_cost(&Inst::PacStrip { value: ValueId(0) });
+        let dfi = c.base_cost(&Inst::SetDef {
+            ptr: ValueId(0),
+            def_id: 1,
+        });
+        assert!(dfi > pa);
+    }
+
+    #[test]
+    fn cache_penalties_ordered() {
+        let c = CostModel::default();
+        assert!(c.cache_extra(CacheOutcome::L1Hit) < c.cache_extra(CacheOutcome::LlcHit));
+        assert!(c.cache_extra(CacheOutcome::LlcHit) < c.cache_extra(CacheOutcome::Miss));
+    }
+
+    #[test]
+    fn cycles_round_up() {
+        assert_eq!(CostModel::to_cycles(1), 1);
+        assert_eq!(CostModel::to_cycles(1000), 1);
+        assert_eq!(CostModel::to_cycles(1001), 2);
+        assert_eq!(CostModel::to_cycles(0), 0);
+    }
+
+    #[test]
+    fn alloca_is_cheap() {
+        let c = CostModel::default();
+        assert!(
+            c.base_cost(&Inst::Alloca {
+                elem: Ty::I64,
+                count: 1
+            }) <= c.alu
+        );
+    }
+}

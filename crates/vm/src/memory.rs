@@ -1,0 +1,260 @@
+//! Sparse, page-backed simulated memory with a 40-bit virtual address
+//! space (little-endian, matching the workspace machine model).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Page size for the sparse backing store.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Virtual address width in bits (the PAC lives above this).
+pub const VA_BITS: u32 = 40;
+
+/// Lowest mappable address — the null page always faults.
+pub const NULL_GUARD: u64 = 0x1000;
+
+/// Memory layout constants shared by the whole VM.
+pub mod layout {
+    /// Base address where module globals are placed.
+    pub const GLOBALS_BASE: u64 = 0x0010_0000;
+    /// Base of the (upward-growing) stack region.
+    pub const STACK_BASE: u64 = 0x0070_0000_0000;
+    /// Stack region capacity.
+    pub const STACK_SIZE: u64 = 64 << 20;
+    /// Base of the heap region (the sectioned heap carves this up).
+    pub const HEAP_BASE: u64 = 0x0010_0000_0000;
+}
+
+/// A faulting memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryFault {
+    /// The offending address.
+    pub addr: u64,
+    /// Whether the access was a write.
+    pub write: bool,
+}
+
+impl fmt::Display for MemoryFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "memory fault: {} at {:#x}",
+            if self.write { "write" } else { "read" },
+            self.addr
+        )
+    }
+}
+
+impl std::error::Error for MemoryFault {}
+
+/// Sparse byte-addressable memory.
+#[derive(Debug, Default, Clone)]
+pub struct Memory {
+    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl Memory {
+    /// Fresh, fully-unmapped memory.
+    pub fn new() -> Self {
+        Memory::default()
+    }
+
+    fn check(addr: u64, write: bool) -> Result<(), MemoryFault> {
+        if addr < NULL_GUARD || addr >= (1 << VA_BITS) {
+            Err(MemoryFault { addr, write })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read one byte.
+    ///
+    /// # Errors
+    ///
+    /// Faults on the null page or beyond the VA width. Unwritten (but
+    /// valid) addresses read as zero.
+    pub fn read_u8(&self, addr: u64) -> Result<u8, MemoryFault> {
+        Self::check(addr, false)?;
+        let page = addr / PAGE_SIZE;
+        Ok(self
+            .pages
+            .get(&page)
+            .map(|p| p[(addr % PAGE_SIZE) as usize])
+            .unwrap_or(0))
+    }
+
+    /// Write one byte.
+    ///
+    /// # Errors
+    ///
+    /// Faults on the null page or beyond the VA width.
+    pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), MemoryFault> {
+        Self::check(addr, true)?;
+        let page = addr / PAGE_SIZE;
+        let slot = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
+        slot[(addr % PAGE_SIZE) as usize] = value;
+        Ok(())
+    }
+
+    /// Read `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Faults if any byte faults.
+    pub fn read_bytes(&self, addr: u64, n: u64) -> Result<Vec<u8>, MemoryFault> {
+        let mut out = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            out.push(self.read_u8(addr + i)?);
+        }
+        Ok(out)
+    }
+
+    /// Write a byte slice.
+    ///
+    /// # Errors
+    ///
+    /// Faults if any byte faults; bytes before the fault stay written
+    /// (overflows really corrupt memory up to the fault point).
+    pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemoryFault> {
+        for (i, b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, *b)?;
+        }
+        Ok(())
+    }
+
+    /// Read a little-endian scalar of `size` bytes (1/2/4/8), sign-preserved
+    /// into an `i64`.
+    ///
+    /// # Errors
+    ///
+    /// Faults like [`Memory::read_u8`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2, 4 or 8.
+    pub fn read_scalar(&self, addr: u64, size: u64) -> Result<i64, MemoryFault> {
+        let bytes = self.read_bytes(addr, size)?;
+        let mut v: u64 = 0;
+        for (i, b) in bytes.iter().enumerate() {
+            v |= (*b as u64) << (8 * i);
+        }
+        Ok(match size {
+            1 => v as u8 as i8 as i64,
+            2 => v as u16 as i16 as i64,
+            4 => v as u32 as i32 as i64,
+            8 => v as i64,
+            other => panic!("unsupported scalar size {other}"),
+        })
+    }
+
+    /// Write a little-endian scalar of `size` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Faults like [`Memory::write_u8`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is not 1, 2, 4 or 8.
+    pub fn write_scalar(&mut self, addr: u64, size: u64, value: i64) -> Result<(), MemoryFault> {
+        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported scalar size");
+        let v = value as u64;
+        for i in 0..size {
+            self.write_u8(addr + i, ((v >> (8 * i)) & 0xff) as u8)?;
+        }
+        Ok(())
+    }
+
+    /// Read a NUL-terminated C string starting at `addr`, capped at `max`.
+    ///
+    /// # Errors
+    ///
+    /// Faults like [`Memory::read_u8`].
+    pub fn read_cstr(&self, addr: u64, max: u64) -> Result<Vec<u8>, MemoryFault> {
+        let mut out = Vec::new();
+        for i in 0..max {
+            let b = self.read_u8(addr + i)?;
+            if b == 0 {
+                break;
+            }
+            out.push(b);
+        }
+        Ok(out)
+    }
+
+    /// Number of resident pages (for memory accounting in tests).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_fill_semantics() {
+        let m = Memory::new();
+        assert_eq!(m.read_u8(0x5000).unwrap(), 0);
+        assert_eq!(m.read_scalar(0x5000, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut m = Memory::new();
+        m.write_scalar(0x5000, 8, -42).unwrap();
+        assert_eq!(m.read_scalar(0x5000, 8).unwrap(), -42);
+        m.write_scalar(0x5010, 1, 0xff).unwrap();
+        assert_eq!(m.read_scalar(0x5010, 1).unwrap(), -1);
+        m.write_scalar(0x5020, 4, i64::from(i32::MIN)).unwrap();
+        assert_eq!(m.read_scalar(0x5020, 4).unwrap(), i64::from(i32::MIN));
+    }
+
+    #[test]
+    fn null_page_faults() {
+        let mut m = Memory::new();
+        assert!(m.read_u8(0).is_err());
+        assert!(m.read_u8(0xfff).is_err());
+        assert!(m.write_u8(0x10, 1).is_err());
+        assert!(m.read_u8(0x1000).is_ok());
+    }
+
+    #[test]
+    fn beyond_va_faults() {
+        let mut m = Memory::new();
+        let too_high = 1u64 << VA_BITS;
+        assert!(m.read_u8(too_high).is_err());
+        assert!(m.write_u8(too_high, 1).is_err());
+        assert!(m.write_u8(too_high - 1, 1).is_ok());
+    }
+
+    #[test]
+    fn cross_page_bytes() {
+        let mut m = Memory::new();
+        let addr = 2 * PAGE_SIZE - 3;
+        m.write_bytes(addr, &[1, 2, 3, 4, 5, 6]).unwrap();
+        assert_eq!(m.read_bytes(addr, 6).unwrap(), vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn cstr_stops_at_nul_or_cap() {
+        let mut m = Memory::new();
+        m.write_bytes(0x6000, b"admin\0junk").unwrap();
+        assert_eq!(m.read_cstr(0x6000, 64).unwrap(), b"admin");
+        assert_eq!(m.read_cstr(0x6000, 3).unwrap(), b"adm");
+    }
+
+    #[test]
+    fn partial_write_before_fault_persists() {
+        let mut m = Memory::new();
+        let edge = (1u64 << VA_BITS) - 2;
+        // two bytes fit, the third faults
+        assert!(m.write_bytes(edge, &[7, 8, 9]).is_err());
+        assert_eq!(m.read_u8(edge).unwrap(), 7);
+        assert_eq!(m.read_u8(edge + 1).unwrap(), 8);
+    }
+}

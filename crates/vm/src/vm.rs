@@ -1,0 +1,1803 @@
+//! The PIR interpreter.
+//!
+//! Executes a verified [`Module`] against the simulated memory, cache,
+//! cost model, PA context, sectioned heap and input plan. All the
+//! defense-relevant runtime behaviour lives here:
+//!
+//! - **overflows are physical**: an input channel that delivers more bytes
+//!   than the destination object holds really writes the adjacent bytes
+//!   (canaries, neighbouring variables, whatever the frame layout says);
+//! - `pacauth` recomputes the PAC and traps on mismatch ([`Trap::PacAuthFailure`]);
+//! - `setdef`/`chkdef` maintain a shadow last-writer table and trap on
+//!   data-flow violations; input channels tag their writes with the call
+//!   site's [`dfi_def_id`] so legitimate channel writes pass their checks;
+//! - every instruction is metered through the [`CostModel`] and the cache
+//!   simulator, producing the run metrics the evaluation figures use.
+
+use crate::cache::{CacheSim, CacheStats};
+use crate::cost::CostModel;
+use crate::input::{InputPlan, IntOrPayload};
+use crate::memory::{layout, Memory, MemoryFault};
+use pythia_heap::{AllocStats, Section, SectionConfig, SectionedHeap};
+use pythia_ir::{
+    dfi_def_id, BinOp, BlockId, Callee, CastKind, FuncId, Inst, Intrinsic, Module, PaKey, Ty,
+    ValueId, ValueKind,
+};
+use pythia_pa::PaContext;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// Why a run stopped abnormally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// A `pacauth` failed — the PAC did not match (tampering detected).
+    PacAuthFailure {
+        /// Which key the failing authentication used (`Ga` = canary).
+        key: PaKey,
+    },
+    /// A `chkdef` found an unexpected last writer.
+    DfiViolation {
+        /// The last-writer id found in the shadow table.
+        found: u32,
+    },
+    /// An access faulted (null page, beyond the VA, or a poisoned pointer
+    /// whose PAC bits made the address non-canonical).
+    MemoryFault {
+        /// Faulting address.
+        addr: u64,
+        /// Whether it was a write.
+        write: bool,
+    },
+    /// Integer division by zero.
+    DivByZero,
+    /// `abort()` was called.
+    Abort,
+    /// The stack region was exhausted.
+    StackOverflow,
+    /// Call depth exceeded the configured limit.
+    CallDepthExceeded,
+    /// An indirect call did not target a function address.
+    BadIndirectCall,
+    /// `free()` of a pointer the allocator does not own.
+    InvalidFree {
+        /// The bogus address.
+        addr: u64,
+    },
+    /// The instruction budget ran out (likely an infinite loop).
+    InstBudgetExhausted,
+}
+
+/// Which defense mechanism a trap corresponds to, for attack-detection
+/// reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectionMechanism {
+    /// PA authentication of a signed data value (CPA / Pythia heap).
+    DataPac,
+    /// PA-signed stack canary (Pythia stack scheme, `Ga` key).
+    Canary,
+    /// DFI SETDEF/CHKDEF check.
+    Dfi,
+}
+
+impl Trap {
+    /// The defense that fired, if this trap is a detection.
+    pub fn detection(&self) -> Option<DetectionMechanism> {
+        match self {
+            Trap::PacAuthFailure { key: PaKey::Ga } => Some(DetectionMechanism::Canary),
+            Trap::PacAuthFailure { .. } => Some(DetectionMechanism::DataPac),
+            Trap::DfiViolation { .. } => Some(DetectionMechanism::Dfi),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Trap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Trap::PacAuthFailure { key } => {
+                write!(f, "PAC authentication failure ({} key)", key.mnemonic())
+            }
+            Trap::DfiViolation { found } => write!(f, "DFI violation (last writer {found})"),
+            Trap::MemoryFault { addr, write } => write!(
+                f,
+                "memory fault: {} {addr:#x}",
+                if *write { "write to" } else { "read of" }
+            ),
+            Trap::DivByZero => write!(f, "division by zero"),
+            Trap::Abort => write!(f, "abort() called"),
+            Trap::StackOverflow => write!(f, "stack overflow"),
+            Trap::CallDepthExceeded => write!(f, "call depth exceeded"),
+            Trap::BadIndirectCall => write!(f, "indirect call to non-function"),
+            Trap::InvalidFree { addr } => write!(f, "invalid free of {addr:#x}"),
+            Trap::InstBudgetExhausted => write!(f, "instruction budget exhausted"),
+        }
+    }
+}
+
+/// How a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// The entry function returned normally.
+    Returned(i64),
+    /// `exit(code)` was called.
+    Exited(i64),
+    /// A trap fired.
+    Trapped(Trap),
+}
+
+impl ExitReason {
+    /// The returned/exit value, if the run completed.
+    pub fn value(&self) -> Option<i64> {
+        match self {
+            ExitReason::Returned(v) | ExitReason::Exited(v) => Some(*v),
+            ExitReason::Trapped(_) => None,
+        }
+    }
+
+    /// The trap, if the run trapped.
+    pub fn trap(&self) -> Option<Trap> {
+        match self {
+            ExitReason::Trapped(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+/// Dynamic execution counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Instructions executed.
+    pub insts: u64,
+    /// Accumulated cost in millicycles.
+    pub cycles_mc: u64,
+    /// PA instructions executed.
+    pub pa_insts: u64,
+    /// DFI instructions executed.
+    pub dfi_insts: u64,
+    /// Loads executed.
+    pub loads: u64,
+    /// Stores executed.
+    pub stores: u64,
+    /// Conditional branches executed.
+    pub branches: u64,
+    /// Calls executed (function + intrinsic).
+    pub calls: u64,
+    /// Input-channel calls executed.
+    pub ic_calls: u64,
+    /// Memory-writing input-channel executions.
+    pub ic_writes: u64,
+    /// Cache counters.
+    pub cache: CacheStats,
+    /// Shared-section heap counters.
+    pub heap_shared: AllocStats,
+    /// Isolated-section heap counters.
+    pub heap_isolated: AllocStats,
+    /// Heap sectioning setup calls.
+    pub heap_init_calls: u64,
+    /// Distinct static PA instruction sites that executed at least once.
+    pub pa_sites: u64,
+}
+
+impl RunMetrics {
+    /// Total cycles (rounded up from millicycles).
+    pub fn cycles(&self) -> u64 {
+        CostModel::to_cycles(self.cycles_mc)
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        let c = self.cycles();
+        if c == 0 {
+            0.0
+        } else {
+            self.insts as f64 / c as f64
+        }
+    }
+}
+
+/// Result of one run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// How the run ended.
+    pub exit: ExitReason,
+    /// The metered counters.
+    pub metrics: RunMetrics,
+}
+
+impl RunResult {
+    /// Whether a defense detected an attack during this run.
+    pub fn detected(&self) -> Option<DetectionMechanism> {
+        self.exit.trap().and_then(|t| t.detection())
+    }
+}
+
+/// VM configuration.
+#[derive(Debug, Clone)]
+pub struct VmConfig {
+    /// Seed for PA keys and the canary RNG.
+    pub seed: u64,
+    /// Instruction budget.
+    pub max_insts: u64,
+    /// Call-depth limit.
+    pub max_call_depth: usize,
+    /// Heap geometry.
+    pub heap: SectionConfig,
+    /// Cost table.
+    pub cost: CostModel,
+    /// Whether to run the cache simulator (disable for pure-functional
+    /// tests; costs then assume L1 hits).
+    pub enable_cache: bool,
+    /// Record the first N executed instructions as a [`TraceEvent`] list
+    /// (0 disables tracing).
+    pub trace_limit: u64,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig {
+            seed: 0xC0FFEE,
+            max_insts: 50_000_000,
+            max_call_depth: 400,
+            heap: SectionConfig::default(),
+            cost: CostModel::default(),
+            enable_cache: true,
+            trace_limit: 0,
+        }
+    }
+}
+
+struct Frame {
+    values: Vec<i64>,
+    base: u64,
+    size: u64,
+    alloca_addr: HashMap<ValueId, u64>,
+}
+
+/// One recorded instruction execution (see [`VmConfig::trace_limit`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Function the instruction belongs to.
+    pub func: FuncId,
+    /// The instruction's value id.
+    pub value: ValueId,
+    /// Static mnemonic.
+    pub mnemonic: &'static str,
+}
+
+/// The interpreter. Construct with [`Vm::new`], execute with [`Vm::run`].
+pub struct Vm<'m> {
+    module: &'m Module,
+    cfg: VmConfig,
+    mem: Memory,
+    cache: CacheSim,
+    pa: PaContext,
+    heap: SectionedHeap,
+    plan: InputPlan,
+    rng: SmallRng,
+    shadow: HashMap<u64, u32>,
+    metrics: RunMetrics,
+    sp: u64,
+    globals_addr: Vec<u64>,
+    globals_map: BTreeMap<u64, u64>,
+    stack_objects: BTreeMap<u64, u64>,
+    ic_write_counter: u64,
+    halted: Option<i64>,
+    pa_site_set: std::collections::HashSet<(u32, u32)>,
+    trace: Vec<TraceEvent>,
+}
+
+impl<'m> Vm<'m> {
+    /// Build a VM for `module` (globals are materialized immediately).
+    pub fn new(module: &'m Module, cfg: VmConfig, plan: InputPlan) -> Self {
+        let mut vm = Vm {
+            module,
+            pa: PaContext::from_seed(cfg.seed ^ 0x5041_5041),
+            heap: SectionedHeap::new(cfg.heap),
+            cache: CacheSim::m1_like(),
+            mem: Memory::new(),
+            plan,
+            rng: SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0x9e3779b97f4a7c15)),
+            shadow: HashMap::new(),
+            metrics: RunMetrics::default(),
+            sp: layout::STACK_BASE,
+            globals_addr: Vec::new(),
+            globals_map: BTreeMap::new(),
+            stack_objects: BTreeMap::new(),
+            ic_write_counter: 0,
+            halted: None,
+            pa_site_set: std::collections::HashSet::new(),
+            trace: Vec::new(),
+            cfg,
+        };
+        vm.init_globals();
+        vm
+    }
+
+    /// The PA context (for tests that want to forge/check values).
+    pub fn pa(&self) -> &PaContext {
+        &self.pa
+    }
+
+    /// The recorded execution trace (empty unless
+    /// [`VmConfig::trace_limit`] is non-zero).
+    pub fn trace(&self) -> &[TraceEvent] {
+        &self.trace
+    }
+
+    fn init_globals(&mut self) {
+        let mut addr = layout::GLOBALS_BASE;
+        for gid in self.module.global_ids() {
+            let g = self.module.global(gid);
+            let align = g.ty.align().max(8);
+            addr = addr.div_ceil(align) * align;
+            self.globals_addr.push(addr);
+            let bytes = g.init_bytes();
+            self.mem
+                .write_bytes(addr, &bytes)
+                .expect("global initialization cannot fault");
+            self.globals_map.insert(addr, g.size().max(1));
+            addr += g.size().max(1);
+        }
+    }
+
+    /// Address of global `gid`.
+    pub fn global_addr(&self, gid: pythia_ir::GlobalId) -> u64 {
+        self.globals_addr[gid.0 as usize]
+    }
+
+    /// Read access to the simulated memory (for tests/scenarios).
+    pub fn memory(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Run `entry` with integer `args`. Returns the exit reason plus
+    /// metrics. The VM can be reused only for a single run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` does not name a function of the module.
+    pub fn run(&mut self, entry: &str, args: &[i64]) -> RunResult {
+        let fid = self
+            .module
+            .func_by_name(entry)
+            .unwrap_or_else(|| panic!("no function named `{entry}`"));
+        let exit = match self.exec_function(fid, args, 0) {
+            Ok(v) => match self.halted {
+                Some(code) => ExitReason::Exited(code),
+                None => ExitReason::Returned(v),
+            },
+            Err(t) => ExitReason::Trapped(t),
+        };
+        self.metrics.cache = self.cache.stats();
+        self.metrics.heap_shared = self.heap.stats(Section::Shared);
+        self.metrics.heap_isolated = self.heap.stats(Section::Isolated);
+        self.metrics.heap_init_calls = self.heap.init_calls();
+        self.metrics.pa_sites = self.pa_site_set.len() as u64;
+        RunResult {
+            exit,
+            metrics: self.metrics,
+        }
+    }
+
+    // ---- helpers -------------------------------------------------------
+
+    fn charge(&mut self, mc: u64) {
+        self.metrics.cycles_mc += mc;
+    }
+
+    fn cache_access(&mut self, addr: u64) -> u64 {
+        if !self.cfg.enable_cache {
+            return 0;
+        }
+        let out = self.cache.access(addr);
+        self.cfg.cost.cache_extra(out)
+    }
+
+    fn cache_range(&mut self, addr: u64, len: u64) -> u64 {
+        if !self.cfg.enable_cache || len == 0 {
+            return 0;
+        }
+        let out = self.cache.access_range(addr, len);
+        self.cfg.cost.cache_extra(out)
+    }
+
+    fn mem_read(&mut self, addr: u64, size: u64) -> Result<i64, Trap> {
+        self.metrics.loads += 1;
+        let extra = self.cache_access(addr);
+        self.charge(extra);
+        self.mem
+            .read_scalar(addr, size)
+            .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })
+    }
+
+    fn mem_write(&mut self, addr: u64, size: u64, value: i64) -> Result<(), Trap> {
+        self.metrics.stores += 1;
+        let extra = self.cache_access(addr);
+        self.charge(extra);
+        self.mem
+            .write_scalar(addr, size, value)
+            .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })
+    }
+
+    /// Remaining capacity of the object containing `addr` (for benign
+    /// input sizing). Unknown addresses get a conservative 64.
+    fn capacity_at(&self, addr: u64) -> u64 {
+        if let Some((&base, &size)) = self.stack_objects.range(..=addr).next_back() {
+            if addr < base + size {
+                return base + size - addr;
+            }
+        }
+        if let Some((base, size)) = self.heap.find_containing(addr) {
+            return base + size - addr;
+        }
+        if let Some((&base, &size)) = self.globals_map.range(..=addr).next_back() {
+            if addr < base + size {
+                return base + size - addr;
+            }
+        }
+        64
+    }
+
+    fn shadow_tag(&mut self, addr: u64, len: u64, def_id: u32) {
+        if len == 0 {
+            return;
+        }
+        for g in (addr >> 3)..=((addr + len - 1) >> 3) {
+            self.shadow.insert(g, def_id);
+        }
+    }
+
+    fn value_of(&self, f: &pythia_ir::Function, values: &[i64], v: ValueId) -> i64 {
+        match &f.value(v).kind {
+            ValueKind::ConstInt(c) => *c,
+            ValueKind::ConstNull => 0,
+            ValueKind::GlobalAddr(g) => self.globals_addr[g.0 as usize] as i64,
+            ValueKind::FuncAddr(fid) => (0x4000 + fid.0 as u64 * 16) as i64,
+            ValueKind::Arg(_) | ValueKind::Inst(_) => values[v.0 as usize],
+        }
+    }
+
+    // ---- the interpreter ------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_function(&mut self, fid: FuncId, args: &[i64], depth: usize) -> Result<i64, Trap> {
+        if depth >= self.cfg.max_call_depth {
+            return Err(Trap::CallDepthExceeded);
+        }
+        let m = self.module;
+        let f = m.func(fid);
+
+        // --- frame layout: allocas in entry-block order, low to high ----
+        let mut frame = Frame {
+            values: vec![0i64; f.num_values()],
+            base: self.sp,
+            size: 0,
+            alloca_addr: HashMap::new(),
+        };
+        let mut off = 0u64;
+        for a in f.allocas() {
+            if let Some(Inst::Alloca { elem, count }) = f.inst(a) {
+                let align = elem.align().max(8);
+                off = off.div_ceil(align) * align;
+                frame.alloca_addr.insert(a, frame.base + off);
+                off += elem.size().max(1) * u64::from((*count).max(1));
+            }
+        }
+        frame.size = off.div_ceil(16) * 16;
+        if frame.base + frame.size > layout::STACK_BASE + layout::STACK_SIZE {
+            return Err(Trap::StackOverflow);
+        }
+        self.sp = frame.base + frame.size;
+        // Zero the frame (stack reuse would otherwise leak prior frames).
+        if frame.size > 0 {
+            let zeros = vec![0u8; frame.size as usize];
+            self.mem
+                .write_bytes(frame.base, &zeros)
+                .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?;
+        }
+        for (&a, addr) in &frame.alloca_addr {
+            if let Some(Inst::Alloca { elem, count }) = f.inst(a) {
+                self.stack_objects
+                    .insert(*addr, elem.size().max(1) * u64::from((*count).max(1)));
+            }
+        }
+        for (i, &a) in args.iter().enumerate().take(f.params.len()) {
+            frame.values[i] = a;
+        }
+
+        let result = self.exec_blocks(fid, &mut frame, depth);
+
+        // --- frame teardown ---------------------------------------------
+        for addr in frame.alloca_addr.values() {
+            self.stack_objects.remove(addr);
+        }
+        if frame.size > 0 {
+            for g in (frame.base >> 3)..=((frame.base + frame.size - 1) >> 3) {
+                self.shadow.remove(&g);
+            }
+        }
+        self.sp = frame.base;
+        result
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_blocks(&mut self, fid: FuncId, frame: &mut Frame, depth: usize) -> Result<i64, Trap> {
+        let m = self.module;
+        let f = m.func(fid);
+        let mut block = f.entry();
+        let mut prev: Option<BlockId> = None;
+
+        'blocks: loop {
+            let insts = f.block(block).insts.clone();
+
+            // Phase 1: evaluate all leading phis simultaneously.
+            let mut idx = 0;
+            let mut phi_writes: Vec<(ValueId, i64)> = Vec::new();
+            while idx < insts.len() {
+                let iv = insts[idx];
+                match f.inst(iv) {
+                    Some(Inst::Phi { incomings }) => {
+                        let pred = prev.expect("phi in entry block rejected by verifier");
+                        let (_, src) = incomings
+                            .iter()
+                            .find(|(b, _)| *b == pred)
+                            .expect("phi must cover predecessor");
+                        let v = self.value_of(f, &frame.values, *src);
+                        phi_writes.push((iv, v));
+                        self.metrics.insts += 1;
+                        self.charge(self.cfg.cost.copy);
+                        idx += 1;
+                    }
+                    _ => break,
+                }
+            }
+            for (iv, v) in phi_writes {
+                frame.values[iv.0 as usize] = v;
+            }
+
+            // Phase 2: straight-line execution.
+            for &iv in &insts[idx..] {
+                if self.metrics.insts >= self.cfg.max_insts {
+                    return Err(Trap::InstBudgetExhausted);
+                }
+                self.metrics.insts += 1;
+                let inst = f.inst(iv).expect("block members are instructions").clone();
+                if (self.trace.len() as u64) < self.cfg.trace_limit {
+                    self.trace.push(TraceEvent {
+                        func: fid,
+                        value: iv,
+                        mnemonic: inst.mnemonic(),
+                    });
+                }
+                let base = self.cfg.cost.base_cost(&inst);
+                self.charge(base);
+
+                match inst {
+                    Inst::Alloca { .. } => {
+                        frame.values[iv.0 as usize] = frame.alloca_addr[&iv] as i64;
+                    }
+                    Inst::Load { ptr } => {
+                        let addr = self.value_of(f, &frame.values, ptr) as u64;
+                        let size = f.value(iv).ty.size().clamp(1, 8);
+                        frame.values[iv.0 as usize] = self.mem_read(addr, size)?;
+                    }
+                    Inst::Store { ptr, value } => {
+                        let addr = self.value_of(f, &frame.values, ptr) as u64;
+                        let v = self.value_of(f, &frame.values, value);
+                        let size = f.value(value).ty.size().clamp(1, 8);
+                        self.mem_write(addr, size, v)?;
+                    }
+                    Inst::Gep {
+                        base,
+                        index,
+                        ref elem,
+                    } => {
+                        let b = self.value_of(f, &frame.values, base);
+                        let i = self.value_of(f, &frame.values, index);
+                        frame.values[iv.0 as usize] =
+                            b.wrapping_add(i.wrapping_mul(elem.size().max(1) as i64));
+                    }
+                    Inst::FieldAddr { base, field } => {
+                        let b = self.value_of(f, &frame.values, base) as u64;
+                        let off = match f.value(base).ty.pointee() {
+                            Some(s @ Ty::Struct(_)) => s.field_offset(field),
+                            _ => u64::from(field) * 8,
+                        };
+                        frame.values[iv.0 as usize] = (b + off) as i64;
+                    }
+                    Inst::Bin { op, lhs, rhs } => {
+                        let a = self.value_of(f, &frame.values, lhs);
+                        let b = self.value_of(f, &frame.values, rhs);
+                        let raw = eval_bin(op, a, b).ok_or(Trap::DivByZero)?;
+                        frame.values[iv.0 as usize] = f.value(iv).ty.wrap(raw);
+                    }
+                    Inst::Icmp { pred, lhs, rhs } => {
+                        let a = self.value_of(f, &frame.values, lhs);
+                        let b = self.value_of(f, &frame.values, rhs);
+                        frame.values[iv.0 as usize] = i64::from(pred.eval(a, b));
+                    }
+                    Inst::Cast {
+                        kind,
+                        value,
+                        ref to,
+                    } => {
+                        let v = self.value_of(f, &frame.values, value);
+                        frame.values[iv.0 as usize] = eval_cast(kind, v, to);
+                    }
+                    Inst::Select {
+                        cond,
+                        on_true,
+                        on_false,
+                    } => {
+                        let c = self.value_of(f, &frame.values, cond);
+                        frame.values[iv.0 as usize] = if c != 0 {
+                            self.value_of(f, &frame.values, on_true)
+                        } else {
+                            self.value_of(f, &frame.values, on_false)
+                        };
+                    }
+                    Inst::Phi { .. } => {
+                        // A phi after a non-phi: treat as copy from pred.
+                        let pred = prev.expect("phi needs predecessor");
+                        if let Some(Inst::Phi { incomings }) = f.inst(iv) {
+                            if let Some((_, src)) = incomings.iter().find(|(b, _)| *b == pred) {
+                                frame.values[iv.0 as usize] = self.value_of(f, &frame.values, *src);
+                            }
+                        }
+                    }
+                    Inst::PacSign {
+                        value,
+                        key,
+                        modifier,
+                    } => {
+                        self.metrics.pa_insts += 1;
+                        self.pa_site_set.insert((fid.0, iv.0));
+                        let v = self.value_of(f, &frame.values, value) as u64;
+                        let md = self.value_of(f, &frame.values, modifier) as u64;
+                        frame.values[iv.0 as usize] = self.pa.sign(key, v, md) as i64;
+                    }
+                    Inst::PacAuth {
+                        value,
+                        key,
+                        modifier,
+                    } => {
+                        self.metrics.pa_insts += 1;
+                        self.pa_site_set.insert((fid.0, iv.0));
+                        let v = self.value_of(f, &frame.values, value) as u64;
+                        let md = self.value_of(f, &frame.values, modifier) as u64;
+                        match self.pa.auth(key, v, md) {
+                            Ok(raw) => frame.values[iv.0 as usize] = raw as i64,
+                            Err(_) => return Err(Trap::PacAuthFailure { key }),
+                        }
+                    }
+                    Inst::PacStrip { value } => {
+                        self.metrics.pa_insts += 1;
+                        self.pa_site_set.insert((fid.0, iv.0));
+                        let v = self.value_of(f, &frame.values, value) as u64;
+                        frame.values[iv.0 as usize] = self.pa.strip(v) as i64;
+                    }
+                    Inst::SetDef { ptr, def_id } => {
+                        self.metrics.dfi_insts += 1;
+                        let addr = self.value_of(f, &frame.values, ptr) as u64;
+                        self.shadow.insert(addr >> 3, def_id);
+                    }
+                    Inst::ChkDef { ptr, ref allowed } => {
+                        self.metrics.dfi_insts += 1;
+                        let addr = self.value_of(f, &frame.values, ptr) as u64;
+                        if let Some(&found) = self.shadow.get(&(addr >> 3)) {
+                            if !allowed.contains(&found) {
+                                return Err(Trap::DfiViolation { found });
+                            }
+                        }
+                    }
+                    Inst::Call {
+                        ref callee,
+                        ref args,
+                    } => {
+                        self.metrics.calls += 1;
+                        let argv: Vec<i64> = args
+                            .iter()
+                            .map(|a| self.value_of(f, &frame.values, *a))
+                            .collect();
+                        let ret = match callee {
+                            Callee::Func(target) => {
+                                self.exec_function(*target, &argv, depth + 1)?
+                            }
+                            Callee::Intrinsic(i) => self.exec_intrinsic(fid, iv, *i, &argv)?,
+                            Callee::Indirect(v) => {
+                                let addr = self.value_of(f, &frame.values, *v) as u64;
+                                if addr < 0x4000 || (addr - 0x4000) % 16 != 0 {
+                                    return Err(Trap::BadIndirectCall);
+                                }
+                                let target = FuncId(((addr - 0x4000) / 16) as u32);
+                                if target.0 as usize >= m.functions().len() {
+                                    return Err(Trap::BadIndirectCall);
+                                }
+                                self.exec_function(target, &argv, depth + 1)?
+                            }
+                        };
+                        frame.values[iv.0 as usize] = ret;
+                        if self.halted.is_some() {
+                            return Ok(0);
+                        }
+                    }
+                    Inst::Br {
+                        cond,
+                        then_bb,
+                        else_bb,
+                    } => {
+                        self.metrics.branches += 1;
+                        let c = self.value_of(f, &frame.values, cond);
+                        prev = Some(block);
+                        block = if c != 0 { then_bb } else { else_bb };
+                        continue 'blocks;
+                    }
+                    Inst::Jmp { target } => {
+                        prev = Some(block);
+                        block = target;
+                        continue 'blocks;
+                    }
+                    Inst::Ret { value } => {
+                        let v = value
+                            .map(|v| self.value_of(f, &frame.values, v))
+                            .unwrap_or(0);
+                        return Ok(v);
+                    }
+                    Inst::Unreachable => return Err(Trap::Abort),
+                }
+            }
+            // Falling off a block without a terminator is a verifier error;
+            // treat as abort to stay safe.
+            return Err(Trap::Abort);
+        }
+    }
+
+    // ---- intrinsics -----------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_intrinsic(
+        &mut self,
+        fid: FuncId,
+        call: ValueId,
+        i: Intrinsic,
+        args: &[i64],
+    ) -> Result<i64, Trap> {
+        self.charge(self.cfg.cost.libcall);
+        if i.is_input_channel() {
+            self.metrics.ic_calls += 1;
+        }
+        let arg = |n: usize| args.get(n).copied().unwrap_or(0);
+        let uarg = |n: usize| arg(n) as u64;
+
+        // Helper-free writing: the borrow checker dislikes closures here.
+        macro_rules! bulk_write {
+            ($dst:expr, $bytes:expr, $nul:expr) => {{
+                let dst: u64 = $dst;
+                let bytes: &[u8] = $bytes;
+                self.metrics.ic_writes += 1;
+                let mc = self.cfg.cost.bulk_per_byte * bytes.len() as u64;
+                self.charge(mc);
+                let extra = self.cache_range(dst, bytes.len() as u64 + 1);
+                self.charge(extra);
+                self.mem
+                    .write_bytes(dst, bytes)
+                    .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?;
+                if $nul {
+                    self.mem
+                        .write_u8(dst + bytes.len() as u64, 0)
+                        .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?;
+                }
+                let len = bytes.len() as u64 + if $nul { 1 } else { 0 };
+                self.shadow_tag(dst, len, dfi_def_id(fid, call));
+                bytes.len() as i64
+            }};
+        }
+
+        let next_ic = |vm: &mut Vm<'m>| {
+            let n = vm.ic_write_counter;
+            vm.ic_write_counter += 1;
+            n
+        };
+
+        match i {
+            // ---- print class: read-only channels ----
+            Intrinsic::Printf | Intrinsic::Fprintf | Intrinsic::Puts => {
+                let fmt_addr = if i == Intrinsic::Fprintf {
+                    uarg(1)
+                } else {
+                    uarg(0)
+                };
+                let s = self
+                    .mem
+                    .read_cstr(fmt_addr, 256)
+                    .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?;
+                self.charge(self.cfg.cost.bulk_per_byte * s.len() as u64);
+                Ok(s.len() as i64)
+            }
+            // ---- scan class ----
+            Intrinsic::Scanf | Intrinsic::Sscanf => {
+                let dst = if i == Intrinsic::Scanf {
+                    uarg(1)
+                } else {
+                    uarg(2)
+                };
+                let n = next_ic(self);
+                match self.plan.int_input(n) {
+                    IntOrPayload::Int(v) => {
+                        self.metrics.ic_writes += 1;
+                        let extra = self.cache_access(dst);
+                        self.charge(extra);
+                        self.mem.write_scalar(dst, 8, v).map_err(
+                            |MemoryFault { addr, write }| Trap::MemoryFault { addr, write },
+                        )?;
+                        self.shadow_tag(dst, 8, dfi_def_id(fid, call));
+                        Ok(1)
+                    }
+                    IntOrPayload::Payload(p) => {
+                        bulk_write!(dst, &p, false);
+                        Ok(1)
+                    }
+                }
+            }
+            // ---- get class ----
+            Intrinsic::Gets => {
+                let dst = uarg(0);
+                let n = next_ic(self);
+                let cap = self.capacity_at(dst);
+                let bytes = self.plan.string_input(n, cap);
+                bulk_write!(dst, &bytes, true);
+                Ok(dst as i64)
+            }
+            Intrinsic::Fgets => {
+                let dst = uarg(0);
+                let limit = uarg(1).max(1);
+                let n = next_ic(self);
+                let cap = self.capacity_at(dst).min(limit);
+                let bytes = self.plan.string_input(n, cap);
+                bulk_write!(dst, &bytes, true);
+                Ok(dst as i64)
+            }
+            Intrinsic::Read => {
+                let dst = uarg(1);
+                let limit = uarg(2).max(0) as u64;
+                let n = next_ic(self);
+                let cap = self.capacity_at(dst).min(limit.max(1));
+                let bytes = self.plan.string_input(n, cap + 1);
+                let written = bulk_write!(dst, &bytes, false);
+                Ok(written)
+            }
+            // ---- move/copy class ----
+            Intrinsic::Memcpy | Intrinsic::Memmove => {
+                let dst = uarg(0);
+                let src = uarg(1);
+                let len = uarg(2);
+                let n = next_ic(self);
+                let bytes = match self.plan.attack_for(n) {
+                    Some(a) => a.payload.clone(),
+                    None => self
+                        .mem
+                        .read_bytes(src, len)
+                        .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?,
+                };
+                let extra = self.cache_range(src, bytes.len() as u64);
+                self.charge(extra);
+                bulk_write!(dst, &bytes, false);
+                Ok(dst as i64)
+            }
+            Intrinsic::Strcpy => {
+                let dst = uarg(0);
+                let src = uarg(1);
+                let n = next_ic(self);
+                let bytes = match self.plan.attack_for(n) {
+                    Some(a) => a.payload.clone(),
+                    None => self
+                        .mem
+                        .read_cstr(src, 1 << 16)
+                        .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?,
+                };
+                let extra = self.cache_range(src, bytes.len() as u64);
+                self.charge(extra);
+                bulk_write!(dst, &bytes, true);
+                Ok(dst as i64)
+            }
+            Intrinsic::Strncpy | Intrinsic::Sstrncpy => {
+                let dst = uarg(0);
+                let src = uarg(1);
+                let limit = uarg(2);
+                let n = next_ic(self);
+                let mut bytes = match self.plan.attack_for(n) {
+                    Some(a) => a.payload.clone(),
+                    None => self
+                        .mem
+                        .read_cstr(src, 1 << 16)
+                        .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?,
+                };
+                if self.plan.attack_for(n).is_none() {
+                    bytes.truncate(limit as usize);
+                }
+                let extra = self.cache_range(src, bytes.len() as u64);
+                self.charge(extra);
+                bulk_write!(dst, &bytes, true);
+                Ok(dst as i64)
+            }
+            // ---- put class ----
+            Intrinsic::Strcat | Intrinsic::Strncat => {
+                let dst = uarg(0);
+                let src = uarg(1);
+                let n = next_ic(self);
+                let existing = self
+                    .mem
+                    .read_cstr(dst, 1 << 16)
+                    .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?;
+                let mut bytes = match self.plan.attack_for(n) {
+                    Some(a) => a.payload.clone(),
+                    None => self
+                        .mem
+                        .read_cstr(src, 1 << 16)
+                        .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?,
+                };
+                if i == Intrinsic::Strncat && self.plan.attack_for(n).is_none() {
+                    bytes.truncate(uarg(2) as usize);
+                }
+                bulk_write!(dst + existing.len() as u64, &bytes, true);
+                Ok(dst as i64)
+            }
+            Intrinsic::Sprintf => {
+                let dst = uarg(0);
+                let n = next_ic(self);
+                let bytes = match self.plan.attack_for(n) {
+                    Some(a) => a.payload.clone(),
+                    None => {
+                        let mut s = Vec::new();
+                        for (k, a) in args.iter().enumerate().skip(1) {
+                            if k > 1 {
+                                s.push(b' ');
+                            }
+                            s.extend_from_slice(a.to_string().as_bytes());
+                        }
+                        s
+                    }
+                };
+                bulk_write!(dst, &bytes, true);
+                Ok(bytes.len() as i64)
+            }
+            // ---- map class ----
+            Intrinsic::Mmap => {
+                let len = uarg(0).max(1);
+                self.metrics.ic_writes += 1;
+                let _ = next_ic(self);
+                Ok(self.heap.alloc(Section::Shared, len).unwrap_or(0) as i64)
+            }
+            // ---- allocation ----
+            Intrinsic::Malloc => {
+                let len = uarg(0).max(1);
+                Ok(self.heap.alloc(Section::Shared, len).unwrap_or(0) as i64)
+            }
+            Intrinsic::SecureMalloc => {
+                self.charge(self.cfg.cost.secure_malloc_extra);
+                let len = uarg(0).max(1);
+                Ok(self.heap.alloc(Section::Isolated, len).unwrap_or(0) as i64)
+            }
+            Intrinsic::Calloc => {
+                let len = (uarg(0) * uarg(1)).max(1);
+                match self.heap.alloc(Section::Shared, len) {
+                    Some(p) => {
+                        let zeros = vec![0u8; len as usize];
+                        self.mem.write_bytes(p, &zeros).map_err(
+                            |MemoryFault { addr, write }| Trap::MemoryFault { addr, write },
+                        )?;
+                        Ok(p as i64)
+                    }
+                    None => Ok(0),
+                }
+            }
+            Intrinsic::Realloc => {
+                let old = uarg(0);
+                let len = uarg(1).max(1);
+                if old == 0 {
+                    return Ok(self.heap.alloc(Section::Shared, len).unwrap_or(0) as i64);
+                }
+                let old_size = self.heap.allocated_size(old).unwrap_or(0);
+                let section = self.heap.section_of(old).unwrap_or(Section::Shared);
+                match self.heap.alloc(section, len) {
+                    Some(p) => {
+                        let n = old_size.min(len);
+                        let bytes = self.mem.read_bytes(old, n).map_err(
+                            |MemoryFault { addr, write }| Trap::MemoryFault { addr, write },
+                        )?;
+                        self.mem.write_bytes(p, &bytes).map_err(
+                            |MemoryFault { addr, write }| Trap::MemoryFault { addr, write },
+                        )?;
+                        let _ = self.heap.free(old);
+                        Ok(p as i64)
+                    }
+                    None => Ok(0),
+                }
+            }
+            Intrinsic::Free => {
+                let p = uarg(0);
+                if p == 0 {
+                    return Ok(0);
+                }
+                match self.heap.free(p) {
+                    Ok(_) => Ok(0),
+                    Err(_) => Err(Trap::InvalidFree { addr: p }),
+                }
+            }
+            // ---- string helpers ----
+            Intrinsic::Strlen => {
+                let p = uarg(0);
+                let s = self
+                    .mem
+                    .read_cstr(p, 1 << 20)
+                    .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?;
+                self.charge(self.cfg.cost.bulk_per_byte * s.len() as u64);
+                let extra = self.cache_range(p, s.len() as u64 + 1);
+                self.charge(extra);
+                Ok(s.len() as i64)
+            }
+            Intrinsic::Strcmp | Intrinsic::Strncmp => {
+                let a = self
+                    .mem
+                    .read_cstr(uarg(0), 1 << 16)
+                    .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?;
+                let b = self
+                    .mem
+                    .read_cstr(uarg(1), 1 << 16)
+                    .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?;
+                let (a, b) = if i == Intrinsic::Strncmp {
+                    let n = uarg(2) as usize;
+                    (a[..a.len().min(n)].to_vec(), b[..b.len().min(n)].to_vec())
+                } else {
+                    (a, b)
+                };
+                self.charge(self.cfg.cost.bulk_per_byte * (a.len() + b.len()) as u64);
+                Ok(match a.cmp(&b) {
+                    std::cmp::Ordering::Less => -1,
+                    std::cmp::Ordering::Equal => 0,
+                    std::cmp::Ordering::Greater => 1,
+                })
+            }
+            Intrinsic::Memset => {
+                let dst = uarg(0);
+                let byte = (arg(1) & 0xff) as u8;
+                let len = uarg(2);
+                let bytes = vec![byte; len as usize];
+                let _ = next_ic(self);
+                bulk_write!(dst, &bytes, false);
+                Ok(dst as i64)
+            }
+            // ---- process control ----
+            Intrinsic::Exit => {
+                self.halted = Some(arg(0));
+                Ok(0)
+            }
+            Intrinsic::Abort => Err(Trap::Abort),
+            // ---- runtime support ----
+            Intrinsic::PythiaRandom => {
+                self.charge(self.cfg.cost.random_call);
+                Ok((self.rng.gen::<u64>() & self.pa.config().va_mask()) as i64)
+            }
+            Intrinsic::HeapSectionInit => {
+                self.charge(self.cfg.cost.section_init);
+                self.heap.record_init_call();
+                Ok(0)
+            }
+            // `Intrinsic` is #[non_exhaustive]; future library functions
+            // default to a no-op returning 0.
+            _ => Ok(0),
+        }
+    }
+}
+
+fn eval_bin(op: BinOp, a: i64, b: i64) -> Option<i64> {
+    Some(match op {
+        BinOp::Add => a.wrapping_add(b),
+        BinOp::Sub => a.wrapping_sub(b),
+        BinOp::Mul => a.wrapping_mul(b),
+        BinOp::Sdiv => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_div(b)
+        }
+        BinOp::Srem => {
+            if b == 0 {
+                return None;
+            }
+            a.wrapping_rem(b)
+        }
+        BinOp::And => a & b,
+        BinOp::Or => a | b,
+        BinOp::Xor => a ^ b,
+        BinOp::Shl => a.wrapping_shl(b as u32 & 63),
+        BinOp::Ashr => a.wrapping_shr(b as u32 & 63),
+        BinOp::Lshr => ((a as u64).wrapping_shr(b as u32 & 63)) as i64,
+    })
+}
+
+fn eval_cast(kind: CastKind, v: i64, to: &Ty) -> i64 {
+    match kind {
+        CastKind::Zext => match to.bits() {
+            Some(64) | None => v,
+            Some(_) => v, // value already narrowed at producer
+        },
+        CastKind::Sext | CastKind::Trunc => to.wrap(v),
+        CastKind::PtrToInt | CastKind::IntToPtr | CastKind::Bitcast => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::AttackSpec;
+    use pythia_ir::{CmpPred, FunctionBuilder};
+
+    fn run_module(m: &Module, entry: &str, args: &[i64]) -> RunResult {
+        let mut vm = Vm::new(m, VmConfig::default(), InputPlan::benign(1));
+        vm.run(entry, args)
+    }
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let a = b.const_i64(6);
+        let c = b.const_i64(7);
+        let p = b.mul(a, c);
+        b.ret(Some(p));
+        m.add_function(b.finish());
+        assert_eq!(run_module(&m, "main", &[]).exit, ExitReason::Returned(42));
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let slot = b.alloca(Ty::I64);
+        let v = b.const_i64(-99);
+        b.store(v, slot);
+        let l = b.load(slot);
+        b.ret(Some(l));
+        m.add_function(b.finish());
+        assert_eq!(run_module(&m, "main", &[]).exit, ExitReason::Returned(-99));
+    }
+
+    #[test]
+    fn narrow_types_wrap() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let slot = b.alloca(Ty::I8);
+        let v = b.const_int(Ty::I8, 200); // 200 as i8 = -56
+        b.store(v, slot);
+        let l = b.load(slot);
+        let wide = b.cast(CastKind::Sext, l, Ty::I64);
+        b.ret(Some(wide));
+        m.add_function(b.finish());
+        assert_eq!(run_module(&m, "main", &[]).exit, ExitReason::Returned(-56));
+    }
+
+    #[test]
+    fn loop_with_phi_counts_to_ten() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        let ten = b.const_i64(10);
+        b.jmp(body);
+        b.switch_to(body);
+        // i = phi [entry: 0], [body: i+1]
+        let f = b.func_mut();
+        let _ = f; // keep builder API
+        let phi = {
+            // build phi with forward ref to the add
+            let entry = pythia_ir::BlockId(0);
+            let ph = b.phi(vec![(entry, zero)]);
+            ph
+        };
+        let next = b.add(phi, one);
+        // patch the phi to include the loop edge
+        if let Some(Inst::Phi { incomings }) = b.func_mut().inst_mut(phi) {
+            incomings.push((body, next));
+        }
+        let c = b.icmp(CmpPred::Slt, next, ten);
+        b.br(c, body, exit);
+        b.switch_to(exit);
+        b.ret(Some(next));
+        m.add_function(b.finish());
+        let r = run_module(&m, "main", &[]);
+        assert_eq!(r.exit, ExitReason::Returned(10));
+        assert!(r.metrics.branches >= 9);
+    }
+
+    #[test]
+    fn function_calls_pass_arguments() {
+        let mut m = Module::new("m");
+        let mut cb = FunctionBuilder::new("addmul", vec![Ty::I64, Ty::I64], Ty::I64);
+        let x = cb.func().arg(0);
+        let y = cb.func().arg(1);
+        let s = cb.add(x, y);
+        let p = cb.mul(s, y);
+        cb.ret(Some(p));
+        let callee = m.add_function(cb.finish());
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let a1 = b.const_i64(3);
+        let a2 = b.const_i64(4);
+        let r = b.call(callee, vec![a1, a2], Ty::I64);
+        b.ret(Some(r));
+        m.add_function(b.finish());
+        assert_eq!(run_module(&m, "main", &[]).exit, ExitReason::Returned(28));
+    }
+
+    #[test]
+    fn indirect_call_dispatches() {
+        let mut m = Module::new("m");
+        let mut cb = FunctionBuilder::new("target", vec![Ty::I64], Ty::I64);
+        let x = cb.func().arg(0);
+        let one = cb.const_i64(1);
+        let r = cb.add(x, one);
+        cb.ret(Some(r));
+        let target = m.add_function(cb.finish());
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let fp = b.func_addr(target);
+        let five = b.const_i64(5);
+        let r = b.call_indirect(fp, vec![five], Ty::I64);
+        b.ret(Some(r));
+        m.add_function(b.finish());
+        assert_eq!(run_module(&m, "main", &[]).exit, ExitReason::Returned(6));
+    }
+
+    #[test]
+    fn division_by_zero_traps() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![Ty::I64], Ty::I64);
+        let one = b.const_i64(1);
+        let x = b.func().arg(0);
+        let d = b.bin(BinOp::Sdiv, one, x);
+        b.ret(Some(d));
+        m.add_function(b.finish());
+        assert_eq!(
+            run_module(&m, "main", &[0]).exit,
+            ExitReason::Trapped(Trap::DivByZero)
+        );
+        assert_eq!(run_module(&m, "main", &[1]).exit, ExitReason::Returned(1));
+    }
+
+    #[test]
+    fn null_deref_faults() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let null = b.const_null(Ty::ptr(Ty::I64));
+        let v = b.load(null);
+        b.ret(Some(v));
+        m.add_function(b.finish());
+        assert!(matches!(
+            run_module(&m, "main", &[]).exit,
+            ExitReason::Trapped(Trap::MemoryFault {
+                addr: 0,
+                write: false
+            })
+        ));
+    }
+
+    #[test]
+    fn exit_intrinsic_halts() {
+        let mut m = Module::new("m");
+        let mut cb = FunctionBuilder::new("die", vec![], Ty::Void);
+        let code = cb.const_i64(7);
+        cb.call_intrinsic(Intrinsic::Exit, vec![code], Ty::Void);
+        cb.ret(None);
+        let die = m.add_function(cb.finish());
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        b.call(die, vec![], Ty::Void);
+        let never = b.const_i64(123);
+        b.ret(Some(never));
+        m.add_function(b.finish());
+        assert_eq!(run_module(&m, "main", &[]).exit, ExitReason::Exited(7));
+    }
+
+    #[test]
+    fn gets_overflow_corrupts_adjacent_alloca() {
+        // Frame: buf[8], sentinel i64. Benign run leaves the sentinel 0;
+        // a 24-byte payload smashes through it.
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let buf = b.alloca(Ty::array(Ty::I8, 8));
+        let sentinel = b.alloca(Ty::I64);
+        b.call_intrinsic(Intrinsic::Gets, vec![buf], Ty::ptr(Ty::I8));
+        let v = b.load(sentinel);
+        b.ret(Some(v));
+        m.add_function(b.finish());
+
+        let benign = run_module(&m, "main", &[]);
+        assert_eq!(benign.exit, ExitReason::Returned(0));
+
+        let mut vm = Vm::new(
+            &m,
+            VmConfig::default(),
+            InputPlan::with_attack(1, AttackSpec::smash(0, 24)),
+        );
+        let attacked = vm.run("main", &[]);
+        match attacked.exit {
+            ExitReason::Returned(v) => assert_ne!(v, 0, "sentinel must be corrupted"),
+            other => panic!("unexpected exit {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strcpy_copies_between_buffers() {
+        let mut m = Module::new("m");
+        let g = m.add_str_global("src", "hello");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let dst = b.alloca(Ty::array(Ty::I8, 16));
+        let ga = b.global_addr(g, Ty::array(Ty::I8, 6));
+        b.call_intrinsic(Intrinsic::Strcpy, vec![dst, ga], Ty::ptr(Ty::I8));
+        let len = b.call_intrinsic(Intrinsic::Strlen, vec![dst], Ty::I64);
+        b.ret(Some(len));
+        m.add_function(b.finish());
+        assert_eq!(run_module(&m, "main", &[]).exit, ExitReason::Returned(5));
+    }
+
+    #[test]
+    fn strcmp_on_globals() {
+        let mut m = Module::new("m");
+        let g1 = m.add_str_global("a", "admin");
+        let g2 = m.add_str_global("b", "admin");
+        let g3 = m.add_str_global("c", "user");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let p1 = b.global_addr(g1, Ty::array(Ty::I8, 6));
+        let p2 = b.global_addr(g2, Ty::array(Ty::I8, 6));
+        let p3 = b.global_addr(g3, Ty::array(Ty::I8, 5));
+        let eq = b.call_intrinsic(Intrinsic::Strcmp, vec![p1, p2], Ty::I64);
+        let ne = b.call_intrinsic(Intrinsic::Strcmp, vec![p1, p3], Ty::I64);
+        let hundred = b.const_i64(100);
+        let scaled = b.mul(ne, hundred);
+        let sum = b.add(eq, scaled);
+        b.ret(Some(sum));
+        m.add_function(b.finish());
+        assert_eq!(run_module(&m, "main", &[]).exit, ExitReason::Returned(-100));
+    }
+
+    #[test]
+    fn malloc_free_and_heap_isolation() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let n = b.const_i64(64);
+        let shared = b.call_intrinsic(Intrinsic::Malloc, vec![n], Ty::ptr(Ty::I64));
+        let iso = b.call_intrinsic(Intrinsic::SecureMalloc, vec![n], Ty::ptr(Ty::I64));
+        let v = b.const_i64(11);
+        b.store(v, iso);
+        let l = b.load(iso);
+        b.call_intrinsic(Intrinsic::Free, vec![shared], Ty::Void);
+        b.call_intrinsic(Intrinsic::Free, vec![iso], Ty::Void);
+        b.ret(Some(l));
+        m.add_function(b.finish());
+        let r = run_module(&m, "main", &[]);
+        assert_eq!(r.exit, ExitReason::Returned(11));
+        assert_eq!(r.metrics.heap_shared.allocs, 1);
+        assert_eq!(r.metrics.heap_isolated.allocs, 1);
+        assert_eq!(r.metrics.heap_isolated.frees, 1);
+    }
+
+    #[test]
+    fn pac_sign_auth_round_trip_in_program() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let slot = b.alloca(Ty::I64);
+        let secret = b.const_i64(0x1234);
+        let md = b.cast(CastKind::PtrToInt, slot, Ty::I64);
+        let signed = b.pac_sign(secret, PaKey::Da, md);
+        b.store(signed, slot);
+        let raw = b.load(slot);
+        let authed = b.pac_auth(raw, PaKey::Da, md);
+        b.ret(Some(authed));
+        m.add_function(b.finish());
+        let r = run_module(&m, "main", &[]);
+        assert_eq!(r.exit, ExitReason::Returned(0x1234));
+        assert_eq!(r.metrics.pa_insts, 2);
+    }
+
+    #[test]
+    fn pac_auth_detects_overflow_tampering() {
+        // Signed value stored below a buffer; a gets() overflow overwrites
+        // it; the subsequent pacauth must trap.
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let buf = b.alloca(Ty::array(Ty::I8, 8));
+        let slot = b.alloca(Ty::I64);
+        let secret = b.const_i64(0x42);
+        let md = b.cast(CastKind::PtrToInt, slot, Ty::I64);
+        let signed = b.pac_sign(secret, PaKey::Da, md);
+        b.store(signed, slot);
+        b.call_intrinsic(Intrinsic::Gets, vec![buf], Ty::ptr(Ty::I8));
+        let raw = b.load(slot);
+        let authed = b.pac_auth(raw, PaKey::Da, md);
+        b.ret(Some(authed));
+        m.add_function(b.finish());
+
+        // Benign: authenticates fine.
+        assert_eq!(run_module(&m, "main", &[]).exit, ExitReason::Returned(0x42));
+        // Attack: overflow rewrites the signed slot -> PAC failure.
+        let mut vm = Vm::new(
+            &m,
+            VmConfig::default(),
+            InputPlan::with_attack(1, AttackSpec::smash(0, 32)),
+        );
+        let r = vm.run("main", &[]);
+        assert_eq!(
+            r.exit,
+            ExitReason::Trapped(Trap::PacAuthFailure { key: PaKey::Da })
+        );
+        assert_eq!(r.detected(), Some(DetectionMechanism::DataPac));
+    }
+
+    #[test]
+    fn canary_trap_reports_canary_mechanism() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let buf = b.alloca(Ty::array(Ty::I8, 8));
+        let can = b.alloca(Ty::I64);
+        let rnd = b.call_intrinsic(Intrinsic::PythiaRandom, vec![], Ty::I64);
+        let md = b.cast(CastKind::PtrToInt, can, Ty::I64);
+        let signed = b.pac_sign(rnd, PaKey::Ga, md);
+        b.store(signed, can);
+        b.call_intrinsic(Intrinsic::Gets, vec![buf], Ty::ptr(Ty::I8));
+        let raw = b.load(can);
+        b.pac_auth(raw, PaKey::Ga, md);
+        let zero = b.const_i64(0);
+        b.ret(Some(zero));
+        m.add_function(b.finish());
+
+        assert_eq!(run_module(&m, "main", &[]).exit, ExitReason::Returned(0));
+        let mut vm = Vm::new(
+            &m,
+            VmConfig::default(),
+            InputPlan::with_attack(1, AttackSpec::smash(0, 32)),
+        );
+        let r = vm.run("main", &[]);
+        assert_eq!(r.detected(), Some(DetectionMechanism::Canary));
+    }
+
+    #[test]
+    fn dfi_detects_foreign_write() {
+        // Variable x is only legally written by store#1 (def id 7). An IC
+        // overflow writes it with the IC's own def id; chkdef must trap.
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let buf = b.alloca(Ty::array(Ty::I8, 8));
+        let x = b.alloca(Ty::I64);
+        let five = b.const_i64(5);
+        b.store(five, x);
+        b.set_def(x, 7);
+        b.call_intrinsic(Intrinsic::Gets, vec![buf], Ty::ptr(Ty::I8));
+        b.chk_def(x, vec![7]);
+        let v = b.load(x);
+        b.ret(Some(v));
+        m.add_function(b.finish());
+
+        assert_eq!(run_module(&m, "main", &[]).exit, ExitReason::Returned(5));
+        let mut vm = Vm::new(
+            &m,
+            VmConfig::default(),
+            InputPlan::with_attack(1, AttackSpec::smash(0, 24)),
+        );
+        let r = vm.run("main", &[]);
+        assert!(matches!(
+            r.exit,
+            ExitReason::Trapped(Trap::DfiViolation { .. })
+        ));
+        assert_eq!(r.detected(), Some(DetectionMechanism::Dfi));
+    }
+
+    #[test]
+    fn scanf_writes_plan_integer() {
+        let mut m = Module::new("m");
+        let fmt = m.add_str_global("fmt", "%d");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let x = b.alloca(Ty::I64);
+        let ga = b.global_addr(fmt, Ty::array(Ty::I8, 3));
+        b.call_intrinsic(Intrinsic::Scanf, vec![ga, x], Ty::I64);
+        let v = b.load(x);
+        b.ret(Some(v));
+        m.add_function(b.finish());
+        let r = run_module(&m, "main", &[]);
+        match r.exit {
+            ExitReason::Returned(v) => assert!((0..=100).contains(&v)),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(r.metrics.ic_calls, 1);
+        assert_eq!(r.metrics.ic_writes, 1);
+    }
+
+    #[test]
+    fn instruction_budget_stops_infinite_loop() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let spin = b.new_block("spin");
+        b.jmp(spin);
+        b.switch_to(spin);
+        b.jmp(spin);
+        m.add_function(b.finish());
+        let mut cfg = VmConfig::default();
+        cfg.max_insts = 10_000;
+        let mut vm = Vm::new(&m, cfg, InputPlan::benign(1));
+        assert_eq!(
+            vm.run("main", &[]).exit,
+            ExitReason::Trapped(Trap::InstBudgetExhausted)
+        );
+    }
+
+    #[test]
+    fn recursion_depth_limit() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("rec", vec![Ty::I64], Ty::I64);
+        let x = b.func().arg(0);
+        let r = b.call(pythia_ir::FuncId(0), vec![x], Ty::I64);
+        b.ret(Some(r));
+        m.add_function(b.finish());
+        let mut vm = Vm::new(&m, VmConfig::default(), InputPlan::benign(1));
+        assert_eq!(
+            vm.run("rec", &[1]).exit,
+            ExitReason::Trapped(Trap::CallDepthExceeded)
+        );
+    }
+
+    #[test]
+    fn metrics_account_cycles_and_ipc() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let slot = b.alloca(Ty::I64);
+        let mut v = b.const_i64(0);
+        let one = b.const_i64(1);
+        for _ in 0..10 {
+            v = b.add(v, one);
+            b.store(v, slot);
+        }
+        let l = b.load(slot);
+        b.ret(Some(l));
+        m.add_function(b.finish());
+        let r = run_module(&m, "main", &[]);
+        assert_eq!(r.exit, ExitReason::Returned(10));
+        assert!(r.metrics.cycles() > 0);
+        let ipc = r.metrics.ipc();
+        assert!(ipc > 0.0 && ipc < 6.0, "IPC {ipc} out of plausible range");
+        assert_eq!(r.metrics.stores, 10);
+        assert!(r.metrics.cache.accesses > 0);
+    }
+
+    #[test]
+    fn stale_stack_shadow_cleared_between_calls() {
+        // A callee setdefs its local; a second call to another function
+        // reusing the same stack slot must not see the stale def.
+        let mut m = Module::new("m");
+        let mut f1 = FunctionBuilder::new("writer", vec![], Ty::Void);
+        let a = f1.alloca(Ty::I64);
+        f1.set_def(a, 99);
+        f1.ret(None);
+        let writer = m.add_function(f1.finish());
+        let mut f2 = FunctionBuilder::new("checker", vec![], Ty::Void);
+        let a2 = f2.alloca(Ty::I64);
+        f2.chk_def(a2, vec![1]); // would trap if def 99 leaked through
+        f2.ret(None);
+        let checker = m.add_function(f2.finish());
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        b.call(writer, vec![], Ty::Void);
+        b.call(checker, vec![], Ty::Void);
+        let zero = b.const_i64(0);
+        b.ret(Some(zero));
+        m.add_function(b.finish());
+        assert_eq!(run_module(&m, "main", &[]).exit, ExitReason::Returned(0));
+    }
+
+    #[test]
+    fn signed_pointer_dereference_without_auth_faults() {
+        // Using a PAC-signed pointer directly as an address must fault
+        // (the PAC bits make it non-canonical) — hardware-faithful.
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let slot = b.alloca(Ty::I64);
+        let md = b.const_i64(0);
+        let p = b.cast(CastKind::PtrToInt, slot, Ty::I64);
+        let signed = b.pac_sign(p, PaKey::Da, md);
+        let bad = b.cast(CastKind::IntToPtr, signed, Ty::ptr(Ty::I64));
+        let v = b.load(bad);
+        b.ret(Some(v));
+        m.add_function(b.finish());
+        assert!(matches!(
+            run_module(&m, "main", &[]).exit,
+            ExitReason::Trapped(Trap::MemoryFault { .. })
+        ));
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use pythia_ir::FunctionBuilder;
+
+    fn traced_run(limit: u64) -> Vec<TraceEvent> {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let slot = b.alloca(Ty::I64);
+        let one = b.const_i64(1);
+        b.store(one, slot);
+        let v = b.load(slot);
+        b.ret(Some(v));
+        m.add_function(b.finish());
+        let cfg = VmConfig {
+            trace_limit: limit,
+            ..VmConfig::default()
+        };
+        let mut vm = Vm::new(&m, cfg, InputPlan::benign(1));
+        let r = vm.run("main", &[]);
+        assert_eq!(r.exit, ExitReason::Returned(1));
+        vm.trace().to_vec()
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        assert!(traced_run(0).is_empty());
+    }
+
+    #[test]
+    fn trace_records_in_execution_order() {
+        let t = traced_run(100);
+        let mnemonics: Vec<&str> = t.iter().map(|e| e.mnemonic).collect();
+        assert_eq!(mnemonics, vec!["alloca", "store", "load", "ret"]);
+        assert!(t.iter().all(|e| e.func == pythia_ir::FuncId(0)));
+    }
+
+    #[test]
+    fn trace_respects_the_limit() {
+        assert_eq!(traced_run(2).len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod intrinsic_tests {
+    use super::*;
+    use pythia_ir::FunctionBuilder;
+
+    fn run_main(m: &Module) -> RunResult {
+        let mut vm = Vm::new(m, VmConfig::default(), InputPlan::benign(1));
+        vm.run("main", &[])
+    }
+
+    #[test]
+    fn calloc_zeroes_reused_memory() {
+        // malloc, dirty it, free, calloc the same size: must read 0.
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let n = b.const_i64(32);
+        let one = b.const_i64(1);
+        let p1 = b.call_intrinsic(Intrinsic::Malloc, vec![n], Ty::ptr(Ty::I64));
+        let dirty = b.const_i64(0x5555);
+        b.store(dirty, p1);
+        b.call_intrinsic(Intrinsic::Free, vec![p1], Ty::Void);
+        let p2 = b.call_intrinsic(Intrinsic::Calloc, vec![n, one], Ty::ptr(Ty::I64));
+        let v = b.load(p2);
+        b.ret(Some(v));
+        m.add_function(b.finish());
+        assert_eq!(run_main(&m).exit, ExitReason::Returned(0));
+    }
+
+    #[test]
+    fn realloc_preserves_contents() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let n = b.const_i64(16);
+        let big = b.const_i64(64);
+        let p = b.call_intrinsic(Intrinsic::Malloc, vec![n], Ty::ptr(Ty::I64));
+        let magic = b.const_i64(0xBEEF);
+        b.store(magic, p);
+        let q = b.call_intrinsic(Intrinsic::Realloc, vec![p, big], Ty::ptr(Ty::I64));
+        let v = b.load(q);
+        b.ret(Some(v));
+        m.add_function(b.finish());
+        assert_eq!(run_main(&m).exit, ExitReason::Returned(0xBEEF));
+    }
+
+    #[test]
+    fn free_of_stack_pointer_traps() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let slot = b.alloca(Ty::I64);
+        b.call_intrinsic(Intrinsic::Free, vec![slot], Ty::Void);
+        let zero = b.const_i64(0);
+        b.ret(Some(zero));
+        m.add_function(b.finish());
+        assert!(matches!(
+            run_main(&m).exit,
+            ExitReason::Trapped(Trap::InvalidFree { .. })
+        ));
+    }
+
+    #[test]
+    fn free_null_is_a_noop() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let null = b.const_null(Ty::ptr(Ty::I8));
+        b.call_intrinsic(Intrinsic::Free, vec![null], Ty::Void);
+        let zero = b.const_i64(0);
+        b.ret(Some(zero));
+        m.add_function(b.finish());
+        assert_eq!(run_main(&m).exit, ExitReason::Returned(0));
+    }
+
+    #[test]
+    fn memset_fills_and_strncmp_compares() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let b1 = b.alloca(Ty::array(Ty::I8, 8));
+        let b2 = b.alloca(Ty::array(Ty::I8, 8));
+        let ch = b.const_i64(0x41);
+        let four = b.const_i64(4);
+        b.call_intrinsic(Intrinsic::Memset, vec![b1, ch, four], Ty::ptr(Ty::I8));
+        b.call_intrinsic(Intrinsic::Memset, vec![b2, ch, four], Ty::ptr(Ty::I8));
+        let eq = b.call_intrinsic(Intrinsic::Strncmp, vec![b1, b2, four], Ty::I64);
+        b.ret(Some(eq));
+        m.add_function(b.finish());
+        assert_eq!(run_main(&m).exit, ExitReason::Returned(0));
+    }
+
+    #[test]
+    fn sprintf_writes_decimal_text() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let buf = b.alloca(Ty::array(Ty::I8, 16));
+        let v = b.const_i64(1234);
+        b.call_intrinsic(Intrinsic::Sprintf, vec![buf, v], Ty::I64);
+        let n = b.call_intrinsic(Intrinsic::Strlen, vec![buf], Ty::I64);
+        b.ret(Some(n));
+        m.add_function(b.finish());
+        assert_eq!(run_main(&m).exit, ExitReason::Returned(4)); // "1234"
+    }
+
+    #[test]
+    fn strcat_appends() {
+        let mut m = Module::new("m");
+        let g1 = m.add_str_global("a", "foo");
+        let g2 = m.add_str_global("b", "bar");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let buf = b.alloca(Ty::array(Ty::I8, 16));
+        let p1 = b.global_addr(g1, Ty::array(Ty::I8, 4));
+        let p2 = b.global_addr(g2, Ty::array(Ty::I8, 4));
+        b.call_intrinsic(Intrinsic::Strcpy, vec![buf, p1], Ty::ptr(Ty::I8));
+        b.call_intrinsic(Intrinsic::Strcat, vec![buf, p2], Ty::ptr(Ty::I8));
+        let n = b.call_intrinsic(Intrinsic::Strlen, vec![buf], Ty::I64);
+        b.ret(Some(n));
+        m.add_function(b.finish());
+        assert_eq!(run_main(&m).exit, ExitReason::Returned(6)); // "foobar"
+    }
+
+    #[test]
+    fn mmap_allocates_shared_memory() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let n = b.const_i64(4096);
+        let p = b.call_intrinsic(Intrinsic::Mmap, vec![n], Ty::ptr(Ty::I64));
+        let v = b.const_i64(9);
+        b.store(v, p);
+        let l = b.load(p);
+        b.ret(Some(l));
+        m.add_function(b.finish());
+        let r = run_main(&m);
+        assert_eq!(r.exit, ExitReason::Returned(9));
+        assert_eq!(r.metrics.heap_shared.allocs, 1);
+    }
+
+    #[test]
+    fn abort_traps() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        b.call_intrinsic(Intrinsic::Abort, vec![], Ty::Void);
+        let zero = b.const_i64(0);
+        b.ret(Some(zero));
+        m.add_function(b.finish());
+        assert_eq!(run_main(&m).exit, ExitReason::Trapped(Trap::Abort));
+    }
+}

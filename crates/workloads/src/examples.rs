@@ -1,0 +1,301 @@
+//! The paper's motivating attack examples (§2.2, §3.1) as runnable
+//! scenarios: each carries the PIR program, a benign input plan, an attack
+//! plan, and the return values that distinguish the normal path from the
+//! *bent* (privileged/leak) path.
+//!
+//! The attacks are physical: the attack plan makes one input channel
+//! deliver an oversized payload, the VM writes it byte-for-byte, and the
+//! branch genuinely flips on the unprotected module. Under an instrumented
+//! module the very same plan must instead produce a detection trap.
+
+use pythia_ir::{CmpPred, FunctionBuilder, Intrinsic, Module, Ty};
+use pythia_vm::{AttackSpec, InputPlan};
+
+/// A runnable attack scenario.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Short identifier.
+    pub name: &'static str,
+    /// What the attack demonstrates.
+    pub description: &'static str,
+    /// The vulnerable program.
+    pub module: Module,
+    /// Inputs for a normal run.
+    pub benign: InputPlan,
+    /// Inputs for the attacked run.
+    pub attack: InputPlan,
+    /// `main`'s return value on the normal path.
+    pub normal_return: i64,
+    /// `main`'s return value when the control flow has been bent.
+    pub bent_return: i64,
+}
+
+/// All three motivating scenarios.
+pub fn all() -> Vec<Scenario> {
+    vec![listing1(), listing2(), listing3()]
+}
+
+/// Listing 1: string-buffer overflow flipping a privilege check.
+///
+/// `strcpy(str, someinput)` sits between two `user == admin` checks; the
+/// copy can overflow `str` into the `user` flag, so the second check takes
+/// the super-user path although `verify_user` never granted it.
+pub fn listing1() -> Scenario {
+    let mut m = Module::new("listing1_privilege_escalation");
+    let fmt = m.add_str_global("fmt_d", "%d");
+    let msg_admin = m.add_str_global("msg_admin", "admin shell\n");
+    let msg_user = m.add_str_global("msg_user", "user shell\n");
+
+    let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+    // Frame layout matters: `str` sits below `user`, so overflowing `str`
+    // rewrites `user`.
+    let str_buf = b.alloca(Ty::array(Ty::I8, 16));
+    let user = b.alloca(Ty::I64);
+    let someinput = b.alloca(Ty::array(Ty::I8, 16));
+
+    // verify_user(user, pwd): the user flag legitimately comes from input.
+    let fmt_a = b.global_addr(fmt, Ty::array(Ty::I8, 3));
+    b.call_intrinsic(Intrinsic::Scanf, vec![fmt_a, user], Ty::I64);
+
+    // First privilege check.
+    let u1 = b.load(user);
+    let one = b.const_i64(1);
+    let c1 = b.icmp(CmpPred::Eq, u1, one);
+    let (s1, n1, cont) = (b.new_block("s1"), b.new_block("n1"), b.new_block("cont"));
+    b.br(c1, s1, n1);
+    b.switch_to(s1);
+    let ma = b.global_addr(msg_admin, Ty::array(Ty::I8, 13));
+    b.call_intrinsic(Intrinsic::Printf, vec![ma], Ty::I64);
+    b.jmp(cont);
+    b.switch_to(n1);
+    let mu = b.global_addr(msg_user, Ty::array(Ty::I8, 12));
+    b.call_intrinsic(Intrinsic::Printf, vec![mu], Ty::I64);
+    b.jmp(cont);
+    b.switch_to(cont);
+
+    // The vulnerable interaction: read attacker text, copy it into str.
+    let lim = b.const_i64(15);
+    b.call_intrinsic(Intrinsic::Fgets, vec![someinput, lim], Ty::ptr(Ty::I8));
+    b.call_intrinsic(Intrinsic::Strcpy, vec![str_buf, someinput], Ty::ptr(Ty::I8));
+
+    // Second privilege check — line 14 of the listing.
+    let u2 = b.load(user);
+    let c2 = b.icmp(CmpPred::Eq, u2, one);
+    let (s2, n2) = (b.new_block("super2"), b.new_block("normal2"));
+    b.br(c2, s2, n2);
+    b.switch_to(s2);
+    b.ret(Some(one)); // privileged
+    b.switch_to(n2);
+    let zero = b.const_i64(0);
+    b.ret(Some(zero));
+    m.add_function(b.finish());
+
+    let mut benign = InputPlan::benign(0x11);
+    benign.set_scan_range(0, 0); // verify_user says: not admin
+                                 // Writing ICs: scanf=0, fgets=1, strcpy=2. The strcpy payload smashes
+                                 // 16 bytes of `str` and lands 1 into `user`.
+    let mut attack = InputPlan::with_attack(0x11, AttackSpec::aimed(2, 24, 1));
+    attack.set_scan_range(0, 0);
+
+    Scenario {
+        name: "listing1",
+        description: "string-buffer overflow -> privilege escalation (paper Listing 1)",
+        module: m,
+        benign,
+        attack,
+        normal_return: 0,
+        bent_return: 1,
+    }
+}
+
+/// Listing 2: the ProFTPd `sreplace` overflow (information leakage).
+///
+/// A bounded copy whose *bound* lives right above the buffer: the attacked
+/// `sstrncpy` delivers more bytes than the buffer holds, corrupting the
+/// `blen` bound so the subsequent integrity branch takes the leak path.
+pub fn listing2() -> Scenario {
+    let mut m = Module::new("listing2_proftpd_leak");
+    let replacement = m.add_str_global("replacement", "replacement-text");
+
+    let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+    let buf = b.alloca(Ty::array(Ty::I8, 32));
+    let cp = b.alloca(Ty::I64); // the 'cp' cursor of the listing
+    let blen = b.alloca(Ty::I64); // the bound the off-by-one corrupts
+
+    let thirty_two = b.const_i64(32);
+    b.store(thirty_two, blen);
+    let zero = b.const_i64(0);
+    b.store(zero, cp);
+
+    // CWD-style input fills the buffer first (benign bytes).
+    let lim = b.const_i64(31);
+    b.call_intrinsic(Intrinsic::Fgets, vec![buf, lim], Ty::ptr(Ty::I8));
+
+    // sstrncpy(cp, *rptr, blen - strlen(pbuf)) — the overflowing copy.
+    let ga = b.global_addr(replacement, Ty::array(Ty::I8, 17));
+    let bound = b.load(blen);
+    b.call_intrinsic(Intrinsic::Sstrncpy, vec![buf, ga, bound], Ty::ptr(Ty::I8));
+
+    // The integrity of the bound decides between normal and leak paths.
+    let bl = b.load(blen);
+    let c = b.icmp(CmpPred::Eq, bl, thirty_two);
+    let (ok, leak) = (b.new_block("ok"), b.new_block("leak"));
+    b.br(c, ok, leak);
+    b.switch_to(ok);
+    b.ret(Some(zero));
+    b.switch_to(leak);
+    let one = b.const_i64(1);
+    b.ret(Some(one));
+    m.add_function(b.finish());
+
+    let benign = InputPlan::benign(0x22);
+    // Writing ICs: fgets=0, sstrncpy=1. 56 bytes roll over buf (32), cp
+    // (8), and blen (8) with slack.
+    let attack = InputPlan::with_attack(0x22, AttackSpec::aimed(1, 56, 0x4141_4141));
+
+    Scenario {
+        name: "listing2",
+        description: "ProFTPd sreplace overflow -> corrupted bound -> leak path (paper Listing 2)",
+        module: m,
+        benign,
+        attack,
+        normal_return: 0,
+        bent_return: 1,
+    }
+}
+
+/// Listing 3: pointer/array dualism (§3.1).
+///
+/// `l` strides a pointer into `Arr`; the attacker overflows the scanned
+/// variable `k` into `l`, making `p = &Arr[l]` alias the branch variable
+/// `m`, then the program's own `*p = n + 1` store bends `m > n`.
+pub fn listing3() -> Scenario {
+    let mut m = Module::new("listing3_pointer_dualism");
+    let fmt = m.add_str_global("fmt_d", "%d");
+
+    let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+    // Layout: k then l (k's overflow corrupts l); Arr then m
+    // (&Arr[100] == &m).
+    let k = b.alloca(Ty::I64);
+    let l = b.alloca(Ty::I64);
+    let arr = b.alloca(Ty::array(Ty::I64, 100));
+    let m_slot = b.alloca(Ty::I64);
+    let n_slot = b.alloca(Ty::I64);
+
+    let one = b.const_i64(1);
+    let ten = b.const_i64(10);
+    b.store(one, l); // benign stride
+    b.store(ten, n_slot); // n = 10
+
+    // The input channel the attacker owns.
+    let fmt_a = b.global_addr(fmt, Ty::array(Ty::I8, 3));
+    b.call_intrinsic(Intrinsic::Scanf, vec![fmt_a, k], Ty::I64);
+
+    // k participates in a guard so it is a branch sub-variable.
+    let kl = b.load(k);
+    let zero = b.const_i64(0);
+    let ck = b.icmp(CmpPred::Sge, kl, zero);
+    let (cont, rejected) = (b.new_block("cont"), b.new_block("rejected"));
+    b.br(ck, cont, rejected);
+    b.switch_to(rejected);
+    let neg = b.const_i64(-1);
+    b.ret(Some(neg));
+    b.switch_to(cont);
+
+    // m = n - 1
+    let nv = b.load(n_slot);
+    let m0 = b.sub(nv, one);
+    b.store(m0, m_slot);
+
+    // p = Arr + l; *p = n + 1  (the dualism store)
+    let lv = b.load(l);
+    let p = b.gep(arr, lv);
+    let n2 = b.load(n_slot);
+    let n3 = b.add(n2, one);
+    b.store(n3, p);
+
+    // if (m > n) -> privileged execution
+    let ml = b.load(m_slot);
+    let n4 = b.load(n_slot);
+    let c = b.icmp(CmpPred::Sgt, ml, n4);
+    let (priv_b, norm) = (b.new_block("priv"), b.new_block("norm"));
+    b.br(c, priv_b, norm);
+    b.switch_to(priv_b);
+    b.ret(Some(one));
+    b.switch_to(norm);
+    b.ret(Some(zero));
+    m.add_function(b.finish());
+
+    let mut benign = InputPlan::benign(0x33);
+    benign.set_scan_range(0, 3);
+    // scanf is writing IC #0: 16 bytes = k value (0) then l = 100, so
+    // p = &Arr[100] = &m and the program's own store sets m = 11 > 10.
+    let mut payload = Vec::new();
+    payload.extend_from_slice(&0u64.to_le_bytes());
+    payload.extend_from_slice(&100u64.to_le_bytes());
+    let mut attack = InputPlan::with_attack(
+        0x33,
+        AttackSpec {
+            ic_execution: 0,
+            payload,
+        },
+    );
+    attack.set_scan_range(0, 3);
+
+    Scenario {
+        name: "listing3",
+        description: "pointer/array dualism: overflow k -> stride l -> alias m (paper Listing 3)",
+        module: m,
+        benign,
+        attack,
+        normal_return: 0,
+        bent_return: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_ir::verify;
+    use pythia_vm::{ExitReason, Vm, VmConfig};
+
+    fn run(m: &Module, plan: InputPlan) -> pythia_vm::RunResult {
+        let mut vm = Vm::new(m, VmConfig::default(), plan);
+        vm.run("main", &[])
+    }
+
+    #[test]
+    fn scenarios_verify() {
+        for s in all() {
+            if let Err(errs) = verify::verify_module(&s.module) {
+                panic!("{}: {:?}", s.name, errs);
+            }
+        }
+    }
+
+    #[test]
+    fn benign_runs_take_the_normal_path() {
+        for s in all() {
+            let r = run(&s.module, s.benign.clone());
+            assert_eq!(
+                r.exit,
+                ExitReason::Returned(s.normal_return),
+                "{}: unexpected benign exit",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn attacks_bend_the_unprotected_control_flow() {
+        for s in all() {
+            let r = run(&s.module, s.attack.clone());
+            assert_eq!(
+                r.exit,
+                ExitReason::Returned(s.bent_return),
+                "{}: attack failed to bend the branch",
+                s.name
+            );
+        }
+    }
+}

@@ -1,0 +1,599 @@
+//! The seeded synthetic program generator.
+//!
+//! SPEC CPU2017 sources and ref inputs cannot ship with this repository
+//! (license + size), so each benchmark is a generated PIR program whose
+//! *shape* follows its [`BenchProfile`]:
+//! worker functions full of branch "diamonds" whose predicates reach
+//! memory in the styles the paper cares about (plain scalars, dynamic
+//! pointer arithmetic, struct fields, heap cells, forged pointers), fed by
+//! the paper's input-channel categories, driven from a `main` loop.
+//!
+//! Programs are fully executable and deterministic for a given profile.
+
+use crate::profiles::BenchProfile;
+use pythia_ir::{
+    CastKind, CmpPred, FunctionBuilder, GlobalId, Inst, Intrinsic, Module, Ty, ValueId,
+};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Shared module globals used by the generated code.
+struct Globals {
+    fmt: GlobalId,
+    msg: GlobalId,
+    src: GlobalId,
+}
+
+/// The nine predicate styles (see profile weights).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Style {
+    Pure,
+    /// Memory-backed but channel-free: in CPA's *unrefined* vulnerable set
+    /// (it feeds a branch) yet refined away by Pythia — the source of the
+    /// paper's 4.5x variable reduction and CPA's extra cost.
+    PureMem,
+    CopyScalar,
+    StrBuf,
+    GepDyn,
+    Field,
+    Scan,
+    Get,
+    Heap,
+    Forged,
+}
+
+const STYLES: [Style; 9] = [
+    Style::Pure,
+    Style::CopyScalar,
+    Style::StrBuf,
+    Style::GepDyn,
+    Style::Field,
+    Style::Scan,
+    Style::Get,
+    Style::Heap,
+    Style::Forged,
+];
+
+fn pick_style(rng: &mut SmallRng, p: &BenchProfile) -> Style {
+    let w = p.style_weights();
+    let total: f64 = w.iter().sum();
+    let mut roll = rng.gen_range(0.0..total);
+    for (i, weight) in w.iter().enumerate() {
+        if roll < *weight {
+            // Pure predicates still live in memory at -O3 when register
+            // pressure forces spills or the value is struct-bound; the
+            // profile's `mem_pressure` decides the split.
+            if STYLES[i] == Style::Pure && rng.gen_bool(p.mem_pressure) {
+                return Style::PureMem;
+            }
+            return STYLES[i];
+        }
+        roll -= weight;
+    }
+    Style::Pure
+}
+
+/// One planned predicate with its pre-allocated stack slots.
+struct Pred {
+    style: Style,
+    slots: Vec<ValueId>,
+    /// Channel code usually sits behind a condition (parsing paths); a
+    /// minority of channels run unconditionally (hot-path IO).
+    guarded: bool,
+}
+
+/// Generate the module for `profile`.
+pub fn generate(profile: &BenchProfile) -> Module {
+    let mut m = Module::new(profile.name);
+    let globals = Globals {
+        fmt: m.add_str_global("fmt_d", "%d"),
+        msg: m.add_str_global("msg", "checkpoint\n"),
+        src: m.add_str_global("src_text", "abcdefghijklmno"),
+    };
+    let mut rng = SmallRng::seed_from_u64(profile.seed);
+
+    let mut worker_ids = Vec::new();
+    for w in 0..profile.functions {
+        let f = gen_worker(profile, &globals, &mut rng, w);
+        worker_ids.push(m.add_function(f));
+    }
+    let main = gen_main(profile, &worker_ids);
+    m.add_function(main);
+    m
+}
+
+/// Generate `profile` with its driver loop scaled by `factor` (for quick
+/// CI runs or longer soak runs; `1.0` = the profile's own size).
+pub fn generate_scaled(profile: &BenchProfile, factor: f64) -> Module {
+    let mut p = *profile;
+    p.loop_iters = ((p.loop_iters as f64 * factor).round() as u64).max(1);
+    let mut m = generate(&p);
+    m.name = profile.name.to_owned();
+    m
+}
+
+/// Generate every SPEC-like benchmark module.
+pub fn generate_all() -> Vec<(&'static BenchProfile, Module)> {
+    crate::profiles::SPEC_PROFILES
+        .iter()
+        .map(|p| (p, generate(p)))
+        .collect()
+}
+
+// -----------------------------------------------------------------------
+// Worker functions
+// -----------------------------------------------------------------------
+
+fn gen_worker(
+    profile: &BenchProfile,
+    globals: &Globals,
+    rng: &mut SmallRng,
+    index: usize,
+) -> pythia_ir::Function {
+    let mut b = FunctionBuilder::new(format!("work_{index}"), vec![Ty::I64], Ty::I64);
+    let x = b.func().arg(0);
+
+    // ---- plan: styles + entry-block allocas -------------------------
+    let n_branches = rng.gen_range(profile.branches_per_fn.0..=profile.branches_per_fn.1);
+    let mut preds = Vec::with_capacity(n_branches);
+    for _ in 0..n_branches {
+        let style = pick_style(rng, profile);
+        let slots = match style {
+            Style::Pure => vec![],
+            Style::PureMem => vec![b.alloca(Ty::I64)],
+            Style::CopyScalar => vec![b.alloca(Ty::I64), b.alloca(Ty::I64)],
+            Style::StrBuf => vec![
+                b.alloca(Ty::array(Ty::I8, 16)),
+                b.alloca(Ty::array(Ty::I8, 16)),
+            ],
+            Style::GepDyn => vec![b.alloca(Ty::I64), b.alloca(Ty::array(Ty::I64, 8))],
+            Style::Field => vec![
+                b.alloca(Ty::I64),
+                b.alloca(Ty::strukt(vec![Ty::I64, Ty::I64])),
+            ],
+            Style::Scan => vec![b.alloca(Ty::I64)],
+            Style::Get => vec![b.alloca(Ty::array(Ty::I8, 16))],
+            Style::Heap => vec![b.alloca(Ty::I64)],
+            Style::Forged => vec![b.alloca(Ty::I64), b.alloca(Ty::I64)],
+        };
+        // Scalar channels (memcpy/scanf into one word) run on the hot
+        // path unconditionally; bulk channels sit behind parsing guards.
+        let guarded = !matches!(
+            style,
+            Style::Pure | Style::PureMem | Style::CopyScalar | Style::Scan
+        ) && rng.gen_bool(0.75);
+        preds.push(Pred {
+            style,
+            slots,
+            guarded,
+        });
+    }
+    // Most real functions touch at least one channel-derived scalar on
+    // their hot path; give workers one when the dice produced none.
+    let has_hot_channel = preds
+        .iter()
+        .any(|p| matches!(p.style, Style::CopyScalar | Style::Scan));
+    let convert_p = (6.0 * (profile.w_copy_scalar + profile.w_scan)).min(0.9);
+    if !has_hot_channel && !preds.is_empty() && rng.gen_bool(convert_p) {
+        let idx = rng.gen_range(0..preds.len());
+        let slots = vec![b.alloca(Ty::I64), b.alloca(Ty::I64)];
+        preds[idx] = Pred {
+            style: Style::CopyScalar,
+            slots,
+            guarded: false,
+        };
+    }
+    let has_loop = rng.gen_bool(profile.inner_loop);
+    let loop_arr = has_loop.then(|| b.alloca(Ty::array(Ty::I64, 4)));
+
+    // ---- emit: diamonds ---------------------------------------------
+    let mut acc = x;
+    for (j, pred) in preds.iter().enumerate() {
+        if rng.gen_bool(profile.print_filler) {
+            let msg = b.global_addr(globals.msg, Ty::array(Ty::I8, 12));
+            b.call_intrinsic(Intrinsic::Printf, vec![msg], Ty::I64);
+        }
+        // Channel-touching predicates execute on a fraction of calls, the
+        // way parsing/IO code does in real programs; pure compute runs
+        // unconditionally.
+        let cond = if pred.guarded {
+            let four = b.const_i64(4);
+            let zero = b.const_i64(0);
+            let gsel = b.bin(pythia_ir::BinOp::Srem, x, four);
+            let g = b.icmp(CmpPred::Eq, gsel, zero);
+            let icb = b.new_block(format!("ic{j}"));
+            let skipb = b.new_block(format!("skip{j}"));
+            let pj = b.new_block(format!("pj{j}"));
+            b.br(g, icb, skipb);
+            b.switch_to(icb);
+            let cond_ic = emit_predicate(&mut b, pred, x, globals, rng);
+            b.jmp(pj);
+            b.switch_to(skipb);
+            let ca = b.const_i64(3);
+            let hundred = b.const_i64(100);
+            let fifty = b.const_i64(50);
+            let t1 = b.mul(x, ca);
+            let t2 = b.bin(pythia_ir::BinOp::Srem, t1, hundred);
+            let cond_skip = b.icmp(CmpPred::Sgt, t2, fifty);
+            b.jmp(pj);
+            b.switch_to(pj);
+            b.phi(vec![(icb, cond_ic), (skipb, cond_skip)])
+        } else {
+            emit_predicate(&mut b, pred, x, globals, rng)
+        };
+        let tb = b.new_block(format!("t{j}"));
+        let eb = b.new_block(format!("e{j}"));
+        let jb = b.new_block(format!("j{j}"));
+        b.br(cond, tb, eb);
+        let c1 = b.const_i64(rng.gen_range(1..9));
+        let c2 = b.const_i64(rng.gen_range(1..9));
+        b.switch_to(tb);
+        let ta = b.add(acc, c1);
+        b.jmp(jb);
+        b.switch_to(eb);
+        let ea = b.add(acc, c2);
+        b.jmp(jb);
+        b.switch_to(jb);
+        acc = b.phi(vec![(tb, ta), (eb, ea)]);
+    }
+
+    // ---- optional inner summing loop ---------------------------------
+    //
+    // The loop re-loads a channel-written scalar every iteration when one
+    // exists: this is where CPA pays an authentication per use and DFI a
+    // check per use, while Pythia's canary scheme pays nothing (its cost
+    // sits at the channel boundary) — the paper's core cost asymmetry.
+    if let Some(arr) = loop_arr {
+        // The loop re-loads (a) a channel-written scalar — where CPA pays
+        // an authentication and DFI a check per iteration — and (b) a
+        // channel-free memory slot — where only DFI pays. Both are
+        // unconditionally initialized before the loop.
+        let channel_slot = preds.iter().find_map(|p| match p.style {
+            Style::CopyScalar if !p.guarded => Some(p.slots[1]),
+            Style::Scan if !p.guarded => Some(p.slots[0]),
+            _ => None,
+        });
+        let clean_slot = preds.iter().find_map(|p| match p.style {
+            Style::PureMem => Some(p.slots[0]),
+            _ => None,
+        });
+        acc = emit_sum_loop(
+            &mut b,
+            arr,
+            x,
+            acc,
+            rng.gen_range(48..96),
+            channel_slot.or(clean_slot),
+        );
+    }
+
+    b.ret(Some(acc));
+    b.finish()
+}
+
+/// Emit the predicate computation for one diamond; returns the `i1` cond.
+fn emit_predicate(
+    b: &mut FunctionBuilder,
+    pred: &Pred,
+    x: ValueId,
+    globals: &Globals,
+    rng: &mut SmallRng,
+) -> ValueId {
+    let ca = b.const_i64(rng.gen_range(1..7));
+    let hundred = b.const_i64(100);
+    let fifty = b.const_i64(50);
+    let eight = b.const_i64(8);
+    match pred.style {
+        Style::Pure => {
+            let cb = b.const_i64(rng.gen_range(1..97));
+            let t1 = b.mul(x, ca);
+            let t2 = b.add(t1, cb);
+            let t3 = b.bin(pythia_ir::BinOp::Srem, t2, hundred);
+            b.icmp(CmpPred::Sgt, t3, fifty)
+        }
+        Style::PureMem => {
+            let v = pred.slots[0];
+            let cb = b.const_i64(rng.gen_range(1..97));
+            let t1 = b.mul(x, ca);
+            let t2 = b.add(t1, cb);
+            b.store(t2, v);
+            let lv = b.load(v);
+            let t3 = b.bin(pythia_ir::BinOp::Srem, lv, hundred);
+            b.icmp(CmpPred::Sgt, t3, fifty)
+        }
+        Style::CopyScalar => {
+            let (staging, v) = (pred.slots[0], pred.slots[1]);
+            let xv = b.mul(x, ca);
+            b.store(xv, staging);
+            b.call_intrinsic(Intrinsic::Memcpy, vec![v, staging, eight], Ty::ptr(Ty::I8));
+            let lv = b.load(v);
+            let t = b.bin(pythia_ir::BinOp::Srem, lv, hundred);
+            b.icmp(CmpPred::Sgt, t, fifty)
+        }
+        Style::StrBuf => {
+            let (src, dst) = (pred.slots[0], pred.slots[1]);
+            let seven = b.const_i64(7);
+            let one = b.const_i64(1);
+            let l0 = b.bin(pythia_ir::BinOp::Srem, x, seven);
+            let len = b.add(l0, one);
+            let g = b.global_addr(globals.src, Ty::array(Ty::I8, 16));
+            b.call_intrinsic(Intrinsic::Memcpy, vec![src, g, len], Ty::ptr(Ty::I8));
+            b.call_intrinsic(Intrinsic::Strcpy, vec![dst, src], Ty::ptr(Ty::I8));
+            if rng.gen_bool(0.2) {
+                let two = b.const_i64(2);
+                b.call_intrinsic(Intrinsic::Strncat, vec![dst, src, two], Ty::ptr(Ty::I8));
+            }
+            let n = b.call_intrinsic(Intrinsic::Strlen, vec![dst], Ty::I64);
+            let four = b.const_i64(4);
+            b.icmp(CmpPred::Sgt, n, four)
+        }
+        Style::GepDyn => {
+            let (staging, arr) = (pred.slots[0], pred.slots[1]);
+            let xv = b.mul(x, ca);
+            b.store(xv, staging);
+            b.call_intrinsic(
+                Intrinsic::Memcpy,
+                vec![arr, staging, eight],
+                Ty::ptr(Ty::I8),
+            );
+            let idx = b.bin(pythia_ir::BinOp::Srem, x, eight);
+            let p = b.gep(arr, idx);
+            let lv = b.load(p);
+            let t = b.bin(pythia_ir::BinOp::Srem, lv, hundred);
+            b.icmp(CmpPred::Sgt, t, fifty)
+        }
+        Style::Field => {
+            let (staging, s) = (pred.slots[0], pred.slots[1]);
+            let xv = b.mul(x, ca);
+            b.store(xv, staging);
+            let f1 = b.field_addr(s, 1);
+            b.call_intrinsic(Intrinsic::Memcpy, vec![f1, staging, eight], Ty::ptr(Ty::I8));
+            let lv = b.load(f1);
+            let t = b.bin(pythia_ir::BinOp::Srem, lv, hundred);
+            b.icmp(CmpPred::Sgt, t, fifty)
+        }
+        Style::Scan => {
+            let v = pred.slots[0];
+            let fmt = b.global_addr(globals.fmt, Ty::array(Ty::I8, 3));
+            b.call_intrinsic(Intrinsic::Scanf, vec![fmt, v], Ty::I64);
+            let lv = b.load(v);
+            b.icmp(CmpPred::Sgt, lv, fifty)
+        }
+        Style::Get => {
+            let buf = pred.slots[0];
+            let lim = b.const_i64(15);
+            b.call_intrinsic(Intrinsic::Fgets, vec![buf, lim], Ty::ptr(Ty::I8));
+            let zero = b.const_i64(0);
+            let p0 = b.gep(buf, zero);
+            let c0 = b.load(p0);
+            let ext = b.cast(CastKind::Sext, c0, Ty::I64);
+            let thresh = b.const_i64(109); // 'm'
+            b.icmp(CmpPred::Sgt, ext, thresh)
+        }
+        Style::Heap => {
+            let staging = pred.slots[0];
+            let xv = b.mul(x, ca);
+            b.store(xv, staging);
+            let alloc_fn = if rng.gen_bool(0.15) {
+                Intrinsic::Mmap
+            } else {
+                Intrinsic::Malloc
+            };
+            let h = b.call_intrinsic(alloc_fn, vec![eight], Ty::ptr(Ty::I64));
+            b.call_intrinsic(Intrinsic::Memcpy, vec![h, staging, eight], Ty::ptr(Ty::I8));
+            let lv = b.load(h);
+            b.call_intrinsic(Intrinsic::Free, vec![h], Ty::Void);
+            let t = b.bin(pythia_ir::BinOp::Srem, lv, hundred);
+            b.icmp(CmpPred::Sgt, t, fifty)
+        }
+        Style::Forged => {
+            let (staging, v) = (pred.slots[0], pred.slots[1]);
+            let xv = b.mul(x, ca);
+            b.store(xv, staging);
+            b.call_intrinsic(Intrinsic::Memcpy, vec![v, staging, eight], Ty::ptr(Ty::I8));
+            let lv = b.load(v);
+            // Pointer dualism: rebuild the address through an integer.
+            let ai = b.cast(CastKind::PtrToInt, v, Ty::I64);
+            let p2 = b.cast(CastKind::IntToPtr, ai, Ty::ptr(Ty::I64));
+            let w = b.load(p2);
+            let t0 = b.add(w, lv);
+            let t = b.bin(pythia_ir::BinOp::Srem, t0, hundred);
+            b.icmp(CmpPred::Sgt, t, fifty)
+        }
+    }
+}
+
+/// Emit `for k in 0..n { acc += arr[k % 4] }` with proper phis; returns
+/// the post-loop accumulator value.
+fn emit_sum_loop(
+    b: &mut FunctionBuilder,
+    arr: ValueId,
+    x: ValueId,
+    acc: ValueId,
+    n: i64,
+    hot_slot: Option<ValueId>,
+) -> ValueId {
+    let zero = b.const_i64(0);
+    let one = b.const_i64(1);
+    let four = b.const_i64(4);
+    let limit = b.const_i64(n);
+    // Seed arr[0] with x so the loop result varies.
+    let p0 = b.gep(arr, zero);
+    b.store(x, p0);
+
+    let pre = b.current_block();
+    let body = b.new_block("sumloop");
+    let after = b.new_block("sumafter");
+    b.jmp(body);
+    b.switch_to(body);
+    let k = b.phi(vec![(pre, zero)]);
+    let s = b.phi(vec![(pre, acc)]);
+    let idx = b.bin(pythia_ir::BinOp::Srem, k, four);
+    let q = b.gep(arr, idx);
+    let lv = b.load(q);
+    let mut s2 = b.add(s, lv);
+    match hot_slot {
+        Some(slot) => {
+            let hv = b.load(slot);
+            s2 = b.add(s2, hv);
+        }
+        None => {
+            let t = b.mul(s2, one);
+            s2 = b.add(t, one);
+        }
+    }
+    let k2 = b.add(k, one);
+    // Patch the phis with the back edge.
+    if let Some(Inst::Phi { incomings }) = b.func_mut().inst_mut(k) {
+        incomings.push((body, k2));
+    }
+    if let Some(Inst::Phi { incomings }) = b.func_mut().inst_mut(s) {
+        incomings.push((body, s2));
+    }
+    let c = b.icmp(CmpPred::Slt, k2, limit);
+    b.br(c, body, after);
+    b.switch_to(after);
+    s2
+}
+
+// -----------------------------------------------------------------------
+// main driver
+// -----------------------------------------------------------------------
+
+fn gen_main(profile: &BenchProfile, workers: &[pythia_ir::FuncId]) -> pythia_ir::Function {
+    let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+    let zero = b.const_i64(0);
+    let one = b.const_i64(1);
+    let iters = b.const_i64(profile.loop_iters as i64);
+
+    let entry = b.current_block();
+    let body = b.new_block("drive");
+    let exit = b.new_block("done");
+    b.jmp(body);
+    b.switch_to(body);
+    let i = b.phi(vec![(entry, zero)]);
+    let acc_in = b.phi(vec![(entry, zero)]);
+    let mut acc = acc_in;
+    for (w, &fid) in workers.iter().enumerate() {
+        let shift = b.const_i64(w as i64);
+        let arg = b.add(i, shift);
+        let r = b.call(fid, vec![arg], Ty::I64);
+        acc = b.add(acc, r);
+    }
+    if profile.indirect_calls && !workers.is_empty() {
+        let fp = b.func_addr(workers[0]);
+        let r = b.call_indirect(fp, vec![i], Ty::I64);
+        acc = b.add(acc, r);
+    }
+    let i2 = b.add(i, one);
+    if let Some(Inst::Phi { incomings }) = b.func_mut().inst_mut(i) {
+        incomings.push((body, i2));
+    }
+    if let Some(Inst::Phi { incomings }) = b.func_mut().inst_mut(acc_in) {
+        incomings.push((body, acc));
+    }
+    let c = b.icmp(CmpPred::Slt, i2, iters);
+    b.br(c, body, exit);
+    b.switch_to(exit);
+    b.ret(Some(acc));
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{profile_by_name, SPEC_PROFILES};
+    use pythia_ir::verify;
+    use pythia_vm::{ExitReason, InputPlan, Vm, VmConfig};
+
+    #[test]
+    fn all_benchmarks_verify() {
+        for p in &SPEC_PROFILES {
+            let m = generate(p);
+            if let Err(errs) = verify::verify_module(&m) {
+                panic!("{}: invalid IR: {:?}", p.name, &errs[..errs.len().min(5)]);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = profile_by_name("gcc").unwrap();
+        assert_eq!(generate(p), generate(p));
+    }
+
+    #[test]
+    fn benchmarks_execute_to_completion() {
+        for p in &SPEC_PROFILES {
+            let m = generate(p);
+            let mut vm = Vm::new(&m, VmConfig::default(), InputPlan::benign(1));
+            let r = vm.run("main", &[]);
+            assert!(
+                matches!(r.exit, ExitReason::Returned(_)),
+                "{}: {:?}",
+                p.name,
+                r.exit
+            );
+            assert!(r.metrics.insts > 1000, "{} too small", p.name);
+        }
+    }
+
+    #[test]
+    fn different_profiles_differ() {
+        let a = generate(profile_by_name("lbm").unwrap());
+        let b = generate(profile_by_name("gcc").unwrap());
+        assert!(b.num_insts() > a.num_insts() * 3);
+    }
+
+    #[test]
+    fn ic_mix_has_the_right_shape() {
+        use pythia_analysis::InputChannels;
+        use pythia_ir::IcCategory;
+        // Aggregate over all benchmarks: move/copy must dominate, print
+        // second (paper Fig. 5b: 65.9 % and 31.5 %).
+        let mut total = 0usize;
+        let mut copy = 0usize;
+        let mut print = 0usize;
+        for p in &SPEC_PROFILES {
+            let m = generate(p);
+            let ics = InputChannels::find(&m);
+            total += ics.total();
+            let h = ics.histogram();
+            copy += h.get(&IcCategory::MoveCopy).copied().unwrap_or(0);
+            print += h.get(&IcCategory::Print).copied().unwrap_or(0);
+        }
+        assert!(total > 200, "need a meaningful IC population, got {total}");
+        let copy_frac = copy as f64 / total as f64;
+        let print_frac = print as f64 / total as f64;
+        assert!(copy_frac > 0.5, "move/copy fraction {copy_frac}");
+        assert!(
+            print_frac > 0.15 && print_frac < 0.45,
+            "print fraction {print_frac}"
+        );
+    }
+
+    #[test]
+    fn scaled_generation_shrinks_only_the_driver_loop() {
+        let p = profile_by_name("mcf").unwrap();
+        let full = generate(p);
+        let quick = generate_scaled(p, 0.25);
+        assert_eq!(quick.name, full.name);
+        // Static shape identical; only main's loop bound changes.
+        assert_eq!(quick.num_insts(), full.num_insts());
+        let mut vm_full = Vm::new(&full, VmConfig::default(), InputPlan::benign(1));
+        let mut vm_quick = Vm::new(&quick, VmConfig::default(), InputPlan::benign(1));
+        let rf = vm_full.run("main", &[]);
+        let rq = vm_quick.run("main", &[]);
+        assert!(rq.metrics.insts * 2 < rf.metrics.insts);
+    }
+
+    #[test]
+    fn lbm_has_branches_but_few_channels() {
+        use pythia_analysis::InputChannels;
+        let m = generate(profile_by_name("lbm").unwrap());
+        let ics = InputChannels::find(&m);
+        let gcc = generate(profile_by_name("gcc").unwrap());
+        let gcc_ics = InputChannels::find(&gcc);
+        assert!(ics.total() * 5 < gcc_ics.total());
+    }
+}

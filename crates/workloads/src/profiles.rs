@@ -1,0 +1,452 @@
+//! Benchmark profiles: one per SPEC CPU2017 C/C++ program the paper
+//! evaluates, plus the nginx-like server workload.
+//!
+//! A profile controls the statistical *shape* of a generated program —
+//! function count, branch density, how predicates reach memory (plain
+//! scalar loads vs pointer arithmetic vs struct fields), the input-channel
+//! mix, heap usage, and the pointer-forging rate that limits even Pythia's
+//! coverage. Everything downstream (vulnerable-variable counts, protection
+//! coverage, overheads) *emerges* from running the real analyses and the
+//! VM over the generated module; nothing is tabulated.
+
+/// Shape parameters for one synthetic benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchProfile {
+    /// Benchmark name (SPEC-style).
+    pub name: &'static str,
+    /// Generator seed (fixed per benchmark for reproducibility).
+    pub seed: u64,
+    /// Number of worker functions.
+    pub functions: usize,
+    /// Range of branch diamonds per worker.
+    pub branches_per_fn: (usize, usize),
+    /// Weight of IC-independent predicates (the paper's ~74 % unaffected).
+    pub w_pure: f64,
+    /// Probability a pure predicate is memory-backed (spilled/struct-bound
+    /// rather than register-resident). Drives how much of the program CPA's
+    /// unrefined signing has to cover: high for pointer-rich code (gcc,
+    /// parest), low for register-friendly numeric kernels (lbm, namd).
+    pub mem_pressure: f64,
+    /// Weight: scalar written via `memcpy` (move/copy channel).
+    pub w_copy_scalar: f64,
+    /// Weight: string buffer via `memcpy`+`strcpy` chain.
+    pub w_strbuf: f64,
+    /// Weight: array read through a dynamic `gep` (kills DFI slicing).
+    pub w_gepdyn: f64,
+    /// Weight: struct-field access (kills field-insensitive DFI; C++-ish).
+    pub w_field: f64,
+    /// Weight: `scanf` scalar.
+    pub w_scan: f64,
+    /// Weight: `fgets` buffer.
+    pub w_get: f64,
+    /// Weight: heap cell written by a channel.
+    pub w_heap: f64,
+    /// Weight: forged-pointer predicate (pointer dualism; even Pythia's
+    /// slicing cannot complete these — paper §6.2 "complex aliasing").
+    pub w_forged: f64,
+    /// Probability of a `printf` filler per diamond (print ICs).
+    pub print_filler: f64,
+    /// Probability a worker carries an inner summing loop.
+    pub inner_loop: f64,
+    /// Iterations of `main`'s driver loop (dynamic workload size).
+    pub loop_iters: u64,
+    /// Whether workers are also dispatched through function pointers.
+    pub indirect_calls: bool,
+}
+
+impl BenchProfile {
+    /// Normalized weights over the nine predicate styles.
+    pub fn style_weights(&self) -> [f64; 9] {
+        [
+            self.w_pure,
+            self.w_copy_scalar,
+            self.w_strbuf,
+            self.w_gepdyn,
+            self.w_field,
+            self.w_scan,
+            self.w_get,
+            self.w_heap,
+            self.w_forged,
+        ]
+    }
+}
+
+/// The 16 SPEC-like benchmark profiles (nginx is built separately by
+/// [`crate::nginx`]). Sizes and mixes are tuned so the *relative* shapes
+/// of the paper's figures reproduce: `502.gcc_r` is the largest and most
+/// vulnerable; `510.parest_r` is C++/field-heavy with the most ICs;
+/// `519.lbm_r` is tiny and channel-free; `505.mcf_r` and `525.x264_r`
+/// are fully sliceable (Pythia secures 100 % of their branches).
+pub const SPEC_PROFILES: [BenchProfile; 16] = [
+    BenchProfile {
+        name: "500.perlbench_r",
+        seed: 0x500,
+        functions: 22,
+        branches_per_fn: (4, 9),
+        w_pure: 0.66,
+        mem_pressure: 0.75,
+        w_copy_scalar: 0.12,
+        w_strbuf: 0.08,
+        w_gepdyn: 0.05,
+        w_field: 0.03,
+        w_scan: 0.01,
+        w_get: 0.01,
+        w_heap: 0.03,
+        w_forged: 0.025,
+        print_filler: 0.25,
+        inner_loop: 0.7,
+        loop_iters: 12,
+        indirect_calls: true,
+    },
+    BenchProfile {
+        name: "502.gcc_r",
+        seed: 0x502,
+        functions: 34,
+        branches_per_fn: (5, 10),
+        w_pure: 0.58,
+        mem_pressure: 0.85,
+        w_copy_scalar: 0.16,
+        w_strbuf: 0.08,
+        w_gepdyn: 0.07,
+        w_field: 0.04,
+        w_scan: 0.01,
+        w_get: 0.01,
+        w_heap: 0.03,
+        w_forged: 0.03,
+        print_filler: 0.3,
+        inner_loop: 0.7,
+        loop_iters: 10,
+        indirect_calls: true,
+    },
+    BenchProfile {
+        name: "505.mcf_r",
+        seed: 0x505,
+        functions: 8,
+        branches_per_fn: (3, 6),
+        w_pure: 0.77,
+        mem_pressure: 0.45,
+        w_copy_scalar: 0.12,
+        w_strbuf: 0.02,
+        w_gepdyn: 0.03,
+        w_field: 0.0,
+        w_scan: 0.02,
+        w_get: 0.0,
+        w_heap: 0.04,
+        w_forged: 0.0,
+        print_filler: 0.15,
+        inner_loop: 0.8,
+        loop_iters: 26,
+        indirect_calls: false,
+    },
+    BenchProfile {
+        name: "508.namd_r",
+        seed: 0x508,
+        functions: 12,
+        branches_per_fn: (3, 7),
+        w_pure: 0.8,
+        mem_pressure: 0.4,
+        w_copy_scalar: 0.08,
+        w_strbuf: 0.03,
+        w_gepdyn: 0.03,
+        w_field: 0.03,
+        w_scan: 0.0,
+        w_get: 0.0,
+        w_heap: 0.02,
+        w_forged: 0.025,
+        print_filler: 0.2,
+        inner_loop: 0.9,
+        loop_iters: 18,
+        indirect_calls: false,
+    },
+    BenchProfile {
+        name: "510.parest_r",
+        seed: 0x510,
+        functions: 30,
+        branches_per_fn: (5, 10),
+        w_pure: 0.56,
+        mem_pressure: 0.82,
+        w_copy_scalar: 0.16,
+        w_strbuf: 0.1,
+        w_gepdyn: 0.05,
+        w_field: 0.08,
+        w_scan: 0.0,
+        w_get: 0.01,
+        w_heap: 0.03,
+        w_forged: 0.025,
+        print_filler: 0.35,
+        inner_loop: 0.8,
+        loop_iters: 10,
+        indirect_calls: true,
+    },
+    BenchProfile {
+        name: "511.povray_r",
+        seed: 0x511,
+        functions: 20,
+        branches_per_fn: (4, 8),
+        w_pure: 0.64,
+        mem_pressure: 0.7,
+        w_copy_scalar: 0.12,
+        w_strbuf: 0.07,
+        w_gepdyn: 0.06,
+        w_field: 0.06,
+        w_scan: 0.0,
+        w_get: 0.01,
+        w_heap: 0.03,
+        w_forged: 0.025,
+        print_filler: 0.25,
+        inner_loop: 0.7,
+        loop_iters: 12,
+        indirect_calls: true,
+    },
+    BenchProfile {
+        name: "519.lbm_r",
+        seed: 0x519,
+        functions: 5,
+        branches_per_fn: (2, 4),
+        w_pure: 0.92,
+        mem_pressure: 0.18,
+        w_copy_scalar: 0.06,
+        w_strbuf: 0.0,
+        w_gepdyn: 0.0,
+        w_field: 0.0,
+        w_scan: 0.0,
+        w_get: 0.0,
+        w_heap: 0.02,
+        w_forged: 0.0,
+        print_filler: 0.1,
+        inner_loop: 0.95,
+        loop_iters: 40,
+        indirect_calls: false,
+    },
+    BenchProfile {
+        name: "520.omnetpp_r",
+        seed: 0x520,
+        functions: 18,
+        branches_per_fn: (4, 8),
+        w_pure: 0.62,
+        mem_pressure: 0.7,
+        w_copy_scalar: 0.13,
+        w_strbuf: 0.07,
+        w_gepdyn: 0.05,
+        w_field: 0.07,
+        w_scan: 0.0,
+        w_get: 0.01,
+        w_heap: 0.04,
+        w_forged: 0.025,
+        print_filler: 0.3,
+        inner_loop: 0.9,
+        loop_iters: 16,
+        indirect_calls: true,
+    },
+    BenchProfile {
+        name: "523.xalancbmk_r",
+        seed: 0x523,
+        functions: 24,
+        branches_per_fn: (5, 9),
+        w_pure: 0.6,
+        mem_pressure: 0.78,
+        w_copy_scalar: 0.14,
+        w_strbuf: 0.08,
+        w_gepdyn: 0.05,
+        w_field: 0.08,
+        w_scan: 0.0,
+        w_get: 0.0,
+        w_heap: 0.03,
+        w_forged: 0.03,
+        print_filler: 0.3,
+        inner_loop: 0.9,
+        loop_iters: 11,
+        indirect_calls: true,
+    },
+    BenchProfile {
+        name: "525.x264_r",
+        seed: 0x525,
+        functions: 14,
+        branches_per_fn: (4, 8),
+        w_pure: 0.71,
+        mem_pressure: 0.5,
+        w_copy_scalar: 0.14,
+        w_strbuf: 0.04,
+        w_gepdyn: 0.03,
+        w_field: 0.0,
+        w_scan: 0.02,
+        w_get: 0.0,
+        w_heap: 0.06,
+        w_forged: 0.0,
+        print_filler: 0.2,
+        inner_loop: 0.9,
+        loop_iters: 16,
+        indirect_calls: false,
+    },
+    BenchProfile {
+        name: "526.blender_r",
+        seed: 0x526,
+        functions: 26,
+        branches_per_fn: (4, 8),
+        w_pure: 0.66,
+        mem_pressure: 0.68,
+        w_copy_scalar: 0.12,
+        w_strbuf: 0.06,
+        w_gepdyn: 0.05,
+        w_field: 0.06,
+        w_scan: 0.0,
+        w_get: 0.0,
+        w_heap: 0.04,
+        w_forged: 0.025,
+        print_filler: 0.25,
+        inner_loop: 0.7,
+        loop_iters: 9,
+        indirect_calls: true,
+    },
+    BenchProfile {
+        name: "531.deepsjeng_r",
+        seed: 0x531,
+        functions: 12,
+        branches_per_fn: (4, 8),
+        w_pure: 0.72,
+        mem_pressure: 0.55,
+        w_copy_scalar: 0.12,
+        w_strbuf: 0.04,
+        w_gepdyn: 0.04,
+        w_field: 0.02,
+        w_scan: 0.01,
+        w_get: 0.0,
+        w_heap: 0.04,
+        w_forged: 0.025,
+        print_filler: 0.2,
+        inner_loop: 0.8,
+        loop_iters: 16,
+        indirect_calls: false,
+    },
+    BenchProfile {
+        name: "538.imagick_r",
+        seed: 0x538,
+        functions: 16,
+        branches_per_fn: (3, 7),
+        w_pure: 0.72,
+        mem_pressure: 0.55,
+        w_copy_scalar: 0.12,
+        w_strbuf: 0.05,
+        w_gepdyn: 0.04,
+        w_field: 0.02,
+        w_scan: 0.0,
+        w_get: 0.01,
+        w_heap: 0.03,
+        w_forged: 0.025,
+        print_filler: 0.2,
+        inner_loop: 0.8,
+        loop_iters: 13,
+        indirect_calls: false,
+    },
+    BenchProfile {
+        name: "541.leela_r",
+        seed: 0x541,
+        functions: 12,
+        branches_per_fn: (3, 7),
+        w_pure: 0.7,
+        mem_pressure: 0.65,
+        w_copy_scalar: 0.12,
+        w_strbuf: 0.05,
+        w_gepdyn: 0.04,
+        w_field: 0.05,
+        w_scan: 0.0,
+        w_get: 0.0,
+        w_heap: 0.03,
+        w_forged: 0.025,
+        print_filler: 0.25,
+        inner_loop: 0.7,
+        loop_iters: 14,
+        indirect_calls: true,
+    },
+    BenchProfile {
+        name: "544.nab_r",
+        seed: 0x544,
+        functions: 10,
+        branches_per_fn: (3, 6),
+        w_pure: 0.8,
+        mem_pressure: 0.4,
+        w_copy_scalar: 0.1,
+        w_strbuf: 0.03,
+        w_gepdyn: 0.02,
+        w_field: 0.0,
+        w_scan: 0.01,
+        w_get: 0.0,
+        w_heap: 0.03,
+        w_forged: 0.025,
+        print_filler: 0.15,
+        inner_loop: 0.9,
+        loop_iters: 18,
+        indirect_calls: false,
+    },
+    BenchProfile {
+        name: "557.xz_r",
+        seed: 0x557,
+        functions: 10,
+        branches_per_fn: (3, 7),
+        w_pure: 0.74,
+        mem_pressure: 0.55,
+        w_copy_scalar: 0.13,
+        w_strbuf: 0.05,
+        w_gepdyn: 0.03,
+        w_field: 0.0,
+        w_scan: 0.0,
+        w_get: 0.01,
+        w_heap: 0.03,
+        w_forged: 0.025,
+        print_filler: 0.2,
+        inner_loop: 0.8,
+        loop_iters: 16,
+        indirect_calls: false,
+    },
+];
+
+/// Look a profile up by (possibly partial) name.
+pub fn profile_by_name(name: &str) -> Option<&'static BenchProfile> {
+    SPEC_PROFILES
+        .iter()
+        .find(|p| p.name == name || p.name.contains(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_profiles_unique_names_and_seeds() {
+        let mut names: Vec<_> = SPEC_PROFILES.iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16);
+        let mut seeds: Vec<_> = SPEC_PROFILES.iter().map(|p| p.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), 16);
+    }
+
+    #[test]
+    fn weights_roughly_normalized() {
+        for p in &SPEC_PROFILES {
+            let sum: f64 = p.style_weights().iter().sum();
+            assert!(
+                (sum - 1.0).abs() < 0.05,
+                "{}: style weights sum to {sum}",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_partial_name() {
+        assert_eq!(profile_by_name("gcc").unwrap().name, "502.gcc_r");
+        assert_eq!(profile_by_name("519.lbm_r").unwrap().name, "519.lbm_r");
+        assert!(profile_by_name("doom").is_none());
+    }
+
+    #[test]
+    fn lbm_is_smallest_and_cleanest() {
+        let lbm = profile_by_name("lbm").unwrap();
+        assert!(SPEC_PROFILES.iter().all(|p| p.functions >= lbm.functions));
+        assert_eq!(lbm.w_gepdyn, 0.0);
+        assert_eq!(lbm.w_forged, 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Ablation tests: each ingredient of the Pythia scheme is removed in turn
+//! and the expected security regression must be observable (DESIGN.md §4,
+//! `abl-relayout`, `abl-rerand`, `abl-refine`).
+
+use pythia::core::{instrument, Scheme, VmConfig};
+use pythia::passes::{instrument_pythia_ablated, PythiaConfig};
+use pythia::vm::{InputPlan, Vm};
+use pythia::workloads::{all_scenarios, extended_scenarios};
+
+fn run_attack(m: &pythia::ir::Module, s: &pythia::workloads::Scenario) -> pythia::vm::RunResult {
+    let mut vm = Vm::new(m, VmConfig::default(), s.attack.clone());
+    vm.run("main", &[])
+}
+
+fn run_benign(m: &pythia::ir::Module, s: &pythia::workloads::Scenario) -> pythia::vm::RunResult {
+    let mut vm = Vm::new(m, VmConfig::default(), s.benign.clone());
+    vm.run("main", &[])
+}
+
+#[test]
+fn abl_relayout_full_pythia_detects_listing1() {
+    let s = &all_scenarios()[0];
+    let full = instrument(&s.module, Scheme::Pythia);
+    let r = run_attack(&full.module, s);
+    assert!(r.detected().is_some(), "baseline must detect: {:?}", r.exit);
+}
+
+#[test]
+fn abl_relayout_without_it_the_attack_escapes_the_canary() {
+    // Without re-layout the canary is appended far from the overflowed
+    // buffer, so a short overflow rewrites the privilege flag without
+    // touching any canary: the attack must either bend the branch or at
+    // least go undetected.
+    let s = &all_scenarios()[0]; // listing1
+    let ablated = instrument_pythia_ablated(
+        &s.module,
+        PythiaConfig {
+            relayout: false,
+            ..PythiaConfig::default()
+        },
+    );
+    let benign = run_benign(&ablated.module, s);
+    assert_eq!(benign.exit.value(), Some(s.normal_return));
+    let r = run_attack(&ablated.module, s);
+    assert!(
+        r.detected().is_none(),
+        "without re-layout the canary must not be between buffer and flag: {:?}",
+        r.exit
+    );
+    assert_eq!(
+        r.exit.value(),
+        Some(s.bent_return),
+        "the overflow reaches the flag again"
+    );
+}
+
+#[test]
+fn abl_rerand_sites_disappear_without_rerandomization() {
+    let s = &all_scenarios()[0];
+    let full = instrument(&s.module, Scheme::Pythia);
+    let ablated = instrument_pythia_ablated(
+        &s.module,
+        PythiaConfig {
+            rerandomize: false,
+            ..PythiaConfig::default()
+        },
+    );
+    assert!(
+        ablated.stats.randomize_sites < full.stats.randomize_sites,
+        "pre-channel randomize sites must be gone ({} vs {})",
+        ablated.stats.randomize_sites,
+        full.stats.randomize_sites
+    );
+    // Detection of a plain smash still works (the canary is still there);
+    // what is lost is only resistance to leak-then-replay, which the
+    // brute-force model in pythia-pa quantifies.
+    let r = run_attack(&ablated.module, s);
+    assert!(r.detected().is_some());
+}
+
+#[test]
+fn abl_heap_sectioning_off_leaves_the_heap_attack_alive() {
+    let s = &extended_scenarios()[0]; // heap_overflow
+    let ablated = instrument_pythia_ablated(
+        &s.module,
+        PythiaConfig {
+            heap_sectioning: false,
+            ..PythiaConfig::default()
+        },
+    );
+    let benign = run_benign(&ablated.module, s);
+    assert_eq!(benign.exit.value(), Some(s.normal_return));
+    let r = run_attack(&ablated.module, s);
+    assert_eq!(
+        r.exit.value(),
+        Some(s.bent_return),
+        "without sectioning/PA the heap overflow must still bend: {:?}",
+        r.exit
+    );
+}
+
+#[test]
+fn abl_ret_checks_off_misses_the_interprocedural_smash() {
+    let s = &extended_scenarios()[1]; // interproc_overflow
+    let ablated = instrument_pythia_ablated(
+        &s.module,
+        PythiaConfig {
+            ret_checks: false,
+            ..PythiaConfig::default()
+        },
+    );
+    let r = run_attack(&ablated.module, s);
+    assert!(
+        r.detected().is_none(),
+        "no same-function channel means no check without ret_checks: {:?}",
+        r.exit
+    );
+    // With the full config it is caught (see attack_matrix).
+    let full = instrument(&s.module, Scheme::Pythia);
+    let rf = run_attack(&full.module, s);
+    assert!(rf.detected().is_some());
+}
+
+#[test]
+fn abl_refine_cpa_set_strictly_contains_pythias() {
+    // Refinement ablation: CPA is "Pythia without refinement"; its
+    // vulnerable set and static PA cost must strictly dominate.
+    let m = pythia::workloads::generate(pythia::workloads::profile_by_name("gcc").unwrap());
+    let ctx = pythia::analysis::SliceContext::new(&m);
+    let report = pythia::analysis::VulnerabilityReport::analyze(&ctx);
+    assert!(report.pythia_values.is_subset(&report.cpa_values));
+    assert!(report.pythia_values.len() * 2 <= report.cpa_values.len());
+}

@@ -1,0 +1,138 @@
+//! End-to-end pipeline tests spanning every crate: generate a benchmark,
+//! analyze it, instrument it with each scheme, execute it, and check the
+//! paper's qualitative claims hold.
+
+use pythia::core::{evaluate, Scheme, VmConfig};
+use pythia::ir::verify;
+use pythia::workloads::{generate, profile_by_name};
+
+fn eval(name: &str) -> pythia::core::BenchEvaluation {
+    let p = profile_by_name(name).expect("profile exists");
+    let m = generate(p);
+    evaluate(
+        &m,
+        &[Scheme::Cpa, Scheme::Pythia, Scheme::Dfi],
+        p.seed,
+        &VmConfig::default(),
+    )
+}
+
+#[test]
+fn all_schemes_complete_and_preserve_results() {
+    let ev = eval("mcf");
+    let vanilla = ev.result(Scheme::Vanilla).unwrap().exit;
+    assert!(vanilla.value().is_some(), "vanilla must complete");
+    for r in &ev.results {
+        assert_eq!(
+            r.exit, vanilla,
+            "{:?} changed the program's observable result",
+            r.scheme
+        );
+    }
+}
+
+#[test]
+fn overhead_ordering_matches_the_paper() {
+    // Pythia must be much cheaper than CPA; both cost something; DFI is
+    // the most expensive (software checks on every protected use).
+    let ev = eval("xz");
+    let cpa = ev.overhead(Scheme::Cpa);
+    let pythia = ev.overhead(Scheme::Pythia);
+    let dfi = ev.overhead(Scheme::Dfi);
+    assert!(pythia > 0.0, "Pythia has nonzero overhead ({pythia})");
+    assert!(
+        cpa > pythia * 1.5,
+        "CPA ({cpa}) must clearly exceed Pythia ({pythia})"
+    );
+    assert!(dfi > cpa, "DFI ({dfi}) exceeds CPA ({cpa})");
+}
+
+#[test]
+fn binary_growth_ordering() {
+    let ev = eval("povray");
+    assert!(ev.binary_growth(Scheme::Cpa) > 0.0);
+    assert!(ev.binary_growth(Scheme::Pythia) > 0.0);
+    assert_eq!(ev.binary_growth(Scheme::Vanilla), 0.0);
+}
+
+#[test]
+fn security_ordering_pythia_at_least_dfi() {
+    for name in ["gcc", "parest", "mcf"] {
+        let ev = eval(name);
+        assert!(
+            ev.analysis.pythia_secured >= ev.analysis.dfi_secured,
+            "{name}: pythia {} < dfi {}",
+            ev.analysis.pythia_secured,
+            ev.analysis.dfi_secured
+        );
+    }
+}
+
+#[test]
+fn fully_secured_benchmarks_match_paper_set() {
+    // The paper: Pythia fully secures lbm, mcf and x264.
+    for name in ["lbm", "mcf", "x264"] {
+        let ev = eval(name);
+        assert_eq!(
+            ev.analysis.pythia_secured, 1.0,
+            "{name} must be fully secured by Pythia"
+        );
+    }
+}
+
+#[test]
+fn attack_distance_ordering() {
+    let ev = eval("gcc");
+    assert!(
+        ev.analysis.pythia_distance >= ev.analysis.dfi_distance,
+        "Pythia's slices must reach at least as far as DFI's"
+    );
+    assert!(
+        ev.analysis.dfi_distance > ev.analysis.ic_distance,
+        "protection must start above the input channel"
+    );
+}
+
+#[test]
+fn refinement_shrinks_the_vulnerable_set() {
+    let ev = eval("blender");
+    let c = ev.analysis.cpa_value_fraction;
+    let p = ev.analysis.pythia_value_fraction;
+    assert!(c > 0.0 && p > 0.0);
+    assert!(
+        c / p > 2.0,
+        "refinement should shrink the set by at least 2x (got {c}/{p})"
+    );
+}
+
+#[test]
+fn instrumented_modules_verify_and_roundtrip() {
+    use pythia::ir::{parser, printer};
+    let p = profile_by_name("lbm").unwrap();
+    let m = generate(p);
+    for scheme in Scheme::ALL {
+        let inst = pythia::core::instrument(&m, scheme);
+        verify::verify_module(&inst.module)
+            .unwrap_or_else(|e| panic!("{scheme}: invalid IR: {:?}", &e[..e.len().min(3)]));
+        // Textual round trip of the instrumented module. The first parse
+        // renumbers values (the printer keeps arena gaps), so compare the
+        // normalized forms.
+        let t1 = printer::print_module(
+            &parser::parse_module(&printer::print_module(&inst.module)).expect("parse back"),
+        );
+        let t2 = printer::print_module(&parser::parse_module(&t1).expect("reparse"));
+        assert_eq!(t1, t2, "{scheme}: print/parse not stable");
+    }
+}
+
+#[test]
+fn evaluation_is_deterministic() {
+    let a = eval("nab");
+    let b = eval("nab");
+    for (ra, rb) in a.results.iter().zip(&b.results) {
+        assert_eq!(ra.exit, rb.exit);
+        assert_eq!(ra.metrics.insts, rb.metrics.insts);
+        assert_eq!(ra.metrics.cycles_mc, rb.metrics.cycles_mc);
+        assert_eq!(ra.stats, rb.stats);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the textual PIR format over *real* program
+//! populations: every generated benchmark and every instrumented variant
+//! must print → parse → print to a fixed point, and the reparsed module
+//! must behave identically in the VM.
+
+use proptest::prelude::*;
+use pythia::core::Scheme;
+use pythia::ir::{parser, printer, verify};
+use pythia::vm::{InputPlan, Vm, VmConfig};
+use pythia::workloads::{generate, SPEC_PROFILES};
+
+#[test]
+fn every_benchmark_roundtrips() {
+    for p in &SPEC_PROFILES {
+        let m = generate(p);
+        // One parse normalizes value numbering and drops debug block
+        // names; after that the textual form must be a fixed point.
+        let m1 = parser::parse_module(&printer::print_module(&m))
+            .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        verify::verify_module(&m1).expect("reparsed module verifies");
+        let t1 = printer::print_module(&m1);
+        let m2 = parser::parse_module(&t1).unwrap_or_else(|e| panic!("{}: {e}", p.name));
+        let t2 = printer::print_module(&m2);
+        assert_eq!(t1, t2, "{}: unstable round trip", p.name);
+    }
+}
+
+#[test]
+fn reparsed_module_behaves_identically() {
+    let p = &SPEC_PROFILES[6]; // lbm: small and fast
+    let m = generate(p);
+    let m2 = parser::parse_module(&printer::print_module(&m)).unwrap();
+
+    let run = |m: &pythia::ir::Module| {
+        let mut vm = Vm::new(m, VmConfig::default(), InputPlan::benign(3));
+        let r = vm.run("main", &[]);
+        (r.exit, r.metrics.insts, r.metrics.cycles_mc)
+    };
+    assert_eq!(run(&m), run(&m2));
+}
+
+#[test]
+fn instrumented_modules_roundtrip() {
+    let p = &SPEC_PROFILES[2]; // mcf
+    let m = generate(p);
+    for scheme in Scheme::ALL {
+        let inst = pythia::core::instrument(&m, scheme);
+        let m1 = parser::parse_module(&printer::print_module(&inst.module))
+            .unwrap_or_else(|e| panic!("{scheme}: {e}"));
+        let t1 = printer::print_module(&m1);
+        let m2 = parser::parse_module(&t1).unwrap_or_else(|e| panic!("{scheme}: {e}"));
+        assert_eq!(t1, printer::print_module(&m2), "{scheme}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random straight-line arithmetic functions round trip and verify.
+    #[test]
+    fn random_functions_roundtrip(ops in proptest::collection::vec((0u8..6, 1i64..100), 1..40)) {
+        use pythia::ir::{BinOp, FunctionBuilder, Module, Ty};
+        let mut m = Module::new("prop");
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64);
+        let mut cur = b.func().arg(0);
+        for (op, c) in ops {
+            let k = b.const_i64(c);
+            let binop = [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::And, BinOp::Or, BinOp::Xor][op as usize];
+            cur = b.bin(binop, cur, k);
+        }
+        b.ret(Some(cur));
+        m.add_function(b.finish());
+        verify::verify_module(&m).unwrap();
+
+        let m1 = parser::parse_module(&printer::print_module(&m)).unwrap();
+        let t1 = printer::print_module(&m1);
+        let m2 = parser::parse_module(&t1).unwrap();
+        prop_assert_eq!(&t1, &printer::print_module(&m2));
+    }
+
+    /// Parsing arbitrary junk must error, never panic.
+    #[test]
+    fn parser_never_panics(s in "\\PC{0,200}") {
+        let _ = parser::parse_module(&s);
+    }
+
+    /// Round-tripped random modules compute the same function.
+    #[test]
+    fn roundtrip_preserves_semantics(seedling in 0u64..500) {
+        use pythia::ir::{CmpPred, FunctionBuilder, Module, Ty};
+        let mut m = Module::new("sem");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let x = b.const_i64(seedling as i64);
+        let slot = b.alloca(Ty::I64);
+        b.store(x, slot);
+        let v = b.load(slot);
+        let k = b.const_i64(7);
+        let sum = b.add(v, k);
+        let c = b.icmp(CmpPred::Sgt, sum, k);
+        let (t, e) = (b.new_block("t"), b.new_block("e"));
+        b.br(c, t, e);
+        b.switch_to(t);
+        b.ret(Some(sum));
+        b.switch_to(e);
+        b.ret(Some(k));
+        m.add_function(b.finish());
+
+        let m2 = parser::parse_module(&printer::print_module(&m)).unwrap();
+        let run = |m: &Module| {
+            let mut vm = Vm::new(m, VmConfig::default(), InputPlan::benign(0));
+            vm.run("main", &[]).exit
+        };
+        prop_assert_eq!(run(&m), run(&m2));
+    }
+}
