@@ -14,8 +14,10 @@
 
 use crate::alias::{ObjId, PointsTo};
 use crate::channels::{IcSite, InputChannels};
-use pythia_ir::{Callee, FuncId, Inst, Intrinsic, Module, ValueId, ValueKind};
+use pythia_ir::{BlockId, Callee, FuncId, Inst, Intrinsic, Module, ValueId, ValueKind};
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
 
 /// Which technique's slicing rules to apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -90,7 +92,26 @@ pub struct SliceContext<'m> {
     loads_by_object: HashMap<ObjId, Vec<(FuncId, ValueId)>>,
     /// Call sites per callee.
     callers: HashMap<FuncId, Vec<(FuncId, ValueId)>>,
+    /// Lazily computed def-use chains, one slot per function. Shared by
+    /// every forward slice instead of being rebuilt per query.
+    du: Vec<OnceLock<crate::defuse::DefUse>>,
+    /// Lazily computed control-dependence sets, one slot per function.
+    cd: Vec<OnceLock<Vec<Vec<BlockId>>>>,
+    /// Memo table for whole backward slices, keyed by (func, branch, mode).
+    /// CPA/Pythia/DFI and the control-dependence extension all re-query the
+    /// same branches; each is computed once per context.
+    slice_memo: RwLock<HashMap<(FuncId, ValueId, SliceMode), Arc<BackwardSlice>>>,
+    /// Memo-table hits (served without recomputation).
+    memo_hits: AtomicU64,
+    /// Memo-table misses (full traversals performed).
+    memo_misses: AtomicU64,
 }
+
+/// The context is shared by reference across evaluation worker threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SliceContext<'static>>();
+};
 
 impl<'m> SliceContext<'m> {
     /// Build the context (runs points-to analysis).
@@ -142,6 +163,7 @@ impl<'m> SliceContext<'m> {
             }
         }
 
+        let nfuncs = module.func_ids().count();
         SliceContext {
             module,
             points_to,
@@ -150,7 +172,32 @@ impl<'m> SliceContext<'m> {
             ics_by_object,
             loads_by_object,
             callers,
+            du: (0..nfuncs).map(|_| OnceLock::new()).collect(),
+            cd: (0..nfuncs).map(|_| OnceLock::new()).collect(),
+            slice_memo: RwLock::new(HashMap::new()),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
         }
+    }
+
+    /// Def-use chains of `fid`, computed once per context and shared by
+    /// every forward slice (and any concurrent reader).
+    pub fn def_use(&self, fid: FuncId) -> &crate::defuse::DefUse {
+        self.du[fid.0 as usize].get_or_init(|| crate::defuse::DefUse::compute(self.module.func(fid)))
+    }
+
+    /// Control-dependence sets of `fid` (per block), computed once per
+    /// context and shared by every control-dependence extension.
+    pub fn control_deps(&self, fid: FuncId) -> &[Vec<BlockId>] {
+        self.cd[fid.0 as usize].get_or_init(|| crate::cfg::control_dependence(self.module.func(fid)))
+    }
+
+    /// (hits, misses) of the backward-slice memo table.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        (
+            self.memo_hits.load(Ordering::Relaxed),
+            self.memo_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Stores that may write `obj`.
@@ -199,10 +246,38 @@ impl<'m> SliceContext<'m> {
     /// Backward slice of one branch (paper Alg. 1 generalized with memory
     /// and interprocedural edges).
     ///
+    /// Results are memoized per `(func, branch, mode)`: CPA, Pythia and
+    /// DFI evaluation — and the control-dependence extension — re-query
+    /// the same branches, so each slice is traversed at most once per
+    /// context. Safe to call from multiple threads.
+    ///
     /// # Panics
     ///
     /// Panics if `branch` is not a `br` instruction of `func`.
     pub fn backward_slice(&self, func: FuncId, branch: ValueId, mode: SliceMode) -> BackwardSlice {
+        let key = (func, branch, mode);
+        if let Some(hit) = self.slice_memo.read().unwrap().get(&key) {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return (**hit).clone();
+        }
+        let slice = self.compute_backward_slice(func, branch, mode);
+        let mut memo = self.slice_memo.write().unwrap();
+        // A racing thread may have inserted meanwhile; either result is
+        // identical, so keep whichever is already there.
+        if !memo.contains_key(&key) {
+            memo.insert(key, Arc::new(slice.clone()));
+        }
+        self.memo_misses.fetch_add(1, Ordering::Relaxed);
+        slice
+    }
+
+    /// The uncached traversal behind [`Self::backward_slice`].
+    fn compute_backward_slice(
+        &self,
+        func: FuncId,
+        branch: ValueId,
+        mode: SliceMode,
+    ) -> BackwardSlice {
         let f = self.module.func(func);
         let cond = match f.inst(branch) {
             Some(Inst::Br { cond, .. }) => *cond,
@@ -370,8 +445,6 @@ impl<'m> SliceContext<'m> {
     /// attacker who can flip a *governing* branch controls the guarded
     /// definitions too.
     pub fn extend_with_control_deps(&self, slice: &mut BackwardSlice, mode: SliceMode) {
-        use std::collections::HashMap as Map;
-        let mut cd_cache: Map<FuncId, Vec<Vec<pythia_ir::BlockId>>> = Map::new();
         for _round in 0..8 {
             // Collect governing branch instructions not yet in the slice.
             // Both slice *values* and the *stores* that write slice objects
@@ -385,9 +458,7 @@ impl<'m> SliceContext<'m> {
             for (fid, v) in sites {
                 let f = self.module.func(fid);
                 let Some(bb) = f.block_of(v) else { continue };
-                let cd = cd_cache
-                    .entry(fid)
-                    .or_insert_with(|| crate::cfg::control_dependence(f));
+                let cd = self.control_deps(fid);
                 for &gov in &cd[bb.0 as usize] {
                     if let Some(&term) = f.block(gov).insts.last() {
                         if matches!(f.inst(term), Some(Inst::Br { .. }))
@@ -444,9 +515,6 @@ impl<'m> SliceContext<'m> {
         let mut seen_vals: HashSet<(FuncId, ValueId)> = HashSet::new();
         let mut budget = 200_000usize;
 
-        // Precompute def-use once per touched function.
-        let mut du_cache: HashMap<FuncId, crate::defuse::DefUse> = HashMap::new();
-
         loop {
             while let Some(o) = obj_work.pop_front() {
                 // Every load that may read this object becomes tainted.
@@ -467,9 +535,7 @@ impl<'m> SliceContext<'m> {
             budget -= 1;
             out.values.insert((fid, v));
             let f = self.module.func(fid);
-            let du = du_cache
-                .entry(fid)
-                .or_insert_with(|| crate::defuse::DefUse::compute(f));
+            let du = self.def_use(fid);
             for &user in du.users(v) {
                 match f.inst(user) {
                     Some(Inst::Store { ptr, value }) if *value == v => {
@@ -698,6 +764,47 @@ mod tests {
         assert!(fs.values.contains(&(fid, w)));
         // The store propagates taint into `out`'s object.
         assert_eq!(fs.objects.len(), 2);
+    }
+
+    #[test]
+    fn backward_slice_is_memoized() {
+        let (m, fid) = listing1_like();
+        let ctx = SliceContext::new(&m);
+        let br = ctx.branches_in(fid)[0];
+        assert_eq!(ctx.memo_stats(), (0, 0));
+        let first = ctx.backward_slice(fid, br, SliceMode::Pythia);
+        assert_eq!(ctx.memo_stats(), (0, 1));
+        // A second identical query is served from the memo table without
+        // recomputation, and with an identical result.
+        let second = ctx.backward_slice(fid, br, SliceMode::Pythia);
+        assert_eq!(ctx.memo_stats(), (1, 1));
+        assert_eq!(first.values, second.values);
+        assert_eq!(first.objects, second.objects);
+        assert_eq!(first.complete, second.complete);
+        // A different mode is a different key: one more miss, no new hit.
+        ctx.backward_slice(fid, br, SliceMode::Dfi);
+        assert_eq!(ctx.memo_stats(), (1, 2));
+    }
+
+    #[test]
+    fn shared_caches_are_thread_safe() {
+        let (m, fid) = listing1_like();
+        let ctx = SliceContext::new(&m);
+        let br = ctx.branches_in(fid)[0];
+        let baseline = ctx.backward_slice(fid, br, SliceMode::Pythia);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    let slice = ctx.backward_slice(fid, br, SliceMode::Pythia);
+                    assert_eq!(slice.values, baseline.values);
+                    let _ = ctx.def_use(fid);
+                    let _ = ctx.control_deps(fid);
+                });
+            }
+        });
+        let (hits, misses) = ctx.memo_stats();
+        assert_eq!(hits + misses, 5);
+        assert!(hits >= 4, "concurrent identical queries must mostly hit");
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! Slice-cache benchmarks: cold (fresh `SliceContext`, every query computes)
+//! vs warm (shared context, queries served from the memo table) backward
+//! slicing on the nginx module. Warm should win by well over an order of
+//! magnitude — that gap is what the suite-wide shared cache buys.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pythia_analysis::{SliceContext, SliceMode};
+use pythia_workloads::nginx_module;
+
+fn bench_slicing(c: &mut Criterion) {
+    let m = nginx_module(60);
+    let ctx = SliceContext::new(&m);
+    let targets: Vec<_> = m
+        .func_ids()
+        .flat_map(|fid| ctx.branches_in(fid).into_iter().map(move |br| (fid, br)))
+        .collect();
+    assert!(!targets.is_empty());
+
+    let mut group = c.benchmark_group("slicing");
+    group.sample_size(10);
+
+    group.bench_function("backward_slice_cold", |b| {
+        b.iter_batched(
+            || SliceContext::new(&m),
+            |fresh| {
+                for &(fid, br) in &targets {
+                    std::hint::black_box(fresh.backward_slice(fid, br, SliceMode::Pythia));
+                }
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    // Prime the memo table once, then measure pure cache hits.
+    for &(fid, br) in &targets {
+        ctx.backward_slice(fid, br, SliceMode::Pythia);
+    }
+    group.bench_function("backward_slice_warm", |b| {
+        b.iter(|| {
+            for &(fid, br) in &targets {
+                std::hint::black_box(ctx.backward_slice(fid, br, SliceMode::Pythia));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_slicing);
+criterion_main!(benches);

@@ -1,8 +1,15 @@
 //! Regenerate the paper's tables and figures (see DESIGN.md §4).
 //!
-//! Usage: `reproduce [section...]` where a section is one of
-//! `fig4a fig4b fig5a fig5b fig6a fig6b fig7a fig7b dist dynpa heap campaign
-//! models nginx motiv eq6 ablations` — or nothing for the full report.
+//! Usage: `reproduce [--out <dir>] [--bench-json] [section...]` where a
+//! section is one of `fig4a fig4b fig5a fig5b fig6a fig6b fig7a fig7b
+//! dist dynpa heap campaign models nginx motiv eq6 ablations` — or
+//! nothing for the full report.
+//!
+//! `--bench-json` additionally writes `BENCH_suite.json` (into the
+//! `--out` directory when given, else the working directory) with the
+//! suite's total and per-phase wall-clock timings and the worker count,
+//! so harness speed is comparable across changes. Worker count comes
+//! from `PYTHIA_THREADS` (default: available parallelism).
 
 use pythia_bench::experiments as exp;
 
@@ -18,8 +25,41 @@ fn main() {
         out_dir = Some(args.remove(i + 1));
         args.remove(i);
     }
+    let mut bench_json = false;
+    if let Some(i) = args.iter().position(|a| a == "--bench-json") {
+        bench_json = true;
+        args.remove(i);
+    }
+
+    // Experiments that need the evaluated suite share one run.
+    let needs_suite = [
+        "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b", "fig7a", "fig7b", "dist", "dynpa",
+        "heap", "models",
+    ];
+    let run_suite_now =
+        args.is_empty() || bench_json || args.iter().any(|a| needs_suite.contains(&a.as_str()));
+    let suite = if run_suite_now {
+        let (suite, timing) = exp::run_suite_timed();
+        if bench_json {
+            let json = exp::bench_json(&suite, &timing);
+            let dir = out_dir.clone().unwrap_or_else(|| ".".to_owned());
+            std::fs::create_dir_all(&dir).expect("create out dir");
+            let path = std::path::Path::new(&dir).join("BENCH_suite.json");
+            std::fs::write(&path, json).expect("write BENCH_suite.json");
+            eprintln!(
+                "wrote {} ({} threads, {:.2}s total)",
+                path.display(),
+                timing.threads,
+                timing.total_secs
+            );
+        }
+        Some(suite)
+    } else {
+        None
+    };
+
     if args.is_empty() {
-        let report = exp::run_all();
+        let report = exp::render_all(suite.as_ref().unwrap());
         match out_dir {
             Some(dir) => {
                 std::fs::create_dir_all(&dir).expect("create out dir");
@@ -31,16 +71,6 @@ fn main() {
         }
         return;
     }
-    // Experiments that need the evaluated suite share one run.
-    let needs_suite = [
-        "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b", "fig7a", "fig7b", "dist", "dynpa",
-        "heap", "models",
-    ];
-    let suite = if args.iter().any(|a| needs_suite.contains(&a.as_str())) {
-        Some(exp::run_suite())
-    } else {
-        None
-    };
     for a in &args {
         let section = match a.as_str() {
             "fig4a" => exp::fig4a(suite.as_ref().unwrap()),

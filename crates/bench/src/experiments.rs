@@ -8,32 +8,192 @@ use crate::table::{frac, pct, Table};
 use pythia_core::{adjudicate, evaluate, BenchEvaluation, Scheme, VmConfig};
 use pythia_ir::IcCategory;
 use pythia_pa::{brute_force_probability, expected_tries, PaContext, PacConfig};
-use pythia_workloads::{all_scenarios, generate, nginx_module, run_workers, SPEC_PROFILES};
+use pythia_workloads::{
+    all_scenarios, generate, nginx_module, profile_by_name, run_workers, BenchProfile,
+    SPEC_PROFILES,
+};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// The three instrumented schemes, in figure order.
 pub const SCHEMES: [Scheme; 3] = [Scheme::Cpa, Scheme::Pythia, Scheme::Dfi];
 
-/// Evaluate the full suite: all 16 SPEC-like benchmarks plus nginx.
-pub fn run_suite() -> Vec<BenchEvaluation> {
-    let cfg = VmConfig::default();
-    let mut out = Vec::new();
-    for p in &SPEC_PROFILES {
-        let m = generate(p);
-        out.push(evaluate(&m, &SCHEMES, p.seed, &cfg));
+/// Seed of the nginx suite entry.
+const NGINX_SEED: u64 = 0x9137;
+
+/// One unit of suite work: generate a module and evaluate it.
+#[derive(Debug, Clone, Copy)]
+enum SuiteJob {
+    /// A SPEC-like profile.
+    Profile(&'static BenchProfile),
+    /// The nginx server workload with a fixed request count.
+    Nginx { requests: u64, seed: u64 },
+}
+
+impl SuiteJob {
+    fn run(&self, cfg: &VmConfig) -> BenchEvaluation {
+        match *self {
+            SuiteJob::Profile(p) => {
+                let m = generate(p);
+                evaluate(&m, &SCHEMES, p.seed, cfg)
+            }
+            SuiteJob::Nginx { requests, seed } => {
+                let m = nginx_module(requests);
+                evaluate(&m, &SCHEMES, seed, cfg)
+            }
+        }
     }
-    let nginx = nginx_module(60);
-    out.push(evaluate(&nginx, &SCHEMES, 0x9137, &cfg));
+}
+
+/// The full suite: all 16 SPEC-like benchmarks plus nginx, in report order.
+fn suite_jobs() -> Vec<SuiteJob> {
+    let mut jobs: Vec<SuiteJob> = SPEC_PROFILES.iter().map(SuiteJob::Profile).collect();
+    jobs.push(SuiteJob::Nginx {
+        requests: 60,
+        seed: NGINX_SEED,
+    });
+    jobs
+}
+
+/// Number of suite workers: `PYTHIA_THREADS` when set to a positive
+/// integer, otherwise the machine's available parallelism.
+pub fn worker_count() -> usize {
+    match std::env::var("PYTHIA_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+    }
+}
+
+/// Run `jobs` on a bounded worker pool, preserving input order in the
+/// output. Every job is deterministic (fixed generator and VM seeds), so
+/// the evaluations — and any report rendered from them — are identical
+/// for every worker count.
+fn run_jobs(jobs: &[SuiteJob], threads: usize) -> Vec<BenchEvaluation> {
+    let cfg = VmConfig::default();
+    let threads = threads.clamp(1, jobs.len().max(1));
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, BenchEvaluation)>();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            let cfg = &cfg;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(i) else { break };
+                if tx.send((i, job.run(cfg))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut slots: Vec<Option<BenchEvaluation>> = (0..jobs.len()).map(|_| None).collect();
+        for (i, ev) in rx {
+            slots[i] = Some(ev);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("suite job completed"))
+            .collect()
+    })
+}
+
+/// Evaluate the full suite: all 16 SPEC-like benchmarks plus nginx,
+/// concurrently across [`worker_count`] workers.
+pub fn run_suite() -> Vec<BenchEvaluation> {
+    run_suite_with(worker_count())
+}
+
+/// [`run_suite`] with an explicit worker count (1 = fully serial).
+pub fn run_suite_with(threads: usize) -> Vec<BenchEvaluation> {
+    run_jobs(&suite_jobs(), threads)
+}
+
+/// Evaluate a subset of the suite by (possibly partial) profile name,
+/// with an explicit worker count. Used by the determinism tests.
+///
+/// # Panics
+///
+/// Panics if a name matches no profile.
+pub fn run_profiles(names: &[&str], threads: usize) -> Vec<BenchEvaluation> {
+    let jobs: Vec<SuiteJob> = names
+        .iter()
+        .map(|n| SuiteJob::Profile(profile_by_name(n).expect("unknown profile")))
+        .collect();
+    run_jobs(&jobs, threads)
+}
+
+/// Timing envelope of one suite run (for `BENCH_suite.json`).
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteTiming {
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall-clock of the suite run.
+    pub total_secs: f64,
+}
+
+/// [`run_suite`] plus its wall-clock envelope.
+pub fn run_suite_timed() -> (Vec<BenchEvaluation>, SuiteTiming) {
+    let threads = worker_count();
+    let start = Instant::now();
+    let suite = run_suite_with(threads);
+    let timing = SuiteTiming {
+        threads,
+        total_secs: start.elapsed().as_secs_f64(),
+    };
+    (suite, timing)
+}
+
+/// Render a machine-readable benchmark record: total and per-phase
+/// wall-clock, plus the per-benchmark breakdown. Hand-rolled JSON — the
+/// workspace is offline and carries no serde.
+pub fn bench_json(suite: &[BenchEvaluation], timing: &SuiteTiming) -> String {
+    let sum = |f: fn(&pythia_core::Timings) -> f64| -> f64 {
+        suite.iter().map(|e| f(&e.timings)).sum()
+    };
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"threads\": {},\n", timing.threads));
+    out.push_str(&format!("  \"total_secs\": {:.6},\n", timing.total_secs));
+    out.push_str(&format!(
+        "  \"per_phase\": {{ \"analysis\": {:.6}, \"instrument\": {:.6}, \"execute\": {:.6} }},\n",
+        sum(|t| t.analysis_secs),
+        sum(|t| t.instrument_secs),
+        sum(|t| t.execute_secs)
+    ));
+    out.push_str("  \"benchmarks\": [\n");
+    for (i, ev) in suite.iter().enumerate() {
+        let t = &ev.timings;
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"analysis_secs\": {:.6}, \"instrument_secs\": {:.6}, \"execute_secs\": {:.6} }}{}\n",
+            ev.name,
+            t.analysis_secs,
+            t.instrument_secs,
+            t.execute_secs,
+            if i + 1 < suite.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
     out
 }
 
 fn mean(vals: impl Iterator<Item = f64>) -> f64 {
-    let v: Vec<f64> = vals.collect();
-    if v.is_empty() {
+    // Stream count+sum in one pass; no intermediate Vec.
+    let (mut sum, mut n) = (0.0f64, 0u64);
+    for v in vals {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
         0.0
     } else {
-        v.iter().sum::<f64>() / v.len() as f64
+        sum / n as f64
     }
 }
 
@@ -655,7 +815,12 @@ pub fn campaign() -> String {
 
 /// Run every experiment and return the full report.
 pub fn run_all() -> String {
-    let suite = run_suite();
+    render_all(&run_suite())
+}
+
+/// Render the full report from an already-evaluated suite (lets callers
+/// reuse one suite run for both the report and `BENCH_suite.json`).
+pub fn render_all(suite: &[BenchEvaluation]) -> String {
     let mut out = String::new();
     out.push_str(&fig4a(&suite));
     out.push('\n');

@@ -1,0 +1,52 @@
+//! The parallel suite harness must be a pure speedup: 1 worker and N
+//! workers produce identical evaluations and byte-identical report text.
+
+use pythia_bench::experiments as exp;
+
+const NAMES: [&str; 2] = ["519.lbm_r", "505.mcf_r"];
+
+#[test]
+fn serial_and_parallel_evaluations_are_identical() {
+    let serial = exp::run_profiles(&NAMES, 1);
+    let parallel = exp::run_profiles(&NAMES, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(a.name, b.name, "output order must be deterministic");
+        assert_eq!(a.analysis, b.analysis, "{}: analysis summary differs", a.name);
+        assert_eq!(a.results.len(), b.results.len());
+        for (ra, rb) in a.results.iter().zip(&b.results) {
+            assert_eq!(ra.scheme, rb.scheme, "{}: scheme order differs", a.name);
+            assert_eq!(ra.stats, rb.stats, "{}: instrumentation differs", a.name);
+            assert_eq!(ra.exit, rb.exit, "{}: exit differs", a.name);
+            assert_eq!(ra.metrics, rb.metrics, "{}: metrics differ", a.name);
+        }
+    }
+}
+
+#[test]
+fn serial_and_parallel_report_text_is_byte_identical() {
+    let serial = exp::run_profiles(&NAMES, 1);
+    let parallel = exp::run_profiles(&NAMES, 4);
+    let render = |suite: &[pythia_core::BenchEvaluation]| {
+        let mut out = String::new();
+        out.push_str(&exp::fig4a(suite));
+        out.push_str(&exp::fig4b(suite));
+        out.push_str(&exp::fig5a(suite));
+        out.push_str(&exp::fig6a(suite));
+        out.push_str(&exp::fig6b(suite));
+        out.push_str(&exp::fig7a(suite));
+        out.push_str(&exp::fig7b(suite));
+        out.push_str(&exp::dist(suite));
+        out
+    };
+    assert_eq!(render(&serial), render(&parallel));
+}
+
+#[test]
+fn rerunning_the_same_profile_is_reproducible() {
+    // Same seed, same machine state → same evaluation, run to run.
+    let a = exp::run_profiles(&["519.lbm_r"], 2);
+    let b = exp::run_profiles(&["519.lbm_r"], 2);
+    assert_eq!(a[0].analysis, b[0].analysis);
+    assert_eq!(exp::fig4a(&a), exp::fig4a(&b));
+}

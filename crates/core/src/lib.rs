@@ -32,7 +32,7 @@ pub mod pipeline;
 pub mod security;
 
 pub use campaign::{run_campaign, AttackOutcome, CampaignResult};
-pub use pipeline::{evaluate, AnalysisSummary, BenchEvaluation, SchemeResult};
+pub use pipeline::{evaluate, AnalysisSummary, BenchEvaluation, SchemeResult, Timings};
 pub use pythia_passes::{instrument, instrument_with, InstrumentationStats, Scheme};
 pub use pythia_vm::{DetectionMechanism, ExitReason, InputPlan, RunMetrics, Vm, VmConfig};
 pub use security::{adjudicate, adjudicate_all, ScenarioOutcome};

@@ -7,6 +7,7 @@ use pythia_ir::{IcCategory, Module};
 use pythia_passes::{instrument_with, InstrumentationStats, Scheme};
 use pythia_vm::{ExitReason, InputPlan, RunMetrics, Vm, VmConfig};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Results of running one scheme's variant of a benchmark.
 #[derive(Debug, Clone)]
@@ -22,7 +23,7 @@ pub struct SchemeResult {
 }
 
 /// Static analysis facts about a benchmark (independent of scheme).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AnalysisSummary {
     /// Conditional branch count.
     pub branches: usize,
@@ -61,6 +62,26 @@ pub struct AnalysisSummary {
     pub insts: usize,
 }
 
+/// Wall-clock phase timings of one benchmark evaluation. Purely
+/// observational: never part of rendered reports, so serial and parallel
+/// runs stay byte-identical in report text.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Timings {
+    /// Analysis phase (points-to, slicing, vulnerability report).
+    pub analysis_secs: f64,
+    /// Instrumentation, summed across all scheme variants.
+    pub instrument_secs: f64,
+    /// VM execution, summed across all scheme variants.
+    pub execute_secs: f64,
+}
+
+impl Timings {
+    /// Sum of all phases.
+    pub fn total_secs(&self) -> f64 {
+        self.analysis_secs + self.instrument_secs + self.execute_secs
+    }
+}
+
 /// A fully evaluated benchmark: one entry per requested scheme.
 #[derive(Debug, Clone)]
 pub struct BenchEvaluation {
@@ -70,6 +91,8 @@ pub struct BenchEvaluation {
     pub analysis: AnalysisSummary,
     /// Per-scheme results (always includes `Scheme::Vanilla`).
     pub results: Vec<SchemeResult>,
+    /// Where the wall-clock time went.
+    pub timings: Timings,
 }
 
 impl BenchEvaluation {
@@ -141,12 +164,16 @@ impl BenchEvaluation {
 
 /// Evaluate one module under the given schemes (vanilla is always added).
 ///
-/// The analysis runs once; each scheme is instrumented from the shared
-/// report and executed on the same benign input plan/seed.
+/// The analysis runs once; each scheme variant is then instrumented from
+/// the shared context/report and executed on its own worker thread (the
+/// same benign input plan/seed per variant, so results are deterministic
+/// and ordered regardless of scheduling).
 pub fn evaluate(module: &Module, schemes: &[Scheme], seed: u64, cfg: &VmConfig) -> BenchEvaluation {
+    let t_analysis = Instant::now();
     let ctx = SliceContext::new(module);
     let report = VulnerabilityReport::analyze(&ctx);
     let channels = InputChannels::find(module);
+    let analysis_secs = t_analysis.elapsed().as_secs_f64();
 
     let analysis = AnalysisSummary {
         branches: report.num_branches(),
@@ -175,25 +202,56 @@ pub fn evaluate(module: &Module, schemes: &[Scheme], seed: u64, cfg: &VmConfig) 
         }
     }
 
-    let results = all
-        .into_iter()
-        .map(|scheme| {
-            let inst = instrument_with(module, &ctx, &report, scheme);
-            let mut vm = Vm::new(&inst.module, cfg.clone(), InputPlan::benign(seed));
-            let r = vm.run("main", &[]);
-            SchemeResult {
-                scheme,
-                stats: inst.stats,
-                exit: r.exit,
-                metrics: r.metrics,
-            }
-        })
-        .collect();
+    // Instrument + execute every variant concurrently; the analysis
+    // context and report are shared read-only. Joining in spawn order
+    // keeps `results` deterministic.
+    let (results, instrument_secs, execute_secs) = std::thread::scope(|s| {
+        let handles: Vec<_> = all
+            .into_iter()
+            .map(|scheme| {
+                let ctx = &ctx;
+                let report = &report;
+                s.spawn(move || {
+                    let t_inst = Instant::now();
+                    let inst = instrument_with(module, ctx, report, scheme);
+                    let instrument_secs = t_inst.elapsed().as_secs_f64();
+                    let t_exec = Instant::now();
+                    let mut vm = Vm::new(&inst.module, cfg.clone(), InputPlan::benign(seed));
+                    let r = vm.run("main", &[]);
+                    let execute_secs = t_exec.elapsed().as_secs_f64();
+                    (
+                        SchemeResult {
+                            scheme,
+                            stats: inst.stats,
+                            exit: r.exit,
+                            metrics: r.metrics,
+                        },
+                        instrument_secs,
+                        execute_secs,
+                    )
+                })
+            })
+            .collect();
+        let mut results = Vec::with_capacity(handles.len());
+        let (mut instr, mut exec) = (0.0, 0.0);
+        for h in handles {
+            let (r, i, e) = h.join().expect("scheme worker panicked");
+            results.push(r);
+            instr += i;
+            exec += e;
+        }
+        (results, instr, exec)
+    });
 
     BenchEvaluation {
         name: module.name.clone(),
         analysis,
         results,
+        timings: Timings {
+            analysis_secs,
+            instrument_secs,
+            execute_secs,
+        },
     }
 }
 

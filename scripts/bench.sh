@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Harness performance check: run the full suite serially and in parallel,
+# verify the rendered reports are byte-identical, and keep the parallel
+# run's BENCH_suite.json (total + per-phase wall-clock, worker count).
+#
+# Usage: scripts/bench.sh [out-dir]   (default: bench-out)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-bench-out}"
+mkdir -p "$OUT"
+
+cargo build --release -p pythia-bench
+REPRODUCE=target/release/reproduce
+
+now_ms() { date +%s%3N; }
+
+echo "== serial (PYTHIA_THREADS=1) =="
+start=$(now_ms)
+PYTHIA_THREADS=1 "$REPRODUCE" --out "$OUT/serial" --bench-json
+serial_ms=$(( $(now_ms) - start ))
+
+echo "== parallel (PYTHIA_THREADS unset: available cores) =="
+start=$(now_ms)
+"$REPRODUCE" --out "$OUT/parallel" --bench-json
+parallel_ms=$(( $(now_ms) - start ))
+
+if ! diff -q "$OUT/serial/report.md" "$OUT/parallel/report.md"; then
+    echo "FAIL: serial and parallel reports diverge" >&2
+    diff -u "$OUT/serial/report.md" "$OUT/parallel/report.md" | head -50 >&2
+    exit 1
+fi
+echo "OK: serial and parallel reports are byte-identical"
+
+cp "$OUT/parallel/BENCH_suite.json" "$OUT/BENCH_suite.json"
+awk -v s="$serial_ms" -v p="$parallel_ms" 'BEGIN {
+    printf "serial: %.2fs  parallel: %.2fs  speedup: %.2fx\n",
+        s / 1000, p / 1000, s / (p > 0 ? p : 1)
+}'
+echo "timings: $OUT/BENCH_suite.json"

@@ -1,0 +1,263 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal wall-clock benchmark harness with criterion's
+//! surface API: [`Criterion`], [`criterion_group!`]/[`criterion_main!`],
+//! benchmark groups, `iter`/`iter_batched`, and a name filter taken from
+//! the command line (`cargo bench -- <substring>`). No statistics beyond
+//! min/mean/max per sample set, no HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup; the stub treats all sizes alike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Collects timing samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<f64>, // ns per iteration
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Pick an iteration count that makes one sample take ~2 ms.
+    fn calibrate<O>(f: &mut impl FnMut() -> O) -> u64 {
+        let start = Instant::now();
+        black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(20));
+        (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64
+    }
+
+    /// Time `f`, the whole call measured.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let iters = Self::calibrate(&mut f);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let dt = start.elapsed();
+            self.samples.push(dt.as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Time `routine` only; `setup` runs untimed before every call.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.sample_size.max(1) {
+            // One sample = mean of a small, fixed batch, so the timer
+            // overhead stays a minor fraction of each sample.
+            const BATCH: usize = 64;
+            let inputs: Vec<I> = (0..BATCH).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let dt = start.elapsed();
+            self.samples.push(dt.as_nanos() as f64 / BATCH as f64);
+        }
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, samples: &[f64]) {
+    if samples.is_empty() {
+        return;
+    }
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(0.0f64, f64::max);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{name:<48} time:   [{} {} {}]",
+        human(min),
+        human(mean),
+        human(max)
+    );
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <substring>` filters by name; flag-like args
+        // (--bench, --exact, …) from the harness protocol are ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion {
+            sample_size: 20,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Set samples per benchmark (builder form).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().map_or(true, |f| name.contains(f))
+    }
+
+    fn run_one(&mut self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        if !self.matches(name) {
+            return;
+        }
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        report(name, &b.samples);
+    }
+
+    /// Benchmark one closure.
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        self.run_one(name, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override samples per benchmark within the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Benchmark with an explicit input value.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.c.matches(&full) {
+            let mut b = Bencher::new(self.sample_size.unwrap_or(self.c.sample_size));
+            f(&mut b, input);
+            report(&full, &b.samples);
+        }
+        self
+    }
+
+    /// Benchmark one closure within the group.
+    pub fn bench_function(&mut self, id: impl Into<String>, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        if self.c.matches(&full) {
+            let mut b = Bencher::new(self.sample_size.unwrap_or(self.c.sample_size));
+            f(&mut b);
+            report(&full, &b.samples);
+        }
+        self
+    }
+
+    /// End the group (report output is immediate, nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                {
+                    let mut c: $crate::Criterion = $cfg;
+                    $target(&mut c);
+                }
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
