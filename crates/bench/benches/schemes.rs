@@ -32,7 +32,7 @@ fn bench_execution(c: &mut Criterion) {
             |b, inst| {
                 b.iter(|| {
                     let mut vm = Vm::new(&inst.module, VmConfig::default(), InputPlan::benign(1));
-                    std::hint::black_box(vm.run("main", &[]).metrics.cycles())
+                    std::hint::black_box(vm.run("main", &[]).unwrap().metrics.cycles())
                 })
             },
         );

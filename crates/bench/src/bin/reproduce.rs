@@ -1,15 +1,25 @@
 //! Regenerate the paper's tables and figures (see DESIGN.md §4).
 //!
-//! Usage: `reproduce [--out <dir>] [--bench-json] [section...]` where a
-//! section is one of `fig4a fig4b fig5a fig5b fig6a fig6b fig7a fig7b
-//! dist dynpa heap campaign models nginx motiv eq6 ablations` — or
+//! Usage: `reproduce [--out <dir>] [--bench-json] [--smoke] [section...]`
+//! where a section is one of `fig4a fig4b fig5a fig5b fig6a fig6b fig7a
+//! fig7b dist dynpa heap campaign models nginx motiv eq6 ablations` — or
 //! nothing for the full report.
 //!
 //! `--bench-json` additionally writes `BENCH_suite.json` (into the
 //! `--out` directory when given, else the working directory) with the
-//! suite's total and per-phase wall-clock timings and the worker count,
-//! so harness speed is comparable across changes. Worker count comes
+//! suite's total and per-phase wall-clock timings, the worker count, and
+//! a per-benchmark `status` field (`ok` or the error variant), so harness
+//! speed and health are comparable across changes. Worker count comes
 //! from `PYTHIA_THREADS` (default: available parallelism).
+//!
+//! `--smoke` evaluates only a tiny suite (lbm, mcf, a short nginx run)
+//! and skips the sections that need the full suite — a CI-speed health
+//! check, used by `scripts/check.sh`.
+//!
+//! A benchmark that fails to evaluate does not abort the run: it shows up
+//! in the report's error section (and in `BENCH_suite.json` as its error
+//! variant), the remaining benchmarks render normally, and the process
+//! exits with status 1.
 
 use pythia_bench::experiments as exp;
 
@@ -30,6 +40,11 @@ fn main() {
         bench_json = true;
         args.remove(i);
     }
+    let mut smoke = false;
+    if let Some(i) = args.iter().position(|a| a == "--smoke") {
+        smoke = true;
+        args.remove(i);
+    }
 
     // Experiments that need the evaluated suite share one run.
     let needs_suite = [
@@ -39,7 +54,11 @@ fn main() {
     let run_suite_now =
         args.is_empty() || bench_json || args.iter().any(|a| needs_suite.contains(&a.as_str()));
     let suite = if run_suite_now {
-        let (suite, timing) = exp::run_suite_timed();
+        let (suite, timing) = if smoke {
+            exp::run_smoke_timed()
+        } else {
+            exp::run_suite_timed()
+        };
         if bench_json {
             let json = exp::bench_json(&suite, &timing);
             let dir = out_dir.clone().unwrap_or_else(|| ".".to_owned());
@@ -58,8 +77,34 @@ fn main() {
         None
     };
 
+    // One failed benchmark must not hide the others, but it must not
+    // look like success either: report every failure on stderr and exit 1.
+    let mut failed = false;
+    if let Some(entries) = &suite {
+        for entry in entries {
+            if let Some(e) = entry.error() {
+                eprintln!("reproduce: `{}` failed to evaluate: {e}", entry.name);
+                failed = true;
+            }
+        }
+    }
+
     if args.is_empty() {
-        let report = exp::render_all(suite.as_ref().unwrap());
+        let entries = suite.as_ref().unwrap();
+        let report = if smoke {
+            // The full report's non-suite sections (campaign, ablations,
+            // nginx sweep, ...) defeat the point of a smoke run; render
+            // just the suite-backed health summary.
+            let evals = exp::ok_evaluations(entries);
+            let mut r = exp::errors_section(entries);
+            if !r.is_empty() {
+                r.push('\n');
+            }
+            r.push_str(&exp::fig4a(&evals));
+            r
+        } else {
+            exp::render_all(entries)
+        };
         match out_dir {
             Some(dir) => {
                 std::fs::create_dir_all(&dir).expect("create out dir");
@@ -69,22 +114,23 @@ fn main() {
             }
             None => println!("{report}"),
         }
-        return;
+        std::process::exit(i32::from(failed));
     }
+    let evals = suite.as_ref().map(|s| exp::ok_evaluations(s));
     for a in &args {
         let section = match a.as_str() {
-            "fig4a" => exp::fig4a(suite.as_ref().unwrap()),
-            "fig4b" => exp::fig4b(suite.as_ref().unwrap()),
-            "fig5a" => exp::fig5a(suite.as_ref().unwrap()),
-            "fig5b" => exp::fig5b(suite.as_ref().unwrap()),
-            "fig6a" => exp::fig6a(suite.as_ref().unwrap()),
-            "fig6b" => exp::fig6b(suite.as_ref().unwrap()),
-            "fig7a" => exp::fig7a(suite.as_ref().unwrap()),
-            "fig7b" => exp::fig7b(suite.as_ref().unwrap()),
-            "dist" => exp::dist(suite.as_ref().unwrap()),
-            "dynpa" => exp::dynpa(suite.as_ref().unwrap()),
-            "heap" => exp::heap(suite.as_ref().unwrap()),
-            "models" => exp::models(suite.as_ref().unwrap()),
+            "fig4a" => exp::fig4a(evals.as_ref().unwrap()),
+            "fig4b" => exp::fig4b(evals.as_ref().unwrap()),
+            "fig5a" => exp::fig5a(evals.as_ref().unwrap()),
+            "fig5b" => exp::fig5b(evals.as_ref().unwrap()),
+            "fig6a" => exp::fig6a(evals.as_ref().unwrap()),
+            "fig6b" => exp::fig6b(evals.as_ref().unwrap()),
+            "fig7a" => exp::fig7a(evals.as_ref().unwrap()),
+            "fig7b" => exp::fig7b(evals.as_ref().unwrap()),
+            "dist" => exp::dist(evals.as_ref().unwrap()),
+            "dynpa" => exp::dynpa(evals.as_ref().unwrap()),
+            "heap" => exp::heap(evals.as_ref().unwrap()),
+            "models" => exp::models(evals.as_ref().unwrap()),
             "nginx" => exp::nginx(),
             "motiv" => exp::motiv(),
             "campaign" => exp::campaign(),
@@ -97,4 +143,5 @@ fn main() {
         };
         println!("{section}");
     }
+    std::process::exit(i32::from(failed));
 }

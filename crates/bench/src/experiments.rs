@@ -5,8 +5,8 @@
 //! suite is analyzed, instrumented and executed on the spot.
 
 use crate::table::{frac, pct, Table};
-use pythia_core::{adjudicate, evaluate, BenchEvaluation, Scheme, VmConfig};
-use pythia_ir::IcCategory;
+use pythia_core::{adjudicate, evaluate, BenchEvaluation, PythiaError, Scheme, VmConfig};
+use pythia_ir::{IcCategory, Module};
 use pythia_pa::{brute_force_probability, expected_tries, PaContext, PacConfig};
 use pythia_workloads::{
     all_scenarios, generate, nginx_module, profile_by_name, run_workers, BenchProfile,
@@ -14,6 +14,7 @@ use pythia_workloads::{
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -23,25 +24,102 @@ pub const SCHEMES: [Scheme; 3] = [Scheme::Cpa, Scheme::Pythia, Scheme::Dfi];
 /// Seed of the nginx suite entry.
 const NGINX_SEED: u64 = 0x9137;
 
+/// One suite slot: the benchmark's name plus either its evaluation or the
+/// typed error that stopped it. One failing benchmark never erases the
+/// rest of the suite — reports render the survivors and list the errors.
+#[derive(Debug, Clone)]
+pub struct SuiteEntry {
+    /// Benchmark name (stable even when the evaluation failed).
+    pub name: String,
+    /// The evaluation, or why it could not be produced.
+    pub outcome: Result<BenchEvaluation, PythiaError>,
+}
+
+impl SuiteEntry {
+    /// The evaluation, if the benchmark succeeded.
+    pub fn evaluation(&self) -> Option<&BenchEvaluation> {
+        self.outcome.as_ref().ok()
+    }
+
+    /// The error, if the benchmark failed.
+    pub fn error(&self) -> Option<&PythiaError> {
+        self.outcome.as_ref().err()
+    }
+}
+
+/// The successful evaluations of a suite, in order (cloned so the render
+/// functions can keep their `&[BenchEvaluation]` signatures).
+pub fn ok_evaluations(suite: &[SuiteEntry]) -> Vec<BenchEvaluation> {
+    suite
+        .iter()
+        .filter_map(|e| e.evaluation().cloned())
+        .collect()
+}
+
+/// Render the per-benchmark error section, or an empty string when every
+/// benchmark evaluated cleanly.
+pub fn errors_section(suite: &[SuiteEntry]) -> String {
+    let failed: Vec<&SuiteEntry> = suite.iter().filter(|e| e.outcome.is_err()).collect();
+    if failed.is_empty() {
+        return String::new();
+    }
+    let mut t = Table::new(vec!["benchmark", "class", "error"]);
+    for e in &failed {
+        if let Some(err) = e.error() {
+            t.row(vec![
+                e.name.clone(),
+                err.variant().to_owned(),
+                err.to_string(),
+            ]);
+        }
+    }
+    format!(
+        "## errors — {} of {} benchmarks failed to evaluate\n\n{}",
+        failed.len(),
+        suite.len(),
+        t.render()
+    )
+}
+
 /// One unit of suite work: generate a module and evaluate it.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 enum SuiteJob {
     /// A SPEC-like profile.
     Profile(&'static BenchProfile),
     /// The nginx server workload with a fixed request count.
     Nginx { requests: u64, seed: u64 },
+    /// A caller-supplied module (test injection, ad-hoc suites).
+    Module {
+        name: String,
+        module: Module,
+        seed: u64,
+    },
+    /// A name that matched no profile — evaluates to a setup error.
+    Missing { name: String },
 }
 
 impl SuiteJob {
-    fn run(&self, cfg: &VmConfig) -> BenchEvaluation {
-        match *self {
+    fn name(&self) -> String {
+        match self {
+            SuiteJob::Profile(p) => p.name.to_owned(),
+            SuiteJob::Nginx { .. } => "nginx".to_owned(),
+            SuiteJob::Module { name, .. } | SuiteJob::Missing { name } => name.clone(),
+        }
+    }
+
+    fn run(&self, cfg: &VmConfig) -> Result<BenchEvaluation, PythiaError> {
+        match self {
             SuiteJob::Profile(p) => {
                 let m = generate(p);
                 evaluate(&m, &SCHEMES, p.seed, cfg)
             }
             SuiteJob::Nginx { requests, seed } => {
-                let m = nginx_module(requests);
-                evaluate(&m, &SCHEMES, seed, cfg)
+                let m = nginx_module(*requests);
+                evaluate(&m, &SCHEMES, *seed, cfg)
+            }
+            SuiteJob::Module { module, seed, .. } => evaluate(module, &SCHEMES, *seed, cfg),
+            SuiteJob::Missing { name } => {
+                Err(PythiaError::setup(format!("unknown profile `{name}`")))
             }
         }
     }
@@ -75,11 +153,17 @@ pub fn worker_count() -> usize {
 /// output. Every job is deterministic (fixed generator and VM seeds), so
 /// the evaluations — and any report rendered from them — are identical
 /// for every worker count.
-fn run_jobs(jobs: &[SuiteJob], threads: usize) -> Vec<BenchEvaluation> {
+///
+/// Each job body runs under `catch_unwind`, so one panicking or failing
+/// benchmark yields an error entry in its slot instead of poisoning the
+/// pool: the other jobs keep draining the queue and land in their usual
+/// positions.
+fn run_jobs(jobs: &[SuiteJob], threads: usize) -> Vec<SuiteEntry> {
+    type Outcome = Result<BenchEvaluation, PythiaError>;
     let cfg = VmConfig::default();
     let threads = threads.clamp(1, jobs.len().max(1));
     let next = AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, BenchEvaluation)>();
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, Outcome)>();
     std::thread::scope(|s| {
         for _ in 0..threads {
             let tx = tx.clone();
@@ -88,45 +172,85 @@ fn run_jobs(jobs: &[SuiteJob], threads: usize) -> Vec<BenchEvaluation> {
             s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(i) else { break };
-                if tx.send((i, job.run(cfg))).is_err() {
+                let outcome = catch_unwind(AssertUnwindSafe(|| job.run(cfg)))
+                    .unwrap_or_else(|p| Err(PythiaError::from_panic(p.as_ref())));
+                if tx.send((i, outcome)).is_err() {
                     break;
                 }
             });
         }
         drop(tx);
-        let mut slots: Vec<Option<BenchEvaluation>> = (0..jobs.len()).map(|_| None).collect();
-        for (i, ev) in rx {
-            slots[i] = Some(ev);
+        let mut slots: Vec<Option<Outcome>> = (0..jobs.len()).map(|_| None).collect();
+        for (i, outcome) in rx {
+            slots[i] = Some(outcome);
         }
-        slots
-            .into_iter()
-            .map(|s| s.expect("suite job completed"))
+        jobs.iter()
+            .zip(slots)
+            .map(|(job, slot)| SuiteEntry {
+                name: job.name(),
+                outcome: slot.unwrap_or_else(|| {
+                    Err(PythiaError::internal("suite worker dropped the job"))
+                }),
+            })
             .collect()
     })
 }
 
 /// Evaluate the full suite: all 16 SPEC-like benchmarks plus nginx,
 /// concurrently across [`worker_count`] workers.
-pub fn run_suite() -> Vec<BenchEvaluation> {
+pub fn run_suite() -> Vec<SuiteEntry> {
     run_suite_with(worker_count())
 }
 
 /// [`run_suite`] with an explicit worker count (1 = fully serial).
-pub fn run_suite_with(threads: usize) -> Vec<BenchEvaluation> {
+pub fn run_suite_with(threads: usize) -> Vec<SuiteEntry> {
     run_jobs(&suite_jobs(), threads)
 }
 
 /// Evaluate a subset of the suite by (possibly partial) profile name,
-/// with an explicit worker count. Used by the determinism tests.
-///
-/// # Panics
-///
-/// Panics if a name matches no profile.
-pub fn run_profiles(names: &[&str], threads: usize) -> Vec<BenchEvaluation> {
+/// with an explicit worker count. A name matching no profile yields a
+/// setup-error entry in its slot instead of a panic.
+pub fn run_profiles(names: &[&str], threads: usize) -> Vec<SuiteEntry> {
     let jobs: Vec<SuiteJob> = names
         .iter()
-        .map(|n| SuiteJob::Profile(profile_by_name(n).expect("unknown profile")))
+        .map(|n| match profile_by_name(n) {
+            Some(p) => SuiteJob::Profile(p),
+            None => SuiteJob::Missing {
+                name: (*n).to_owned(),
+            },
+        })
         .collect();
+    run_jobs(&jobs, threads)
+}
+
+/// Evaluate caller-supplied `(name, module, seed)` triples on the suite
+/// worker pool. The injection point for robustness tests and ad-hoc
+/// suites: entries come back in input order, failures as error entries.
+pub fn evaluate_modules(modules: Vec<(String, Module, u64)>, threads: usize) -> Vec<SuiteEntry> {
+    let jobs: Vec<SuiteJob> = modules
+        .into_iter()
+        .map(|(name, module, seed)| SuiteJob::Module { name, module, seed })
+        .collect();
+    run_jobs(&jobs, threads)
+}
+
+/// The reduced smoke suite behind `reproduce --smoke`: two fast SPEC-like
+/// profiles plus a short nginx run — enough to cross every pipeline layer
+/// (generate → analyze → instrument → execute → aggregate) in seconds.
+pub fn run_smoke_with(threads: usize) -> Vec<SuiteEntry> {
+    let mut jobs: Vec<SuiteJob> = ["519.lbm_r", "505.mcf_r"]
+        .iter()
+        .map(|n| match profile_by_name(n) {
+            Some(p) => SuiteJob::Profile(p),
+            None => SuiteJob::Missing {
+                name: (*n).to_owned(),
+            },
+        })
+        .collect();
+    jobs.push(SuiteJob::Nginx {
+        requests: 10,
+        seed: NGINX_SEED,
+    });
     run_jobs(&jobs, threads)
 }
 
@@ -140,7 +264,7 @@ pub struct SuiteTiming {
 }
 
 /// [`run_suite`] plus its wall-clock envelope.
-pub fn run_suite_timed() -> (Vec<BenchEvaluation>, SuiteTiming) {
+pub fn run_suite_timed() -> (Vec<SuiteEntry>, SuiteTiming) {
     let threads = worker_count();
     let start = Instant::now();
     let suite = run_suite_with(threads);
@@ -151,12 +275,34 @@ pub fn run_suite_timed() -> (Vec<BenchEvaluation>, SuiteTiming) {
     (suite, timing)
 }
 
+/// [`run_smoke_with`] plus its wall-clock envelope.
+pub fn run_smoke_timed() -> (Vec<SuiteEntry>, SuiteTiming) {
+    let threads = worker_count();
+    let start = Instant::now();
+    let suite = run_smoke_with(threads);
+    let timing = SuiteTiming {
+        threads,
+        total_secs: start.elapsed().as_secs_f64(),
+    };
+    (suite, timing)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 /// Render a machine-readable benchmark record: total and per-phase
-/// wall-clock, plus the per-benchmark breakdown. Hand-rolled JSON — the
-/// workspace is offline and carries no serde.
-pub fn bench_json(suite: &[BenchEvaluation], timing: &SuiteTiming) -> String {
+/// wall-clock, plus the per-benchmark breakdown with a `status` field
+/// (`ok`, or the error's taxonomy variant — `scripts/check.sh` fails the
+/// build on any `internal`). Hand-rolled JSON — the workspace is offline
+/// and carries no serde.
+pub fn bench_json(suite: &[SuiteEntry], timing: &SuiteTiming) -> String {
     let sum = |f: fn(&pythia_core::Timings) -> f64| -> f64 {
-        suite.iter().map(|e| f(&e.timings)).sum()
+        suite
+            .iter()
+            .filter_map(|e| e.evaluation())
+            .map(|e| f(&e.timings))
+            .sum()
     };
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"threads\": {},\n", timing.threads));
@@ -168,16 +314,28 @@ pub fn bench_json(suite: &[BenchEvaluation], timing: &SuiteTiming) -> String {
         sum(|t| t.execute_secs)
     ));
     out.push_str("  \"benchmarks\": [\n");
-    for (i, ev) in suite.iter().enumerate() {
-        let t = &ev.timings;
-        out.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"analysis_secs\": {:.6}, \"instrument_secs\": {:.6}, \"execute_secs\": {:.6} }}{}\n",
-            ev.name,
-            t.analysis_secs,
-            t.instrument_secs,
-            t.execute_secs,
-            if i + 1 < suite.len() { "," } else { "" }
-        ));
+    for (i, entry) in suite.iter().enumerate() {
+        let comma = if i + 1 < suite.len() { "," } else { "" };
+        match &entry.outcome {
+            Ok(ev) => {
+                let t = &ev.timings;
+                out.push_str(&format!(
+                    "    {{ \"name\": \"{}\", \"status\": \"ok\", \"analysis_secs\": {:.6}, \"instrument_secs\": {:.6}, \"execute_secs\": {:.6} }}{comma}\n",
+                    json_escape(&entry.name),
+                    t.analysis_secs,
+                    t.instrument_secs,
+                    t.execute_secs,
+                ));
+            }
+            Err(e) => {
+                out.push_str(&format!(
+                    "    {{ \"name\": \"{}\", \"status\": \"{}\", \"error\": \"{}\" }}{comma}\n",
+                    json_escape(&entry.name),
+                    e.variant(),
+                    json_escape(&e.to_string()),
+                ));
+            }
+        }
     }
     out.push_str("  ]\n}\n");
     out
@@ -497,7 +655,18 @@ pub fn nginx() -> String {
         let mut base = 0.0f64;
         for scheme in [Scheme::Vanilla, Scheme::Cpa, Scheme::Pythia] {
             let inst = pythia_core::instrument_with(&m, &ctx, &report, scheme);
-            let run = run_workers(&inst.module, 12, 0x9e);
+            let run = match run_workers(&inst.module, 12, 0x9e) {
+                Ok(run) => run,
+                Err(e) => {
+                    t.row(vec![
+                        requests.to_string(),
+                        scheme.name().to_owned(),
+                        format!("ERROR: {e}"),
+                        String::new(),
+                    ]);
+                    continue;
+                }
+            };
             let tp = run.throughput();
             if scheme == Scheme::Vanilla {
                 base = tp;
@@ -524,7 +693,18 @@ pub fn motiv() -> String {
     let mut t = Table::new(vec!["scenario", "scheme", "benign", "attack-result"]);
     for s in all_scenarios() {
         for scheme in [Scheme::Vanilla, Scheme::Cpa, Scheme::Pythia, Scheme::Dfi] {
-            let o = adjudicate(&s, scheme, &cfg);
+            let o = match adjudicate(&s, scheme, &cfg) {
+                Ok(o) => o,
+                Err(e) => {
+                    t.row(vec![
+                        s.name.to_owned(),
+                        scheme.name().to_owned(),
+                        "ERROR".to_owned(),
+                        e.to_string(),
+                    ]);
+                    continue;
+                }
+            };
             let verdict = if o.bent {
                 "BENT (attack succeeded)".to_owned()
             } else if let Some(m) = o.detected {
@@ -697,7 +877,10 @@ pub fn ablations() -> String {
 
     let run_attack = |m: &pythia_ir::Module, s: &pythia_workloads::Scenario| {
         let mut vm = Vm::new(m, cfg.clone(), s.attack.clone());
-        let r = vm.run("main", &[]);
+        let r = match vm.run("main", &[]) {
+            Ok(r) => r,
+            Err(e) => return format!("ERROR: {e}"),
+        };
         match r.detected() {
             Some(mech) => format!("DETECTED ({mech:?})"),
             None => {
@@ -792,7 +975,22 @@ pub fn campaign() -> String {
         let p = pythia_workloads::profile_by_name(name).expect("profile");
         let m = generate(p);
         for scheme in [Scheme::Vanilla, Scheme::Cpa, Scheme::Pythia, Scheme::Dfi] {
-            let r = run_campaign(&m, scheme, p.seed, 64, 32, &cfg);
+            let r = match run_campaign(&m, scheme, p.seed, 64, 32, &cfg) {
+                Ok(r) => r,
+                Err(e) => {
+                    t.row(vec![
+                        name.to_owned(),
+                        scheme.name().to_owned(),
+                        format!("ERROR: {e}"),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                        String::new(),
+                    ]);
+                    continue;
+                }
+            };
             t.row(vec![
                 name.to_owned(),
                 scheme.name().to_owned(),
@@ -820,8 +1018,16 @@ pub fn run_all() -> String {
 
 /// Render the full report from an already-evaluated suite (lets callers
 /// reuse one suite run for both the report and `BENCH_suite.json`).
-pub fn render_all(suite: &[BenchEvaluation]) -> String {
+/// Benchmarks that failed appear in a leading error section; every figure
+/// is rendered from the survivors.
+pub fn render_all(entries: &[SuiteEntry]) -> String {
+    let suite = ok_evaluations(entries);
     let mut out = String::new();
+    let errors = errors_section(entries);
+    if !errors.is_empty() {
+        out.push_str(&errors);
+        out.push('\n');
+    }
     out.push_str(&fig4a(&suite));
     out.push('\n');
     out.push_str(&fig4b(&suite));

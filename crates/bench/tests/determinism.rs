@@ -7,8 +7,9 @@ const NAMES: [&str; 2] = ["519.lbm_r", "505.mcf_r"];
 
 #[test]
 fn serial_and_parallel_evaluations_are_identical() {
-    let serial = exp::run_profiles(&NAMES, 1);
-    let parallel = exp::run_profiles(&NAMES, 4);
+    let serial = exp::ok_evaluations(&exp::run_profiles(&NAMES, 1));
+    let parallel = exp::ok_evaluations(&exp::run_profiles(&NAMES, 4));
+    assert_eq!(serial.len(), NAMES.len(), "every benchmark must evaluate");
     assert_eq!(serial.len(), parallel.len());
     for (a, b) in serial.iter().zip(&parallel) {
         assert_eq!(a.name, b.name, "output order must be deterministic");
@@ -25,8 +26,8 @@ fn serial_and_parallel_evaluations_are_identical() {
 
 #[test]
 fn serial_and_parallel_report_text_is_byte_identical() {
-    let serial = exp::run_profiles(&NAMES, 1);
-    let parallel = exp::run_profiles(&NAMES, 4);
+    let serial = exp::ok_evaluations(&exp::run_profiles(&NAMES, 1));
+    let parallel = exp::ok_evaluations(&exp::run_profiles(&NAMES, 4));
     let render = |suite: &[pythia_core::BenchEvaluation]| {
         let mut out = String::new();
         out.push_str(&exp::fig4a(suite));
@@ -45,8 +46,8 @@ fn serial_and_parallel_report_text_is_byte_identical() {
 #[test]
 fn rerunning_the_same_profile_is_reproducible() {
     // Same seed, same machine state → same evaluation, run to run.
-    let a = exp::run_profiles(&["519.lbm_r"], 2);
-    let b = exp::run_profiles(&["519.lbm_r"], 2);
+    let a = exp::ok_evaluations(&exp::run_profiles(&["519.lbm_r"], 2));
+    let b = exp::ok_evaluations(&exp::run_profiles(&["519.lbm_r"], 2));
     assert_eq!(a[0].analysis, b[0].analysis);
     assert_eq!(exp::fig4a(&a), exp::fig4a(&b));
 }

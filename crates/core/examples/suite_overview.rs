@@ -13,12 +13,18 @@ fn main() {
     );
     for p in SPEC_PROFILES.iter() {
         let m = generate(p);
-        let ev = evaluate(
+        let ev = match evaluate(
             &m,
             &[Scheme::Cpa, Scheme::Pythia, Scheme::Dfi],
             p.seed,
             &VmConfig::default(),
-        );
+        ) {
+            Ok(ev) => ev,
+            Err(e) => {
+                println!("{:<18} ERROR: {e}", p.name);
+                continue;
+            }
+        };
         println!(
             "{:<18} {:>7} {:>+7.1}% {:>+7.1}% {:>+7.1}%  {:>6.1}% {:>6.1}%  {:>6}",
             p.name,

@@ -18,7 +18,7 @@
 
 use crate::pipeline::SchemeResult;
 use pythia_analysis::{SliceContext, VulnerabilityReport};
-use pythia_ir::Module;
+use pythia_ir::{Module, PythiaError};
 use pythia_passes::{instrument_with, Scheme};
 use pythia_vm::{AttackSpec, DetectionMechanism, ExitReason, InputPlan, Vm, VmConfig};
 use std::collections::BTreeMap;
@@ -95,6 +95,12 @@ impl CampaignResult {
 /// executions `0, step, 2*step, ...` (up to `max_attacks`) with
 /// `payload_len`-byte smashes, comparing each run against the benign run
 /// of the same instrumented module.
+///
+/// # Errors
+///
+/// [`PythiaError::Setup`] when the instrumented module cannot be run
+/// (missing entry point, invalid VM configuration). Attacked runs that
+/// trap are campaign *data* (`Detected`/`Crashed`), never errors.
 pub fn run_campaign(
     module: &Module,
     scheme: Scheme,
@@ -102,7 +108,7 @@ pub fn run_campaign(
     payload_len: usize,
     max_attacks: u64,
     cfg: &VmConfig,
-) -> CampaignResult {
+) -> Result<CampaignResult, PythiaError> {
     let ctx = SliceContext::new(module);
     let report = VulnerabilityReport::analyze(&ctx);
     let inst = instrument_with(module, &ctx, &report, scheme);
@@ -112,6 +118,7 @@ pub fn run_campaign(
     let benign = {
         let mut vm = Vm::new(&inst.module, cfg.clone(), InputPlan::benign(seed));
         vm.run("main", &[])
+            .map_err(|e| e.with_function(module.name.clone()))?
     };
     let total_channels = benign.metrics.ic_writes;
     let step = (total_channels / max_attacks.max(1)).max(1);
@@ -122,7 +129,9 @@ pub fn run_campaign(
     while target < total_channels && attacks < max_attacks {
         let plan = InputPlan::with_attack(seed, AttackSpec::smash(target, payload_len));
         let mut vm = Vm::new(&inst.module, cfg.clone(), plan);
-        let r = vm.run("main", &[]);
+        let r = vm
+            .run("main", &[])
+            .map_err(|e| e.with_function(module.name.clone()))?;
         let outcome = match r.detected() {
             Some(mech) => AttackOutcome::Detected(mech),
             None => match (&r.exit, &benign.exit) {
@@ -136,11 +145,11 @@ pub fn run_campaign(
         target += step;
     }
 
-    CampaignResult {
+    Ok(CampaignResult {
         scheme,
         attacks,
         outcomes,
-    }
+    })
 }
 
 /// Convenience: pull the benign metrics out of a set of scheme results.
@@ -155,7 +164,7 @@ mod tests {
 
     fn campaign(scheme: Scheme) -> CampaignResult {
         let m = generate(profile_by_name("mcf").unwrap());
-        run_campaign(&m, scheme, 5, 64, 24, &VmConfig::default())
+        run_campaign(&m, scheme, 5, 64, 24, &VmConfig::default()).unwrap()
     }
 
     #[test]

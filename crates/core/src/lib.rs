@@ -20,10 +20,14 @@
 //! use pythia_workloads::{generate, profile_by_name};
 //!
 //! let module = generate(profile_by_name("lbm").unwrap());
-//! let ev = evaluate(&module, &[Scheme::Pythia], 1, &VmConfig::default());
+//! let ev = evaluate(&module, &[Scheme::Pythia], 1, &VmConfig::default()).unwrap();
 //! // Pythia costs something, but the program still computes the same thing.
 //! assert!(ev.overhead(Scheme::Pythia) >= 0.0);
 //! ```
+//!
+//! Every fallible entry point returns the workspace error taxonomy
+//! [`PythiaError`] (`Setup` / `Fault` / `Detection` / `Internal`) instead
+//! of panicking — see DESIGN.md for the classification rules.
 
 #![warn(missing_docs)]
 
@@ -33,6 +37,7 @@ pub mod security;
 
 pub use campaign::{run_campaign, AttackOutcome, CampaignResult};
 pub use pipeline::{evaluate, AnalysisSummary, BenchEvaluation, SchemeResult, Timings};
+pub use pythia_ir::{DetectionKind, ErrorContext, PythiaError};
 pub use pythia_passes::{instrument, instrument_with, InstrumentationStats, Scheme};
 pub use pythia_vm::{DetectionMechanism, ExitReason, InputPlan, RunMetrics, Vm, VmConfig};
 pub use security::{adjudicate, adjudicate_all, ScenarioOutcome};

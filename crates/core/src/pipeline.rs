@@ -3,10 +3,11 @@
 //! aggregate the numbers the paper's figures report.
 
 use pythia_analysis::{InputChannels, SliceContext, VulnerabilityReport};
-use pythia_ir::{IcCategory, Module};
+use pythia_ir::{verify, IcCategory, Module, PythiaError};
 use pythia_passes::{instrument_with, InstrumentationStats, Scheme};
 use pythia_vm::{ExitReason, InputPlan, RunMetrics, Vm, VmConfig};
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Results of running one scheme's variant of a benchmark.
@@ -164,12 +165,26 @@ impl BenchEvaluation {
 
 /// Evaluate one module under the given schemes (vanilla is always added).
 ///
-/// The analysis runs once; each scheme variant is then instrumented from
-/// the shared context/report and executed on its own worker thread (the
-/// same benign input plan/seed per variant, so results are deterministic
-/// and ordered regardless of scheduling).
-pub fn evaluate(module: &Module, schemes: &[Scheme], seed: u64, cfg: &VmConfig) -> BenchEvaluation {
+/// The module is verified first; each scheme variant is then instrumented
+/// from the shared context/report and executed on its own worker thread
+/// (the same benign input plan/seed per variant, so results are
+/// deterministic and ordered regardless of scheduling). Workers are
+/// panic-isolated: a panicking variant becomes a typed error instead of
+/// unwinding into (and poisoning) the caller.
+///
+/// # Errors
+///
+/// [`PythiaError::Setup`] for a module that fails verification or a run
+/// rejected by the VM; [`PythiaError::Internal`] if a scheme worker
+/// panicked.
+pub fn evaluate(
+    module: &Module,
+    schemes: &[Scheme],
+    seed: u64,
+    cfg: &VmConfig,
+) -> Result<BenchEvaluation, PythiaError> {
     let t_analysis = Instant::now();
+    verify::verify_module(module)?;
     let ctx = SliceContext::new(module);
     let report = VulnerabilityReport::analyze(&ctx);
     let channels = InputChannels::find(module);
@@ -204,22 +219,25 @@ pub fn evaluate(module: &Module, schemes: &[Scheme], seed: u64, cfg: &VmConfig) 
 
     // Instrument + execute every variant concurrently; the analysis
     // context and report are shared read-only. Joining in spawn order
-    // keeps `results` deterministic.
+    // keeps `results` deterministic. Each worker body runs under
+    // `catch_unwind` so one panicking variant cannot poison the others:
+    // the join below always succeeds and the panic payload is converted
+    // into a typed error.
     let (results, instrument_secs, execute_secs) = std::thread::scope(|s| {
         let handles: Vec<_> = all
             .into_iter()
             .map(|scheme| {
                 let ctx = &ctx;
                 let report = &report;
-                s.spawn(move || {
+                let worker = move || -> Result<(SchemeResult, f64, f64), PythiaError> {
                     let t_inst = Instant::now();
                     let inst = instrument_with(module, ctx, report, scheme);
                     let instrument_secs = t_inst.elapsed().as_secs_f64();
                     let t_exec = Instant::now();
                     let mut vm = Vm::new(&inst.module, cfg.clone(), InputPlan::benign(seed));
-                    let r = vm.run("main", &[]);
+                    let r = vm.run("main", &[])?;
                     let execute_secs = t_exec.elapsed().as_secs_f64();
-                    (
+                    Ok((
                         SchemeResult {
                             scheme,
                             stats: inst.stats,
@@ -228,22 +246,32 @@ pub fn evaluate(module: &Module, schemes: &[Scheme], seed: u64, cfg: &VmConfig) 
                         },
                         instrument_secs,
                         execute_secs,
-                    )
-                })
+                    ))
+                };
+                (
+                    scheme,
+                    s.spawn(move || catch_unwind(AssertUnwindSafe(worker))),
+                )
             })
             .collect();
         let mut results = Vec::with_capacity(handles.len());
         let (mut instr, mut exec) = (0.0, 0.0);
-        for h in handles {
-            let (r, i, e) = h.join().expect("scheme worker panicked");
+        for (scheme, h) in handles {
+            let joined = match h.join() {
+                Ok(Ok(r)) => r,
+                Ok(Err(p)) => Err(PythiaError::from_panic(p.as_ref())),
+                Err(p) => Err(PythiaError::from_panic(p.as_ref())),
+            };
+            let (r, i, e) = joined
+                .map_err(|e| e.with_function(format!("{}/{scheme:?}", module.name)))?;
             results.push(r);
             instr += i;
             exec += e;
         }
-        (results, instr, exec)
-    });
+        Ok::<_, PythiaError>((results, instr, exec))
+    })?;
 
-    BenchEvaluation {
+    Ok(BenchEvaluation {
         name: module.name.clone(),
         analysis,
         results,
@@ -252,7 +280,7 @@ pub fn evaluate(module: &Module, schemes: &[Scheme], seed: u64, cfg: &VmConfig) 
             instrument_secs,
             execute_secs,
         },
-    }
+    })
 }
 
 #[cfg(test)]
@@ -268,7 +296,8 @@ mod tests {
             &[Scheme::Cpa, Scheme::Pythia, Scheme::Dfi],
             1,
             &VmConfig::default(),
-        );
+        )
+        .unwrap();
         assert_eq!(ev.results.len(), 4);
         for r in &ev.results {
             assert!(
@@ -283,7 +312,7 @@ mod tests {
     #[test]
     fn instrumented_runs_cost_more() {
         let m = generate(profile_by_name("mcf").unwrap());
-        let ev = evaluate(&m, &[Scheme::Cpa, Scheme::Pythia], 1, &VmConfig::default());
+        let ev = evaluate(&m, &[Scheme::Cpa, Scheme::Pythia], 1, &VmConfig::default()).unwrap();
         assert!(ev.overhead(Scheme::Cpa) > 0.0);
         assert!(ev.overhead(Scheme::Pythia) > 0.0);
         assert!(ev.binary_growth(Scheme::Cpa) > 0.0);
@@ -299,7 +328,8 @@ mod tests {
             &[Scheme::Cpa, Scheme::Pythia, Scheme::Dfi],
             3,
             &VmConfig::default(),
-        );
+        )
+        .unwrap();
         let vanilla = ev.result(Scheme::Vanilla).unwrap().exit;
         for r in &ev.results {
             assert_eq!(
@@ -311,9 +341,19 @@ mod tests {
     }
 
     #[test]
+    fn unverifiable_module_is_a_setup_error() {
+        let mut m = Module::new("bad");
+        let b = pythia_ir::FunctionBuilder::new("main", vec![], pythia_ir::Ty::I64);
+        m.add_function(b.finish()); // empty entry block fails verification
+        let err = evaluate(&m, &[Scheme::Pythia], 1, &VmConfig::default()).unwrap_err();
+        assert_eq!(err.variant(), "setup");
+        assert!(err.to_string().contains("verif") || err.to_string().contains("block"));
+    }
+
+    #[test]
     fn analysis_summary_is_sane() {
         let m = generate(profile_by_name("gcc").unwrap());
-        let ev = evaluate(&m, &[], 1, &VmConfig::default());
+        let ev = evaluate(&m, &[], 1, &VmConfig::default()).unwrap();
         let a = &ev.analysis;
         assert!(a.branches > 50);
         let total = a.unaffected + a.direct + a.indirect;

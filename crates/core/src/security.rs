@@ -1,6 +1,7 @@
 //! Attack-scenario adjudication: run a [`Scenario`] benign and attacked
 //! under each protection scheme and classify the outcome.
 
+use pythia_ir::PythiaError;
 use pythia_passes::{instrument, Scheme};
 use pythia_vm::{DetectionMechanism, ExitReason, Vm, VmConfig};
 use pythia_workloads::Scenario;
@@ -45,33 +46,50 @@ impl ScenarioOutcome {
 }
 
 /// Run `scenario` under `scheme` (instrumenting the module) and classify.
-pub fn adjudicate(scenario: &Scenario, scheme: Scheme, cfg: &VmConfig) -> ScenarioOutcome {
+///
+/// # Errors
+///
+/// [`PythiaError::Setup`] when the scenario's module cannot be run (bad
+/// entry point or VM configuration). Traps are classification *data*, not
+/// errors.
+pub fn adjudicate(
+    scenario: &Scenario,
+    scheme: Scheme,
+    cfg: &VmConfig,
+) -> Result<ScenarioOutcome, PythiaError> {
     let inst = instrument(&scenario.module, scheme);
 
     let benign_exit = {
         let mut vm = Vm::new(&inst.module, cfg.clone(), scenario.benign.clone());
-        vm.run("main", &[]).exit
+        vm.run("main", &[])
+            .map_err(|e| e.with_function(scenario.name))?
+            .exit
     };
     let benign_ok = benign_exit == ExitReason::Returned(scenario.normal_return);
 
     let attack_run = {
         let mut vm = Vm::new(&inst.module, cfg.clone(), scenario.attack.clone());
         vm.run("main", &[])
+            .map_err(|e| e.with_function(scenario.name))?
     };
     let detected = attack_run.detected();
     let bent = attack_run.exit == ExitReason::Returned(scenario.bent_return);
 
-    ScenarioOutcome {
+    Ok(ScenarioOutcome {
         scheme,
         benign_ok,
         detected,
         bent,
         attack_exit: attack_run.exit,
-    }
+    })
 }
 
 /// Adjudicate a scenario under every scheme.
-pub fn adjudicate_all(scenario: &Scenario, cfg: &VmConfig) -> Vec<ScenarioOutcome> {
+///
+/// # Errors
+///
+/// The first [`PythiaError`] from [`adjudicate`].
+pub fn adjudicate_all(scenario: &Scenario, cfg: &VmConfig) -> Result<Vec<ScenarioOutcome>, PythiaError> {
     Scheme::ALL
         .iter()
         .map(|s| adjudicate(scenario, *s, cfg))
@@ -87,7 +105,7 @@ mod tests {
     fn vanilla_bends_pythia_detects_every_listing() {
         let cfg = VmConfig::default();
         for scenario in all_scenarios() {
-            let vanilla = adjudicate(&scenario, Scheme::Vanilla, &cfg);
+            let vanilla = adjudicate(&scenario, Scheme::Vanilla, &cfg).unwrap();
             assert!(
                 vanilla.benign_ok,
                 "{}: vanilla benign broken",
@@ -99,7 +117,7 @@ mod tests {
                 scenario.name, vanilla.attack_exit
             );
 
-            let pythia = adjudicate(&scenario, Scheme::Pythia, &cfg);
+            let pythia = adjudicate(&scenario, Scheme::Pythia, &cfg).unwrap();
             assert!(pythia.benign_ok, "{}: pythia broke benign", scenario.name);
             assert!(
                 pythia.defense_succeeded(),
@@ -114,7 +132,7 @@ mod tests {
     fn canary_is_the_stack_detection_mechanism() {
         let cfg = VmConfig::default();
         for scenario in all_scenarios() {
-            let pythia = adjudicate(&scenario, Scheme::Pythia, &cfg);
+            let pythia = adjudicate(&scenario, Scheme::Pythia, &cfg).unwrap();
             assert_eq!(
                 pythia.detected,
                 Some(DetectionMechanism::Canary),

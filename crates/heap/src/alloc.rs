@@ -41,6 +41,31 @@ impl fmt::Display for FreeError {
 
 impl std::error::Error for FreeError {}
 
+/// An invalid allocator/heap geometry (rejected before any allocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapConfigError {
+    /// The base address is not [`GRANULE`]-aligned.
+    UnalignedBase(u64),
+    /// A section capacity is zero.
+    ZeroCapacity,
+    /// The described range wraps around the address space.
+    RangeOverflow,
+}
+
+impl fmt::Display for HeapConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeapConfigError::UnalignedBase(b) => {
+                write!(f, "heap base {b:#x} is not {GRANULE}-byte aligned")
+            }
+            HeapConfigError::ZeroCapacity => write!(f, "heap section capacity is zero"),
+            HeapConfigError::RangeOverflow => write!(f, "heap range wraps the address space"),
+        }
+    }
+}
+
+impl std::error::Error for HeapConfigError {}
+
 /// Usage counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct AllocStats {
@@ -85,11 +110,32 @@ impl Allocator {
     ///
     /// # Panics
     ///
-    /// Panics if `base` is not granule-aligned or `capacity` is zero.
+    /// Panics if `base` is not granule-aligned or `capacity` is zero; use
+    /// [`Allocator::try_new`] to reject bad geometry with a typed error.
     pub fn new(base: u64, capacity: u64) -> Self {
-        assert_eq!(base % GRANULE, 0, "base must be {GRANULE}-byte aligned");
-        assert!(capacity > 0, "capacity must be non-zero");
-        Allocator {
+        match Self::try_new(base, capacity) {
+            Ok(a) => a,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`Allocator::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`HeapConfigError`] when `base` is unaligned, `capacity` is zero,
+    /// or `base + capacity` wraps the address space.
+    pub fn try_new(base: u64, capacity: u64) -> Result<Self, HeapConfigError> {
+        if base % GRANULE != 0 {
+            return Err(HeapConfigError::UnalignedBase(base));
+        }
+        if capacity == 0 {
+            return Err(HeapConfigError::ZeroCapacity);
+        }
+        if base.checked_add(capacity).is_none() {
+            return Err(HeapConfigError::RangeOverflow);
+        }
+        Ok(Allocator {
             base,
             capacity,
             top: base,
@@ -97,7 +143,7 @@ impl Allocator {
             free: BTreeMap::new(),
             fastbins: vec![Vec::new(); (FASTBIN_MAX / GRANULE) as usize],
             stats: AllocStats::default(),
-        }
+        })
     }
 
     /// Lowest managed address.
@@ -137,7 +183,7 @@ impl Allocator {
     }
 
     fn round(size: u64) -> u64 {
-        size.max(1).div_ceil(GRANULE) * GRANULE
+        size.max(1).div_ceil(GRANULE).saturating_mul(GRANULE)
     }
 
     /// Allocate `size` bytes; returns the address or `None` when the range
@@ -172,7 +218,7 @@ impl Allocator {
         }
 
         // 3. Bump the wilderness.
-        if self.top + size <= self.end() {
+        if self.top.checked_add(size).is_some_and(|e| e <= self.end()) {
             let addr = self.top;
             self.top += size;
             self.live.insert(addr, size);
@@ -198,7 +244,7 @@ impl Allocator {
             self.stats.freelist_hits += 1;
             return Some(self.finish_alloc(addr, size));
         }
-        if self.top + size <= self.end() {
+        if self.top.checked_add(size).is_some_and(|e| e <= self.end()) {
             let addr = self.top;
             self.top += size;
             self.live.insert(addr, size);

@@ -6,7 +6,7 @@
 //! ranges, an overflow that starts inside a shared object can never run
 //! into an isolated object — the paper's core heap-defense property.
 
-use crate::alloc::{AllocStats, Allocator, FreeError};
+use crate::alloc::{AllocStats, Allocator, FreeError, HeapConfigError};
 
 /// Which section an address belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,21 +55,55 @@ pub struct SectionedHeap {
     init_calls: u64,
 }
 
+impl SectionConfig {
+    /// Check the geometry without building allocators.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapConfigError`] for an unaligned base, a zero capacity, or a
+    /// layout that wraps the address space.
+    pub fn validate(&self) -> Result<(), HeapConfigError> {
+        let iso_base = self
+            .base
+            .checked_add(self.shared_capacity)
+            .and_then(|v| v.checked_add(self.guard_gap))
+            .ok_or(HeapConfigError::RangeOverflow)?;
+        Allocator::try_new(self.base, self.shared_capacity)?;
+        Allocator::try_new(iso_base, self.isolated_capacity)?;
+        Ok(())
+    }
+}
+
 impl SectionedHeap {
     /// Build a sectioned heap from `config`.
     ///
     /// # Panics
     ///
-    /// Panics if any capacity is zero (via [`Allocator::new`]).
+    /// Panics on invalid geometry; use [`SectionedHeap::try_new`] to get
+    /// a typed error instead.
     pub fn new(config: SectionConfig) -> Self {
-        let shared = Allocator::new(config.base, config.shared_capacity);
+        match Self::try_new(config) {
+            Ok(h) => h,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`SectionedHeap::new`].
+    ///
+    /// # Errors
+    ///
+    /// [`HeapConfigError`] when the geometry is invalid (see
+    /// [`SectionConfig::validate`]).
+    pub fn try_new(config: SectionConfig) -> Result<Self, HeapConfigError> {
+        config.validate()?;
+        let shared = Allocator::try_new(config.base, config.shared_capacity)?;
         let iso_base = config.base + config.shared_capacity + config.guard_gap;
-        let isolated = Allocator::new(iso_base, config.isolated_capacity);
-        SectionedHeap {
+        let isolated = Allocator::try_new(iso_base, config.isolated_capacity)?;
+        Ok(SectionedHeap {
             shared,
             isolated,
             init_calls: 0,
-        }
+        })
     }
 
     /// Record a sectioning setup call (the linked-library initialization).
@@ -143,7 +177,7 @@ impl SectionedHeap {
     pub fn overflow_reaches_isolated(&self, addr: u64, len: u64) -> bool {
         match self.section_of(addr) {
             Some(Section::Isolated) => true, // already inside
-            Some(Section::Shared) => addr + len >= self.isolated.base(),
+            Some(Section::Shared) => addr.saturating_add(len) >= self.isolated.base(),
             None => false,
         }
     }
@@ -219,6 +253,44 @@ mod tests {
         h.record_init_call();
         h.record_init_call();
         assert_eq!(h.init_calls(), 2);
+    }
+
+    #[test]
+    fn invalid_geometry_rejected_with_typed_errors() {
+        let ok = SectionConfig::default();
+        assert!(ok.validate().is_ok());
+        assert!(SectionedHeap::try_new(ok).is_ok());
+
+        let unaligned = SectionConfig {
+            base: 0x1_0001,
+            ..ok
+        };
+        assert_eq!(
+            unaligned.validate(),
+            Err(HeapConfigError::UnalignedBase(0x1_0001))
+        );
+
+        let zero = SectionConfig {
+            shared_capacity: 0,
+            ..ok
+        };
+        assert_eq!(zero.validate(), Err(HeapConfigError::ZeroCapacity));
+
+        let wrapping = SectionConfig {
+            base: u64::MAX - 0xf,
+            shared_capacity: 1 << 20,
+            ..ok
+        };
+        assert_eq!(wrapping.validate(), Err(HeapConfigError::RangeOverflow));
+        assert!(SectionedHeap::try_new(wrapping).is_err());
+    }
+
+    #[test]
+    fn huge_alloc_requests_fail_cleanly() {
+        let mut h = small();
+        assert_eq!(h.alloc(Section::Shared, u64::MAX), None);
+        assert_eq!(h.alloc(Section::Isolated, u64::MAX - 7), None);
+        assert!(h.stats(Section::Shared).failures > 0);
     }
 
     #[test]

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod error;
 pub mod function;
 pub mod instr;
 pub mod intrinsics;
@@ -51,6 +52,7 @@ pub mod types;
 pub mod verify;
 
 pub use builder::FunctionBuilder;
+pub use error::{DetectionKind, ErrorContext, PythiaError};
 pub use function::{Block, Function, ValueData, ValueKind};
 pub use instr::{
     dfi_def_id, BinOp, BlockId, Callee, CastKind, CmpPred, FuncId, GlobalId, Inst, PaKey, ValueId,

@@ -59,6 +59,9 @@ impl Ty {
     /// Size of a value of this type in bytes under the 64-bit machine model.
     ///
     /// `Void` and `I1` occupy one byte when materialized in memory.
+    /// Adversarial nested-array types can describe more bytes than fit in a
+    /// `u64`; the size saturates rather than overflowing, and any access at
+    /// that scale faults in the VM long before it matters.
     pub fn size(&self) -> u64 {
         match self {
             Ty::Void => 0,
@@ -66,14 +69,14 @@ impl Ty {
             Ty::I16 => 2,
             Ty::I32 => 4,
             Ty::I64 | Ty::Ptr(_) => 8,
-            Ty::Array(elem, n) => elem.size() * u64::from(*n),
+            Ty::Array(elem, n) => elem.size().saturating_mul(u64::from(*n)),
             Ty::Struct(fields) => {
                 let mut off = 0u64;
                 let mut max_align = 1u64;
                 for f in fields {
                     let a = f.align();
                     max_align = max_align.max(a);
-                    off = round_up(off, a) + f.size();
+                    off = round_up(off, a).saturating_add(f.size());
                 }
                 round_up(off, max_align)
             }
@@ -111,7 +114,7 @@ impl Ty {
                     if i == idx as usize {
                         return off;
                     }
-                    off += f.size();
+                    off = off.saturating_add(f.size());
                 }
                 unreachable!()
             }
@@ -191,7 +194,7 @@ impl Ty {
 /// two or at least non-zero).
 pub fn round_up(v: u64, align: u64) -> u64 {
     debug_assert!(align > 0);
-    v.div_ceil(align) * align
+    v.div_ceil(align).saturating_mul(align)
 }
 
 impl fmt::Display for Ty {
@@ -240,6 +243,17 @@ mod tests {
         assert_eq!(Ty::array(Ty::I64, 4).size(), 32);
         assert_eq!(Ty::array(Ty::I32, 0).size(), 0);
         assert_eq!(Ty::array(Ty::I64, 4).align(), 8);
+    }
+
+    #[test]
+    fn huge_nested_arrays_saturate_instead_of_overflowing() {
+        // [u32::MAX x [u32::MAX x [u32::MAX x i64]]] describes far more than
+        // 2^64 bytes; size() must saturate, not overflow.
+        let huge = Ty::array(Ty::array(Ty::array(Ty::I64, u32::MAX), u32::MAX), u32::MAX);
+        assert_eq!(huge.size(), u64::MAX);
+        let s = Ty::strukt(vec![huge.clone(), Ty::I64]);
+        assert_eq!(s.size(), u64::MAX);
+        assert_eq!(s.field_offset(1), u64::MAX);
     }
 
     #[test]

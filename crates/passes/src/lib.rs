@@ -166,7 +166,7 @@ mod tests {
 
     fn run(m: &pythia_ir::Module, plan: InputPlan) -> pythia_vm::RunResult {
         let mut vm = Vm::new(m, VmConfig::default(), plan);
-        vm.run("main", &[])
+        vm.run("main", &[]).unwrap()
     }
 
     fn attack_plan() -> InputPlan {

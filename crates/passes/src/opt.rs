@@ -403,7 +403,7 @@ mod tests {
         assert!(stats.total() > 0, "the test program must have slack");
         let run = |m: &Module| -> ExitReason {
             let mut vm = Vm::new(m, VmConfig::default(), InputPlan::benign(1));
-            vm.run("main", &[]).exit
+            vm.run("main", &[]).unwrap().exit
         };
         assert_eq!(run(&m0), run(&m1));
         verify::verify_module(&m1).unwrap();

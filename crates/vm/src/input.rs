@@ -158,10 +158,10 @@ mod tests {
         let mut p = InputPlan::benign(9);
         p.set_scan_range(5, 10);
         for n in 0..20 {
-            match p.int_input(n) {
-                IntOrPayload::Int(v) => assert!((5..=10).contains(&v)),
-                IntOrPayload::Payload(_) => panic!("benign plan produced payload"),
-            }
+            let IntOrPayload::Int(v) = p.int_input(n) else {
+                unreachable!("benign plan produced payload")
+            };
+            assert!((5..=10).contains(&v));
         }
     }
 

@@ -27,7 +27,7 @@
 //! m.add_function(b.finish());
 //!
 //! let mut vm = Vm::new(&m, VmConfig::default(), InputPlan::benign(1));
-//! let result = vm.run("main", &[]);
+//! let result = vm.run("main", &[]).unwrap();
 //! assert_eq!(result.exit, ExitReason::Returned(42));
 //! assert!(result.metrics.insts > 0);
 //! ```
@@ -43,7 +43,7 @@ pub mod vm;
 pub use cache::{CacheOutcome, CacheSim, CacheStats};
 pub use cost::{CostModel, MILLI};
 pub use input::{AttackSpec, InputPlan, IntOrPayload};
-pub use memory::{layout, Memory, MemoryFault, NULL_GUARD, PAGE_SIZE, VA_BITS};
+pub use memory::{layout, Memory, MemoryError, MemoryFault, NULL_GUARD, PAGE_SIZE, VA_BITS};
 pub use vm::{
     DetectionMechanism, ExitReason, RunMetrics, RunResult, TraceEvent, Trap, Vm, VmConfig,
 };

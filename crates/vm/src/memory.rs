@@ -47,6 +47,41 @@ impl fmt::Display for MemoryFault {
 
 impl std::error::Error for MemoryFault {}
 
+/// A failed scalar access: either an ordinary [`MemoryFault`] or a request
+/// for an access width the machine model does not support.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryError {
+    /// The access faulted (null page, beyond the VA width, address-space
+    /// wrap-around).
+    Fault(MemoryFault),
+    /// The requested scalar width is not one of 1, 2, 4 or 8 bytes.
+    UnsupportedScalarSize {
+        /// The address of the rejected access.
+        addr: u64,
+        /// The unsupported width.
+        size: u64,
+    },
+}
+
+impl From<MemoryFault> for MemoryError {
+    fn from(f: MemoryFault) -> Self {
+        MemoryError::Fault(f)
+    }
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::Fault(fault) => fault.fmt(f),
+            MemoryError::UnsupportedScalarSize { addr, size } => {
+                write!(f, "unsupported scalar size {size} at {addr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
+
 /// Sparse byte-addressable memory.
 #[derive(Debug, Default, Clone)]
 pub struct Memory {
@@ -103,11 +138,16 @@ impl Memory {
     ///
     /// # Errors
     ///
-    /// Faults if any byte faults.
+    /// Faults if any byte faults; an address-space wrap-around faults at the
+    /// wrapping byte instead of overflowing.
     pub fn read_bytes(&self, addr: u64, n: u64) -> Result<Vec<u8>, MemoryFault> {
-        let mut out = Vec::with_capacity(n as usize);
+        let mut out = Vec::with_capacity(n.min(PAGE_SIZE) as usize);
         for i in 0..n {
-            out.push(self.read_u8(addr + i)?);
+            let a = addr.checked_add(i).ok_or(MemoryFault {
+                addr: u64::MAX,
+                write: false,
+            })?;
+            out.push(self.read_u8(a)?);
         }
         Ok(out)
     }
@@ -120,7 +160,11 @@ impl Memory {
     /// (overflows really corrupt memory up to the fault point).
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemoryFault> {
         for (i, b) in bytes.iter().enumerate() {
-            self.write_u8(addr + i as u64, *b)?;
+            let a = addr.checked_add(i as u64).ok_or(MemoryFault {
+                addr: u64::MAX,
+                write: true,
+            })?;
+            self.write_u8(a, *b)?;
         }
         Ok(())
     }
@@ -130,12 +174,12 @@ impl Memory {
     ///
     /// # Errors
     ///
-    /// Faults like [`Memory::read_u8`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `size` is not 1, 2, 4 or 8.
-    pub fn read_scalar(&self, addr: u64, size: u64) -> Result<i64, MemoryFault> {
+    /// Rejects unsupported sizes *before* touching memory (symmetric with
+    /// [`Memory::write_scalar`]), then faults like [`Memory::read_u8`].
+    pub fn read_scalar(&self, addr: u64, size: u64) -> Result<i64, MemoryError> {
+        if !matches!(size, 1 | 2 | 4 | 8) {
+            return Err(MemoryError::UnsupportedScalarSize { addr, size });
+        }
         let bytes = self.read_bytes(addr, size)?;
         let mut v: u64 = 0;
         for (i, b) in bytes.iter().enumerate() {
@@ -145,8 +189,7 @@ impl Memory {
             1 => v as u8 as i8 as i64,
             2 => v as u16 as i16 as i64,
             4 => v as u32 as i32 as i64,
-            8 => v as i64,
-            other => panic!("unsupported scalar size {other}"),
+            _ => v as i64,
         })
     }
 
@@ -154,16 +197,19 @@ impl Memory {
     ///
     /// # Errors
     ///
-    /// Faults like [`Memory::write_u8`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if `size` is not 1, 2, 4 or 8.
-    pub fn write_scalar(&mut self, addr: u64, size: u64, value: i64) -> Result<(), MemoryFault> {
-        assert!(matches!(size, 1 | 2 | 4 | 8), "unsupported scalar size");
+    /// Rejects unsupported sizes *before* touching memory (symmetric with
+    /// [`Memory::read_scalar`]), then faults like [`Memory::write_u8`].
+    pub fn write_scalar(&mut self, addr: u64, size: u64, value: i64) -> Result<(), MemoryError> {
+        if !matches!(size, 1 | 2 | 4 | 8) {
+            return Err(MemoryError::UnsupportedScalarSize { addr, size });
+        }
         let v = value as u64;
         for i in 0..size {
-            self.write_u8(addr + i, ((v >> (8 * i)) & 0xff) as u8)?;
+            let a = addr.checked_add(i).ok_or(MemoryFault {
+                addr: u64::MAX,
+                write: true,
+            })?;
+            self.write_u8(a, ((v >> (8 * i)) & 0xff) as u8)?;
         }
         Ok(())
     }
@@ -176,7 +222,11 @@ impl Memory {
     pub fn read_cstr(&self, addr: u64, max: u64) -> Result<Vec<u8>, MemoryFault> {
         let mut out = Vec::new();
         for i in 0..max {
-            let b = self.read_u8(addr + i)?;
+            let a = addr.checked_add(i).ok_or(MemoryFault {
+                addr: u64::MAX,
+                write: false,
+            })?;
+            let b = self.read_u8(a)?;
             if b == 0 {
                 break;
             }
@@ -256,5 +306,85 @@ mod tests {
         assert!(m.write_bytes(edge, &[7, 8, 9]).is_err());
         assert_eq!(m.read_u8(edge).unwrap(), 7);
         assert_eq!(m.read_u8(edge + 1).unwrap(), 8);
+    }
+
+    #[test]
+    fn unsupported_sizes_rejected_before_any_access() {
+        let mut m = Memory::new();
+        for size in [0, 3, 5, 6, 7, 9, 16] {
+            assert_eq!(
+                m.read_scalar(0x5000, size),
+                Err(MemoryError::UnsupportedScalarSize { addr: 0x5000, size })
+            );
+            assert_eq!(
+                m.write_scalar(0x5000, size, 0x77),
+                Err(MemoryError::UnsupportedScalarSize { addr: 0x5000, size })
+            );
+        }
+        // Symmetry: the rejected write touched nothing.
+        assert_eq!(m.read_bytes(0x5000, 8).unwrap(), vec![0; 8]);
+        assert_eq!(m.resident_pages(), 0);
+        // Even a faulting address reports the size problem first, both ways.
+        assert_eq!(
+            m.read_scalar(0, 3),
+            Err(MemoryError::UnsupportedScalarSize { addr: 0, size: 3 })
+        );
+        assert_eq!(
+            m.write_scalar(0, 3, 1),
+            Err(MemoryError::UnsupportedScalarSize { addr: 0, size: 3 })
+        );
+    }
+
+    #[test]
+    fn address_space_wraparound_faults_cleanly() {
+        // Near u64::MAX the `addr + i` arithmetic used to overflow in debug
+        // builds; now every path faults with a typed error instead.
+        let mut m = Memory::new();
+        let top = u64::MAX - 2;
+        assert_eq!(
+            m.read_bytes(top, 8),
+            Err(MemoryFault {
+                addr: top,
+                write: false
+            })
+        );
+        assert!(m.write_bytes(top, &[1; 8]).is_err());
+        assert!(m.read_scalar(top, 8).is_err());
+        assert!(m.write_scalar(top, 8, -1).is_err());
+        assert!(m.read_cstr(top, 16).is_err());
+        // And at the very top, the wrap itself is the fault.
+        assert!(m.read_bytes(u64::MAX, 2).is_err());
+    }
+
+    mod scalar_roundtrip_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn size_strategy() -> impl Strategy<Value = u64> {
+            (0u32..4).prop_map(|i| 1u64 << i)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            // Round-trips in the last valid page below the VA_BITS edge:
+            // any in-bounds scalar survives, any scalar crossing the edge
+            // faults without panicking.
+            #[test]
+            fn va_edge_roundtrip(off in 0u64..2 * PAGE_SIZE, size in size_strategy(), val in i64::MIN..i64::MAX) {
+                let edge = 1u64 << VA_BITS;
+                let addr = edge - 2 * PAGE_SIZE + off;
+                let mut m = Memory::new();
+                if addr + size <= edge {
+                    m.write_scalar(addr, size, val).unwrap();
+                    let bits = 8 * size as u32;
+                    let expect = if bits == 64 { val } else { (val << (64 - bits)) >> (64 - bits) };
+                    prop_assert_eq!(m.read_scalar(addr, size).unwrap(), expect);
+                } else {
+                    prop_assert!(m.write_scalar(addr, size, val).is_err());
+                    prop_assert!(m.read_scalar(addr, size).is_err());
+                }
+            }
+        }
     }
 }

@@ -17,11 +17,11 @@
 use crate::cache::{CacheSim, CacheStats};
 use crate::cost::CostModel;
 use crate::input::{InputPlan, IntOrPayload};
-use crate::memory::{layout, Memory, MemoryFault};
+use crate::memory::{layout, Memory, MemoryError, MemoryFault};
 use pythia_heap::{AllocStats, Section, SectionConfig, SectionedHeap};
 use pythia_ir::{
-    dfi_def_id, BinOp, BlockId, Callee, CastKind, FuncId, Inst, Intrinsic, Module, PaKey, Ty,
-    ValueId, ValueKind,
+    dfi_def_id, BinOp, BlockId, Callee, CastKind, DetectionKind, FuncId, Inst, Intrinsic, Module,
+    PaKey, PythiaError, Ty, ValueId, ValueKind,
 };
 use pythia_pa::PaContext;
 use rand::rngs::SmallRng;
@@ -67,6 +67,14 @@ pub enum Trap {
     },
     /// The instruction budget ran out (likely an infinite loop).
     InstBudgetExhausted,
+    /// A load/store asked for an access width the machine model does not
+    /// support (e.g. a 3-byte aggregate loaded as a scalar).
+    UnsupportedScalarSize {
+        /// The address of the rejected access.
+        addr: u64,
+        /// The unsupported width.
+        size: u64,
+    },
 }
 
 /// Which defense mechanism a trap corresponds to, for attack-detection
@@ -91,6 +99,67 @@ impl Trap {
             _ => None,
         }
     }
+
+    /// Classify this trap into the workspace error taxonomy: detections
+    /// become [`PythiaError::Detection`] (canary / data-PAC / DFI), every
+    /// other trap is a benign [`PythiaError::Fault`]. Traps stay *data*
+    /// inside [`RunResult`]; this mapping is for reports that need the
+    /// taxonomy (see DESIGN.md).
+    pub fn to_error(&self) -> PythiaError {
+        let kind = match self.detection() {
+            Some(DetectionMechanism::Canary) => Some(DetectionKind::Canary),
+            Some(DetectionMechanism::DataPac) => Some(DetectionKind::DataPac),
+            Some(DetectionMechanism::Dfi) => Some(DetectionKind::Dfi),
+            None => None,
+        };
+        let err = match kind {
+            Some(k) => PythiaError::detection(k, self.to_string()),
+            None => PythiaError::fault(self.to_string()),
+        };
+        match self {
+            Trap::MemoryFault { addr, .. }
+            | Trap::InvalidFree { addr }
+            | Trap::UnsupportedScalarSize { addr, .. } => err.with_address(*addr),
+            _ => err,
+        }
+    }
+}
+
+/// Internal control flow of the interpreter: either a machine [`Trap`]
+/// (data — surfaces as [`ExitReason::Trapped`]) or a [`PythiaError`]
+/// (surfaces as `Err` from [`Vm::run`]).
+enum Halt {
+    Trap(Trap),
+    Error(Box<PythiaError>),
+}
+
+impl From<Trap> for Halt {
+    fn from(t: Trap) -> Self {
+        Halt::Trap(t)
+    }
+}
+
+impl From<MemoryFault> for Halt {
+    fn from(MemoryFault { addr, write }: MemoryFault) -> Self {
+        Halt::Trap(Trap::MemoryFault { addr, write })
+    }
+}
+
+impl From<MemoryError> for Halt {
+    fn from(e: MemoryError) -> Self {
+        match e {
+            MemoryError::Fault(f) => f.into(),
+            MemoryError::UnsupportedScalarSize { addr, size } => {
+                Halt::Trap(Trap::UnsupportedScalarSize { addr, size })
+            }
+        }
+    }
+}
+
+impl From<PythiaError> for Halt {
+    fn from(e: PythiaError) -> Self {
+        Halt::Error(Box::new(e))
+    }
 }
 
 impl fmt::Display for Trap {
@@ -112,6 +181,9 @@ impl fmt::Display for Trap {
             Trap::BadIndirectCall => write!(f, "indirect call to non-function"),
             Trap::InvalidFree { addr } => write!(f, "invalid free of {addr:#x}"),
             Trap::InstBudgetExhausted => write!(f, "instruction budget exhausted"),
+            Trap::UnsupportedScalarSize { addr, size } => {
+                write!(f, "unsupported scalar size {size} at {addr:#x}")
+            }
         }
     }
 }
@@ -286,15 +358,29 @@ pub struct Vm<'m> {
     halted: Option<i64>,
     pa_site_set: std::collections::HashSet<(u32, u32)>,
     trace: Vec<TraceEvent>,
+    /// A setup problem found during construction, reported by the next
+    /// [`Vm::run`] (construction stays infallible for ergonomics).
+    setup_error: Option<PythiaError>,
 }
 
 impl<'m> Vm<'m> {
     /// Build a VM for `module` (globals are materialized immediately).
+    ///
+    /// Construction never fails: an invalid heap geometry or a global
+    /// layout that does not fit the address space is recorded and
+    /// surfaced as a [`PythiaError::Setup`] by the next [`Vm::run`].
     pub fn new(module: &'m Module, cfg: VmConfig, plan: InputPlan) -> Self {
+        let (heap, heap_error) = match SectionedHeap::try_new(cfg.heap) {
+            Ok(h) => (h, None),
+            Err(e) => (
+                SectionedHeap::default(),
+                Some(PythiaError::setup(format!("invalid heap config: {e}"))),
+            ),
+        };
         let mut vm = Vm {
             module,
             pa: PaContext::from_seed(cfg.seed ^ 0x5041_5041),
-            heap: SectionedHeap::new(cfg.heap),
+            heap,
             cache: CacheSim::m1_like(),
             mem: Memory::new(),
             plan,
@@ -309,9 +395,12 @@ impl<'m> Vm<'m> {
             halted: None,
             pa_site_set: std::collections::HashSet::new(),
             trace: Vec::new(),
+            setup_error: heap_error,
             cfg,
         };
-        vm.init_globals();
+        if let Err(e) = vm.init_globals() {
+            vm.setup_error.get_or_insert(e);
+        }
         vm
     }
 
@@ -326,20 +415,44 @@ impl<'m> Vm<'m> {
         &self.trace
     }
 
-    fn init_globals(&mut self) {
+    fn init_globals(&mut self) -> Result<(), PythiaError> {
         let mut addr = layout::GLOBALS_BASE;
         for gid in self.module.global_ids() {
             let g = self.module.global(gid);
             let align = g.ty.align().max(8);
-            addr = addr.div_ceil(align) * align;
+            addr = addr.div_ceil(align).saturating_mul(align);
+            let size = g.size().max(1);
+            if addr.saturating_add(size) > (1u64 << crate::memory::VA_BITS) {
+                return Err(PythiaError::setup(format!(
+                    "global `{}` ({size} bytes) does not fit the address space",
+                    g.name
+                ))
+                .with_address(addr));
+            }
             self.globals_addr.push(addr);
-            let bytes = g.init_bytes();
-            self.mem
-                .write_bytes(addr, &bytes)
-                .expect("global initialization cannot fault");
-            self.globals_map.insert(addr, g.size().max(1));
-            addr += g.size().max(1);
+            // Memory is zero-fill, so only the explicit initializer bytes
+            // need materializing (a huge zero-initialized global must not
+            // allocate its full size host-side).
+            let bytes: &[u8] = match &g.init {
+                pythia_ir::GlobalInit::Zero => &[],
+                pythia_ir::GlobalInit::Bytes(b) => {
+                    let n = (b.len() as u64).min(size) as usize;
+                    &b[..n]
+                }
+                pythia_ir::GlobalInit::Str(s) => {
+                    let b = s.as_bytes();
+                    let n = (b.len() as u64).min(size.saturating_sub(1)) as usize;
+                    &b[..n]
+                }
+            };
+            self.mem.write_bytes(addr, bytes).map_err(|f| {
+                PythiaError::setup(format!("global `{}` initializer faulted", g.name))
+                    .with_address(f.addr)
+            })?;
+            self.globals_map.insert(addr, size);
+            addr = addr.saturating_add(size);
         }
+        Ok(())
     }
 
     /// Address of global `gid`.
@@ -355,33 +468,81 @@ impl<'m> Vm<'m> {
     /// Run `entry` with integer `args`. Returns the exit reason plus
     /// metrics. The VM can be reused only for a single run.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `entry` does not name a function of the module.
-    pub fn run(&mut self, entry: &str, args: &[i64]) -> RunResult {
-        let fid = self
+    /// [`PythiaError::Setup`] when `entry` names zero or several functions
+    /// of the module, or when construction recorded a problem (invalid
+    /// heap geometry, oversized globals). Traps are *not* errors: they
+    /// surface as [`ExitReason::Trapped`] in the `Ok` result.
+    pub fn run(&mut self, entry: &str, args: &[i64]) -> Result<RunResult, PythiaError> {
+        if let Some(e) = self.setup_error.take() {
+            return Err(e);
+        }
+        let matches = self
             .module
-            .func_by_name(entry)
-            .unwrap_or_else(|| panic!("no function named `{entry}`"));
-        let exit = match self.exec_function(fid, args, 0) {
+            .functions()
+            .iter()
+            .filter(|f| f.name == entry)
+            .count();
+        if matches > 1 {
+            return Err(PythiaError::setup(format!(
+                "{matches} functions named `{entry}`"
+            ))
+            .with_function(entry));
+        }
+        let Some(fid) = self.module.func_by_name(entry) else {
+            return Err(
+                PythiaError::setup(format!("no function named `{entry}`")).with_function(entry)
+            );
+        };
+        let exit = match self.exec_entry(fid, args) {
             Ok(v) => match self.halted {
                 Some(code) => ExitReason::Exited(code),
                 None => ExitReason::Returned(v),
             },
-            Err(t) => ExitReason::Trapped(t),
+            Err(Halt::Trap(t)) => ExitReason::Trapped(t),
+            Err(Halt::Error(e)) => return Err(*e),
         };
         self.metrics.cache = self.cache.stats();
         self.metrics.heap_shared = self.heap.stats(Section::Shared);
         self.metrics.heap_isolated = self.heap.stats(Section::Isolated);
         self.metrics.heap_init_calls = self.heap.init_calls();
         self.metrics.pa_sites = self.pa_site_set.len() as u64;
-        RunResult {
+        Ok(RunResult {
             exit,
             metrics: self.metrics,
-        }
+        })
     }
 
     // ---- helpers -------------------------------------------------------
+
+    /// Run the entry function on a dedicated thread with an explicit
+    /// stack. Debug-build interpreter frames are large enough that the
+    /// maximum call depth (400) can overflow a caller's default thread
+    /// stack (scoped workers get 2 MiB); the explicit 32 MiB stack makes
+    /// the depth limit the only recursion bound. A panic on the
+    /// interpreter thread is converted into [`PythiaError::Internal`]
+    /// instead of unwinding into the caller.
+    fn exec_entry(&mut self, fid: FuncId, args: &[i64]) -> Result<i64, Halt> {
+        const INTERP_STACK: usize = 32 << 20;
+        let this = &mut *self;
+        let spawned = std::thread::scope(|s| {
+            let worker = std::thread::Builder::new()
+                .name("pythia-interp".into())
+                .stack_size(INTERP_STACK)
+                .spawn_scoped(s, move || this.exec_function(fid, args, 0));
+            worker.ok().map(|h| {
+                h.join()
+                    .unwrap_or_else(|p| Err(PythiaError::from_panic(p.as_ref()).into()))
+            })
+        });
+        match spawned {
+            Some(r) => r,
+            // Spawn failure (resource exhaustion): degrade to running on
+            // the caller's stack rather than refusing outright.
+            None => self.exec_function(fid, args, 0),
+        }
+    }
 
     fn charge(&mut self, mc: u64) {
         self.metrics.cycles_mc += mc;
@@ -403,22 +564,18 @@ impl<'m> Vm<'m> {
         self.cfg.cost.cache_extra(out)
     }
 
-    fn mem_read(&mut self, addr: u64, size: u64) -> Result<i64, Trap> {
+    fn mem_read(&mut self, addr: u64, size: u64) -> Result<i64, Halt> {
         self.metrics.loads += 1;
         let extra = self.cache_access(addr);
         self.charge(extra);
-        self.mem
-            .read_scalar(addr, size)
-            .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })
+        Ok(self.mem.read_scalar(addr, size)?)
     }
 
-    fn mem_write(&mut self, addr: u64, size: u64, value: i64) -> Result<(), Trap> {
+    fn mem_write(&mut self, addr: u64, size: u64, value: i64) -> Result<(), Halt> {
         self.metrics.stores += 1;
         let extra = self.cache_access(addr);
         self.charge(extra);
-        self.mem
-            .write_scalar(addr, size, value)
-            .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })
+        Ok(self.mem.write_scalar(addr, size, value)?)
     }
 
     /// Remaining capacity of the object containing `addr` (for benign
@@ -444,7 +601,7 @@ impl<'m> Vm<'m> {
         if len == 0 {
             return;
         }
-        for g in (addr >> 3)..=((addr + len - 1) >> 3) {
+        for g in (addr >> 3)..=(addr.saturating_add(len - 1) >> 3) {
             self.shadow.insert(g, def_id);
         }
     }
@@ -462,9 +619,9 @@ impl<'m> Vm<'m> {
     // ---- the interpreter ------------------------------------------------
 
     #[allow(clippy::too_many_lines)]
-    fn exec_function(&mut self, fid: FuncId, args: &[i64], depth: usize) -> Result<i64, Trap> {
+    fn exec_function(&mut self, fid: FuncId, args: &[i64], depth: usize) -> Result<i64, Halt> {
         if depth >= self.cfg.max_call_depth {
-            return Err(Trap::CallDepthExceeded);
+            return Err(Trap::CallDepthExceeded.into());
         }
         let m = self.module;
         let f = m.func(fid);
@@ -480,27 +637,26 @@ impl<'m> Vm<'m> {
         for a in f.allocas() {
             if let Some(Inst::Alloca { elem, count }) = f.inst(a) {
                 let align = elem.align().max(8);
-                off = off.div_ceil(align) * align;
-                frame.alloca_addr.insert(a, frame.base + off);
-                off += elem.size().max(1) * u64::from((*count).max(1));
+                off = off.div_ceil(align).saturating_mul(align);
+                frame.alloca_addr.insert(a, frame.base.saturating_add(off));
+                off = off
+                    .saturating_add(elem.size().max(1).saturating_mul(u64::from((*count).max(1))));
             }
         }
-        frame.size = off.div_ceil(16) * 16;
-        if frame.base + frame.size > layout::STACK_BASE + layout::STACK_SIZE {
-            return Err(Trap::StackOverflow);
+        frame.size = off.div_ceil(16).saturating_mul(16);
+        if frame.base.saturating_add(frame.size) > layout::STACK_BASE + layout::STACK_SIZE {
+            return Err(Trap::StackOverflow.into());
         }
         self.sp = frame.base + frame.size;
         // Zero the frame (stack reuse would otherwise leak prior frames).
         if frame.size > 0 {
             let zeros = vec![0u8; frame.size as usize];
-            self.mem
-                .write_bytes(frame.base, &zeros)
-                .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?;
+            self.mem.write_bytes(frame.base, &zeros)?;
         }
         for (&a, addr) in &frame.alloca_addr {
             if let Some(Inst::Alloca { elem, count }) = f.inst(a) {
                 self.stack_objects
-                    .insert(*addr, elem.size().max(1) * u64::from((*count).max(1)));
+                    .insert(*addr, elem.size().max(1).saturating_mul(u64::from((*count).max(1))));
             }
         }
         for (i, &a) in args.iter().enumerate().take(f.params.len()) {
@@ -523,7 +679,7 @@ impl<'m> Vm<'m> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn exec_blocks(&mut self, fid: FuncId, frame: &mut Frame, depth: usize) -> Result<i64, Trap> {
+    fn exec_blocks(&mut self, fid: FuncId, frame: &mut Frame, depth: usize) -> Result<i64, Halt> {
         let m = self.module;
         let f = m.func(fid);
         let mut block = f.entry();
@@ -539,11 +695,22 @@ impl<'m> Vm<'m> {
                 let iv = insts[idx];
                 match f.inst(iv) {
                     Some(Inst::Phi { incomings }) => {
-                        let pred = prev.expect("phi in entry block rejected by verifier");
-                        let (_, src) = incomings
-                            .iter()
-                            .find(|(b, _)| *b == pred)
-                            .expect("phi must cover predecessor");
+                        // Both cases below are rejected by the verifier;
+                        // running an unverified module is a setup error,
+                        // not a panic.
+                        let pred = prev.ok_or_else(|| {
+                            PythiaError::setup("phi in entry block (module not verified?)")
+                                .with_function(f.name.clone())
+                                .with_instruction(iv.0)
+                        })?;
+                        let (_, src) =
+                            incomings.iter().find(|(b, _)| *b == pred).ok_or_else(|| {
+                                PythiaError::setup(
+                                    "phi does not cover predecessor (module not verified?)",
+                                )
+                                .with_function(f.name.clone())
+                                .with_instruction(iv.0)
+                            })?;
                         let v = self.value_of(f, &frame.values, *src);
                         phi_writes.push((iv, v));
                         self.metrics.insts += 1;
@@ -560,10 +727,17 @@ impl<'m> Vm<'m> {
             // Phase 2: straight-line execution.
             for &iv in &insts[idx..] {
                 if self.metrics.insts >= self.cfg.max_insts {
-                    return Err(Trap::InstBudgetExhausted);
+                    return Err(Trap::InstBudgetExhausted.into());
                 }
                 self.metrics.insts += 1;
-                let inst = f.inst(iv).expect("block members are instructions").clone();
+                let inst = f
+                    .inst(iv)
+                    .ok_or_else(|| {
+                        PythiaError::internal("block member is not an instruction")
+                            .with_function(f.name.clone())
+                            .with_instruction(iv.0)
+                    })?
+                    .clone();
                 if (self.trace.len() as u64) < self.cfg.trace_limit {
                     self.trace.push(TraceEvent {
                         func: fid,
@@ -576,7 +750,12 @@ impl<'m> Vm<'m> {
 
                 match inst {
                     Inst::Alloca { .. } => {
-                        frame.values[iv.0 as usize] = frame.alloca_addr[&iv] as i64;
+                        let addr = frame.alloca_addr.get(&iv).copied().ok_or_else(|| {
+                            PythiaError::internal("alloca missing from frame layout")
+                                .with_function(f.name.clone())
+                                .with_instruction(iv.0)
+                        })?;
+                        frame.values[iv.0 as usize] = addr as i64;
                     }
                     Inst::Load { ptr } => {
                         let addr = self.value_of(f, &frame.values, ptr) as u64;
@@ -602,10 +781,15 @@ impl<'m> Vm<'m> {
                     Inst::FieldAddr { base, field } => {
                         let b = self.value_of(f, &frame.values, base) as u64;
                         let off = match f.value(base).ty.pointee() {
-                            Some(s @ Ty::Struct(_)) => s.field_offset(field),
-                            _ => u64::from(field) * 8,
+                            // An out-of-range field index (unverified input)
+                            // falls through to the flat fallback instead of
+                            // panicking inside `field_offset`.
+                            Some(s @ Ty::Struct(fields)) if (field as usize) < fields.len() => {
+                                s.field_offset(field)
+                            }
+                            _ => u64::from(field).saturating_mul(8),
                         };
-                        frame.values[iv.0 as usize] = (b + off) as i64;
+                        frame.values[iv.0 as usize] = b.wrapping_add(off) as i64;
                     }
                     Inst::Bin { op, lhs, rhs } => {
                         let a = self.value_of(f, &frame.values, lhs);
@@ -640,7 +824,11 @@ impl<'m> Vm<'m> {
                     }
                     Inst::Phi { .. } => {
                         // A phi after a non-phi: treat as copy from pred.
-                        let pred = prev.expect("phi needs predecessor");
+                        let pred = prev.ok_or_else(|| {
+                            PythiaError::setup("phi in entry block (module not verified?)")
+                                .with_function(f.name.clone())
+                                .with_instruction(iv.0)
+                        })?;
                         if let Some(Inst::Phi { incomings }) = f.inst(iv) {
                             if let Some((_, src)) = incomings.iter().find(|(b, _)| *b == pred) {
                                 frame.values[iv.0 as usize] = self.value_of(f, &frame.values, *src);
@@ -669,7 +857,7 @@ impl<'m> Vm<'m> {
                         let md = self.value_of(f, &frame.values, modifier) as u64;
                         match self.pa.auth(key, v, md) {
                             Ok(raw) => frame.values[iv.0 as usize] = raw as i64,
-                            Err(_) => return Err(Trap::PacAuthFailure { key }),
+                            Err(_) => return Err(Trap::PacAuthFailure { key }.into()),
                         }
                     }
                     Inst::PacStrip { value } => {
@@ -688,7 +876,7 @@ impl<'m> Vm<'m> {
                         let addr = self.value_of(f, &frame.values, ptr) as u64;
                         if let Some(&found) = self.shadow.get(&(addr >> 3)) {
                             if !allowed.contains(&found) {
-                                return Err(Trap::DfiViolation { found });
+                                return Err(Trap::DfiViolation { found }.into());
                             }
                         }
                     }
@@ -709,11 +897,11 @@ impl<'m> Vm<'m> {
                             Callee::Indirect(v) => {
                                 let addr = self.value_of(f, &frame.values, *v) as u64;
                                 if addr < 0x4000 || (addr - 0x4000) % 16 != 0 {
-                                    return Err(Trap::BadIndirectCall);
+                                    return Err(Trap::BadIndirectCall.into());
                                 }
                                 let target = FuncId(((addr - 0x4000) / 16) as u32);
                                 if target.0 as usize >= m.functions().len() {
-                                    return Err(Trap::BadIndirectCall);
+                                    return Err(Trap::BadIndirectCall.into());
                                 }
                                 self.exec_function(target, &argv, depth + 1)?
                             }
@@ -745,12 +933,12 @@ impl<'m> Vm<'m> {
                             .unwrap_or(0);
                         return Ok(v);
                     }
-                    Inst::Unreachable => return Err(Trap::Abort),
+                    Inst::Unreachable => return Err(Trap::Abort.into()),
                 }
             }
             // Falling off a block without a terminator is a verifier error;
             // treat as abort to stay safe.
-            return Err(Trap::Abort);
+            return Err(Trap::Abort.into());
         }
     }
 
@@ -763,13 +951,17 @@ impl<'m> Vm<'m> {
         call: ValueId,
         i: Intrinsic,
         args: &[i64],
-    ) -> Result<i64, Trap> {
+    ) -> Result<i64, Halt> {
         self.charge(self.cfg.cost.libcall);
         if i.is_input_channel() {
             self.metrics.ic_calls += 1;
         }
         let arg = |n: usize| args.get(n).copied().unwrap_or(0);
         let uarg = |n: usize| arg(n) as u64;
+        // Bulk lengths beyond the instruction budget would materialize
+        // absurd host-side buffers (an adversarial `memset(p, 0, 2^60)`);
+        // treat them as budget exhaustion before allocating anything.
+        let bulk_limit = self.cfg.max_insts;
 
         // Helper-free writing: the borrow checker dislikes closures here.
         macro_rules! bulk_write {
@@ -781,13 +973,13 @@ impl<'m> Vm<'m> {
                 self.charge(mc);
                 let extra = self.cache_range(dst, bytes.len() as u64 + 1);
                 self.charge(extra);
-                self.mem
-                    .write_bytes(dst, bytes)
-                    .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?;
+                self.mem.write_bytes(dst, bytes)?;
                 if $nul {
-                    self.mem
-                        .write_u8(dst + bytes.len() as u64, 0)
-                        .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?;
+                    let nul_addr = dst.checked_add(bytes.len() as u64).ok_or(MemoryFault {
+                        addr: u64::MAX,
+                        write: true,
+                    })?;
+                    self.mem.write_u8(nul_addr, 0)?;
                 }
                 let len = bytes.len() as u64 + if $nul { 1 } else { 0 };
                 self.shadow_tag(dst, len, dfi_def_id(fid, call));
@@ -811,8 +1003,7 @@ impl<'m> Vm<'m> {
                 };
                 let s = self
                     .mem
-                    .read_cstr(fmt_addr, 256)
-                    .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?;
+                    .read_cstr(fmt_addr, 256)?;
                 self.charge(self.cfg.cost.bulk_per_byte * s.len() as u64);
                 Ok(s.len() as i64)
             }
@@ -829,9 +1020,7 @@ impl<'m> Vm<'m> {
                         self.metrics.ic_writes += 1;
                         let extra = self.cache_access(dst);
                         self.charge(extra);
-                        self.mem.write_scalar(dst, 8, v).map_err(
-                            |MemoryFault { addr, write }| Trap::MemoryFault { addr, write },
-                        )?;
+                        self.mem.write_scalar(dst, 8, v)?;
                         self.shadow_tag(dst, 8, dfi_def_id(fid, call));
                         Ok(1)
                     }
@@ -873,13 +1062,15 @@ impl<'m> Vm<'m> {
                 let dst = uarg(0);
                 let src = uarg(1);
                 let len = uarg(2);
+                if len > bulk_limit {
+                    return Err(Trap::InstBudgetExhausted.into());
+                }
                 let n = next_ic(self);
                 let bytes = match self.plan.attack_for(n) {
                     Some(a) => a.payload.clone(),
                     None => self
                         .mem
-                        .read_bytes(src, len)
-                        .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?,
+                        .read_bytes(src, len)?,
                 };
                 let extra = self.cache_range(src, bytes.len() as u64);
                 self.charge(extra);
@@ -894,8 +1085,7 @@ impl<'m> Vm<'m> {
                     Some(a) => a.payload.clone(),
                     None => self
                         .mem
-                        .read_cstr(src, 1 << 16)
-                        .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?,
+                        .read_cstr(src, 1 << 16)?,
                 };
                 let extra = self.cache_range(src, bytes.len() as u64);
                 self.charge(extra);
@@ -911,8 +1101,7 @@ impl<'m> Vm<'m> {
                     Some(a) => a.payload.clone(),
                     None => self
                         .mem
-                        .read_cstr(src, 1 << 16)
-                        .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?,
+                        .read_cstr(src, 1 << 16)?,
                 };
                 if self.plan.attack_for(n).is_none() {
                     bytes.truncate(limit as usize);
@@ -929,14 +1118,12 @@ impl<'m> Vm<'m> {
                 let n = next_ic(self);
                 let existing = self
                     .mem
-                    .read_cstr(dst, 1 << 16)
-                    .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?;
+                    .read_cstr(dst, 1 << 16)?;
                 let mut bytes = match self.plan.attack_for(n) {
                     Some(a) => a.payload.clone(),
                     None => self
                         .mem
-                        .read_cstr(src, 1 << 16)
-                        .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?,
+                        .read_cstr(src, 1 << 16)?,
                 };
                 if i == Intrinsic::Strncat && self.plan.attack_for(n).is_none() {
                     bytes.truncate(uarg(2) as usize);
@@ -981,13 +1168,11 @@ impl<'m> Vm<'m> {
                 Ok(self.heap.alloc(Section::Isolated, len).unwrap_or(0) as i64)
             }
             Intrinsic::Calloc => {
-                let len = (uarg(0) * uarg(1)).max(1);
+                let len = uarg(0).saturating_mul(uarg(1)).max(1);
                 match self.heap.alloc(Section::Shared, len) {
                     Some(p) => {
                         let zeros = vec![0u8; len as usize];
-                        self.mem.write_bytes(p, &zeros).map_err(
-                            |MemoryFault { addr, write }| Trap::MemoryFault { addr, write },
-                        )?;
+                        self.mem.write_bytes(p, &zeros)?;
                         Ok(p as i64)
                     }
                     None => Ok(0),
@@ -1004,12 +1189,8 @@ impl<'m> Vm<'m> {
                 match self.heap.alloc(section, len) {
                     Some(p) => {
                         let n = old_size.min(len);
-                        let bytes = self.mem.read_bytes(old, n).map_err(
-                            |MemoryFault { addr, write }| Trap::MemoryFault { addr, write },
-                        )?;
-                        self.mem.write_bytes(p, &bytes).map_err(
-                            |MemoryFault { addr, write }| Trap::MemoryFault { addr, write },
-                        )?;
+                        let bytes = self.mem.read_bytes(old, n)?;
+                        self.mem.write_bytes(p, &bytes)?;
                         let _ = self.heap.free(old);
                         Ok(p as i64)
                     }
@@ -1023,7 +1204,7 @@ impl<'m> Vm<'m> {
                 }
                 match self.heap.free(p) {
                     Ok(_) => Ok(0),
-                    Err(_) => Err(Trap::InvalidFree { addr: p }),
+                    Err(_) => Err(Trap::InvalidFree { addr: p }.into()),
                 }
             }
             // ---- string helpers ----
@@ -1031,8 +1212,7 @@ impl<'m> Vm<'m> {
                 let p = uarg(0);
                 let s = self
                     .mem
-                    .read_cstr(p, 1 << 20)
-                    .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?;
+                    .read_cstr(p, 1 << 20)?;
                 self.charge(self.cfg.cost.bulk_per_byte * s.len() as u64);
                 let extra = self.cache_range(p, s.len() as u64 + 1);
                 self.charge(extra);
@@ -1041,12 +1221,10 @@ impl<'m> Vm<'m> {
             Intrinsic::Strcmp | Intrinsic::Strncmp => {
                 let a = self
                     .mem
-                    .read_cstr(uarg(0), 1 << 16)
-                    .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?;
+                    .read_cstr(uarg(0), 1 << 16)?;
                 let b = self
                     .mem
-                    .read_cstr(uarg(1), 1 << 16)
-                    .map_err(|MemoryFault { addr, write }| Trap::MemoryFault { addr, write })?;
+                    .read_cstr(uarg(1), 1 << 16)?;
                 let (a, b) = if i == Intrinsic::Strncmp {
                     let n = uarg(2) as usize;
                     (a[..a.len().min(n)].to_vec(), b[..b.len().min(n)].to_vec())
@@ -1064,6 +1242,9 @@ impl<'m> Vm<'m> {
                 let dst = uarg(0);
                 let byte = (arg(1) & 0xff) as u8;
                 let len = uarg(2);
+                if len > bulk_limit {
+                    return Err(Trap::InstBudgetExhausted.into());
+                }
                 let bytes = vec![byte; len as usize];
                 let _ = next_ic(self);
                 bulk_write!(dst, &bytes, false);
@@ -1074,7 +1255,7 @@ impl<'m> Vm<'m> {
                 self.halted = Some(arg(0));
                 Ok(0)
             }
-            Intrinsic::Abort => Err(Trap::Abort),
+            Intrinsic::Abort => Err(Trap::Abort.into()),
             // ---- runtime support ----
             Intrinsic::PythiaRandom => {
                 self.charge(self.cfg.cost.random_call);
@@ -1137,7 +1318,7 @@ mod tests {
 
     fn run_module(m: &Module, entry: &str, args: &[i64]) -> RunResult {
         let mut vm = Vm::new(m, VmConfig::default(), InputPlan::benign(1));
-        vm.run(entry, args)
+        vm.run(entry, args).unwrap()
     }
 
     #[test]
@@ -1321,11 +1502,12 @@ mod tests {
             VmConfig::default(),
             InputPlan::with_attack(1, AttackSpec::smash(0, 24)),
         );
-        let attacked = vm.run("main", &[]);
-        match attacked.exit {
-            ExitReason::Returned(v) => assert_ne!(v, 0, "sentinel must be corrupted"),
-            other => panic!("unexpected exit {other:?}"),
-        }
+        let attacked = vm.run("main", &[]).unwrap();
+        assert!(
+            matches!(attacked.exit, ExitReason::Returned(v) if v != 0),
+            "sentinel must be corrupted, got {:?}",
+            attacked.exit
+        );
     }
 
     #[test]
@@ -1427,7 +1609,7 @@ mod tests {
             VmConfig::default(),
             InputPlan::with_attack(1, AttackSpec::smash(0, 32)),
         );
-        let r = vm.run("main", &[]);
+        let r = vm.run("main", &[]).unwrap();
         assert_eq!(
             r.exit,
             ExitReason::Trapped(Trap::PacAuthFailure { key: PaKey::Da })
@@ -1458,7 +1640,7 @@ mod tests {
             VmConfig::default(),
             InputPlan::with_attack(1, AttackSpec::smash(0, 32)),
         );
-        let r = vm.run("main", &[]);
+        let r = vm.run("main", &[]).unwrap();
         assert_eq!(r.detected(), Some(DetectionMechanism::Canary));
     }
 
@@ -1485,7 +1667,7 @@ mod tests {
             VmConfig::default(),
             InputPlan::with_attack(1, AttackSpec::smash(0, 24)),
         );
-        let r = vm.run("main", &[]);
+        let r = vm.run("main", &[]).unwrap();
         assert!(matches!(
             r.exit,
             ExitReason::Trapped(Trap::DfiViolation { .. })
@@ -1505,10 +1687,11 @@ mod tests {
         b.ret(Some(v));
         m.add_function(b.finish());
         let r = run_module(&m, "main", &[]);
-        match r.exit {
-            ExitReason::Returned(v) => assert!((0..=100).contains(&v)),
-            other => panic!("unexpected {other:?}"),
-        }
+        assert!(
+            matches!(r.exit, ExitReason::Returned(v) if (0..=100).contains(&v)),
+            "unexpected {:?}",
+            r.exit
+        );
         assert_eq!(r.metrics.ic_calls, 1);
         assert_eq!(r.metrics.ic_writes, 1);
     }
@@ -1526,7 +1709,7 @@ mod tests {
         cfg.max_insts = 10_000;
         let mut vm = Vm::new(&m, cfg, InputPlan::benign(1));
         assert_eq!(
-            vm.run("main", &[]).exit,
+            vm.run("main", &[]).unwrap().exit,
             ExitReason::Trapped(Trap::InstBudgetExhausted)
         );
     }
@@ -1541,7 +1724,7 @@ mod tests {
         m.add_function(b.finish());
         let mut vm = Vm::new(&m, VmConfig::default(), InputPlan::benign(1));
         assert_eq!(
-            vm.run("rec", &[1]).exit,
+            vm.run("rec", &[1]).unwrap().exit,
             ExitReason::Trapped(Trap::CallDepthExceeded)
         );
     }
@@ -1594,6 +1777,91 @@ mod tests {
     }
 
     #[test]
+    fn missing_entry_is_a_setup_error_not_a_panic() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let z = b.const_i64(0);
+        b.ret(Some(z));
+        m.add_function(b.finish());
+        let mut vm = Vm::new(&m, VmConfig::default(), InputPlan::benign(1));
+        let err = vm.run("nope", &[]).unwrap_err();
+        assert_eq!(err.variant(), "setup");
+        assert_eq!(err.context().function.as_deref(), Some("nope"));
+    }
+
+    #[test]
+    fn duplicate_entry_is_a_setup_error() {
+        let mut m = Module::new("m");
+        for _ in 0..2 {
+            let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+            let z = b.const_i64(0);
+            b.ret(Some(z));
+            m.add_function(b.finish());
+        }
+        let mut vm = Vm::new(&m, VmConfig::default(), InputPlan::benign(1));
+        let err = vm.run("main", &[]).unwrap_err();
+        assert_eq!(err.variant(), "setup");
+        assert!(err.to_string().contains("2 functions"));
+    }
+
+    #[test]
+    fn invalid_heap_config_is_a_setup_error() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let z = b.const_i64(0);
+        b.ret(Some(z));
+        m.add_function(b.finish());
+        let cfg = VmConfig {
+            heap: pythia_heap::SectionConfig {
+                base: u64::MAX - 0xf,
+                ..pythia_heap::SectionConfig::default()
+            },
+            ..VmConfig::default()
+        };
+        let mut vm = Vm::new(&m, cfg, InputPlan::benign(1));
+        let err = vm.run("main", &[]).unwrap_err();
+        assert_eq!(err.variant(), "setup");
+        assert!(err.to_string().contains("heap"));
+    }
+
+    #[test]
+    fn odd_width_load_traps_instead_of_panicking() {
+        // A load typed [3 x i8] clamps to a 3-byte scalar access, which
+        // the machine model rejects as a trap (previously a panic).
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let slot = b.alloca(Ty::array(Ty::I8, 3));
+        let p = b.cast(CastKind::Bitcast, slot, Ty::ptr(Ty::array(Ty::I8, 3)));
+        let v = b.load(p);
+        let w = b.cast(CastKind::Bitcast, v, Ty::I64);
+        b.ret(Some(w));
+        m.add_function(b.finish());
+        let r = run_module(&m, "main", &[]);
+        assert!(matches!(
+            r.exit,
+            ExitReason::Trapped(Trap::UnsupportedScalarSize { size: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn trap_classification_maps_to_taxonomy() {
+        let canary = Trap::PacAuthFailure { key: PaKey::Ga }.to_error();
+        assert_eq!(canary.variant(), "detection");
+        assert!(canary.to_string().contains("canary"));
+        let pac = Trap::PacAuthFailure { key: PaKey::Da }.to_error();
+        assert!(pac.to_string().contains("data-pac"));
+        let dfi = Trap::DfiViolation { found: 3 }.to_error();
+        assert!(dfi.to_string().contains("dfi"));
+        let fault = Trap::MemoryFault {
+            addr: 0x42,
+            write: true,
+        }
+        .to_error();
+        assert_eq!(fault.variant(), "fault");
+        assert_eq!(fault.context().address, Some(0x42));
+    }
+
+    #[test]
     fn signed_pointer_dereference_without_auth_faults() {
         // Using a PAC-signed pointer directly as an address must fault
         // (the PAC bits make it non-canonical) — hardware-faithful.
@@ -1633,7 +1901,7 @@ mod trace_tests {
             ..VmConfig::default()
         };
         let mut vm = Vm::new(&m, cfg, InputPlan::benign(1));
-        let r = vm.run("main", &[]);
+        let r = vm.run("main", &[]).unwrap();
         assert_eq!(r.exit, ExitReason::Returned(1));
         vm.trace().to_vec()
     }
@@ -1664,7 +1932,7 @@ mod intrinsic_tests {
 
     fn run_main(m: &Module) -> RunResult {
         let mut vm = Vm::new(m, VmConfig::default(), InputPlan::benign(1));
-        vm.run("main", &[])
+        vm.run("main", &[]).unwrap()
     }
 
     #[test]

@@ -527,7 +527,7 @@ mod tests {
         for p in &SPEC_PROFILES {
             let m = generate(p);
             let mut vm = Vm::new(&m, VmConfig::default(), InputPlan::benign(1));
-            let r = vm.run("main", &[]);
+            let r = vm.run("main", &[]).unwrap();
             assert!(
                 matches!(r.exit, ExitReason::Returned(_)),
                 "{}: {:?}",
@@ -582,8 +582,8 @@ mod tests {
         assert_eq!(quick.num_insts(), full.num_insts());
         let mut vm_full = Vm::new(&full, VmConfig::default(), InputPlan::benign(1));
         let mut vm_quick = Vm::new(&quick, VmConfig::default(), InputPlan::benign(1));
-        let rf = vm_full.run("main", &[]);
-        let rq = vm_quick.run("main", &[]);
+        let rf = vm_full.run("main", &[]).unwrap();
+        let rq = vm_quick.run("main", &[]).unwrap();
         assert!(rq.metrics.insts * 2 < rf.metrics.insts);
     }
 

@@ -23,7 +23,7 @@
 //! let profile = profiles::profile_by_name("lbm").unwrap();
 //! let module = generator::generate(profile);
 //! let mut vm = Vm::new(&module, VmConfig::default(), InputPlan::benign(1));
-//! let result = vm.run("main", &[]);
+//! let result = vm.run("main", &[]).unwrap();
 //! assert!(result.exit.value().is_some());
 //! ```
 

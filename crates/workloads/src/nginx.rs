@@ -10,7 +10,7 @@
 //! a multi-threaded driver that runs one VM per worker and reports
 //! aggregate throughput.
 
-use pythia_ir::{CmpPred, FunctionBuilder, Inst, Intrinsic, Module, Ty};
+use pythia_ir::{CmpPred, FunctionBuilder, Inst, Intrinsic, Module, PythiaError, Ty};
 use pythia_vm::{InputPlan, RunMetrics, Vm, VmConfig};
 
 /// Build the nginx-like module serving `requests` requests.
@@ -214,37 +214,66 @@ impl NginxRun {
 /// workers, each serving the module's request loop with its own VM and
 /// input plan. Mirrors the paper's 12-thread/400-connection generator.
 ///
-/// # Panics
+/// Workers are panic-isolated: each body runs under `catch_unwind`, so
+/// one failing worker cannot tear down the others. Failures are
+/// aggregated into a single error naming every worker that failed.
 ///
-/// Panics if a worker thread panics.
-pub fn run_workers(module: &Module, threads: usize, seed: u64) -> NginxRun {
-    let results: Vec<(u64, u64, RunMetrics)> = std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..threads {
-            let m = &*module;
-            handles.push(scope.spawn(move || {
-                let cfg = VmConfig {
-                    seed: seed ^ (t as u64) << 8,
-                    ..VmConfig::default()
+/// # Errors
+///
+/// [`PythiaError`] when any worker fails — a `Setup` error from its VM, or
+/// an `Internal` error carrying a panic payload.
+pub fn run_workers(module: &Module, threads: usize, seed: u64) -> Result<NginxRun, PythiaError> {
+    if threads == 0 {
+        return Err(PythiaError::setup("nginx run requires at least one worker"));
+    }
+    let results: Vec<Result<(u64, u64, RunMetrics), PythiaError>> =
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..threads {
+                let m = &*module;
+                let worker = move || -> Result<(u64, u64, RunMetrics), PythiaError> {
+                    let cfg = VmConfig {
+                        seed: seed ^ (t as u64) << 8,
+                        ..VmConfig::default()
+                    };
+                    let mut vm = Vm::new(m, cfg, InputPlan::benign(seed + t as u64));
+                    let r = vm.run("main", &[])?;
+                    let bytes = r.exit.value().unwrap_or(0).max(0) as u64;
+                    Ok((bytes, r.metrics.cycles(), r.metrics))
                 };
-                let mut vm = Vm::new(m, cfg, InputPlan::benign(seed + t as u64));
-                let r = vm.run("main", &[]);
-                let bytes = r.exit.value().unwrap_or(0).max(0) as u64;
-                (bytes, r.metrics.cycles(), r.metrics)
-            }));
+                handles.push(scope.spawn(move || {
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(worker))
+                }));
+            }
+            handles
+                .into_iter()
+                .enumerate()
+                .map(|(t, h)| {
+                    let r = match h.join() {
+                        Ok(Ok(r)) => r,
+                        Ok(Err(p)) => Err(PythiaError::from_panic(p.as_ref())),
+                        Err(p) => Err(PythiaError::from_panic(p.as_ref())),
+                    };
+                    r.map_err(|e| e.with_function(format!("nginx-worker-{t}")))
+                })
+                .collect()
+        });
+    let failures: Vec<&PythiaError> = results.iter().filter_map(|r| r.as_ref().err()).collect();
+    if let Some(first) = failures.first() {
+        let mut err = (*first).clone();
+        if failures.len() > 1 {
+            err = err.amend(format!("(+{} more worker failures)", failures.len() - 1));
         }
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker panicked"))
-            .collect()
-    });
-    let bytes = results.iter().map(|r| r.0).sum();
-    let wall_cycles = results.iter().map(|r| r.1).max().unwrap_or(0);
-    NginxRun {
+        return Err(err);
+    }
+    let ok: Vec<&(u64, u64, RunMetrics)> = results.iter().filter_map(|r| r.as_ref().ok()).collect();
+    let bytes = ok.iter().map(|r| r.0).sum();
+    let wall_cycles = ok.iter().map(|r| r.1).max().unwrap_or(0);
+    Ok(NginxRun {
         bytes,
         wall_cycles,
-        sample: results[0].2,
-    }
+        sample: ok[0].2,
+    })
 }
 
 #[cfg(test)]
@@ -259,7 +288,7 @@ mod tests {
         let m = nginx_module(20);
         verify::verify_module(&m).expect("valid IR");
         let mut vm = Vm::new(&m, VmConfig::default(), InputPlan::benign(5));
-        let r = vm.run("main", &[]);
+        let r = vm.run("main", &[]).unwrap();
         match r.exit {
             ExitReason::Returned(bytes) => assert!(bytes > 20 * 26),
             other => panic!("unexpected exit {other:?}"),
@@ -278,8 +307,8 @@ mod tests {
     #[test]
     fn workers_scale_bytes() {
         let m = nginx_module(10);
-        let one = run_workers(&m, 1, 9);
-        let four = run_workers(&m, 4, 9);
+        let one = run_workers(&m, 1, 9).unwrap();
+        let four = run_workers(&m, 4, 9).unwrap();
         assert!(four.bytes >= one.bytes * 3, "4 workers serve ~4x bytes");
         assert!(one.throughput() > 0.0);
     }
@@ -290,8 +319,8 @@ mod tests {
         let big = nginx_module(50);
         let mut vm_s = Vm::new(&small, VmConfig::default(), InputPlan::benign(1));
         let mut vm_b = Vm::new(&big, VmConfig::default(), InputPlan::benign(1));
-        let rs = vm_s.run("main", &[]);
-        let rb = vm_b.run("main", &[]);
+        let rs = vm_s.run("main", &[]).unwrap();
+        let rb = vm_b.run("main", &[]).unwrap();
         assert!(rb.metrics.insts > rs.metrics.insts * 8);
     }
 }

@@ -220,7 +220,7 @@ mod tests {
 
     fn run(m: &Module, plan: InputPlan) -> pythia_vm::RunResult {
         let mut vm = Vm::new(m, VmConfig::default(), plan);
-        vm.run("main", &[])
+        vm.run("main", &[]).unwrap()
     }
 
     #[test]

@@ -18,7 +18,13 @@ fn main() {
     for scenario in all_scenarios() {
         println!("\n{} — {}", scenario.name, scenario.description);
         for scheme in Scheme::ALL {
-            let o = adjudicate(&scenario, scheme, &cfg);
+            let o = match adjudicate(&scenario, scheme, &cfg) {
+                Ok(o) => o,
+                Err(e) => {
+                    println!("  {:8} -> ERROR: {e}", scheme.name());
+                    continue;
+                }
+            };
             let verdict = if o.bent {
                 "branch BENT — attack succeeded".to_owned()
             } else if let Some(m) = o.detected {

@@ -26,7 +26,13 @@ fn main() {
     );
     for scheme in [Scheme::Vanilla, Scheme::Cpa, Scheme::Pythia, Scheme::Dfi] {
         let inst = instrument_with(&module, &ctx, &report, scheme);
-        let run = run_workers(&inst.module, threads, 0x1234);
+        let run = match run_workers(&inst.module, threads, 0x1234) {
+            Ok(run) => run,
+            Err(e) => {
+                println!("{:<8} ERROR: {e}", scheme.name());
+                continue;
+            }
+        };
         let tp = run.throughput();
         if scheme == Scheme::Vanilla {
             base = tp;

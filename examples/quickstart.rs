@@ -66,7 +66,13 @@ fn main() {
     let cfg = VmConfig::default();
     println!("=== outcomes ===");
     for scheme in Scheme::ALL {
-        let o = adjudicate(&scenario, scheme, &cfg);
+        let o = match adjudicate(&scenario, scheme, &cfg) {
+            Ok(o) => o,
+            Err(e) => {
+                println!("{:8}  ERROR: {e}", scheme.name());
+                continue;
+            }
+        };
         let verdict = if o.bent {
             "ATTACK SUCCEEDED (branch bent)".to_owned()
         } else if let Some(m) = o.detected {

@@ -17,12 +17,18 @@ fn main() {
     let mut n = 0usize;
     for p in SPEC_PROFILES.iter().filter(|p| p.name.contains(&filter)) {
         let module = generate(p);
-        let ev = evaluate(
+        let ev = match evaluate(
             &module,
             &[Scheme::Cpa, Scheme::Pythia, Scheme::Dfi],
             p.seed,
             &cfg,
-        );
+        ) {
+            Ok(ev) => ev,
+            Err(e) => {
+                println!("{:<18} ERROR: {e}", p.name);
+                continue;
+            }
+        };
         let base = ev
             .result(Scheme::Vanilla)
             .map(|r| r.metrics.cycles())

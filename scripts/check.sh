@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Graceful-degradation gate: build, test, then smoke-run the reproduce
+# binary and fail on any `internal` error — the one taxonomy variant that
+# means the harness itself is broken (DESIGN.md, "Error taxonomy").
+#
+# `setup`/`fault`/`detection` statuses in the smoke JSON are data, not CI
+# failures; they still flip reproduce's exit code, which this script
+# reports but tolerates, so a hostile benchmark can't mask an internal bug.
+#
+# Usage: scripts/check.sh [out-dir]   (default: check-out)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-check-out}"
+mkdir -p "$OUT"
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "== reproduce --smoke --bench-json =="
+smoke_status=0
+target/release/reproduce --smoke --bench-json --out "$OUT" >/dev/null || smoke_status=$?
+JSON="$OUT/BENCH_suite.json"
+
+if [ ! -f "$JSON" ]; then
+    echo "FAIL: smoke run produced no $JSON" >&2
+    exit 1
+fi
+if grep -q '"status": "internal"' "$JSON"; then
+    echo "FAIL: internal error in smoke suite — harness bug:" >&2
+    grep -B2 '"status": "internal"' "$JSON" >&2
+    exit 1
+fi
+if [ "$smoke_status" -ne 0 ]; then
+    # Non-internal failures (setup/fault/detection) are typed, reported,
+    # and unexpected in the smoke set: surface them as a failure too.
+    echo "FAIL: smoke suite had failing benchmarks (exit $smoke_status):" >&2
+    grep '"status"' "$JSON" >&2
+    exit 1
+fi
+
+echo "OK: build, tests and smoke suite are clean ($JSON)"

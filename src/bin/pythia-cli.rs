@@ -237,7 +237,7 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         .collect::<Result<_, _>>()?;
     let seed = cfg.seed;
     let mut vm = Vm::new(&m, cfg, InputPlan::benign(seed));
-    let r = vm.run(entry, &vm_args);
+    let r = vm.run(entry, &vm_args).map_err(|e| e.to_string())?;
     println!("exit        {:?}", r.exit);
     println!("instructions {}", r.metrics.insts);
     println!("cycles      {}", r.metrics.cycles());
@@ -275,7 +275,9 @@ fn cmd_attack(args: &[String]) -> Result<(), String> {
     let inst = instrument(&m, scheme);
     let seed = cfg.seed;
     let mut vm = Vm::new(&inst.module, cfg, InputPlan::with_attack(seed, spec));
-    let r = vm.run(opts.flag("entry").unwrap_or("main"), &[]);
+    let r = vm
+        .run(opts.flag("entry").unwrap_or("main"), &[])
+        .map_err(|e| e.to_string())?;
     match r.detected() {
         Some(mech) => println!("DETECTED by {mech:?} ({:?})", r.exit),
         None => println!("not detected: {:?}", r.exit),

@@ -26,10 +26,10 @@
 //! let scenario = &all_scenarios()[0]; // paper Listing 1
 //! let cfg = VmConfig::default();
 //!
-//! let unprotected = adjudicate(scenario, Scheme::Vanilla, &cfg);
+//! let unprotected = adjudicate(scenario, Scheme::Vanilla, &cfg).unwrap();
 //! assert!(unprotected.bent, "the attack bends the unprotected branch");
 //!
-//! let protected = adjudicate(scenario, Scheme::Pythia, &cfg);
+//! let protected = adjudicate(scenario, Scheme::Pythia, &cfg).unwrap();
 //! assert!(protected.defense_succeeded(), "Pythia detects it");
 //! ```
 

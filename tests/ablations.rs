@@ -4,17 +4,17 @@
 
 use pythia::core::{instrument, Scheme, VmConfig};
 use pythia::passes::{instrument_pythia_ablated, PythiaConfig};
-use pythia::vm::{InputPlan, Vm};
+use pythia::vm::Vm;
 use pythia::workloads::{all_scenarios, extended_scenarios};
 
 fn run_attack(m: &pythia::ir::Module, s: &pythia::workloads::Scenario) -> pythia::vm::RunResult {
     let mut vm = Vm::new(m, VmConfig::default(), s.attack.clone());
-    vm.run("main", &[])
+    vm.run("main", &[]).expect("scenario module must run")
 }
 
 fn run_benign(m: &pythia::ir::Module, s: &pythia::workloads::Scenario) -> pythia::vm::RunResult {
     let mut vm = Vm::new(m, VmConfig::default(), s.benign.clone());
-    vm.run("main", &[])
+    vm.run("main", &[]).expect("scenario module must run")
 }
 
 #[test]

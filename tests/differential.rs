@@ -175,7 +175,7 @@ proptest! {
 
         let run = |m: &Module| {
             let mut vm = Vm::new(m, VmConfig::default(), InputPlan::benign(seed));
-            vm.run("main", &[])
+            vm.run("main", &[]).expect("verified module must run")
         };
         let vanilla = run(&m);
         prop_assert!(

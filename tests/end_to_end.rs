@@ -15,6 +15,7 @@ fn eval(name: &str) -> pythia::core::BenchEvaluation {
         p.seed,
         &VmConfig::default(),
     )
+    .expect("suite benchmark must evaluate")
 }
 
 #[test]

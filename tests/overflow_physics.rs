@@ -37,7 +37,7 @@ fn overflow_reach_is_byte_accurate() {
             VmConfig::default(),
             InputPlan::with_attack(1, AttackSpec::aimed(0, payload_len, 2)),
         );
-        vm.run("main", &[]).exit
+        vm.run("main", &[]).unwrap().exit
     };
 
     // 8 bytes fill the buffer exactly; gets' terminating NUL lands on
@@ -85,7 +85,7 @@ fn heap_overflow_between_shared_chunks_still_happens() {
 
     let benign = {
         let mut vm = Vm::new(&m, VmConfig::default(), InputPlan::benign(1));
-        vm.run("main", &[]).exit
+        vm.run("main", &[]).unwrap().exit
     };
     assert_eq!(benign, ExitReason::Returned(7));
 
@@ -94,7 +94,7 @@ fn heap_overflow_between_shared_chunks_still_happens() {
         VmConfig::default(),
         InputPlan::with_attack(1, AttackSpec::aimed(0, 32, 0x41)),
     );
-    let attacked = vm.run("main", &[]).exit;
+    let attacked = vm.run("main", &[]).unwrap().exit;
     assert_eq!(attacked, ExitReason::Returned(0x41), "h2 must be smashed");
 }
 
@@ -167,7 +167,7 @@ fn overflow_from_vulnerable_buffer_cannot_reach_innocents_after_relayout() {
         VmConfig::default(),
         InputPlan::with_attack(1, AttackSpec::aimed(0, 16, 1)),
     );
-    assert_eq!(vm.run("main", &[]).exit, ExitReason::Returned(1));
+    assert_eq!(vm.run("main", &[]).unwrap().exit, ExitReason::Returned(1));
 
     // Pythia: the same attack traps at the canary, and even the memory
     // write pattern can no longer reach `secret` (it now lies below).
@@ -177,6 +177,6 @@ fn overflow_from_vulnerable_buffer_cannot_reach_innocents_after_relayout() {
         VmConfig::default(),
         InputPlan::with_attack(1, AttackSpec::aimed(0, 16, 1)),
     );
-    let r = vm.run("main", &[]);
+    let r = vm.run("main", &[]).unwrap();
     assert!(r.detected().is_some(), "canary must fire: {:?}", r.exit);
 }

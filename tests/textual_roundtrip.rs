@@ -33,7 +33,7 @@ fn reparsed_module_behaves_identically() {
 
     let run = |m: &pythia::ir::Module| {
         let mut vm = Vm::new(m, VmConfig::default(), InputPlan::benign(3));
-        let r = vm.run("main", &[]);
+        let r = vm.run("main", &[]).unwrap();
         (r.exit, r.metrics.insts, r.metrics.cycles_mc)
     };
     assert_eq!(run(&m), run(&m2));
@@ -108,7 +108,7 @@ proptest! {
         let m2 = parser::parse_module(&printer::print_module(&m)).unwrap();
         let run = |m: &Module| {
             let mut vm = Vm::new(m, VmConfig::default(), InputPlan::benign(0));
-            vm.run("main", &[]).exit
+            vm.run("main", &[]).unwrap().exit
         };
         prop_assert_eq!(run(&m), run(&m2));
     }
