@@ -7,6 +7,8 @@
 //!   control dependence, natural-loop depths;
 //! - [`callgraph`] — direct/indirect call edges, reachability, Tarjan SCC
 //!   recursion detection;
+//! - [`dataflow`] — a generic forward/backward worklist solver every
+//!   fixpoint analysis (and the lint rules) is built on;
 //! - [`defuse`] — SSA def-use chains (Definition 2.2);
 //! - [`liveness`] — live variables and flow-sensitive reaching stores
 //!   (the machine-pass/spill side of §5 and DFI's def-set precision);
@@ -56,6 +58,7 @@ pub mod alias;
 pub mod callgraph;
 pub mod cfg;
 pub mod channels;
+pub mod dataflow;
 pub mod defuse;
 pub mod liveness;
 pub mod slicing;
@@ -67,6 +70,7 @@ pub use cfg::{
     back_edges, control_dependence, loop_depths, reverse_postorder, Dominators, PostDominators,
 };
 pub use channels::{IcSite, InputChannels};
+pub use dataflow::{solve, DataflowAnalysis, Direction, SolveResult};
 pub use defuse::DefUse;
 pub use liveness::{Liveness, ReachingStores};
 pub use slicing::{BackwardSlice, ForwardSlice, SliceContext, SliceMode};

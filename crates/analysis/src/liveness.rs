@@ -7,7 +7,12 @@
 //! exactly this information: a vulnerable value live across many blocks is
 //! a spill candidate, and every spill adds PA work under CPA. The cost
 //! model consumes [`Liveness::max_pressure`] as its spill proxy.
+//!
+//! Both analyses here are thin clients of the generic worklist solver in
+//! [`crate::dataflow`]: they state a lattice and a transfer function and
+//! let [`crate::dataflow::solve`] do the iteration.
 
+use crate::dataflow::{solve, DataflowAnalysis, Direction};
 use pythia_ir::{BlockId, Function, Inst, ValueId, ValueKind};
 use std::collections::{HashMap, HashSet};
 
@@ -16,6 +21,56 @@ use std::collections::{HashMap, HashSet};
 pub struct Liveness {
     live_in: Vec<HashSet<ValueId>>,
     live_out: Vec<HashSet<ValueId>>,
+}
+
+/// The dataflow problem behind [`Liveness`]: backward may-analysis over
+/// the powerset of instruction values, with phi uses attributed to their
+/// incoming edge via the solver's edge hook.
+struct LivenessProblem {
+    uses: Vec<HashSet<ValueId>>,
+    defs: Vec<HashSet<ValueId>>,
+}
+
+impl DataflowAnalysis for LivenessProblem {
+    type Fact = HashSet<ValueId>;
+
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+    fn boundary(&self, _f: &Function, _bb: BlockId) -> Self::Fact {
+        HashSet::new()
+    }
+    fn top(&self, _f: &Function) -> Self::Fact {
+        HashSet::new()
+    }
+    fn meet(&self, a: &Self::Fact, b: &Self::Fact) -> Self::Fact {
+        a.union(b).copied().collect()
+    }
+    fn transfer(&self, _f: &Function, bb: BlockId, out: &Self::Fact) -> Self::Fact {
+        let b = bb.0 as usize;
+        let mut inn = self.uses[b].clone();
+        for v in out {
+            if !self.defs[b].contains(v) {
+                inn.insert(*v);
+            }
+        }
+        inn
+    }
+    fn edge(&self, f: &Function, from: BlockId, to: BlockId, fact: &Self::Fact) -> Self::Fact {
+        // Phi uses are live on the edge: a phi in `to` using a value from
+        // `from` keeps it live out of `from` only.
+        let mut out = fact.clone();
+        for &iv in &f.block(to).insts {
+            if let Some(Inst::Phi { incomings }) = f.inst(iv) {
+                for (pred, v) in incomings {
+                    if *pred == from && matches!(f.value(*v).kind, ValueKind::Inst(_)) {
+                        out.insert(*v);
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 impl Liveness {
@@ -35,7 +90,7 @@ impl Liveness {
             for &iv in &f.block(bb).insts {
                 if let Some(inst) = f.inst(iv) {
                     // Phi operands are uses on the incoming *edge*, not in
-                    // this block; the fixpoint handles them per-successor.
+                    // this block; the edge hook handles them per-successor.
                     if !matches!(inst, Inst::Phi { .. }) {
                         for op in inst.operands() {
                             if is_inst_value(op) && !defs[b].contains(&op) {
@@ -48,42 +103,13 @@ impl Liveness {
             }
         }
 
-        let mut live_in = vec![HashSet::new(); nb];
-        let mut live_out = vec![HashSet::new(); nb];
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for bb in f.block_ids().rev_order() {
-                let b = bb.0 as usize;
-                let mut out: HashSet<ValueId> = HashSet::new();
-                for s in f.successors(bb) {
-                    out.extend(live_in[s.0 as usize].iter().copied());
-                    // Phi uses are live on the edge: a phi in the successor
-                    // using a value from *this* block keeps it live here.
-                    for &iv in &f.block(s).insts {
-                        if let Some(Inst::Phi { incomings }) = f.inst(iv) {
-                            for (pred, v) in incomings {
-                                if *pred == bb && is_inst_value(*v) {
-                                    out.insert(*v);
-                                }
-                            }
-                        }
-                    }
-                }
-                let mut inn: HashSet<ValueId> = uses[b].clone();
-                for v in &out {
-                    if !defs[b].contains(v) {
-                        inn.insert(*v);
-                    }
-                }
-                if out != live_out[b] || inn != live_in[b] {
-                    live_out[b] = out;
-                    live_in[b] = inn;
-                    changed = true;
-                }
-            }
+        let sol = solve(f, &LivenessProblem { uses, defs });
+        // Backward: the flow-input side is the block's exit, the
+        // post-transfer side its entry.
+        Liveness {
+            live_in: sol.output,
+            live_out: sol.input,
         }
-        Liveness { live_in, live_out }
     }
 
     /// Values live on entry to `bb`.
@@ -109,32 +135,64 @@ impl Liveness {
     }
 }
 
-/// Iteration helper: blocks in reverse id order (a decent approximation of
-/// post-order for builder-produced CFGs, good enough for fixpoints).
-trait RevOrder {
-    fn rev_order(self) -> Vec<BlockId>;
-}
-
-impl<I: Iterator<Item = BlockId>> RevOrder for I {
-    fn rev_order(self) -> Vec<BlockId> {
-        let mut v: Vec<BlockId> = self.collect();
-        v.reverse();
-        v
-    }
-}
-
 /// Flow-sensitive reaching definitions over *memory objects*.
 ///
 /// For each block and each object, which store instructions may reach its
 /// entry. This is the textbook analysis behind DFI's static def-sets
 /// (Castro et al. compute it with their "reaching definitions analysis");
 /// our DFI pass uses the cheaper flow-insensitive object sets, and this
-/// analysis exists to *measure* how much precision that costs
-/// (see `flow_sensitivity_gain`).
+/// analysis exists both to *measure* how much precision that costs
+/// (see `flow_sensitivity_gain`) and to let the linter cross-check the
+/// pass's emitted check-sets against a flow-sensitive ground truth.
 #[derive(Debug, Clone)]
 pub struct ReachingStores {
     /// block -> object -> set of store instruction values
     reach_in: Vec<HashMap<u32, HashSet<ValueId>>>,
+}
+
+/// Forward may-analysis: store instructions walk their block in order, a
+/// single-object store strongly updates (replaces) that object's def set,
+/// a multi-object store weakly extends every candidate.
+struct ReachingProblem<F: Fn(ValueId) -> Vec<u32>> {
+    objects_of: F,
+}
+
+impl<F: Fn(ValueId) -> Vec<u32>> DataflowAnalysis for ReachingProblem<F> {
+    type Fact = HashMap<u32, HashSet<ValueId>>;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+    fn boundary(&self, _f: &Function, _bb: BlockId) -> Self::Fact {
+        HashMap::new()
+    }
+    fn top(&self, _f: &Function) -> Self::Fact {
+        HashMap::new()
+    }
+    fn meet(&self, a: &Self::Fact, b: &Self::Fact) -> Self::Fact {
+        let mut out = a.clone();
+        for (o, defs) in b {
+            out.entry(*o).or_default().extend(defs.iter().copied());
+        }
+        out
+    }
+    fn transfer(&self, f: &Function, bb: BlockId, inn: &Self::Fact) -> Self::Fact {
+        let mut out = inn.clone();
+        for &iv in &f.block(bb).insts {
+            if let Some(Inst::Store { ptr, .. }) = f.inst(iv) {
+                let objs = (self.objects_of)(*ptr);
+                let strong = objs.len() == 1;
+                for o in objs {
+                    let entry = out.entry(o).or_default();
+                    if strong {
+                        entry.clear();
+                    }
+                    entry.insert(iv);
+                }
+            }
+        }
+        out
+    }
 }
 
 impl ReachingStores {
@@ -142,64 +200,10 @@ impl ReachingStores {
     /// the object ids it may write (points-to abstraction, supplied by
     /// the caller so this module stays independent of the alias crate).
     pub fn compute(f: &Function, objects_of: impl Fn(ValueId) -> Vec<u32>) -> Self {
-        let nb = f.num_blocks();
-        // gen/kill per block, object-indexed. A store *generates* itself
-        // for each object it may write; it only *kills* when it writes a
-        // single object (strong update).
-        let mut gen_sets: Vec<HashMap<u32, HashSet<ValueId>>> = vec![HashMap::new(); nb];
-        for bb in f.block_ids() {
-            let b = bb.0 as usize;
-            for &iv in &f.block(bb).insts {
-                if let Some(Inst::Store { ptr, .. }) = f.inst(iv) {
-                    let objs = objects_of(*ptr);
-                    let strong = objs.len() == 1;
-                    for o in objs {
-                        let entry = gen_sets[b].entry(o).or_default();
-                        if strong {
-                            entry.clear();
-                        }
-                        entry.insert(iv);
-                    }
-                }
-            }
+        let sol = solve(f, &ReachingProblem { objects_of });
+        ReachingStores {
+            reach_in: sol.input,
         }
-
-        let preds = f.predecessors();
-        let mut reach_in: Vec<HashMap<u32, HashSet<ValueId>>> = vec![HashMap::new(); nb];
-        let mut changed = true;
-        while changed {
-            changed = false;
-            for bb in f.block_ids() {
-                let b = bb.0 as usize;
-                let mut inn: HashMap<u32, HashSet<ValueId>> = HashMap::new();
-                for p in &preds[b] {
-                    let pb = p.0 as usize;
-                    // out[p] = gen[p] ∪ (in[p] minus strong kills); our gen
-                    // already applied strong updates block-locally, so
-                    // out[p][o] = gen[p][o] if the block writes o strongly,
-                    // else in[p][o] ∪ gen[p][o].
-                    let mut seen: HashSet<u32> = HashSet::new();
-                    for (o, g) in &gen_sets[pb] {
-                        inn.entry(*o).or_default().extend(g.iter().copied());
-                        seen.insert(*o);
-                    }
-                    for (o, r) in &reach_in[pb] {
-                        // Strong kill: a single-object store replaces all
-                        // prior defs of that object within its block.
-                        let strongly_redefined = seen.contains(o)
-                            && gen_sets[pb].get(o).map(|g| g.len() == 1).unwrap_or(false);
-                        if !strongly_redefined {
-                            inn.entry(*o).or_default().extend(r.iter().copied());
-                        }
-                    }
-                }
-                if inn != reach_in[b] {
-                    reach_in[b] = inn;
-                    changed = true;
-                }
-            }
-        }
-        ReachingStores { reach_in }
     }
 
     /// Stores of `obj` that may reach the entry of `bb`.

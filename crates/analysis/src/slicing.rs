@@ -264,9 +264,7 @@ impl<'m> SliceContext<'m> {
         let mut memo = self.slice_memo.write().unwrap();
         // A racing thread may have inserted meanwhile; either result is
         // identical, so keep whichever is already there.
-        if !memo.contains_key(&key) {
-            memo.insert(key, Arc::new(slice.clone()));
-        }
+        memo.entry(key).or_insert_with(|| Arc::new(slice.clone()));
         self.memo_misses.fetch_add(1, Ordering::Relaxed);
         slice
     }
@@ -547,26 +545,31 @@ impl<'m> SliceContext<'m> {
                             }
                         }
                     }
-                    Some(Inst::Call { callee, args }) => {
+                    Some(Inst::Call {
+                        callee: Callee::Func(target),
+                        args,
+                    }) => {
                         // Taint flows into callees via arguments.
-                        if let Callee::Func(target) = callee {
-                            let cf = self.module.func(*target);
-                            for (i, a) in args.iter().enumerate() {
-                                if *a == v && i < cf.params.len() {
-                                    let p = cf.arg(i);
-                                    if seen_vals.insert((*target, p)) {
-                                        val_work.push_back((*target, p));
-                                    }
+                        let cf = self.module.func(*target);
+                        for (i, a) in args.iter().enumerate() {
+                            if *a == v && i < cf.params.len() {
+                                let p = cf.arg(i);
+                                if seen_vals.insert((*target, p)) {
+                                    val_work.push_back((*target, p));
                                 }
                             }
                         }
                     }
-                    Some(inst) if !inst.is_terminator() => {
+                    // Intrinsic/indirect calls do not propagate taint into
+                    // a callee body (there is none to slice into).
+                    Some(Inst::Call { .. }) => {}
+                    Some(inst)
+                        if !inst.is_terminator()
+                            && f.value(user).ty != pythia_ir::Ty::Void
+                            && seen_vals.insert((fid, user)) =>
+                    {
                         // Any computed result is tainted.
-                        if f.value(user).ty != pythia_ir::Ty::Void && seen_vals.insert((fid, user))
-                        {
-                            val_work.push_back((fid, user));
-                        }
+                        val_work.push_back((fid, user));
                     }
                     _ => {}
                 }

@@ -1,6 +1,7 @@
 //! Regenerate the paper's tables and figures (see DESIGN.md §4).
 //!
-//! Usage: `reproduce [--out <dir>] [--bench-json] [--smoke] [section...]`
+//! Usage: `reproduce [--out <dir>] [--bench-json] [--lint] [--smoke]
+//! [section...]`
 //! where a section is one of `fig4a fig4b fig5a fig5b fig6a fig6b fig7a
 //! fig7b dist dynpa heap campaign models nginx motiv eq6 ablations` — or
 //! nothing for the full report.
@@ -11,6 +12,13 @@
 //! a per-benchmark `status` field (`ok` or the error variant), so harness
 //! speed and health are comparable across changes. Worker count comes
 //! from `PYTHIA_THREADS` (default: available parallelism).
+//!
+//! `--lint` (implies `--bench-json`) additionally records each
+//! benchmark's static-certification status: `"lint": "certified"` plus
+//! the number of protection obligations `pythia-lint` checked across the
+//! benchmark's instrumented variants, `"violated"` when the lint gate
+//! rejected a variant, or `"not-reached"` when an earlier error stopped
+//! the benchmark before instrumentation.
 //!
 //! `--smoke` evaluates only a tiny suite (lbm, mcf, a short nginx run)
 //! and skips the sections that need the full suite — a CI-speed health
@@ -40,6 +48,12 @@ fn main() {
         bench_json = true;
         args.remove(i);
     }
+    let mut lint = false;
+    if let Some(i) = args.iter().position(|a| a == "--lint") {
+        lint = true;
+        bench_json = true; // lint status lands in BENCH_suite.json
+        args.remove(i);
+    }
     let mut smoke = false;
     if let Some(i) = args.iter().position(|a| a == "--smoke") {
         smoke = true;
@@ -60,7 +74,7 @@ fn main() {
             exp::run_suite_timed()
         };
         if bench_json {
-            let json = exp::bench_json(&suite, &timing);
+            let json = exp::bench_json(&suite, &timing, lint);
             let dir = out_dir.clone().unwrap_or_else(|| ".".to_owned());
             std::fs::create_dir_all(&dir).expect("create out dir");
             let path = std::path::Path::new(&dir).join("BENCH_suite.json");

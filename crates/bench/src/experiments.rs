@@ -296,7 +296,7 @@ fn json_escape(s: &str) -> String {
 /// (`ok`, or the error's taxonomy variant — `scripts/check.sh` fails the
 /// build on any `internal`). Hand-rolled JSON — the workspace is offline
 /// and carries no serde.
-pub fn bench_json(suite: &[SuiteEntry], timing: &SuiteTiming) -> String {
+pub fn bench_json(suite: &[SuiteEntry], timing: &SuiteTiming, lint: bool) -> String {
     let sum = |f: fn(&pythia_core::Timings) -> f64| -> f64 {
         suite
             .iter()
@@ -319,8 +319,18 @@ pub fn bench_json(suite: &[SuiteEntry], timing: &SuiteTiming) -> String {
         match &entry.outcome {
             Ok(ev) => {
                 let t = &ev.timings;
+                // An `ok` evaluation implies the lint gate passed: every
+                // instrumented variant was certified before it executed.
+                let lint_field = if lint {
+                    format!(
+                        ", \"lint\": \"certified\", \"lint_checks\": {}",
+                        ev.lint_checks()
+                    )
+                } else {
+                    String::new()
+                };
                 out.push_str(&format!(
-                    "    {{ \"name\": \"{}\", \"status\": \"ok\", \"analysis_secs\": {:.6}, \"instrument_secs\": {:.6}, \"execute_secs\": {:.6} }}{comma}\n",
+                    "    {{ \"name\": \"{}\", \"status\": \"ok\", \"analysis_secs\": {:.6}, \"instrument_secs\": {:.6}, \"execute_secs\": {:.6}{lint_field} }}{comma}\n",
                     json_escape(&entry.name),
                     t.analysis_secs,
                     t.instrument_secs,
@@ -328,8 +338,21 @@ pub fn bench_json(suite: &[SuiteEntry], timing: &SuiteTiming) -> String {
                 ));
             }
             Err(e) => {
+                let lint_field = if lint {
+                    // The pipeline's certification error message is stable
+                    // (pythia-lint's `into_setup_error`), so it doubles as
+                    // the discriminator between "lint rejected this" and
+                    // "the benchmark never reached the lint gate".
+                    if e.to_string().contains("static certification") {
+                        ", \"lint\": \"violated\""
+                    } else {
+                        ", \"lint\": \"not-reached\""
+                    }
+                } else {
+                    ""
+                };
                 out.push_str(&format!(
-                    "    {{ \"name\": \"{}\", \"status\": \"{}\", \"error\": \"{}\" }}{comma}\n",
+                    "    {{ \"name\": \"{}\", \"status\": \"{}\", \"error\": \"{}\"{lint_field} }}{comma}\n",
                     json_escape(&entry.name),
                     e.variant(),
                     json_escape(&e.to_string()),

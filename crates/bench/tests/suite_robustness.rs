@@ -116,9 +116,26 @@ fn bench_json_carries_per_benchmark_status() {
         threads: 2,
         total_secs: 0.0,
     };
-    let json = exp::bench_json(&suite, &timing);
+    let json = exp::bench_json(&suite, &timing, false);
     assert!(json.contains("\"status\": \"ok\""));
     assert!(json.contains("\"status\": \"setup\""));
     assert!(!json.contains("\"status\": \"internal\""));
     assert!(json.contains("\"error\": "));
+    // Without --lint, no lint fields appear.
+    assert!(!json.contains("\"lint\""));
+}
+
+#[test]
+fn bench_json_lint_mode_records_certification_status() {
+    let suite = exp::evaluate_modules(suite_modules(Some(1)), 2);
+    let timing = exp::SuiteTiming {
+        threads: 2,
+        total_secs: 0.0,
+    };
+    let json = exp::bench_json(&suite, &timing, true);
+    // Healthy benchmarks carry their certified obligation counts; the
+    // sabotaged one never reached instrumentation.
+    assert!(json.contains("\"lint\": \"certified\""));
+    assert!(json.contains("\"lint_checks\": "));
+    assert!(json.contains("\"lint\": \"not-reached\""));
 }

@@ -4,6 +4,7 @@
 
 use pythia_analysis::{InputChannels, SliceContext, VulnerabilityReport};
 use pythia_ir::{verify, IcCategory, Module, PythiaError};
+use pythia_lint::lint_instrumented;
 use pythia_passes::{instrument_with, InstrumentationStats, Scheme};
 use pythia_vm::{ExitReason, InputPlan, RunMetrics, Vm, VmConfig};
 use std::collections::BTreeMap;
@@ -21,6 +22,9 @@ pub struct SchemeResult {
     pub exit: ExitReason,
     /// Dynamic counters.
     pub metrics: RunMetrics,
+    /// Protection obligations statically certified by `pythia-lint`
+    /// before the variant was allowed to execute (0 for vanilla).
+    pub lint_checks: usize,
 }
 
 /// Static analysis facts about a benchmark (independent of scheme).
@@ -142,6 +146,12 @@ impl BenchEvaluation {
         c.stats.pa_total() as f64 / pythia_pa as f64
     }
 
+    /// Total protection obligations certified across all scheme variants
+    /// (the lint gate runs on every instrumented variant before the VM).
+    pub fn lint_checks(&self) -> usize {
+        self.results.iter().map(|r| r.lint_checks).sum()
+    }
+
     /// Fraction of statically-inserted PA instructions that actually
     /// executed at least once (the paper reports ~50 %).
     pub fn dynamic_pa_fraction(&self, scheme: Scheme) -> f64 {
@@ -166,7 +176,9 @@ impl BenchEvaluation {
 /// Evaluate one module under the given schemes (vanilla is always added).
 ///
 /// The module is verified first; each scheme variant is then instrumented
-/// from the shared context/report and executed on its own worker thread
+/// from the shared context/report, statically certified by `pythia-lint`
+/// (any protection-invariant violation aborts that variant with a setup
+/// error before it executes), and executed on its own worker thread
 /// (the same benign input plan/seed per variant, so results are
 /// deterministic and ordered regardless of scheduling). Workers are
 /// panic-isolated: a panicking variant becomes a typed error instead of
@@ -174,7 +186,8 @@ impl BenchEvaluation {
 ///
 /// # Errors
 ///
-/// [`PythiaError::Setup`] for a module that fails verification or a run
+/// [`PythiaError::Setup`] for a module that fails verification, an
+/// instrumented variant that fails static certification, or a run
 /// rejected by the VM; [`PythiaError::Internal`] if a scheme worker
 /// panicked.
 pub fn evaluate(
@@ -232,6 +245,15 @@ pub fn evaluate(
                 let worker = move || -> Result<(SchemeResult, f64, f64), PythiaError> {
                     let t_inst = Instant::now();
                     let inst = instrument_with(module, ctx, report, scheme);
+                    // Static certification gate: the instrumented variant
+                    // must satisfy every protection invariant before it is
+                    // allowed anywhere near the VM. A violation is a setup
+                    // error, not a measurement.
+                    let lint = lint_instrumented(module, ctx, report, &inst.module, scheme);
+                    if !lint.is_clean() {
+                        return Err(lint.into_setup_error());
+                    }
+                    let lint_checks = lint.checks;
                     let instrument_secs = t_inst.elapsed().as_secs_f64();
                     let t_exec = Instant::now();
                     let mut vm = Vm::new(&inst.module, cfg.clone(), InputPlan::benign(seed));
@@ -243,6 +265,7 @@ pub fn evaluate(
                             stats: inst.stats,
                             exit: r.exit,
                             metrics: r.metrics,
+                            lint_checks,
                         },
                         instrument_secs,
                         execute_secs,
@@ -338,6 +361,30 @@ mod tests {
                 r.scheme
             );
         }
+    }
+
+    #[test]
+    fn lint_gate_certifies_every_instrumented_variant() {
+        let m = generate(profile_by_name("lbm").unwrap());
+        let ev = evaluate(
+            &m,
+            &[Scheme::Cpa, Scheme::Pythia, Scheme::Dfi],
+            1,
+            &VmConfig::default(),
+        )
+        .unwrap();
+        for r in &ev.results {
+            if r.scheme == Scheme::Vanilla {
+                assert_eq!(r.lint_checks, 0, "vanilla has no protection obligations");
+            } else {
+                assert!(
+                    r.lint_checks > 0,
+                    "{:?} ran without any certified obligation",
+                    r.scheme
+                );
+            }
+        }
+        assert!(ev.lint_checks() > 0);
     }
 
     #[test]

@@ -126,7 +126,7 @@ impl Allocator {
     /// [`HeapConfigError`] when `base` is unaligned, `capacity` is zero,
     /// or `base + capacity` wraps the address space.
     pub fn try_new(base: u64, capacity: u64) -> Result<Self, HeapConfigError> {
-        if base % GRANULE != 0 {
+        if !base.is_multiple_of(GRANULE) {
             return Err(HeapConfigError::UnalignedBase(base));
         }
         if capacity == 0 {

@@ -290,6 +290,9 @@ impl From<Vec<VerifyError>> for PythiaError {
         });
         if let Some(e) = errs.first() {
             err = err.with_function(e.func.clone());
+            if let Some(iv) = e.instruction {
+                err = err.with_instruction(iv.0);
+            }
         }
         err
     }
@@ -327,17 +330,20 @@ mod tests {
             VerifyError {
                 func: "f".into(),
                 block: None,
+                instruction: Some(crate::instr::ValueId(4)),
                 message: "unterminated block".into(),
             },
             VerifyError {
                 func: "g".into(),
                 block: None,
+                instruction: None,
                 message: "bad operand".into(),
             },
         ];
         let e: PythiaError = errs.into();
         assert_eq!(e.variant(), "setup");
         assert_eq!(e.context().function.as_deref(), Some("f"));
+        assert_eq!(e.context().instruction, Some(4));
         assert!(e.to_string().contains("+1 more"));
     }
 

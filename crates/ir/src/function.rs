@@ -230,12 +230,7 @@ impl Function {
 
     /// The block containing instruction `id`, if any.
     pub fn block_of(&self, id: ValueId) -> Option<BlockId> {
-        for bb in self.block_ids() {
-            if self.block(bb).insts.contains(&id) {
-                return Some(bb);
-            }
-        }
-        None
+        self.block_ids().find(|&bb| self.block(bb).insts.contains(&id))
     }
 
     /// Position of `id` inside its block.

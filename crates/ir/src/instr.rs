@@ -474,6 +474,13 @@ impl Inst {
     }
 }
 
+/// Stable DFI definition-id for an instruction site (used by both the DFI
+/// instrumentation pass and the VM's input-channel write tagging, so the
+/// two agree on ids without sharing state).
+pub fn dfi_def_id(func: FuncId, value: ValueId) -> u32 {
+    (func.0 << 18) | (value.0 & 0x3_ffff)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -541,11 +548,4 @@ mod tests {
         };
         assert_eq!(st.operands(), vec![ValueId(4), ValueId(3)]);
     }
-}
-
-/// Stable DFI definition-id for an instruction site (used by both the DFI
-/// instrumentation pass and the VM's input-channel write tagging, so the
-/// two agree on ids without sharing state).
-pub fn dfi_def_id(func: FuncId, value: ValueId) -> u32 {
-    (func.0 << 18) | (value.0 & 0x3_ffff)
 }

@@ -239,6 +239,54 @@ impl Intrinsic {
         }
     }
 
+    /// The call-shape contract of this intrinsic, as the verifier and the
+    /// VM agree on it: required argument count, whether extra (variadic)
+    /// arguments are allowed, and which positions must be pointer-typed.
+    pub fn signature(self) -> IntrinsicSignature {
+        let sig = |min_args, variadic, ptr_args| IntrinsicSignature {
+            min_args,
+            variadic,
+            ptr_args,
+        };
+        match self {
+            // printf(fmt, ...): the format is a pointer, the rest free.
+            Intrinsic::Printf => sig(1, true, &[0]),
+            // fprintf(stream, fmt, ...): the stream is modelled as an
+            // opaque scalar, only the format must point somewhere.
+            Intrinsic::Fprintf => sig(2, true, &[1]),
+            Intrinsic::Puts => sig(1, false, &[0]),
+            // scanf(fmt, dst, ...): at least one sink pointer.
+            Intrinsic::Scanf => sig(2, true, &[0, 1]),
+            // sscanf(src, fmt, dst, ...).
+            Intrinsic::Sscanf => sig(3, true, &[0, 1, 2]),
+            Intrinsic::Memcpy | Intrinsic::Memmove => sig(3, false, &[0, 1]),
+            Intrinsic::Strcpy => sig(2, false, &[0, 1]),
+            Intrinsic::Strncpy | Intrinsic::Sstrncpy => sig(3, false, &[0, 1]),
+            Intrinsic::Fgets => sig(2, false, &[0]),
+            Intrinsic::Gets => sig(1, false, &[0]),
+            // read(fd, buf, len): the fd is a scalar.
+            Intrinsic::Read => sig(3, false, &[1]),
+            Intrinsic::Strcat => sig(2, false, &[0, 1]),
+            Intrinsic::Strncat => sig(3, false, &[0, 1]),
+            // sprintf(dst, fmt?, ...): callers in this IR sometimes fold
+            // the format away, so only the destination is required.
+            Intrinsic::Sprintf => sig(1, true, &[0]),
+            Intrinsic::Mmap => sig(1, false, &[]),
+            Intrinsic::Malloc | Intrinsic::SecureMalloc => sig(1, false, &[]),
+            Intrinsic::Calloc => sig(2, false, &[]),
+            Intrinsic::Realloc => sig(2, false, &[0]),
+            Intrinsic::Free => sig(1, false, &[0]),
+            Intrinsic::Strlen => sig(1, false, &[0]),
+            Intrinsic::Strcmp => sig(2, false, &[0, 1]),
+            Intrinsic::Strncmp => sig(3, false, &[0, 1]),
+            Intrinsic::Memset => sig(3, false, &[0]),
+            Intrinsic::Exit => sig(1, false, &[]),
+            Intrinsic::Abort | Intrinsic::PythiaRandom | Intrinsic::HeapSectionInit => {
+                sig(0, false, &[])
+            }
+        }
+    }
+
     /// Whether this intrinsic allocates heap memory and returns a pointer.
     pub fn is_allocator(self) -> bool {
         matches!(
@@ -249,6 +297,28 @@ impl Intrinsic {
                 | Intrinsic::Mmap
                 | Intrinsic::SecureMalloc
         )
+    }
+}
+
+/// The call-shape contract of an intrinsic (see [`Intrinsic::signature`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntrinsicSignature {
+    /// Required argument count (exact unless `variadic`).
+    pub min_args: usize,
+    /// Whether arguments beyond `min_args` are allowed.
+    pub variadic: bool,
+    /// Argument positions that must be pointer-typed.
+    pub ptr_args: &'static [usize],
+}
+
+impl IntrinsicSignature {
+    /// Whether a call with `n` arguments satisfies the arity contract.
+    pub fn accepts_arity(&self, n: usize) -> bool {
+        if self.variadic {
+            n >= self.min_args
+        } else {
+            n == self.min_args
+        }
     }
 }
 
@@ -324,6 +394,35 @@ mod tests {
             assert_eq!(i.name().parse::<Intrinsic>().unwrap(), i);
         }
         assert!("not_a_function".parse::<Intrinsic>().is_err());
+    }
+
+    #[test]
+    fn signatures_cover_every_intrinsic() {
+        for i in Intrinsic::ALL.into_iter().chain([Intrinsic::HeapSectionInit]) {
+            let sig = i.signature();
+            assert!(
+                sig.ptr_args.iter().all(|&p| p < sig.min_args),
+                "{i}: pointer positions must be within the required args"
+            );
+            assert!(sig.accepts_arity(sig.min_args));
+            assert_eq!(sig.accepts_arity(sig.min_args + 1), sig.variadic);
+            if let Some(d) = i.dest_arg() {
+                assert!(
+                    sig.ptr_args.contains(&d),
+                    "{i}: the destination argument must be required to be a pointer"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn known_signatures() {
+        assert_eq!(Intrinsic::Gets.signature().min_args, 1);
+        assert!(!Intrinsic::Gets.signature().variadic);
+        assert_eq!(Intrinsic::Memcpy.signature().min_args, 3);
+        assert_eq!(Intrinsic::Memcpy.signature().ptr_args, &[0, 1]);
+        assert!(Intrinsic::Printf.signature().accepts_arity(4));
+        assert!(!Intrinsic::Memcpy.signature().accepts_arity(2));
     }
 
     #[test]

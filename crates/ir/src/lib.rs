@@ -57,6 +57,6 @@ pub use function::{Block, Function, ValueData, ValueKind};
 pub use instr::{
     dfi_def_id, BinOp, BlockId, Callee, CastKind, CmpPred, FuncId, GlobalId, Inst, PaKey, ValueId,
 };
-pub use intrinsics::{IcCategory, Intrinsic};
+pub use intrinsics::{IcCategory, Intrinsic, IntrinsicSignature};
 pub use module::{Global, GlobalInit, Module};
 pub use types::Ty;

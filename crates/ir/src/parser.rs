@@ -509,22 +509,20 @@ fn parse_function(
             match &p.toks[i].tok {
                 Tok::Punct('{') => depth += 1,
                 Tok::Punct('}') => depth -= 1,
-                Tok::Value(name) => {
-                    if matches!(p.toks[i + 1].tok, Tok::Punct('=')) {
-                        pending_defs.push(name.clone());
-                    }
+                Tok::Value(name) if matches!(p.toks[i + 1].tok, Tok::Punct('=')) => {
+                    pending_defs.push(name.clone());
                 }
-                Tok::Ident(id) if id.starts_with("bb") => {
-                    if matches!(p.toks[i + 1].tok, Tok::Punct(':'))
+                Tok::Ident(id)
+                    if id.starts_with("bb")
+                        && matches!(p.toks[i + 1].tok, Tok::Punct(':'))
                         && id[2..].parse::<u32>().is_ok()
                         && !matches!(
                             p.toks[i.saturating_sub(1)].tok,
                             Tok::Punct(',') | Tok::Punct('[')
                         )
-                        && !matches!(p.toks[i.saturating_sub(1)].tok, Tok::Ident(ref k) if k=="jmp" || k=="br")
-                    {
-                        blocks += 1;
-                    }
+                        && !matches!(p.toks[i.saturating_sub(1)].tok, Tok::Ident(ref k) if k=="jmp" || k=="br") =>
+                {
+                    blocks += 1;
                 }
                 Tok::Eof => {
                     return p.err("unterminated function body");

@@ -19,16 +19,23 @@ pub struct VerifyError {
     pub func: String,
     /// Block (if applicable).
     pub block: Option<BlockId>,
+    /// The offending instruction value (if the problem is attributable to
+    /// one) — the same granularity `ErrorContext::instruction` carries.
+    pub instruction: Option<ValueId>,
     /// Description.
     pub message: String,
 }
 
 impl fmt::Display for VerifyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.block {
-            Some(bb) => write!(f, "{}/{}: {}", self.func, bb, self.message),
-            None => write!(f, "{}: {}", self.func, self.message),
+        write!(f, "{}", self.func)?;
+        if let Some(bb) = self.block {
+            write!(f, "/{bb}")?;
         }
+        if let Some(iv) = self.instruction {
+            write!(f, "/{iv}")?;
+        }
+        write!(f, ": {}", self.message)
     }
 }
 
@@ -53,16 +60,17 @@ pub fn verify_module(m: &Module) -> Result<(), Vec<VerifyError>> {
 
 /// Verify one function, appending problems to `errs`.
 pub fn verify_function(m: &Module, f: &Function, errs: &mut Vec<VerifyError>) {
-    let mut err = |block: Option<BlockId>, message: String| {
+    let mut err = |block: Option<BlockId>, instruction: Option<ValueId>, message: String| {
         errs.push(VerifyError {
             func: f.name.clone(),
             block,
+            instruction,
             message,
         });
     };
 
     if f.blocks.is_empty() {
-        err(None, "function has no blocks".into());
+        err(None, None, "function has no blocks".into());
         return;
     }
 
@@ -98,7 +106,7 @@ pub fn verify_function(m: &Module, f: &Function, errs: &mut Vec<VerifyError>) {
     for bb in f.block_ids() {
         let block = f.block(bb);
         if block.insts.is_empty() {
-            err(Some(bb), "empty block".into());
+            err(Some(bb), None, "empty block".into());
             continue;
         }
         let mut local_seen = seen.clone();
@@ -109,6 +117,7 @@ pub fn verify_function(m: &Module, f: &Function, errs: &mut Vec<VerifyError>) {
                 other => {
                     err(
                         Some(bb),
+                        Some(iv),
                         format!("non-instruction value {iv} ({other:?}) in block"),
                     );
                     continue;
@@ -118,6 +127,7 @@ pub fn verify_function(m: &Module, f: &Function, errs: &mut Vec<VerifyError>) {
             if inst.is_terminator() != is_last {
                 err(
                     Some(bb),
+                    Some(iv),
                     format!(
                         "{} at position {pos}: terminators must be exactly the last instruction",
                         inst.mnemonic()
@@ -125,32 +135,37 @@ pub fn verify_function(m: &Module, f: &Function, errs: &mut Vec<VerifyError>) {
                 );
             }
             if matches!(inst, Inst::Alloca { .. }) && bb != f.entry() {
-                err(Some(bb), format!("{iv}: alloca outside entry block"));
+                err(Some(bb), Some(iv), format!("{iv}: alloca outside entry block"));
             }
             if matches!(inst, Inst::Phi { .. }) && bb == f.entry() {
-                err(Some(bb), format!("{iv}: phi in entry block"));
+                err(Some(bb), Some(iv), format!("{iv}: phi in entry block"));
             }
             for op in inst.operands() {
                 if !in_range(op) {
-                    err(Some(bb), format!("{iv}: operand {op} out of range"));
+                    err(Some(bb), Some(iv), format!("{iv}: operand {op} out of range"));
                     continue;
                 }
                 if matches!(inst, Inst::Phi { .. }) {
                     if !defined_anywhere.contains(&op) {
-                        err(Some(bb), format!("{iv}: phi uses undefined value {op}"));
+                        err(
+                            Some(bb),
+                            Some(iv),
+                            format!("{iv}: phi uses undefined value {op}"),
+                        );
                     }
                 } else if !defined_anywhere.contains(&op) {
-                    err(Some(bb), format!("{iv}: use of undefined value {op}"));
+                    err(Some(bb), Some(iv), format!("{iv}: use of undefined value {op}"));
                 } else if f.block_of(op) == Some(bb) && !local_seen.contains(&op) {
                     err(
                         Some(bb),
+                        Some(iv),
                         format!("{iv}: use of {op} before its definition in the same block"),
                     );
                 }
             }
             for s in inst.successors() {
                 if s.0 >= num_blocks {
-                    err(Some(bb), format!("{iv}: branch to missing block {s}"));
+                    err(Some(bb), Some(iv), format!("{iv}: branch to missing block {s}"));
                 }
             }
             check_types(m, f, iv, inst, &data.ty, bb, &mut err);
@@ -158,7 +173,7 @@ pub fn verify_function(m: &Module, f: &Function, errs: &mut Vec<VerifyError>) {
         }
         if let Some(last) = block.insts.last() {
             if f.inst(*last).map(|i| !i.is_terminator()).unwrap_or(true) {
-                err(Some(bb), "block does not end in a terminator".into());
+                err(Some(bb), None, "block does not end in a terminator".into());
             }
         }
     }
@@ -173,6 +188,7 @@ pub fn verify_function(m: &Module, f: &Function, errs: &mut Vec<VerifyError>) {
                 if inc != pred {
                     err(
                         Some(bb),
+                        Some(iv),
                         format!(
                             "{iv}: phi incoming blocks {inc:?} do not match predecessors {pred:?}"
                         ),
@@ -194,7 +210,6 @@ fn slot_compatible(a: &Ty, b: &Ty) -> bool {
     eight(a) && eight(b)
 }
 
-#[allow(clippy::too_many_arguments)]
 fn check_types(
     m: &Module,
     f: &Function,
@@ -202,65 +217,65 @@ fn check_types(
     inst: &Inst,
     result_ty: &Ty,
     bb: BlockId,
-    err: &mut impl FnMut(Option<BlockId>, String),
+    err: &mut impl FnMut(Option<BlockId>, Option<ValueId>, String),
 ) {
     let vty = |v: ValueId| f.value(v).ty.clone();
     match inst {
         Inst::Load { ptr } => match vty(*ptr).pointee() {
-            Some(p) => {
-                if !slot_compatible(p, result_ty) {
-                    err(
-                        Some(bb),
-                        format!("{iv}: load result {result_ty} incompatible with pointee {p}"),
-                    );
-                }
+            Some(p) if !slot_compatible(p, result_ty) => {
+                err(
+                    Some(bb),
+                    Some(iv),
+                    format!("{iv}: load result {result_ty} incompatible with pointee {p}"),
+                );
             }
-            None => err(Some(bb), format!("{iv}: load through non-pointer")),
+            Some(_) => {}
+            None => err(Some(bb), Some(iv), format!("{iv}: load through non-pointer")),
         },
         Inst::Store { ptr, value } => match vty(*ptr).pointee() {
-            Some(p) => {
-                if !slot_compatible(p, &vty(*value)) {
-                    err(
-                        Some(bb),
-                        format!("{iv}: store of {} into slot of {p}", vty(*value)),
-                    );
-                }
+            Some(p) if !slot_compatible(p, &vty(*value)) => {
+                err(
+                    Some(bb),
+                    Some(iv),
+                    format!("{iv}: store of {} into slot of {p}", vty(*value)),
+                );
             }
-            None => err(Some(bb), format!("{iv}: store through non-pointer")),
+            Some(_) => {}
+            None => err(Some(bb), Some(iv), format!("{iv}: store through non-pointer")),
         },
         Inst::Gep { base, index, .. } => {
             if !vty(*base).is_ptr() {
-                err(Some(bb), format!("{iv}: gep base is not a pointer"));
+                err(Some(bb), Some(iv), format!("{iv}: gep base is not a pointer"));
             }
             if !vty(*index).is_int() {
-                err(Some(bb), format!("{iv}: gep index is not an integer"));
+                err(Some(bb), Some(iv), format!("{iv}: gep index is not an integer"));
             }
         }
         Inst::FieldAddr { base, field } => match vty(*base).pointee() {
             Some(Ty::Struct(fields)) => {
                 if *field as usize >= fields.len() {
-                    err(Some(bb), format!("{iv}: field index out of range"));
+                    err(Some(bb), Some(iv), format!("{iv}: field index out of range"));
                 }
             }
-            _ => err(Some(bb), format!("{iv}: fieldaddr base is not struct*")),
+            _ => err(
+                Some(bb),
+                Some(iv),
+                format!("{iv}: fieldaddr base is not struct*"),
+            ),
         },
         Inst::Bin { lhs, rhs, .. } => {
             let (l, r) = (vty(*lhs), vty(*rhs));
             // Pointer arithmetic through integers is allowed; both operands
             // must be scalars.
             if l.is_aggregate() || r.is_aggregate() {
-                err(Some(bb), format!("{iv}: arithmetic on aggregate"));
+                err(Some(bb), Some(iv), format!("{iv}: arithmetic on aggregate"));
             }
         }
-        Inst::Icmp { lhs, rhs, .. } => {
-            if vty(*lhs).is_aggregate() || vty(*rhs).is_aggregate() {
-                err(Some(bb), format!("{iv}: comparison of aggregates"));
-            }
+        Inst::Icmp { lhs, rhs, .. } if vty(*lhs).is_aggregate() || vty(*rhs).is_aggregate() => {
+            err(Some(bb), Some(iv), format!("{iv}: comparison of aggregates"));
         }
-        Inst::Br { cond, .. } => {
-            if vty(*cond) != Ty::I1 {
-                err(Some(bb), format!("{iv}: branch condition is not i1"));
-            }
+        Inst::Br { cond, .. } if vty(*cond) != Ty::I1 => {
+            err(Some(bb), Some(iv), format!("{iv}: branch condition is not i1"));
         }
         Inst::Ret { value } => {
             match value {
@@ -270,6 +285,7 @@ fn check_types(
                         if !(vty(*v).is_int() && f.ret.is_int()) {
                             err(
                                 Some(bb),
+                                Some(iv),
                                 format!(
                                     "{iv}: return of {} from function returning {}",
                                     vty(*v),
@@ -281,20 +297,21 @@ fn check_types(
                 }
                 None => {
                     if f.ret != Ty::Void {
-                        err(Some(bb), format!("{iv}: missing return value"));
+                        err(Some(bb), Some(iv), format!("{iv}: missing return value"));
                     }
                 }
             }
         }
-        Inst::Call { callee, args } => {
-            if let Callee::Func(fid) = callee {
+        Inst::Call { callee, args } => match callee {
+            Callee::Func(fid) => {
                 if (fid.0 as usize) >= m.functions().len() {
-                    err(Some(bb), format!("{iv}: call to missing function"));
+                    err(Some(bb), Some(iv), format!("{iv}: call to missing function"));
                 } else {
                     let callee_f = m.func(*fid);
                     if callee_f.params.len() != args.len() {
                         err(
                             Some(bb),
+                            Some(iv),
                             format!(
                                 "{iv}: call to @{} with {} args, expected {}",
                                 callee_f.name,
@@ -305,12 +322,47 @@ fn check_types(
                     }
                 }
             }
-        }
+            Callee::Intrinsic(i) => {
+                // The VM defaults missing arguments to 0 and ignores
+                // extras, which silently accepts malformed calls; the
+                // verifier is where that gap closes.
+                let sig = i.signature();
+                if !sig.accepts_arity(args.len()) {
+                    err(
+                        Some(bb),
+                        Some(iv),
+                        format!(
+                            "{iv}: call to intrinsic `{i}` with {} args, expected {}{}",
+                            args.len(),
+                            if sig.variadic { "at least " } else { "" },
+                            sig.min_args
+                        ),
+                    );
+                }
+                for &pos in sig.ptr_args {
+                    if let Some(&a) = args.get(pos) {
+                        if !vty(a).is_ptr() {
+                            err(
+                                Some(bb),
+                                Some(iv),
+                                format!(
+                                    "{iv}: intrinsic `{i}` argument {pos} must be a pointer, \
+                                     got {}",
+                                    vty(a)
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            Callee::Indirect(_) => {}
+        },
         Inst::PacSign { value, .. } | Inst::PacAuth { value, .. } | Inst::PacStrip { value } => {
             let t = vty(*value);
             if !matches!(t, Ty::I64 | Ty::Ptr(_)) {
                 err(
                     Some(bb),
+                    Some(iv),
                     format!("{iv}: PA operation on non-64-bit value of type {t}"),
                 );
             }
@@ -416,6 +468,118 @@ mod tests {
         m.add_function(b.finish());
         let errs = verify_module(&m).unwrap_err();
         assert!(errs.iter().any(|e| e.message.contains("expected 2")));
+    }
+
+    #[test]
+    fn rejects_gets_with_wrong_arity() {
+        use crate::intrinsics::Intrinsic;
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![], Ty::Void);
+        let buf = b.alloca(Ty::array(Ty::I8, 8));
+        // gets() takes exactly one argument; a stray second one used to be
+        // silently dropped by the VM.
+        b.call_intrinsic(Intrinsic::Gets, vec![buf, buf], Ty::ptr(Ty::I8));
+        b.ret(None);
+        m.add_function(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        let e = errs
+            .iter()
+            .find(|e| e.message.contains("`gets`"))
+            .expect("gets arity error");
+        assert!(e.message.contains("with 2 args, expected 1"), "{e}");
+        assert!(e.instruction.is_some(), "arity errors carry the call site");
+    }
+
+    #[test]
+    fn rejects_gets_with_non_pointer_destination() {
+        use crate::intrinsics::Intrinsic;
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![], Ty::Void);
+        let n = b.const_i64(8);
+        // The destination must be a pointer; the VM would treat 8 as an
+        // address and scribble over low memory.
+        b.call_intrinsic(Intrinsic::Gets, vec![n], Ty::ptr(Ty::I8));
+        b.ret(None);
+        m.add_function(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.message.contains("`gets`") && e.message.contains("must be a pointer")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_memcpy_missing_length() {
+        use crate::intrinsics::Intrinsic;
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![], Ty::Void);
+        let dst = b.alloca(Ty::array(Ty::I8, 8));
+        let src = b.alloca(Ty::array(Ty::I8, 8));
+        b.call_intrinsic(Intrinsic::Memcpy, vec![dst, src], Ty::ptr(Ty::I8));
+        b.ret(None);
+        m.add_function(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.message.contains("`memcpy`") && e.message.contains("expected 3")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_memcpy_with_integer_source() {
+        use crate::intrinsics::Intrinsic;
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![], Ty::Void);
+        let dst = b.alloca(Ty::array(Ty::I8, 8));
+        let n = b.const_i64(8);
+        b.call_intrinsic(Intrinsic::Memcpy, vec![dst, n, n], Ty::ptr(Ty::I8));
+        b.ret(None);
+        m.add_function(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        assert!(
+            errs.iter()
+                .any(|e| e.message.contains("`memcpy`")
+                    && e.message.contains("argument 1 must be a pointer")),
+            "{errs:?}"
+        );
+    }
+
+    #[test]
+    fn accepts_well_formed_intrinsic_calls() {
+        use crate::intrinsics::Intrinsic;
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![], Ty::Void);
+        let dst = b.alloca(Ty::array(Ty::I8, 8));
+        let src = b.alloca(Ty::array(Ty::I8, 8));
+        let n = b.const_i64(8);
+        b.call_intrinsic(Intrinsic::Memcpy, vec![dst, src, n], Ty::ptr(Ty::I8));
+        b.call_intrinsic(Intrinsic::Gets, vec![dst], Ty::ptr(Ty::I8));
+        // variadic: printf with extra value args is fine
+        b.call_intrinsic(Intrinsic::Printf, vec![src, n, n], Ty::I64);
+        b.ret(None);
+        m.add_function(b.finish());
+        verify_ok(&m);
+    }
+
+    #[test]
+    fn errors_carry_instruction_context() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::Void);
+        let t = b.new_block("t");
+        let e = b.new_block("e");
+        let x = b.func().arg(0);
+        let bad = b.br(x, t, e); // i64 condition
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        m.add_function(b.finish());
+        let errs = verify_module(&m).unwrap_err();
+        let err = errs.iter().find(|e| e.message.contains("not i1")).unwrap();
+        assert_eq!(err.instruction, Some(bad));
+        assert!(err.to_string().contains(&format!("{bad}")));
     }
 
     #[test]

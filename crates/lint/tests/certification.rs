@@ -1,0 +1,323 @@
+//! Certification properties of the linter.
+//!
+//! Two directions, both load-bearing:
+//!
+//! 1. **Zero false positives** — every suite benchmark (16 SPEC-like
+//!    modules + nginx), instrumented by every scheme, must lint clean.
+//!    The pipeline treats any diagnostic as a fatal setup error, so a
+//!    false positive here would sink the whole evaluation.
+//! 2. **No false negatives** — surgically breaking one protection
+//!    instruction in an instrumented module must be flagged by *exactly*
+//!    the advertised rule code, with exactly one diagnostic (no
+//!    duplicates, no cascades).
+
+use proptest::prelude::*;
+use pythia_analysis::{SliceContext, VulnerabilityReport};
+use pythia_ir::{
+    CmpPred, FuncId, FunctionBuilder, Inst, Intrinsic, Module, PaKey, Ty, ValueId,
+};
+use pythia_lint::{lint_instrumented, lint_module, RuleCode};
+use pythia_passes::{instrument_with, Scheme};
+use pythia_workloads::{generate_scaled, nginx_module, SPEC_PROFILES};
+
+// ---------------------------------------------------------------------
+// Direction 1: the whole suite is certified clean.
+// ---------------------------------------------------------------------
+
+#[test]
+fn every_suite_benchmark_lints_clean_under_every_scheme() {
+    let mut modules: Vec<Module> = SPEC_PROFILES
+        .iter()
+        .map(|p| generate_scaled(p, 0.05)) // loop trip counts don't change structure
+        .collect();
+    modules.push(nginx_module(4));
+    for m in &modules {
+        for report in lint_module(m, &Scheme::ALL) {
+            assert!(
+                report.is_clean(),
+                "{} under {:?} is not certified:\n{}",
+                m.name,
+                report.scheme,
+                report.render()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Re-scaling a profile perturbs loop bounds and data sizes but must
+    /// never perturb certification.
+    #[test]
+    fn scaled_workloads_stay_certified(
+        profile_ix in 0usize..SPEC_PROFILES.len(),
+        scale_pct in 2u32..30,
+        scheme_ix in 1usize..Scheme::ALL.len(),
+    ) {
+        let m = generate_scaled(&SPEC_PROFILES[profile_ix], f64::from(scale_pct) / 100.0);
+        let scheme = Scheme::ALL[scheme_ix];
+        let reports = lint_module(&m, &[scheme]);
+        prop_assert!(
+            reports[0].is_clean(),
+            "{} under {:?}:\n{}", m.name, scheme, reports[0].render()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Direction 2: single-instruction sabotage is caught by the right rule.
+// ---------------------------------------------------------------------
+
+/// A module where every rule family has obligations: a `gets`-written
+/// stack buffer (canary + DFI material), a `scanf`-written scalar that is
+/// loaded, mutated, stored back and re-read (CPA sign/auth material and a
+/// store for `setdef`).
+fn demo_module() -> Module {
+    let mut m = Module::new("mutation-demo");
+    let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+    let input = b.alloca(Ty::array(Ty::I8, 8));
+    let user = b.alloca(Ty::I64);
+    let fmt = b.alloca(Ty::array(Ty::I8, 4));
+    b.call_intrinsic(Intrinsic::Scanf, vec![fmt, user], Ty::I64);
+    b.call_intrinsic(Intrinsic::Gets, vec![input], Ty::ptr(Ty::I8));
+    let v = b.load(user);
+    let one = b.const_i64(1);
+    let bumped = b.add(v, one);
+    b.store(bumped, user);
+    let w = b.load(user);
+    let thresh = b.const_i64(1000);
+    let c = b.icmp(CmpPred::Sgt, w, thresh);
+    let (t, e) = (b.new_block("super"), b.new_block("normal"));
+    b.br(c, t, e);
+    b.switch_to(t);
+    b.ret(Some(one));
+    b.switch_to(e);
+    let zero = b.const_i64(0);
+    b.ret(Some(zero));
+    m.add_function(b.finish());
+    m
+}
+
+/// Instrument `m` under `scheme`, hand the instrumented module to
+/// `sabotage`, lint, and return the diagnostics.
+fn lint_after(
+    scheme: Scheme,
+    sabotage: impl FnOnce(&mut Module),
+) -> Vec<pythia_lint::Diagnostic> {
+    let m = demo_module();
+    let ctx = SliceContext::new(&m);
+    let report = VulnerabilityReport::analyze(&ctx);
+    let mut inst = instrument_with(&m, &ctx, &report, scheme).module;
+    sabotage(&mut inst);
+    lint_instrumented(&m, &ctx, &report, &inst, scheme).diagnostics
+}
+
+/// The only function in the demo module.
+const MAIN: FuncId = FuncId(0);
+
+fn expect_exactly(diags: &[pythia_lint::Diagnostic], code: RuleCode) {
+    assert_eq!(
+        diags.len(),
+        1,
+        "expected exactly one {code} diagnostic, got: {:?}",
+        diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+    );
+    assert_eq!(diags[0].code, code, "wrong rule fired: {}", diags[0]);
+}
+
+#[test]
+fn unsigned_store_is_flagged_as_cpa01() {
+    let diags = lint_after(Scheme::Cpa, |m| {
+        let f = m.func_mut(MAIN);
+        // Find a store whose value is a pacsign and strip the signing by
+        // rewiring the store to the sign's raw operand.
+        let target = f
+            .value_ids()
+            .find_map(|iv| match f.inst(iv) {
+                Some(Inst::Store { value, .. }) => match f.inst(*value) {
+                    Some(Inst::PacSign {
+                        value: raw,
+                        key: PaKey::Da,
+                        ..
+                    }) => Some((iv, *raw)),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .expect("CPA leaves at least one signed store");
+        let (st, raw) = target;
+        if let Some(Inst::Store { value, .. }) = f.inst_mut(st) {
+            *value = raw;
+        }
+    });
+    expect_exactly(&diags, RuleCode::Cpa01);
+}
+
+#[test]
+fn unauthenticated_load_use_is_flagged_as_cpa02() {
+    let diags = lint_after(Scheme::Cpa, |m| {
+        let f = m.func_mut(MAIN);
+        // Find an authenticated load and rewire one consumer of the
+        // authenticated value back to the raw load.
+        let (ld, auth) = f
+            .value_ids()
+            .find_map(|iv| match f.inst(iv) {
+                Some(Inst::PacAuth {
+                    value,
+                    key: PaKey::Da,
+                    ..
+                }) if matches!(f.inst(*value), Some(Inst::Load { .. })) => Some((*value, iv)),
+                _ => None,
+            })
+            .expect("CPA authenticates at least one load");
+        let consumer = f
+            .value_ids()
+            .find(|&iv| {
+                iv != auth
+                    && f.inst(iv)
+                        .is_some_and(|i| i.operands().contains(&auth))
+            })
+            .expect("the authenticated value has a consumer");
+        if let Some(inst) = f.inst_mut(consumer) {
+            inst.map_operands(|op| if op == auth { ld } else { op });
+        }
+    });
+    expect_exactly(&diags, RuleCode::Cpa02);
+}
+
+#[test]
+fn missing_canary_check_is_flagged_as_py01() {
+    let diags = lint_after(Scheme::Pythia, |m| {
+        let f = m.func_mut(MAIN);
+        // Drop the load+auth pair the pass placed right after `gets`.
+        let gets = find_intrinsic_call(f, Intrinsic::Gets);
+        let bb = f.block_of(gets).unwrap();
+        let insts = f.block(bb).insts.clone();
+        let pos = insts.iter().position(|&iv| iv == gets).unwrap();
+        let ld = insts[pos + 1];
+        let auth = insts[pos + 2];
+        assert!(matches!(f.inst(ld), Some(Inst::Load { .. })));
+        assert!(matches!(
+            f.inst(auth),
+            Some(Inst::PacAuth { key: PaKey::Ga, .. })
+        ));
+        f.block_mut(bb).insts.retain(|&iv| iv != ld && iv != auth);
+    });
+    expect_exactly(&diags, RuleCode::Py01);
+}
+
+#[test]
+fn missing_rerandomization_is_flagged_as_py02() {
+    let diags = lint_after(Scheme::Pythia, |m| {
+        let f = m.func_mut(MAIN);
+        // Drop the rnd/sign/store triple the pass placed right before
+        // `gets` (the entry-time initialization is stale by then: the
+        // intervening `scanf` may have clobbered the frame).
+        let gets = find_intrinsic_call(f, Intrinsic::Gets);
+        let bb = f.block_of(gets).unwrap();
+        let insts = f.block(bb).insts.clone();
+        let pos = insts.iter().position(|&iv| iv == gets).unwrap();
+        let triple = &insts[pos - 3..pos];
+        assert!(matches!(f.inst(triple[0]), Some(Inst::Call { .. })));
+        assert!(matches!(f.inst(triple[1]), Some(Inst::PacSign { .. })));
+        assert!(matches!(f.inst(triple[2]), Some(Inst::Store { .. })));
+        let dead: Vec<ValueId> = triple.to_vec();
+        f.block_mut(bb).insts.retain(|iv| !dead.contains(iv));
+    });
+    expect_exactly(&diags, RuleCode::Py02);
+}
+
+#[test]
+fn displaced_canary_is_flagged_as_py03() {
+    let diags = lint_after(Scheme::Pythia, |m| {
+        let f = m.func_mut(MAIN);
+        // Detach the array buffer's canary: move it to the front of the
+        // frame, away from the buffer it is supposed to shadow.
+        let entry = f.entry();
+        let insts = f.block(entry).insts.clone();
+        let buf_pos = insts
+            .iter()
+            .enumerate()
+            .find_map(|(p, &iv)| {
+                let is_buffer = matches!(
+                    f.inst(iv),
+                    Some(Inst::Alloca { elem, .. }) if !matches!(elem, Ty::I64)
+                );
+                let next_is_canary = insts.get(p + 1).is_some_and(|&c| {
+                    matches!(
+                        f.inst(c),
+                        Some(Inst::Alloca {
+                            elem: Ty::I64,
+                            count: 1
+                        })
+                    )
+                });
+                (is_buffer && next_is_canary).then_some(p)
+            })
+            .expect("demo has a canary-shadowed array buffer");
+        let can = insts[buf_pos + 1];
+        let b = f.block_mut(entry);
+        b.insts.retain(|&iv| iv != can);
+        b.insts.insert(0, can);
+    });
+    expect_exactly(&diags, RuleCode::Py03);
+}
+
+#[test]
+fn narrowed_check_set_is_flagged_as_dfi01() {
+    let diags = lint_after(Scheme::Dfi, |m| {
+        let f = m.func_mut(MAIN);
+        // Remove one legitimate writer from a chkdef's allowed set.
+        let chk = f
+            .value_ids()
+            .find(|&iv| {
+                matches!(f.inst(iv), Some(Inst::ChkDef { allowed, .. }) if !allowed.is_empty())
+            })
+            .expect("DFI guards at least one load");
+        if let Some(Inst::ChkDef { allowed, .. }) = f.inst_mut(chk) {
+            allowed.pop();
+        }
+    });
+    expect_exactly(&diags, RuleCode::Dfi01);
+}
+
+#[test]
+fn missing_setdef_is_flagged_as_dfi01() {
+    let diags = lint_after(Scheme::Dfi, |m| {
+        let f = m.func_mut(MAIN);
+        let sd = f
+            .value_ids()
+            .find(|&iv| matches!(f.inst(iv), Some(Inst::SetDef { .. })))
+            .expect("DFI tags at least one store");
+        let bb = f.block_of(sd).unwrap();
+        f.block_mut(bb).insts.retain(|&iv| iv != sd);
+    });
+    expect_exactly(&diags, RuleCode::Dfi01);
+}
+
+#[test]
+fn unmutated_demo_is_clean_under_every_scheme() {
+    for scheme in Scheme::ALL {
+        let diags = lint_after(scheme, |_| {});
+        assert!(
+            diags.is_empty(),
+            "unmutated demo flagged under {scheme:?}: {:?}",
+            diags.iter().map(|d| d.to_string()).collect::<Vec<_>>()
+        );
+    }
+}
+
+fn find_intrinsic_call(f: &pythia_ir::Function, which: Intrinsic) -> ValueId {
+    f.value_ids()
+        .find(|&iv| {
+            matches!(
+                f.inst(iv),
+                Some(Inst::Call {
+                    callee: pythia_ir::Callee::Intrinsic(i),
+                    ..
+                }) if *i == which
+            )
+        })
+        .expect("demo module calls the intrinsic")
+}

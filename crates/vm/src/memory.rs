@@ -95,7 +95,7 @@ impl Memory {
     }
 
     fn check(addr: u64, write: bool) -> Result<(), MemoryFault> {
-        if addr < NULL_GUARD || addr >= (1 << VA_BITS) {
+        if !(NULL_GUARD..(1 << VA_BITS)).contains(&addr) {
             Err(MemoryFault { addr, write })
         } else {
             Ok(())

@@ -896,7 +896,7 @@ impl<'m> Vm<'m> {
                             Callee::Intrinsic(i) => self.exec_intrinsic(fid, iv, *i, &argv)?,
                             Callee::Indirect(v) => {
                                 let addr = self.value_of(f, &frame.values, *v) as u64;
-                                if addr < 0x4000 || (addr - 0x4000) % 16 != 0 {
+                                if addr < 0x4000 || !(addr - 0x4000).is_multiple_of(16) {
                                     return Err(Trap::BadIndirectCall.into());
                                 }
                                 let target = FuncId(((addr - 0x4000) / 16) as u32);
@@ -1050,7 +1050,7 @@ impl<'m> Vm<'m> {
             }
             Intrinsic::Read => {
                 let dst = uarg(1);
-                let limit = uarg(2).max(0) as u64;
+                let limit = uarg(2);
                 let n = next_ic(self);
                 let cap = self.capacity_at(dst).min(limit.max(1));
                 let bytes = self.plan.string_input(n, cap + 1);
@@ -1377,8 +1377,7 @@ mod tests {
         let phi = {
             // build phi with forward ref to the add
             let entry = pythia_ir::BlockId(0);
-            let ph = b.phi(vec![(entry, zero)]);
-            ph
+            b.phi(vec![(entry, zero)])
         };
         let next = b.add(phi, one);
         // patch the phi to include the loop edge
@@ -1705,8 +1704,10 @@ mod tests {
         b.switch_to(spin);
         b.jmp(spin);
         m.add_function(b.finish());
-        let mut cfg = VmConfig::default();
-        cfg.max_insts = 10_000;
+        let cfg = VmConfig {
+            max_insts: 10_000,
+            ..VmConfig::default()
+        };
         let mut vm = Vm::new(&m, cfg, InputPlan::benign(1));
         assert_eq!(
             vm.run("main", &[]).unwrap().exit,

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Graceful-degradation gate: build, test, then smoke-run the reproduce
-# binary and fail on any `internal` error — the one taxonomy variant that
-# means the harness itself is broken (DESIGN.md, "Error taxonomy").
+# Graceful-degradation gate: build, lint (clippy at -D warnings), test,
+# statically certify every instrumented suite variant (pythia-lint), then
+# smoke-run the reproduce binary and fail on any `internal` error — the
+# one taxonomy variant that means the harness itself is broken
+# (DESIGN.md, "Error taxonomy").
 #
 # `setup`/`fault`/`detection` statuses in the smoke JSON are data, not CI
 # failures; they still flip reproduce's exit code, which this script
@@ -14,15 +16,30 @@ cd "$(dirname "$0")/.."
 OUT="${1:-check-out}"
 mkdir -p "$OUT"
 
-echo "== cargo build --release =="
-cargo build --release
+echo "== cargo build --release --workspace =="
+# --workspace: the root manifest is both a package and a workspace, so a
+# bare `cargo build` would only build the root package — leaving the
+# `reproduce` and `pythia-lint` binaries this script runs stale.
+cargo build --release --workspace
 
-echo "== cargo test -q =="
-cargo test -q
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
 
-echo "== reproduce --smoke --bench-json =="
+echo "== cargo test -q --workspace =="
+# --workspace for the same reason as the build above: a bare `cargo
+# test` from the root only tests the root package.
+cargo test -q --workspace
+
+echo "== pythia-lint --all-schemes =="
+# Static certification gate: every suite benchmark, instrumented under
+# every scheme, must satisfy all protection invariants (DESIGN.md §5c).
+# Any diagnostic is fatal — a violation means a pass emitted unsound
+# instrumentation, which would invalidate every downstream measurement.
+target/release/pythia-lint --all-schemes
+
+echo "== reproduce --smoke --bench-json --lint =="
 smoke_status=0
-target/release/reproduce --smoke --bench-json --out "$OUT" >/dev/null || smoke_status=$?
+target/release/reproduce --smoke --bench-json --lint --out "$OUT" >/dev/null || smoke_status=$?
 JSON="$OUT/BENCH_suite.json"
 
 if [ ! -f "$JSON" ]; then
@@ -42,4 +59,10 @@ if [ "$smoke_status" -ne 0 ]; then
     exit 1
 fi
 
-echo "OK: build, tests and smoke suite are clean ($JSON)"
+if grep -q '"lint": "violated"' "$JSON"; then
+    echo "FAIL: a smoke benchmark failed static certification:" >&2
+    grep '"lint"' "$JSON" >&2
+    exit 1
+fi
+
+echo "OK: build, clippy, tests, certification and smoke suite are clean ($JSON)"

@@ -12,6 +12,7 @@
 //! | [`heap`] | `pythia-heap` | glibc-style allocator + sectioned heap |
 //! | [`vm`] | `pythia-vm` | the executable machine & attacker model |
 //! | [`passes`] | `pythia-passes` | CPA / Pythia / DFI instrumentation |
+//! | [`lint`] | `pythia-lint` | static certification of instrumented modules |
 //! | [`workloads`] | `pythia-workloads` | SPEC-like benchmarks, Listings 1–3, nginx-sim |
 //! | [`core`] | `pythia-core` | the analyze→instrument→execute pipeline |
 //!
@@ -39,6 +40,7 @@ pub use pythia_analysis as analysis;
 pub use pythia_core as core;
 pub use pythia_heap as heap;
 pub use pythia_ir as ir;
+pub use pythia_lint as lint;
 pub use pythia_pa as pa;
 pub use pythia_passes as passes;
 pub use pythia_vm as vm;

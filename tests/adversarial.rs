@@ -14,10 +14,11 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 /// A small execution budget: mutated programs may loop; the budget turns
 /// that into a trap instead of a wedged test.
 fn cfg(seed: u64) -> VmConfig {
-    let mut cfg = VmConfig::default();
-    cfg.seed = seed;
-    cfg.max_insts = 200_000;
-    cfg
+    VmConfig {
+        seed,
+        max_insts: 200_000,
+        ..VmConfig::default()
+    }
 }
 
 /// What the pipeline did with one adversarial input. Every arm is an

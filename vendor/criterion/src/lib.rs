@@ -157,7 +157,7 @@ impl Criterion {
     }
 
     fn matches(&self, name: &str) -> bool {
-        self.filter.as_deref().map_or(true, |f| name.contains(f))
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
     }
 
     fn run_one(&mut self, name: &str, f: &mut dyn FnMut(&mut Bencher)) {
