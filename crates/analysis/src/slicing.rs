@@ -263,9 +263,20 @@ impl<'m> SliceContext<'m> {
         let slice = self.compute_backward_slice(func, branch, mode);
         let mut memo = self.slice_memo.write().unwrap();
         // A racing thread may have inserted meanwhile; either result is
-        // identical, so keep whichever is already there.
-        memo.entry(key).or_insert_with(|| Arc::new(slice.clone()));
-        self.memo_misses.fetch_add(1, Ordering::Relaxed);
+        // identical, so keep whichever is already there. Count the miss
+        // only on actual insertion (the lost race counts as a hit): that
+        // makes `misses` = distinct keys ever computed and `hits` =
+        // re-queries, both independent of thread scheduling — the suite's
+        // determinism tests compare these counters across worker counts.
+        match memo.entry(key) {
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(Arc::new(slice.clone()));
+                self.memo_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            std::collections::hash_map::Entry::Occupied(_) => {
+                self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         slice
     }
 

@@ -1,10 +1,10 @@
 //! Regenerate the paper's tables and figures (see DESIGN.md §4).
 //!
-//! Usage: `reproduce [--out <dir>] [--bench-json] [--lint] [--smoke]
-//! [section...]`
+//! Usage: `reproduce [--out <dir>] [--bench-json] [--lint] [--profile]
+//! [--smoke] [section...]`
 //! where a section is one of `fig4a fig4b fig5a fig5b fig6a fig6b fig7a
-//! fig7b dist dynpa heap campaign models nginx motiv eq6 ablations` — or
-//! nothing for the full report.
+//! fig7b dist dynpa heap campaign models nginx motiv eq6 ablations
+//! profile` — or nothing for the full report.
 //!
 //! `--bench-json` additionally writes `BENCH_suite.json` (into the
 //! `--out` directory when given, else the working directory) with the
@@ -19,6 +19,15 @@
 //! benchmark's instrumented variants, `"violated"` when the lint gate
 //! rejected a variant, or `"not-reached"` when an earlier error stopped
 //! the benchmark before instrumentation.
+//!
+//! `--profile` (implies `--bench-json`) additionally embeds each `ok`
+//! benchmark's execution profile in `BENCH_suite.json` (per-scheme PA
+//! sign/auth/strip counters with the static-site cross-check, opcode
+//! histograms, heap allocator stats, slice-memo hit rates — DESIGN.md
+//! §5d) and renders the human-readable cost-attribution section to
+//! `<out>/profile.md` (with `--out`) or after the report on stdout.
+//! `report.md` itself stays byte-identical with or without the flag, so
+//! determinism diffs keep working.
 //!
 //! `--smoke` evaluates only a tiny suite (lbm, mcf, a short nginx run)
 //! and skips the sections that need the full suite — a CI-speed health
@@ -54,6 +63,12 @@ fn main() {
         bench_json = true; // lint status lands in BENCH_suite.json
         args.remove(i);
     }
+    let mut profile = false;
+    if let Some(i) = args.iter().position(|a| a == "--profile") {
+        profile = true;
+        bench_json = true; // the profile schema lands in BENCH_suite.json
+        args.remove(i);
+    }
     let mut smoke = false;
     if let Some(i) = args.iter().position(|a| a == "--smoke") {
         smoke = true;
@@ -63,7 +78,7 @@ fn main() {
     // Experiments that need the evaluated suite share one run.
     let needs_suite = [
         "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b", "fig7a", "fig7b", "dist", "dynpa",
-        "heap", "models",
+        "heap", "models", "profile",
     ];
     let run_suite_now =
         args.is_empty() || bench_json || args.iter().any(|a| needs_suite.contains(&a.as_str()));
@@ -74,7 +89,7 @@ fn main() {
             exp::run_suite_timed()
         };
         if bench_json {
-            let json = exp::bench_json(&suite, &timing, lint);
+            let json = exp::bench_json(&suite, &timing, lint, profile);
             let dir = out_dir.clone().unwrap_or_else(|| ".".to_owned());
             std::fs::create_dir_all(&dir).expect("create out dir");
             let path = std::path::Path::new(&dir).join("BENCH_suite.json");
@@ -119,14 +134,28 @@ fn main() {
         } else {
             exp::render_all(entries)
         };
+        // The profile section never joins report.md: report bytes are the
+        // determinism surface that scripts/bench.sh diffs serial vs
+        // parallel, and wall-clock seconds would break it.
+        let profile_report = profile.then(|| exp::profile_section(entries));
         match out_dir {
             Some(dir) => {
                 std::fs::create_dir_all(&dir).expect("create out dir");
                 let path = std::path::Path::new(&dir).join("report.md");
                 std::fs::write(&path, &report).expect("write report");
                 eprintln!("wrote {}", path.display());
+                if let Some(p) = &profile_report {
+                    let path = std::path::Path::new(&dir).join("profile.md");
+                    std::fs::write(&path, p).expect("write profile.md");
+                    eprintln!("wrote {}", path.display());
+                }
             }
-            None => println!("{report}"),
+            None => {
+                println!("{report}");
+                if let Some(p) = &profile_report {
+                    println!("{p}");
+                }
+            }
         }
         std::process::exit(i32::from(failed));
     }
@@ -145,6 +174,7 @@ fn main() {
             "dynpa" => exp::dynpa(evals.as_ref().unwrap()),
             "heap" => exp::heap(evals.as_ref().unwrap()),
             "models" => exp::models(evals.as_ref().unwrap()),
+            "profile" => exp::profile_section(suite.as_ref().unwrap()),
             "nginx" => exp::nginx(),
             "motiv" => exp::motiv(),
             "campaign" => exp::campaign(),

@@ -291,13 +291,52 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
+/// One scheme's profile as a single JSON line, so shell gates can grep
+/// e.g. `"scheme": "cpa"` together with `"pa_executed": 0` or
+/// `"pa_static_match": false` without a JSON parser.
+fn scheme_profile_json(r: &pythia_core::SchemeResult) -> String {
+    let p = &r.profile;
+    let top: Vec<String> = p
+        .top_opcodes(5)
+        .into_iter()
+        .map(|(op, n)| format!("[\"{op}\", {n}]"))
+        .collect();
+    let pa_static_match = p.pa.static_sign_auth() == r.stats.pa_total() as u64;
+    format!(
+        "{{ \"scheme\": \"{}\", \"pa_executed\": {}, \"pa_signs\": {}, \"pa_auths\": {}, \"pa_strips\": {}, \"pa_auth_failures\": {}, \"pa_static\": {}, \"pa_static_match\": {}, \"dfi_setdefs\": {}, \"dfi_chkdefs\": {}, \"shadow_bulk_tags\": {}, \"mem_faults\": {}, \"resident_bytes\": {}, \"heap_allocs\": {}, \"heap_frees\": {}, \"heap_peak_bytes\": {}, \"heap_fastbin_hits\": {}, \"heap_coalesces\": {}, \"intrinsic_calls\": {}, \"top_opcodes\": [{}] }}",
+        r.scheme.name(),
+        p.pa.executed(),
+        p.pa.signs,
+        p.pa.auths,
+        p.pa.strips,
+        p.pa.auth_failures,
+        p.pa.static_sign_auth(),
+        pa_static_match,
+        p.shadow.setdefs,
+        p.shadow.chkdefs,
+        p.shadow.bulk_tags,
+        p.mem_faults,
+        p.resident_bytes,
+        p.heap_shared.allocs + p.heap_isolated.allocs,
+        p.heap_shared.frees + p.heap_isolated.frees,
+        p.heap_shared.peak_bytes + p.heap_isolated.peak_bytes,
+        p.heap_shared.fastbin_hits + p.heap_isolated.fastbin_hits,
+        p.heap_shared.coalesces + p.heap_isolated.coalesces,
+        p.intrinsics.values().sum::<u64>(),
+        top.join(", "),
+    )
+}
+
 /// Render a machine-readable benchmark record: total and per-phase
 /// wall-clock, plus the per-benchmark breakdown with a `status` field
 /// (`ok`, or the error's taxonomy variant — `scripts/check.sh` fails the
-/// build on any `internal`). Hand-rolled JSON — the workspace is offline
-/// and carries no serde.
-pub fn bench_json(suite: &[SuiteEntry], timing: &SuiteTiming, lint: bool) -> String {
-    let sum = |f: fn(&pythia_core::Timings) -> f64| -> f64 {
+/// build on any `internal`). With `profile`, each `ok` benchmark also
+/// carries a `profile` block: the slice-memo counters and one line per
+/// scheme with PA/DFI/shadow/heap counters plus the top-5 opcode
+/// histogram (see DESIGN.md §5d for the schema). Hand-rolled JSON — the
+/// workspace is offline and carries no serde.
+pub fn bench_json(suite: &[SuiteEntry], timing: &SuiteTiming, lint: bool, profile: bool) -> String {
+    let sum = |f: &dyn Fn(&pythia_core::Timings) -> f64| -> f64 {
         suite
             .iter()
             .filter_map(|e| e.evaluation())
@@ -308,10 +347,11 @@ pub fn bench_json(suite: &[SuiteEntry], timing: &SuiteTiming, lint: bool) -> Str
     out.push_str(&format!("  \"threads\": {},\n", timing.threads));
     out.push_str(&format!("  \"total_secs\": {:.6},\n", timing.total_secs));
     out.push_str(&format!(
-        "  \"per_phase\": {{ \"analysis\": {:.6}, \"instrument\": {:.6}, \"execute\": {:.6} }},\n",
-        sum(|t| t.analysis_secs),
-        sum(|t| t.instrument_secs),
-        sum(|t| t.execute_secs)
+        "  \"per_phase\": {{ \"analysis\": {:.6}, \"instrument\": {:.6}, \"lint\": {:.6}, \"execute\": {:.6} }},\n",
+        sum(&|t| t.analysis_secs()),
+        sum(&|t| t.instrument_secs()),
+        sum(&|t| t.lint_secs()),
+        sum(&|t| t.execute_secs())
     ));
     out.push_str("  \"benchmarks\": [\n");
     for (i, entry) in suite.iter().enumerate() {
@@ -329,13 +369,34 @@ pub fn bench_json(suite: &[SuiteEntry], timing: &SuiteTiming, lint: bool) -> Str
                 } else {
                     String::new()
                 };
-                out.push_str(&format!(
-                    "    {{ \"name\": \"{}\", \"status\": \"ok\", \"analysis_secs\": {:.6}, \"instrument_secs\": {:.6}, \"execute_secs\": {:.6}{lint_field} }}{comma}\n",
-                    json_escape(&entry.name),
-                    t.analysis_secs,
-                    t.instrument_secs,
-                    t.execute_secs,
-                ));
+                if profile {
+                    out.push_str(&format!(
+                        "    {{ \"name\": \"{}\", \"status\": \"ok\", \"analysis_secs\": {:.6}, \"instrument_secs\": {:.6}, \"lint_secs\": {:.6}, \"execute_secs\": {:.6}{lint_field},\n",
+                        json_escape(&entry.name),
+                        t.analysis_secs(),
+                        t.instrument_secs(),
+                        t.lint_secs(),
+                        t.execute_secs(),
+                    ));
+                    out.push_str(&format!(
+                        "      \"profile\": {{ \"memo\": {{ \"hits\": {}, \"misses\": {} }}, \"schemes\": [\n",
+                        ev.analysis.memo_hits, ev.analysis.memo_misses
+                    ));
+                    for (j, r) in ev.results.iter().enumerate() {
+                        let c = if j + 1 < ev.results.len() { "," } else { "" };
+                        out.push_str(&format!("        {}{c}\n", scheme_profile_json(r)));
+                    }
+                    out.push_str(&format!("      ] }} }}{comma}\n"));
+                } else {
+                    out.push_str(&format!(
+                        "    {{ \"name\": \"{}\", \"status\": \"ok\", \"analysis_secs\": {:.6}, \"instrument_secs\": {:.6}, \"lint_secs\": {:.6}, \"execute_secs\": {:.6}{lint_field} }}{comma}\n",
+                        json_escape(&entry.name),
+                        t.analysis_secs(),
+                        t.instrument_secs(),
+                        t.lint_secs(),
+                        t.execute_secs(),
+                    ));
+                }
             }
             Err(e) => {
                 let lint_field = if lint {
@@ -361,6 +422,127 @@ pub fn bench_json(suite: &[SuiteEntry], timing: &SuiteTiming, lint: bool) -> Str
         }
     }
     out.push_str("  ]\n}\n");
+    out
+}
+
+/// Human-readable cost-attribution report from the VM profiles: phase
+/// wall-clock, per-scheme PA/DFI/heap counters, the pooled opcode
+/// histogram, and slice-memo hit rates. Rendered *outside* `report.md`
+/// (wall-clock seconds are not deterministic) — `reproduce --profile`
+/// writes it to `profile.md` or appends it after the report on stdout.
+pub fn profile_section(suite: &[SuiteEntry]) -> String {
+    use crate::table::count;
+
+    let evs: Vec<&BenchEvaluation> = suite.iter().filter_map(|e| e.evaluation()).collect();
+    let mut out = String::from(
+        "## profile — execution cost attribution (observational; not part of the determinism surface)\n\n",
+    );
+    if evs.is_empty() {
+        out.push_str("no successful evaluations to profile\n");
+        return out;
+    }
+
+    // Phase wall-clock, summed across benchmarks.
+    let phase_total: f64 = evs.iter().map(|e| e.timings.total_secs()).sum();
+    let mut t = Table::new(vec!["phase", "secs", "share"]);
+    for phase in pythia_core::Phase::ALL {
+        let secs: f64 = evs.iter().map(|e| e.timings.phase_secs(phase)).sum();
+        t.row(vec![
+            phase.name().to_owned(),
+            format!("{secs:.3}"),
+            frac(if phase_total > 0.0 { secs / phase_total } else { 0.0 }),
+        ]);
+    }
+    out.push_str(&format!(
+        "### phase wall-clock across {} benchmarks\n\n{}\n",
+        evs.len(),
+        t.render()
+    ));
+
+    // Per-scheme dynamic counters, summed across benchmarks.
+    let mut t = Table::new(vec![
+        "scheme", "pa sign", "pa auth", "pa strip", "pa static", "dfi setdef", "dfi chkdef",
+        "heap allocs", "coalesces", "resident KiB",
+    ]);
+    for scheme in Scheme::ALL {
+        let rs: Vec<&pythia_core::SchemeResult> = evs
+            .iter()
+            .flat_map(|e| e.results.iter())
+            .filter(|r| r.scheme == scheme)
+            .collect();
+        if rs.is_empty() {
+            continue;
+        }
+        let sum = |f: &dyn Fn(&pythia_core::Profile) -> u64| -> u64 {
+            rs.iter().map(|r| f(&r.profile)).sum()
+        };
+        t.row(vec![
+            scheme.name().to_owned(),
+            count(sum(&|p| p.pa.signs)),
+            count(sum(&|p| p.pa.auths)),
+            count(sum(&|p| p.pa.strips)),
+            count(sum(&|p| p.pa.static_sign_auth())),
+            count(sum(&|p| p.shadow.setdefs)),
+            count(sum(&|p| p.shadow.chkdefs)),
+            count(sum(&|p| p.heap_shared.allocs + p.heap_isolated.allocs)),
+            count(sum(&|p| p.heap_shared.coalesces + p.heap_isolated.coalesces)),
+            count(sum(&|p| p.resident_bytes) / 1024),
+        ]);
+    }
+    out.push_str(&format!(
+        "### per-scheme dynamic counters (summed; `pa static` = sign/auth sites in the instrumented module)\n\n{}\n",
+        t.render()
+    ));
+
+    // Pooled opcode histogram: executions and attributed cycles across
+    // every scheme of every benchmark.
+    let mut execs: std::collections::BTreeMap<&'static str, u64> = Default::default();
+    let mut mc: std::collections::BTreeMap<&'static str, u64> = Default::default();
+    for r in evs.iter().flat_map(|e| e.results.iter()) {
+        for (op, n) in &r.profile.opcodes {
+            *execs.entry(op).or_default() += n;
+        }
+        for (op, m) in &r.profile.opcode_mc {
+            *mc.entry(op).or_default() += m;
+        }
+    }
+    let mut ranked: Vec<(&'static str, u64)> = execs.iter().map(|(k, v)| (*k, *v)).collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+    let mut t = Table::new(vec!["opcode", "execs", "cycles"]);
+    for (op, n) in ranked.into_iter().take(10) {
+        let cycles = pythia_vm::CostModel::to_cycles_f64(mc.get(op).copied().unwrap_or(0));
+        t.row(vec![op.to_owned(), count(n), format!("{cycles:.0}")]);
+    }
+    out.push_str(&format!(
+        "### top opcodes, all schemes pooled (base-cost attribution)\n\n{}\n",
+        t.render()
+    ));
+
+    // Slice-memo cache effectiveness per benchmark (misses = distinct
+    // slices computed, hits = warm re-queries by the passes + lint).
+    let mut t = Table::new(vec!["benchmark", "memo hits", "memo misses", "hit rate"]);
+    let (mut th, mut tm) = (0u64, 0u64);
+    for ev in &evs {
+        th += ev.analysis.memo_hits;
+        tm += ev.analysis.memo_misses;
+        t.row(vec![
+            ev.name.clone(),
+            count(ev.analysis.memo_hits),
+            count(ev.analysis.memo_misses),
+            frac(ev.analysis.memo_hit_rate()),
+        ]);
+    }
+    let total_rate = if th + tm == 0 { 0.0 } else { th as f64 / (th + tm) as f64 };
+    t.row(vec![
+        "TOTAL".to_owned(),
+        count(th),
+        count(tm),
+        frac(total_rate),
+    ]);
+    out.push_str(&format!(
+        "### backward-slice memo cache (misses = distinct slices, hits = warm re-queries)\n\n{}",
+        t.render()
+    ));
     out
 }
 

@@ -74,6 +74,19 @@ pub fn frac(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+/// Format a count with thousands separators, e.g. `1234567` -> `1,234,567`.
+pub fn count(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +115,13 @@ mod tests {
         assert_eq!(pct(0.131), "+13.1%");
         assert_eq!(pct(-0.05), "-5.0%");
         assert_eq!(frac(0.926), "92.6%");
+    }
+
+    #[test]
+    fn count_groups_thousands() {
+        assert_eq!(count(0), "0");
+        assert_eq!(count(999), "999");
+        assert_eq!(count(1000), "1,000");
+        assert_eq!(count(1234567), "1,234,567");
     }
 }

@@ -20,7 +20,54 @@ fn serial_and_parallel_evaluations_are_identical() {
             assert_eq!(ra.stats, rb.stats, "{}: instrumentation differs", a.name);
             assert_eq!(ra.exit, rb.exit, "{}: exit differs", a.name);
             assert_eq!(ra.metrics, rb.metrics, "{}: metrics differ", a.name);
+            assert_eq!(ra.profile, rb.profile, "{}: profile differs", a.name);
         }
+    }
+}
+
+#[test]
+fn profiling_toggle_never_changes_results() {
+    // The profiler is observational: turning it off must leave metrics,
+    // exits, entry ordering, and report bytes untouched — at 1 worker
+    // and at 4.
+    use pythia_core::{evaluate, VmConfig};
+    use pythia_workloads::{generate, profile_by_name};
+
+    let render = |suite: &[exp::SuiteEntry]| {
+        let evals = exp::ok_evaluations(suite);
+        exp::fig4a(&evals) + &exp::fig4b(&evals)
+    };
+    for threads in [1, 4] {
+        let on = exp::run_profiles(&NAMES, threads);
+        assert_eq!(
+            on.iter().map(|e| e.name.as_str()).collect::<Vec<_>>(),
+            NAMES.to_vec(),
+            "entry ordering must be stable"
+        );
+        // The default config profiles; re-evaluate with profiling off.
+        let p = profile_by_name(NAMES[0]).unwrap();
+        let module = generate(p);
+        let mut cfg = VmConfig::default();
+        assert!(cfg.profile, "profiling is on by default");
+        cfg.profile = false;
+        let off = evaluate(&module, &exp::SCHEMES, p.seed, &cfg).unwrap();
+        let ev_on = on[0].evaluation().unwrap();
+        assert_eq!(ev_on.results.len(), off.results.len());
+        for (ra, rb) in ev_on.results.iter().zip(&off.results) {
+            assert_eq!(ra.scheme, rb.scheme);
+            assert_eq!(ra.exit, rb.exit, "exit must not depend on profiling");
+            assert_eq!(ra.metrics, rb.metrics, "metrics must not depend on profiling");
+            // With profiling off the dynamic counters stay zero.
+            assert_eq!(rb.profile.pa.executed(), 0);
+            assert_eq!(rb.profile.total_ops(), 0);
+        }
+        assert_eq!(ev_on.analysis, off.analysis);
+        let report_on = render(&on);
+        assert_eq!(
+            report_on,
+            render(&exp::run_profiles(&NAMES, threads)),
+            "report bytes must be reproducible with profiling enabled"
+        );
     }
 }
 

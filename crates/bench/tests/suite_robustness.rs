@@ -116,13 +116,47 @@ fn bench_json_carries_per_benchmark_status() {
         threads: 2,
         total_secs: 0.0,
     };
-    let json = exp::bench_json(&suite, &timing, false);
+    let json = exp::bench_json(&suite, &timing, false, false);
     assert!(json.contains("\"status\": \"ok\""));
     assert!(json.contains("\"status\": \"setup\""));
     assert!(!json.contains("\"status\": \"internal\""));
     assert!(json.contains("\"error\": "));
-    // Without --lint, no lint fields appear.
-    assert!(!json.contains("\"lint\""));
+    // Without --lint, no lint *status* fields appear (the per-phase
+    // rollup always carries the numeric lint timing).
+    assert!(!json.contains("\"lint\": \""));
+    assert!(!json.contains("\"lint_checks\""));
+    // Without --profile, no profile block appears.
+    assert!(!json.contains("\"profile\""));
+}
+
+#[test]
+fn bench_json_profile_mode_embeds_scheme_profiles() {
+    let suite = exp::evaluate_modules(suite_modules(Some(1)), 2);
+    let timing = exp::SuiteTiming {
+        threads: 2,
+        total_secs: 0.0,
+    };
+    let json = exp::bench_json(&suite, &timing, false, true);
+    // Every ok benchmark carries the profile block with one line per
+    // scheme, and the dynamic-vs-static PA cross-check holds everywhere.
+    assert!(json.contains("\"profile\": {"));
+    assert!(json.contains("\"memo\": {"));
+    for scheme in ["vanilla", "cpa", "pythia", "dfi"] {
+        assert!(
+            json.contains(&format!("\"scheme\": \"{scheme}\"")),
+            "missing scheme `{scheme}` in profile block"
+        );
+    }
+    assert!(json.contains("\"pa_static_match\": true"));
+    assert!(!json.contains("\"pa_static_match\": false"));
+    // The lint phase is part of the per-phase rollup now.
+    assert!(json.contains("\"lint\": "));
+    // The human renderer agrees with the JSON and covers all 4 phases.
+    let section = exp::profile_section(&suite);
+    for phase in ["analysis", "instrument", "lint", "execute"] {
+        assert!(section.contains(phase), "profile section lacks `{phase}`");
+    }
+    assert!(section.contains("memo"));
 }
 
 #[test]
@@ -132,7 +166,7 @@ fn bench_json_lint_mode_records_certification_status() {
         threads: 2,
         total_secs: 0.0,
     };
-    let json = exp::bench_json(&suite, &timing, true);
+    let json = exp::bench_json(&suite, &timing, true, false);
     // Healthy benchmarks carry their certified obligation counts; the
     // sabotaged one never reached instrumentation.
     assert!(json.contains("\"lint\": \"certified\""));

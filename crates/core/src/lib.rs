@@ -36,8 +36,12 @@ pub mod pipeline;
 pub mod security;
 
 pub use campaign::{run_campaign, AttackOutcome, CampaignResult};
-pub use pipeline::{evaluate, AnalysisSummary, BenchEvaluation, SchemeResult, Timings};
+pub use pipeline::{
+    evaluate, AnalysisSummary, BenchEvaluation, Phase, PhaseSpan, SchemeResult, Timings,
+};
 pub use pythia_ir::{DetectionKind, ErrorContext, PythiaError};
 pub use pythia_passes::{instrument, instrument_with, InstrumentationStats, Scheme};
-pub use pythia_vm::{DetectionMechanism, ExitReason, InputPlan, RunMetrics, Vm, VmConfig};
+pub use pythia_vm::{
+    DetectionMechanism, ExitReason, InputPlan, Profile, RunMetrics, Vm, VmConfig,
+};
 pub use security::{adjudicate, adjudicate_all, ScenarioOutcome};

@@ -6,7 +6,7 @@ use pythia_analysis::{InputChannels, SliceContext, VulnerabilityReport};
 use pythia_ir::{verify, IcCategory, Module, PythiaError};
 use pythia_lint::lint_instrumented;
 use pythia_passes::{instrument_with, InstrumentationStats, Scheme};
-use pythia_vm::{ExitReason, InputPlan, RunMetrics, Vm, VmConfig};
+use pythia_vm::{ExitReason, InputPlan, Profile, RunMetrics, Vm, VmConfig};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
@@ -22,6 +22,9 @@ pub struct SchemeResult {
     pub exit: ExitReason,
     /// Dynamic counters.
     pub metrics: RunMetrics,
+    /// The VM's execution profile for this variant (opcode/intrinsic
+    /// histograms, PA/shadow counters, heap stats — see `pythia-vm`).
+    pub profile: Profile,
     /// Protection obligations statically certified by `pythia-lint`
     /// before the variant was allowed to execute (0 for vanilla).
     pub lint_checks: usize,
@@ -65,25 +68,130 @@ pub struct AnalysisSummary {
     pub heap_vulns: usize,
     /// Static instruction count.
     pub insts: usize,
+    /// Backward-slice memo-table hits (warm re-queries of an already
+    /// computed `(func, branch, mode)` key) across the whole evaluation.
+    ///
+    /// Typically small: analysis computes each slice once and the
+    /// instrumentation passes and lint gate consume the resulting
+    /// report instead of re-slicing — surfacing the counter is what
+    /// makes that claim checkable. Deterministic despite the concurrent
+    /// scheme workers: the memo counts a miss only when a computation
+    /// actually inserts its key (a lost race counts as a hit), so
+    /// `misses` = distinct keys regardless of scheduling.
+    pub memo_hits: u64,
+    /// Backward-slice memo-table misses (distinct slices computed).
+    pub memo_misses: u64,
 }
 
-/// Wall-clock phase timings of one benchmark evaluation. Purely
+impl AnalysisSummary {
+    /// Memo-table hit rate of the analysis phase, in `[0, 1]`.
+    pub fn memo_hit_rate(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+}
+
+/// One phase of a benchmark evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Shared static analysis (points-to, slicing, vulnerability report).
+    Analysis,
+    /// Instrumentation of one scheme variant.
+    Instrument,
+    /// Static certification of one instrumented variant (`pythia-lint`).
+    Lint,
+    /// VM execution of one variant.
+    Execute,
+}
+
+impl Phase {
+    /// All phases in pipeline order.
+    pub const ALL: [Phase; 4] = [
+        Phase::Analysis,
+        Phase::Instrument,
+        Phase::Lint,
+        Phase::Execute,
+    ];
+
+    /// Stable lower-case name (used as the JSON key).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Analysis => "analysis",
+            Phase::Instrument => "instrument",
+            Phase::Lint => "lint",
+            Phase::Execute => "execute",
+        }
+    }
+}
+
+/// One timed span of an evaluation: which phase, for which scheme
+/// (`None` for the shared analysis), and how long it took.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseSpan {
+    /// Which pipeline phase.
+    pub phase: Phase,
+    /// The scheme variant the span belongs to (`None` = shared analysis).
+    pub scheme: Option<Scheme>,
+    /// Wall-clock duration.
+    pub secs: f64,
+}
+
+/// Wall-clock phase spans of one benchmark evaluation. Purely
 /// observational: never part of rendered reports, so serial and parallel
 /// runs stay byte-identical in report text.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Timings {
-    /// Analysis phase (points-to, slicing, vulnerability report).
-    pub analysis_secs: f64,
-    /// Instrumentation, summed across all scheme variants.
-    pub instrument_secs: f64,
-    /// VM execution, summed across all scheme variants.
-    pub execute_secs: f64,
+    /// Every timed span: one `Analysis` span, then an `Instrument`,
+    /// `Lint` and `Execute` span per scheme variant, in scheme order.
+    pub spans: Vec<PhaseSpan>,
 }
 
 impl Timings {
-    /// Sum of all phases.
+    /// Total wall-clock of one phase across all schemes.
+    pub fn phase_secs(&self, phase: Phase) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.phase == phase)
+            .map(|s| s.secs)
+            .sum()
+    }
+
+    /// Total wall-clock attributed to one scheme across all phases.
+    pub fn scheme_secs(&self, scheme: Scheme) -> f64 {
+        self.spans
+            .iter()
+            .filter(|s| s.scheme == Some(scheme))
+            .map(|s| s.secs)
+            .sum()
+    }
+
+    /// Analysis phase (points-to, slicing, vulnerability report).
+    pub fn analysis_secs(&self) -> f64 {
+        self.phase_secs(Phase::Analysis)
+    }
+
+    /// Instrumentation, summed across all scheme variants.
+    pub fn instrument_secs(&self) -> f64 {
+        self.phase_secs(Phase::Instrument)
+    }
+
+    /// Static certification (`pythia-lint`), summed across all variants.
+    pub fn lint_secs(&self) -> f64 {
+        self.phase_secs(Phase::Lint)
+    }
+
+    /// VM execution, summed across all scheme variants.
+    pub fn execute_secs(&self) -> f64 {
+        self.phase_secs(Phase::Execute)
+    }
+
+    /// Sum of all phases (analysis + instrument + lint + execute).
     pub fn total_secs(&self) -> f64 {
-        self.analysis_secs + self.instrument_secs + self.execute_secs
+        self.spans.iter().map(|s| s.secs).sum()
     }
 }
 
@@ -203,7 +311,7 @@ pub fn evaluate(
     let channels = InputChannels::find(module);
     let analysis_secs = t_analysis.elapsed().as_secs_f64();
 
-    let analysis = AnalysisSummary {
+    let mut analysis = AnalysisSummary {
         branches: report.num_branches(),
         unaffected: report.effect_fraction(pythia_analysis::IcEffect::Unaffected),
         direct: report.effect_fraction(pythia_analysis::IcEffect::Direct),
@@ -221,6 +329,8 @@ pub fn evaluate(
         stack_vulns: report.num_stack_vulns(),
         heap_vulns: report.heap_vulns.len(),
         insts: module.num_insts(),
+        memo_hits: 0,
+        memo_misses: 0,
     };
 
     let mut all = vec![Scheme::Vanilla];
@@ -236,25 +346,29 @@ pub fn evaluate(
     // `catch_unwind` so one panicking variant cannot poison the others:
     // the join below always succeeds and the panic payload is converted
     // into a typed error.
-    let (results, instrument_secs, execute_secs) = std::thread::scope(|s| {
+    let (results, mut scheme_spans) = std::thread::scope(|s| {
         let handles: Vec<_> = all
             .into_iter()
             .map(|scheme| {
                 let ctx = &ctx;
                 let report = &report;
-                let worker = move || -> Result<(SchemeResult, f64, f64), PythiaError> {
+                let worker = move || -> Result<(SchemeResult, [f64; 3]), PythiaError> {
                     let t_inst = Instant::now();
                     let inst = instrument_with(module, ctx, report, scheme);
+                    let instrument_secs = t_inst.elapsed().as_secs_f64();
                     // Static certification gate: the instrumented variant
                     // must satisfy every protection invariant before it is
                     // allowed anywhere near the VM. A violation is a setup
-                    // error, not a measurement.
+                    // error, not a measurement. Timed as its own phase —
+                    // folding it into instrumentation under-reported where
+                    // evaluation time goes.
+                    let t_lint = Instant::now();
                     let lint = lint_instrumented(module, ctx, report, &inst.module, scheme);
                     if !lint.is_clean() {
                         return Err(lint.into_setup_error());
                     }
                     let lint_checks = lint.checks;
-                    let instrument_secs = t_inst.elapsed().as_secs_f64();
+                    let lint_secs = t_lint.elapsed().as_secs_f64();
                     let t_exec = Instant::now();
                     let mut vm = Vm::new(&inst.module, cfg.clone(), InputPlan::benign(seed));
                     let r = vm.run("main", &[])?;
@@ -265,10 +379,10 @@ pub fn evaluate(
                             stats: inst.stats,
                             exit: r.exit,
                             metrics: r.metrics,
+                            profile: r.profile,
                             lint_checks,
                         },
-                        instrument_secs,
-                        execute_secs,
+                        [instrument_secs, lint_secs, execute_secs],
                     ))
                 };
                 (
@@ -278,31 +392,52 @@ pub fn evaluate(
             })
             .collect();
         let mut results = Vec::with_capacity(handles.len());
-        let (mut instr, mut exec) = (0.0, 0.0);
+        let mut spans = Vec::new();
         for (scheme, h) in handles {
             let joined = match h.join() {
                 Ok(Ok(r)) => r,
                 Ok(Err(p)) => Err(PythiaError::from_panic(p.as_ref())),
                 Err(p) => Err(PythiaError::from_panic(p.as_ref())),
             };
-            let (r, i, e) = joined
+            let (r, [instrument, lint, execute]) = joined
                 .map_err(|e| e.with_function(format!("{}/{scheme:?}", module.name)))?;
             results.push(r);
-            instr += i;
-            exec += e;
+            for (phase, secs) in [
+                (Phase::Instrument, instrument),
+                (Phase::Lint, lint),
+                (Phase::Execute, execute),
+            ] {
+                spans.push(PhaseSpan {
+                    phase,
+                    scheme: Some(scheme),
+                    secs,
+                });
+            }
         }
-        Ok::<_, PythiaError>((results, instr, exec))
+        Ok::<_, PythiaError>((results, spans))
     })?;
+
+    let mut spans = vec![PhaseSpan {
+        phase: Phase::Analysis,
+        scheme: None,
+        secs: analysis_secs,
+    }];
+    spans.append(&mut scheme_spans);
+
+    // Snapshot the memo counters once every consumer is done. The memo
+    // counts a miss only when a computation actually inserts its key, so
+    // `misses` = distinct slices computed and `hits` = warm re-queries —
+    // both independent of worker scheduling, safe to report after the
+    // concurrent phase.
+    let (memo_hits, memo_misses) = ctx.memo_stats();
+    analysis.memo_hits = memo_hits;
+    analysis.memo_misses = memo_misses;
 
     Ok(BenchEvaluation {
         name: module.name.clone(),
         analysis,
         results,
-        timings: Timings {
-            analysis_secs,
-            instrument_secs,
-            execute_secs,
-        },
+        timings: Timings { spans },
     })
 }
 
@@ -385,6 +520,57 @@ mod tests {
             }
         }
         assert!(ev.lint_checks() > 0);
+    }
+
+    #[test]
+    fn phase_spans_cover_all_four_phases() {
+        let m = generate(profile_by_name("lbm").unwrap());
+        let ev = evaluate(
+            &m,
+            &[Scheme::Cpa, Scheme::Pythia, Scheme::Dfi],
+            1,
+            &VmConfig::default(),
+        )
+        .unwrap();
+        // One analysis span plus instrument/lint/execute per variant.
+        assert_eq!(ev.timings.spans.len(), 1 + 3 * ev.results.len());
+        for phase in Phase::ALL {
+            assert!(
+                ev.timings.phase_secs(phase) > 0.0,
+                "{phase:?} phase was not timed"
+            );
+        }
+        // total_secs is exactly the sum of the four phases: the lint gate
+        // is no longer silently dropped from the accounting.
+        let by_phase: f64 = Phase::ALL.iter().map(|&p| ev.timings.phase_secs(p)).sum();
+        assert!((ev.timings.total_secs() - by_phase).abs() < 1e-12);
+        for s in &ev.results {
+            assert!(ev.timings.scheme_secs(s.scheme) > 0.0);
+        }
+    }
+
+    #[test]
+    fn memo_counters_surface_in_analysis_summary() {
+        // Regression for the PR 1 cache claim being unobservable: the
+        // slice-memo counters must reach AnalysisSummary. Surfacing them
+        // is the point — it makes cache effectiveness *measurable*
+        // instead of assumed (downstream consumers read the
+        // VulnerabilityReport rather than re-slicing, so a pipeline
+        // evaluation legitimately reports few or zero hits; the direct
+        // second-identical-slice regression is
+        // `backward_slice_is_memoized` in pythia-analysis).
+        let m = generate(profile_by_name("lbm").unwrap());
+        let ev = evaluate(&m, &[Scheme::Pythia], 1, &VmConfig::default()).unwrap();
+        let a = &ev.analysis;
+        assert!(a.memo_misses > 0, "analysis must compute at least one slice");
+        assert!(a.memo_hit_rate() >= 0.0);
+        assert!(a.memo_hit_rate() < 1.0);
+        // The counters are schedule-independent: misses count distinct
+        // keys (only the inserting computation counts one), so a rerun
+        // agrees exactly.
+        let again = evaluate(&m, &[Scheme::Pythia], 1, &VmConfig::default()).unwrap();
+        assert_eq!(a.memo_hits, again.analysis.memo_hits);
+        assert_eq!(a.memo_misses, again.analysis.memo_misses);
     }
 
     #[test]

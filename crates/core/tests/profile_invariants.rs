@@ -1,0 +1,85 @@
+//! The VM profiler must agree with the static instrumentation passes.
+//!
+//! Dynamic PA executions differ from static insertion counts (loops
+//! re-execute a site), so the profiler carries its own static module
+//! scan — and that scan must land on exactly the numbers
+//! `pythia-passes` reports for each scheme. Vanilla executes zero PA
+//! ops; DFI inserts none (its mechanism is shadow memory).
+
+use pythia_core::{evaluate, Scheme, VmConfig};
+use pythia_workloads::{generate, profile_by_name};
+
+const NAMES: [&str; 3] = ["519.lbm_r", "505.mcf_r", "525.x264_r"];
+const SCHEMES: [Scheme; 3] = [Scheme::Cpa, Scheme::Pythia, Scheme::Dfi];
+
+#[test]
+fn profiler_static_pa_counts_match_pass_stats() {
+    for name in NAMES {
+        let p = profile_by_name(name).expect("profile");
+        let module = generate(p);
+        let ev = evaluate(&module, &SCHEMES, p.seed, &VmConfig::default()).expect(name);
+        for r in &ev.results {
+            assert_eq!(
+                r.profile.pa.static_sign_auth(),
+                r.stats.pa_total() as u64,
+                "{name}/{}: profiler's static PA scan disagrees with passes::stats",
+                r.scheme.name()
+            );
+            assert_eq!(
+                r.profile.pa.static_strips, 0,
+                "{name}/{}: no pass inserts PacStrip",
+                r.scheme.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn pa_execution_counters_match_metrics_per_scheme() {
+    let p = profile_by_name("519.lbm_r").expect("profile");
+    let module = generate(p);
+    let ev = evaluate(&module, &SCHEMES, p.seed, &VmConfig::default()).expect("lbm");
+    for r in &ev.results {
+        match r.scheme {
+            Scheme::Vanilla => {
+                assert_eq!(r.profile.pa.executed(), 0, "vanilla executes no PA ops");
+                assert_eq!(r.profile.pa.static_sign_auth(), 0, "vanilla contains no PA ops");
+            }
+            Scheme::Dfi => {
+                assert_eq!(r.profile.pa.executed(), 0, "DFI uses shadow memory, not PA");
+                assert!(
+                    r.profile.shadow.updates() > 0,
+                    "DFI must record shadow-memory updates"
+                );
+            }
+            Scheme::Cpa | Scheme::Pythia => {
+                assert!(
+                    r.profile.pa.executed() > 0,
+                    "{}: instrumented scheme must execute PA ops",
+                    r.scheme.name()
+                );
+                assert_eq!(
+                    r.profile.pa.executed(),
+                    r.metrics.pa_insts,
+                    "{}: profiler and RunMetrics disagree on PA executions",
+                    r.scheme.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn opcode_histogram_accounts_for_every_retired_inst() {
+    let p = profile_by_name("505.mcf_r").expect("profile");
+    let module = generate(p);
+    let ev = evaluate(&module, &SCHEMES, p.seed, &VmConfig::default()).expect("mcf");
+    for r in &ev.results {
+        assert_eq!(
+            r.profile.total_ops(),
+            r.metrics.insts,
+            "{}: opcode histogram must sum to executed instructions",
+            r.scheme.name()
+        );
+    }
+}

@@ -85,6 +85,9 @@ pub struct AllocStats {
     pub wilderness_hits: u64,
     /// Allocation failures (address space exhausted).
     pub failures: u64,
+    /// Free-chunk merges performed (predecessor, successor, or give-back
+    /// into the wilderness), counting each merge individually.
+    pub coalesces: u64,
 }
 
 /// The allocator. Addresses it returns are always `GRANULE`-aligned and lie
@@ -306,16 +309,19 @@ impl Allocator {
                 self.free.remove(&prev_addr);
                 addr = prev_addr;
                 size += prev_size;
+                self.stats.coalesces += 1;
             }
         }
         // Coalesce with the successor.
         if let Some(&next_size) = self.free.get(&(addr + size)) {
             self.free.remove(&(addr + size));
             size += next_size;
+            self.stats.coalesces += 1;
         }
         // Give back to the wilderness when adjacent to the top.
         if addr + size == self.top {
             self.top = addr;
+            self.stats.coalesces += 1;
         } else {
             self.free.insert(addr, size);
         }
@@ -423,6 +429,8 @@ mod tests {
         a.free(p3).unwrap();
         a.free(p2).unwrap(); // middle free must bridge p1..p3
         a.check_invariants().unwrap();
+        // Bridging p1..p3 merged with both neighbours: two coalesces.
+        assert_eq!(a.stats().coalesces, 2);
         // Now a 3KiB allocation must fit into the coalesced hole.
         let big = a.alloc(3072).unwrap();
         assert_eq!(big, p1);

@@ -105,6 +105,12 @@ impl CostModel {
     pub fn to_cycles(mc: u64) -> u64 {
         mc.div_ceil(MILLI)
     }
+
+    /// Millicycles as fractional cycles — for profile renderings that
+    /// attribute sub-cycle costs per opcode without rounding each bucket.
+    pub fn to_cycles_f64(mc: u64) -> f64 {
+        mc as f64 / MILLI as f64
+    }
 }
 
 #[cfg(test)]

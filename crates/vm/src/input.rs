@@ -10,6 +10,13 @@
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// Upper bound on one benign string input, in bytes. Benign traffic fills
+/// up to `capacity - 1` bytes of the destination, but a pathological
+/// multi-megabyte buffer must not make every benign run quadratic — this
+/// named cap bounds the draw while still exercising large vulnerable
+/// buffers far beyond the 32 bytes an earlier hard-coded clamp allowed.
+pub const MAX_BENIGN_STRING: u64 = 4096;
+
 /// One attacker-controlled channel execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttackSpec {
@@ -89,13 +96,14 @@ impl InputPlan {
     /// Bytes for string-ish channel execution `n` with destination
     /// `capacity` (total bytes available at the destination pointer).
     ///
-    /// Benign executions return at most `capacity - 1` bytes (leaving room
-    /// for a NUL); attacked executions return the raw payload.
+    /// Benign executions return at most `capacity - 1` bytes (leaving
+    /// room for a NUL), bounded above by [`MAX_BENIGN_STRING`]; attacked
+    /// executions return the raw payload.
     pub fn string_input(&mut self, n: u64, capacity: u64) -> Vec<u8> {
         if let Some(a) = self.attack_for(n) {
             return a.payload.clone();
         }
-        let cap = capacity.saturating_sub(1).min(32);
+        let cap = capacity.saturating_sub(1).min(MAX_BENIGN_STRING);
         if cap == 0 {
             return Vec::new();
         }
@@ -171,6 +179,28 @@ mod tests {
         let mut b = InputPlan::benign(42);
         for n in 0..10 {
             assert_eq!(a.string_input(n, 20), b.string_input(n, 20));
+        }
+    }
+
+    #[test]
+    fn benign_strings_use_large_capacities() {
+        // Regression: a hard-coded `.min(32)` used to clamp every benign
+        // input to 32 bytes, so big vulnerable buffers were never filled.
+        let mut p = InputPlan::benign(11);
+        let longest = (0..200).map(|n| p.string_input(n, 512).len()).max().unwrap();
+        assert!(
+            longest > 32,
+            "benign inputs must exercise capacities beyond 32 bytes (got {longest})"
+        );
+        assert!(longest <= 511, "still leaves NUL room");
+    }
+
+    #[test]
+    fn benign_strings_bounded_by_named_cap() {
+        let mut p = InputPlan::benign(13);
+        for n in 0..50 {
+            let len = p.string_input(n, u64::MAX).len() as u64;
+            assert!(len <= MAX_BENIGN_STRING);
         }
     }
 

@@ -239,6 +239,12 @@ impl Memory {
     pub fn resident_pages(&self) -> usize {
         self.pages.len()
     }
+
+    /// Bytes of simulated memory touched so far (page granularity) — the
+    /// run's resident footprint, reported by the execution profile.
+    pub fn resident_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE
+    }
 }
 
 #[cfg(test)]

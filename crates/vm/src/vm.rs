@@ -18,6 +18,7 @@ use crate::cache::{CacheSim, CacheStats};
 use crate::cost::CostModel;
 use crate::input::{InputPlan, IntOrPayload};
 use crate::memory::{layout, Memory, MemoryError, MemoryFault};
+use crate::profile::Profile;
 use pythia_heap::{AllocStats, Section, SectionConfig, SectionedHeap};
 use pythia_ir::{
     dfi_def_id, BinOp, BlockId, Callee, CastKind, DetectionKind, FuncId, Inst, Intrinsic, Module,
@@ -276,6 +277,8 @@ pub struct RunResult {
     pub exit: ExitReason,
     /// The metered counters.
     pub metrics: RunMetrics,
+    /// The execution profile (empty when [`VmConfig::profile`] is off).
+    pub profile: Profile,
 }
 
 impl RunResult {
@@ -304,6 +307,10 @@ pub struct VmConfig {
     /// Record the first N executed instructions as a [`TraceEvent`] list
     /// (0 disables tracing).
     pub trace_limit: u64,
+    /// Populate the execution [`Profile`] (opcode/intrinsic histograms,
+    /// PA/shadow counters, heap stats). Purely observational: toggling it
+    /// never changes [`RunMetrics`] or the exit reason.
+    pub profile: bool,
 }
 
 impl Default for VmConfig {
@@ -316,6 +323,7 @@ impl Default for VmConfig {
             cost: CostModel::default(),
             enable_cache: true,
             trace_limit: 0,
+            profile: true,
         }
     }
 }
@@ -357,6 +365,7 @@ pub struct Vm<'m> {
     ic_write_counter: u64,
     halted: Option<i64>,
     pa_site_set: std::collections::HashSet<(u32, u32)>,
+    profile: Profile,
     trace: Vec<TraceEvent>,
     /// A setup problem found during construction, reported by the next
     /// [`Vm::run`] (construction stays infallible for ergonomics).
@@ -394,6 +403,7 @@ impl<'m> Vm<'m> {
             ic_write_counter: 0,
             halted: None,
             pa_site_set: std::collections::HashSet::new(),
+            profile: Profile::default(),
             trace: Vec::new(),
             setup_error: heap_error,
             cfg,
@@ -508,9 +518,19 @@ impl<'m> Vm<'m> {
         self.metrics.heap_isolated = self.heap.stats(Section::Isolated);
         self.metrics.heap_init_calls = self.heap.init_calls();
         self.metrics.pa_sites = self.pa_site_set.len() as u64;
+        if self.cfg.profile {
+            self.profile.scan_static_pa(self.module);
+            if matches!(exit, ExitReason::Trapped(Trap::MemoryFault { .. })) {
+                self.profile.mem_faults += 1;
+            }
+            self.profile.resident_bytes = self.mem.resident_bytes();
+            self.profile.heap_shared = self.metrics.heap_shared;
+            self.profile.heap_isolated = self.metrics.heap_isolated;
+        }
         Ok(RunResult {
             exit,
             metrics: self.metrics,
+            profile: std::mem::take(&mut self.profile),
         })
     }
 
@@ -600,6 +620,10 @@ impl<'m> Vm<'m> {
     fn shadow_tag(&mut self, addr: u64, len: u64, def_id: u32) {
         if len == 0 {
             return;
+        }
+        let granules = (addr.saturating_add(len - 1) >> 3) - (addr >> 3) + 1;
+        if self.cfg.profile {
+            self.profile.shadow.bulk_tags += granules;
         }
         for g in (addr >> 3)..=(addr.saturating_add(len - 1) >> 3) {
             self.shadow.insert(g, def_id);
@@ -715,6 +739,9 @@ impl<'m> Vm<'m> {
                         phi_writes.push((iv, v));
                         self.metrics.insts += 1;
                         self.charge(self.cfg.cost.copy);
+                        if self.cfg.profile {
+                            self.profile.record_op("phi", self.cfg.cost.copy);
+                        }
                         idx += 1;
                     }
                     _ => break,
@@ -747,6 +774,9 @@ impl<'m> Vm<'m> {
                 }
                 let base = self.cfg.cost.base_cost(&inst);
                 self.charge(base);
+                if self.cfg.profile {
+                    self.profile.record_op(inst.mnemonic(), base);
+                }
 
                 match inst {
                     Inst::Alloca { .. } => {
@@ -842,6 +872,10 @@ impl<'m> Vm<'m> {
                     } => {
                         self.metrics.pa_insts += 1;
                         self.pa_site_set.insert((fid.0, iv.0));
+                        if self.cfg.profile {
+                            self.profile.pa.signs += 1;
+                            *self.profile.pa.by_key.entry(key.mnemonic()).or_insert(0) += 1;
+                        }
                         let v = self.value_of(f, &frame.values, value) as u64;
                         let md = self.value_of(f, &frame.values, modifier) as u64;
                         frame.values[iv.0 as usize] = self.pa.sign(key, v, md) as i64;
@@ -853,26 +887,44 @@ impl<'m> Vm<'m> {
                     } => {
                         self.metrics.pa_insts += 1;
                         self.pa_site_set.insert((fid.0, iv.0));
+                        if self.cfg.profile {
+                            self.profile.pa.auths += 1;
+                            *self.profile.pa.by_key.entry(key.mnemonic()).or_insert(0) += 1;
+                        }
                         let v = self.value_of(f, &frame.values, value) as u64;
                         let md = self.value_of(f, &frame.values, modifier) as u64;
                         match self.pa.auth(key, v, md) {
                             Ok(raw) => frame.values[iv.0 as usize] = raw as i64,
-                            Err(_) => return Err(Trap::PacAuthFailure { key }.into()),
+                            Err(_) => {
+                                if self.cfg.profile {
+                                    self.profile.pa.auth_failures += 1;
+                                }
+                                return Err(Trap::PacAuthFailure { key }.into());
+                            }
                         }
                     }
                     Inst::PacStrip { value } => {
                         self.metrics.pa_insts += 1;
                         self.pa_site_set.insert((fid.0, iv.0));
+                        if self.cfg.profile {
+                            self.profile.pa.strips += 1;
+                        }
                         let v = self.value_of(f, &frame.values, value) as u64;
                         frame.values[iv.0 as usize] = self.pa.strip(v) as i64;
                     }
                     Inst::SetDef { ptr, def_id } => {
                         self.metrics.dfi_insts += 1;
+                        if self.cfg.profile {
+                            self.profile.shadow.setdefs += 1;
+                        }
                         let addr = self.value_of(f, &frame.values, ptr) as u64;
                         self.shadow.insert(addr >> 3, def_id);
                     }
                     Inst::ChkDef { ptr, ref allowed } => {
                         self.metrics.dfi_insts += 1;
+                        if self.cfg.profile {
+                            self.profile.shadow.chkdefs += 1;
+                        }
                         let addr = self.value_of(f, &frame.values, ptr) as u64;
                         if let Some(&found) = self.shadow.get(&(addr >> 3)) {
                             if !allowed.contains(&found) {
@@ -953,6 +1005,9 @@ impl<'m> Vm<'m> {
         args: &[i64],
     ) -> Result<i64, Halt> {
         self.charge(self.cfg.cost.libcall);
+        if self.cfg.profile {
+            self.profile.record_intrinsic(i.name());
+        }
         if i.is_input_channel() {
             self.metrics.ic_calls += 1;
         }

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Harness performance check: run the full suite serially and in parallel,
-# verify the rendered reports are byte-identical, and keep the parallel
-# run's BENCH_suite.json (total + per-phase wall-clock, worker count).
+# verify the rendered reports are byte-identical, keep the parallel
+# run's BENCH_suite.json (total + per-phase wall-clock, worker count),
+# and show how the analysis/instrument/lint/execute phase breakdown
+# shifts between the two runs (profile.md is per-run and excluded from
+# the byte-identity check — wall-clock is not deterministic).
 #
 # Usage: scripts/bench.sh [out-dir]   (default: bench-out)
 set -euo pipefail
@@ -17,12 +20,12 @@ now_ms() { date +%s%3N; }
 
 echo "== serial (PYTHIA_THREADS=1) =="
 start=$(now_ms)
-PYTHIA_THREADS=1 "$REPRODUCE" --out "$OUT/serial" --bench-json
+PYTHIA_THREADS=1 "$REPRODUCE" --out "$OUT/serial" --bench-json --profile
 serial_ms=$(( $(now_ms) - start ))
 
 echo "== parallel (PYTHIA_THREADS unset: available cores) =="
 start=$(now_ms)
-"$REPRODUCE" --out "$OUT/parallel" --bench-json
+"$REPRODUCE" --out "$OUT/parallel" --bench-json --profile
 parallel_ms=$(( $(now_ms) - start ))
 
 if ! diff -q "$OUT/serial/report.md" "$OUT/parallel/report.md"; then
@@ -37,4 +40,12 @@ awk -v s="$serial_ms" -v p="$parallel_ms" 'BEGIN {
     printf "serial: %.2fs  parallel: %.2fs  speedup: %.2fx\n",
         s / 1000, p / 1000, s / (p > 0 ? p : 1)
 }'
+
+# Per-phase CPU-time breakdown, serial vs parallel. The sums are taken
+# across benchmarks inside each run, so parallel phases overlap in
+# wall-clock but their per-phase totals stay comparable.
+echo "== phase breakdown (summed across benchmarks, seconds) =="
+echo "serial:   $(grep '"per_phase"' "$OUT/serial/BENCH_suite.json")"
+echo "parallel: $(grep '"per_phase"' "$OUT/parallel/BENCH_suite.json")"
 echo "timings: $OUT/BENCH_suite.json"
+echo "profiles: $OUT/serial/profile.md $OUT/parallel/profile.md"

@@ -37,9 +37,9 @@ echo "== pythia-lint --all-schemes =="
 # instrumentation, which would invalidate every downstream measurement.
 target/release/pythia-lint --all-schemes
 
-echo "== reproduce --smoke --bench-json --lint =="
+echo "== reproduce --smoke --bench-json --lint --profile =="
 smoke_status=0
-target/release/reproduce --smoke --bench-json --lint --out "$OUT" >/dev/null || smoke_status=$?
+target/release/reproduce --smoke --bench-json --lint --profile --out "$OUT" >/dev/null || smoke_status=$?
 JSON="$OUT/BENCH_suite.json"
 
 if [ ! -f "$JSON" ]; then
@@ -65,4 +65,22 @@ if grep -q '"lint": "violated"' "$JSON"; then
     exit 1
 fi
 
-echo "OK: build, clippy, tests, certification and smoke suite are clean ($JSON)"
+# Profiler gates: the JSON must carry the profile schema, every
+# PA-instrumented scheme must actually execute PA operations, and the
+# profiler's static PA scan must agree with passes::stats everywhere.
+if ! grep -q '"profile": {' "$JSON"; then
+    echo "FAIL: smoke JSON lacks the profile block despite --profile" >&2
+    exit 1
+fi
+if grep -E '"scheme": "(cpa|pythia)"' "$JSON" | grep -q '"pa_executed": 0'; then
+    echo "FAIL: a PA-instrumented scheme executed zero PA operations:" >&2
+    grep -E '"scheme": "(cpa|pythia)"' "$JSON" >&2
+    exit 1
+fi
+if grep -q '"pa_static_match": false' "$JSON"; then
+    echo "FAIL: profiler static PA scan disagrees with instrumentation stats:" >&2
+    grep '"pa_static_match": false' "$JSON" >&2
+    exit 1
+fi
+
+echo "OK: build, clippy, tests, certification, smoke suite and profiler gates are clean ($JSON)"

@@ -15,6 +15,7 @@
 //! | [`lint`] | `pythia-lint` | static certification of instrumented modules |
 //! | [`workloads`] | `pythia-workloads` | SPEC-like benchmarks, Listings 1–3, nginx-sim |
 //! | [`core`] | `pythia-core` | the analyze→instrument→execute pipeline |
+//! | [`profile`] | `pythia-vm` | execution observability: opcode/PA/heap profiles |
 //!
 //! # Examples
 //!
@@ -44,4 +45,5 @@ pub use pythia_lint as lint;
 pub use pythia_pa as pa;
 pub use pythia_passes as passes;
 pub use pythia_vm as vm;
+pub use pythia_vm::profile;
 pub use pythia_workloads as workloads;
