@@ -1,4 +1,5 @@
-//! Module-wide, inclusion-based (Andersen-style) points-to analysis.
+//! Module-wide, inclusion-based (Andersen-style) points-to analysis with
+//! field-sensitive abstract objects.
 //!
 //! The paper's algorithms lean on alias analysis in three places: branch
 //! decomposition must follow data flow *through memory* (a load's value
@@ -7,14 +8,51 @@
 //! overflow handling checks whether pointer arguments may point at
 //! vulnerable variables (§4.4).
 //!
-//! The analysis is field-insensitive and context-insensitive, which matches
-//! the LLVM `basic-aa`/`globals-aa` pipeline the paper uses closely enough
-//! for the shapes we reproduce. `inttoptr` (pointer forging, paper §3.1)
-//! poisons a value with the ⊤ ("unknown") marker, which the clients treat
-//! as may-alias-anything.
+//! # Object model
+//!
+//! The analysis is context-insensitive but **field-sensitive**: a
+//! `field_addr` on a pointer to a struct-typed stack slot or global yields
+//! a distinct [`MemObjectKind::Field`] object — identified by its *root*
+//! object plus a byte extent — instead of the whole allocation. Two field
+//! objects may-alias only when they share a root and their byte extents
+//! overlap; a field always overlaps its root (a store through the base
+//! pointer can write any field). This mirrors the field-sensitive half of
+//! LLVM's `basic-aa` that the paper's pipeline relies on, and is what lets
+//! the obligation pruner distinguish "the attacker can smash `s.buf`" from
+//! "the attacker can smash `s.privilege`".
+//!
+//! Safe fallbacks keep the relation sound:
+//! - `gep` (variable-index pointer arithmetic) stays monolithic: the result
+//!   keeps the whole base object, never a field split.
+//! - `field_addr` through ⊤, through a non-struct object, through a heap
+//!   object (allocation sites carry no type), or with an out-of-range index
+//!   falls back to the base object.
+//! - `inttoptr` (pointer forging, paper §3.1) poisons a value with the ⊤
+//!   ("unknown") marker, which the clients treat as may-alias-anything.
+//! - Loads read the memory of every object *overlapping* the pointee
+//!   (root + intersecting fields), so pointers stored through a base
+//!   pointer are still seen by loads through a field pointer and vice
+//!   versa.
+//!
+//! [`PointsTo::analyze_with`] selects the precision; the field-insensitive
+//! mode reproduces the pre-upgrade relation exactly (field objects are
+//! never interned, so base object ids are identical across the two modes —
+//! the refinement property tests rely on this).
 
-use pythia_ir::{Callee, FuncId, GlobalId, Inst, Intrinsic, Module, ValueId, ValueKind};
+use pythia_ir::{Callee, FuncId, GlobalId, Inst, Intrinsic, Module, Ty, ValueId, ValueKind};
 use std::collections::{BTreeSet, HashMap};
+
+/// Precision of the points-to object model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// `field_addr` copies the base object (the pre-upgrade behavior, and
+    /// the model DFI-style analyses assume).
+    FieldInsensitive,
+    /// `field_addr` on struct-typed stack/global objects yields a distinct
+    /// per-field abstract object.
+    #[default]
+    FieldSensitive,
+}
 
 /// What an abstract memory object is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -35,6 +73,24 @@ pub enum MemObjectKind {
         /// The call instruction's value id.
         value: ValueId,
     },
+    /// A field of a struct-typed root object, as a byte extent. Only the
+    /// field-sensitive mode creates these; `base` always names a non-field
+    /// (root) object.
+    Field {
+        /// The root object this field belongs to.
+        base: ObjId,
+        /// Byte offset of the field within the root object.
+        offset: u64,
+        /// Byte size of the field (at least 1).
+        size: u64,
+    },
+}
+
+impl MemObjectKind {
+    /// Whether this is a [`MemObjectKind::Field`] split.
+    pub fn is_field(&self) -> bool {
+        matches!(self, MemObjectKind::Field { .. })
+    }
 }
 
 /// Index of an abstract object in [`PointsTo::objects`].
@@ -67,7 +123,9 @@ impl ObjSet {
         self.objects.is_empty() && !self.unknown
     }
 
-    /// May this set and `other` refer to a common object?
+    /// May this set and `other` share an object *id*? (Pure set-level
+    /// check; for the extent-aware question use [`PointsTo::may_alias`],
+    /// which also treats a field and its root as overlapping.)
     pub fn may_overlap(&self, other: &ObjSet) -> bool {
         if (self.unknown && !other.is_empty()) || (other.unknown && !self.is_empty()) {
             return true;
@@ -90,6 +148,9 @@ pub struct PointsTo {
     mem_pts: Vec<ObjSet>,
     /// node numbering
     value_base: Vec<u32>,
+    /// Field objects of each root object, populated during the solve.
+    fields_of: HashMap<ObjId, Vec<ObjId>>,
+    precision: Precision,
 }
 
 impl PointsTo {
@@ -112,6 +173,94 @@ impl PointsTo {
         self.objects[id as usize]
     }
 
+    /// The precision this relation was computed at.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// The root object of `id`: itself for stack/global/heap objects, the
+    /// underlying allocation for field objects. Root ids are identical
+    /// across the two precisions (fields are interned strictly after every
+    /// root), so coarsening by `base_object` maps a field-sensitive set
+    /// into the field-insensitive object space.
+    pub fn base_object(&self, id: ObjId) -> ObjId {
+        match self.objects[id as usize] {
+            MemObjectKind::Field { base, .. } => base,
+            _ => id,
+        }
+    }
+
+    /// Byte extent `(offset, size)` of `id` within its root, if it is a
+    /// field object.
+    pub fn field_extent(&self, id: ObjId) -> Option<(u64, u64)> {
+        match self.objects[id as usize] {
+            MemObjectKind::Field { offset, size, .. } => Some((offset, size)),
+            _ => None,
+        }
+    }
+
+    /// May objects `a` and `b` occupy overlapping bytes? A field always
+    /// overlaps its root; sibling fields overlap iff their byte extents
+    /// intersect; objects with different roots never overlap.
+    pub fn object_overlaps(&self, a: ObjId, b: ObjId) -> bool {
+        if a == b {
+            return true;
+        }
+        if self.base_object(a) != self.base_object(b) {
+            return false;
+        }
+        match (self.field_extent(a), self.field_extent(b)) {
+            // Same root, at least one side is the root itself.
+            (None, _) | (_, None) => true,
+            (Some((ao, asz)), Some((bo, bsz))) => ao < bo + bsz && bo < ao + asz,
+        }
+    }
+
+    /// Every object overlapping `id` (including `id` itself): the root,
+    /// plus every field of the root whose extent intersects.
+    pub fn overlapping_objects(&self, id: ObjId) -> Vec<ObjId> {
+        let root = self.base_object(id);
+        let mut out = vec![id];
+        if root != id {
+            out.push(root);
+        }
+        if let Some(fields) = self.fields_of.get(&root) {
+            for &f in fields {
+                if f != id && self.object_overlaps(id, f) {
+                    out.push(f);
+                }
+            }
+        }
+        out
+    }
+
+    /// Total number of abstract objects (roots + field splits).
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Number of field-split objects the sensitive mode interned.
+    pub fn num_field_objects(&self) -> usize {
+        self.objects.iter().filter(|o| o.is_field()).count()
+    }
+
+    /// Mean points-to set size over all value nodes with a non-empty set —
+    /// the paper-style precision headline (smaller is sharper).
+    pub fn avg_points_to_size(&self) -> f64 {
+        let (mut sum, mut n) = (0usize, 0usize);
+        for s in &self.value_pts {
+            if !s.is_empty() {
+                sum += s.objects.len();
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+
     /// Points-to set of value `value` in `func`.
     pub fn points_to(&self, func: FuncId, value: ValueId) -> &ObjSet {
         &self.value_pts[self.node(func, value)]
@@ -122,10 +271,21 @@ impl PointsTo {
         &self.mem_pts[obj as usize]
     }
 
-    /// May two pointer values alias (refer to overlapping objects)?
+    /// May two pointer values alias (refer to overlapping objects)? This
+    /// is extent-aware: a pointer to a field aliases a pointer to its
+    /// containing object, but not a pointer to a disjoint sibling field.
     pub fn may_alias(&self, a: (FuncId, ValueId), b: (FuncId, ValueId)) -> bool {
-        self.points_to(a.0, a.1)
-            .may_overlap(self.points_to(b.0, b.1))
+        let pa = self.points_to(a.0, a.1);
+        let pb = self.points_to(b.0, b.1);
+        if (pa.unknown && !pb.is_empty()) || (pb.unknown && !pa.is_empty()) {
+            return true;
+        }
+        if pa.unknown && pb.unknown {
+            return true;
+        }
+        pa.objects
+            .iter()
+            .any(|&x| pb.objects.iter().any(|&y| self.object_overlaps(x, y)))
     }
 
     /// Objects a store through `ptr` may write. `None` means ⊤ (anything).
@@ -138,9 +298,16 @@ impl PointsTo {
         }
     }
 
-    /// Run the analysis over a module.
+    /// Run the analysis over a module at the default (field-sensitive)
+    /// precision.
     pub fn analyze(m: &Module) -> Self {
-        Builder::new(m).solve()
+        Self::analyze_with(m, Precision::FieldSensitive)
+    }
+
+    /// Run the analysis at an explicit precision. Root object ids are
+    /// identical across precisions.
+    pub fn analyze_with(m: &Module, precision: Precision) -> Self {
+        Builder::new(m, precision).solve()
     }
 }
 
@@ -149,10 +316,18 @@ impl PointsTo {
 enum Constraint {
     /// `pts(dst) ⊇ pts(src)`
     Copy { src: usize, dst: usize },
-    /// `pts(dst) ⊇ mem(o)` for each `o ∈ pts(ptr)`
+    /// `pts(dst) ⊇ mem(o')` for each `o ∈ pts(ptr)`, `o'` overlapping `o`
     Load { ptr: usize, dst: usize },
     /// `mem(o) ⊇ pts(src)` for each `o ∈ pts(ptr)`
     Store { ptr: usize, src: usize },
+    /// `pts(dst) ⊇ { field(o, field) | o ∈ pts(base) }`, where `field(o, f)`
+    /// is the interned field object when `o` is struct-typed and `o` itself
+    /// otherwise (the safe fallback). Only emitted in field-sensitive mode.
+    FieldOf {
+        base: usize,
+        dst: usize,
+        field: u32,
+    },
 }
 
 struct Builder<'m> {
@@ -160,10 +335,15 @@ struct Builder<'m> {
     pt: PointsTo,
     constraints: Vec<Constraint>,
     address_taken: Vec<FuncId>,
+    /// Per-object content type (what the object's bytes hold), used to
+    /// resolve `field_addr` splits. `None` = unknown layout (heap sites).
+    content_ty: Vec<Option<Ty>>,
+    /// Byte offset of each object within its root (0 for roots).
+    obj_offset: Vec<u64>,
 }
 
 impl<'m> Builder<'m> {
-    fn new(m: &'m Module) -> Self {
+    fn new(m: &'m Module, precision: Precision) -> Self {
         // Number value nodes.
         let mut value_base = Vec::with_capacity(m.functions().len());
         let mut total = 0u32;
@@ -177,16 +357,20 @@ impl<'m> Builder<'m> {
             value_pts: vec![ObjSet::default(); total as usize],
             mem_pts: Vec::new(),
             value_base,
+            fields_of: HashMap::new(),
+            precision,
         };
         Builder {
             m,
             pt,
             constraints: Vec::new(),
             address_taken: Vec::new(),
+            content_ty: Vec::new(),
+            obj_offset: Vec::new(),
         }
     }
 
-    fn intern_obj(&mut self, kind: MemObjectKind) -> ObjId {
+    fn intern_obj(&mut self, kind: MemObjectKind, content: Option<Ty>, offset: u64) -> ObjId {
         if let Some(&id) = self.pt.obj_index.get(&kind) {
             return id;
         }
@@ -194,7 +378,38 @@ impl<'m> Builder<'m> {
         self.pt.objects.push(kind);
         self.pt.obj_index.insert(kind, id);
         self.pt.mem_pts.push(ObjSet::default());
+        self.content_ty.push(content);
+        self.obj_offset.push(offset);
+        if let MemObjectKind::Field { base, .. } = kind {
+            self.pt.fields_of.entry(base).or_default().push(id);
+        }
         id
+    }
+
+    /// The field object for field `field` of object `o`, or `None` when
+    /// the split is not possible (non-struct content, unknown layout,
+    /// out-of-range index) and the caller must fall back to `o` itself.
+    fn field_object(&mut self, o: ObjId, field: u32) -> Option<ObjId> {
+        let content = self.content_ty[o as usize].clone()?;
+        let Ty::Struct(fields) = &content else {
+            return None;
+        };
+        if field as usize >= fields.len() {
+            return None;
+        }
+        let root = self.pt.base_object(o);
+        let offset = self.obj_offset[o as usize] + content.field_offset(field);
+        let fty = content.field_ty(field).clone();
+        let size = fty.size().max(1);
+        Some(self.intern_obj(
+            MemObjectKind::Field {
+                base: root,
+                offset,
+                size,
+            },
+            Some(fty),
+            offset,
+        ))
     }
 
     fn seed(&mut self, node: usize, obj: ObjId) {
@@ -206,9 +421,11 @@ impl<'m> Builder<'m> {
     }
 
     fn gather(&mut self) {
-        // Pre-create global objects.
+        // Pre-create global objects (module order, before any stack/heap
+        // object, so global ids line up across precisions).
         for g in self.m.global_ids() {
-            self.intern_obj(MemObjectKind::Global(g));
+            let ty = self.m.global(g).ty.clone();
+            self.intern_obj(MemObjectKind::Global(g), Some(ty), 0);
         }
         // Collect address-taken functions for indirect-call resolution.
         for fid in self.m.func_ids() {
@@ -228,7 +445,8 @@ impl<'m> Builder<'m> {
                 let node = self.pt.node(fid, v);
                 match &f.value(v).kind {
                     ValueKind::GlobalAddr(g) => {
-                        let o = self.intern_obj(MemObjectKind::Global(*g));
+                        let ty = self.m.global(*g).ty.clone();
+                        let o = self.intern_obj(MemObjectKind::Global(*g), Some(ty), 0);
                         self.seed(node, o);
                     }
                     ValueKind::Inst(inst) => self.gather_inst(fid, v, node, inst),
@@ -240,11 +458,20 @@ impl<'m> Builder<'m> {
 
     fn gather_inst(&mut self, fid: FuncId, v: ValueId, node: usize, inst: &Inst) {
         match inst {
-            Inst::Alloca { .. } => {
-                let o = self.intern_obj(MemObjectKind::Stack {
-                    func: fid,
-                    value: v,
-                });
+            Inst::Alloca { elem, count } => {
+                let content = if *count <= 1 {
+                    elem.clone()
+                } else {
+                    Ty::array(elem.clone(), *count)
+                };
+                let o = self.intern_obj(
+                    MemObjectKind::Stack {
+                        func: fid,
+                        value: v,
+                    },
+                    Some(content),
+                    0,
+                );
                 self.seed(node, o);
             }
             Inst::Load { ptr } => {
@@ -257,10 +484,25 @@ impl<'m> Builder<'m> {
                 let s = self.pt.node(fid, *value);
                 self.constraints.push(Constraint::Store { ptr: p, src: s });
             }
-            Inst::Gep { base, .. } | Inst::FieldAddr { base, .. } => {
+            Inst::Gep { base, .. } => {
+                // Variable-index pointer arithmetic stays monolithic: the
+                // result keeps the whole base object (safe fallback).
                 let b = self.pt.node(fid, *base);
                 self.constraints
                     .push(Constraint::Copy { src: b, dst: node });
+            }
+            Inst::FieldAddr { base, field } => {
+                let b = self.pt.node(fid, *base);
+                match self.pt.precision {
+                    Precision::FieldSensitive => self.constraints.push(Constraint::FieldOf {
+                        base: b,
+                        dst: node,
+                        field: *field,
+                    }),
+                    Precision::FieldInsensitive => self
+                        .constraints
+                        .push(Constraint::Copy { src: b, dst: node }),
+                }
             }
             Inst::Bin { lhs, rhs, .. } => {
                 // Pointer arithmetic through integer ops keeps the base
@@ -339,10 +581,16 @@ impl<'m> Builder<'m> {
             }
             Callee::Intrinsic(i) => {
                 if i.is_allocator() {
-                    let o = self.intern_obj(MemObjectKind::Heap {
-                        func: fid,
-                        value: v,
-                    });
+                    // Allocation sites carry no layout, so heap objects are
+                    // never field-split (content type unknown).
+                    let o = self.intern_obj(
+                        MemObjectKind::Heap {
+                            func: fid,
+                            value: v,
+                        },
+                        None,
+                        0,
+                    );
                     self.seed(node, o);
                 }
                 match i {
@@ -407,7 +655,9 @@ impl<'m> Builder<'m> {
         self.gather();
         // Simple round-robin fixpoint; the constraint sets in generated
         // benchmarks are small enough (tens of thousands) that this
-        // converges in a handful of rounds.
+        // converges in a handful of rounds. Field objects are interned
+        // lazily as `FieldOf` constraints first see a struct-typed base,
+        // strictly after every root object.
         let mut changed = true;
         while changed {
             changed = false;
@@ -427,9 +677,14 @@ impl<'m> Builder<'m> {
                             self.pt.value_pts[ptr].objects.iter().copied().collect();
                         let ptr_unknown = self.pt.value_pts[ptr].unknown;
                         for o in objs {
-                            let mem = self.pt.mem_pts[o as usize].clone();
-                            if self.pt.value_pts[dst].merge(&mem) {
-                                changed = true;
+                            // A load must see pointers stored through any
+                            // overlapping view of the same bytes (the root,
+                            // or an intersecting sibling field).
+                            for o2 in self.pt.overlapping_objects(o) {
+                                let mem = self.pt.mem_pts[o2 as usize].clone();
+                                if self.pt.value_pts[dst].merge(&mem) {
+                                    changed = true;
+                                }
                             }
                         }
                         if ptr_unknown && !self.pt.value_pts[dst].unknown {
@@ -445,6 +700,21 @@ impl<'m> Builder<'m> {
                             if self.pt.mem_pts[o as usize].merge(&val) {
                                 changed = true;
                             }
+                        }
+                    }
+                    Constraint::FieldOf { base, dst, field } => {
+                        let objs: Vec<ObjId> =
+                            self.pt.value_pts[base].objects.iter().copied().collect();
+                        let base_unknown = self.pt.value_pts[base].unknown;
+                        for o in objs {
+                            let target = self.field_object(o, field).unwrap_or(o);
+                            if self.pt.value_pts[dst].objects.insert(target) {
+                                changed = true;
+                            }
+                        }
+                        if base_unknown && !self.pt.value_pts[dst].unknown {
+                            self.pt.value_pts[dst].unknown = true;
+                            changed = true;
                         }
                     }
                 }
@@ -614,5 +884,144 @@ mod tests {
         let pt = PointsTo::analyze(&m);
         assert!(pt.may_alias((fid, r), (fid, dst)));
         assert!(!pt.may_alias((fid, r), (fid, src)));
+    }
+
+    /// Build `f() { s = alloca {i64, [16 x i8], i64}; p0 = &s.0; p1 = &s.1;
+    /// p2 = &s.2; }` and return (module, fid, s, p0, p1, p2).
+    fn struct_module() -> (Module, FuncId, ValueId, ValueId, ValueId, ValueId) {
+        let mut m = Module::new("m");
+        let st = Ty::strukt(vec![Ty::I64, Ty::array(Ty::I8, 16), Ty::I64]);
+        let mut b = FunctionBuilder::new("f", vec![], Ty::Void);
+        let s = b.alloca(st);
+        let p0 = b.field_addr(s, 0);
+        let p1 = b.field_addr(s, 1);
+        let p2 = b.field_addr(s, 2);
+        b.ret(None);
+        let fid = m.add_function(b.finish());
+        (m, fid, s, p0, p1, p2)
+    }
+
+    #[test]
+    fn field_addrs_split_struct_objects() {
+        let (m, fid, s, p0, p1, p2) = struct_module();
+        let pt = PointsTo::analyze(&m);
+        // Disjoint sibling fields do not alias each other...
+        assert!(!pt.may_alias((fid, p0), (fid, p1)));
+        assert!(!pt.may_alias((fid, p0), (fid, p2)));
+        assert!(!pt.may_alias((fid, p1), (fid, p2)));
+        // ...but every field aliases the whole-struct pointer.
+        for p in [p0, p1, p2] {
+            assert!(pt.may_alias((fid, p), (fid, s)));
+        }
+        assert_eq!(pt.num_field_objects(), 3);
+        // The field objects coarsen back to the alloca's root object.
+        let root = pt
+            .obj_id(MemObjectKind::Stack {
+                func: fid,
+                value: s,
+            })
+            .unwrap();
+        for p in [p0, p1, p2] {
+            let o = *pt.points_to(fid, p).objects.iter().next().unwrap();
+            assert!(pt.obj_kind(o).is_field());
+            assert_eq!(pt.base_object(o), root);
+        }
+    }
+
+    #[test]
+    fn field_insensitive_mode_collapses_fields() {
+        let (m, fid, s, p0, p1, _) = struct_module();
+        let pt = PointsTo::analyze_with(&m, Precision::FieldInsensitive);
+        assert!(pt.may_alias((fid, p0), (fid, p1)));
+        assert!(pt.may_alias((fid, p0), (fid, s)));
+        assert_eq!(pt.num_field_objects(), 0);
+    }
+
+    #[test]
+    fn root_object_ids_stable_across_precisions() {
+        let (m, fid, s, _, _, _) = struct_module();
+        let fs = PointsTo::analyze(&m);
+        let fi = PointsTo::analyze_with(&m, Precision::FieldInsensitive);
+        let kind = MemObjectKind::Stack {
+            func: fid,
+            value: s,
+        };
+        assert_eq!(fs.obj_id(kind), fi.obj_id(kind));
+        // Every field-insensitive object exists at the same id in the
+        // sensitive relation (fields are appended strictly after).
+        assert_eq!(fi.objects(), &fs.objects()[..fi.num_objects()]);
+    }
+
+    #[test]
+    fn nested_field_addr_accumulates_offsets() {
+        let mut m = Module::new("m");
+        let inner = Ty::strukt(vec![Ty::I64, Ty::I64]);
+        let outer = Ty::strukt(vec![Ty::I64, inner]);
+        let mut b = FunctionBuilder::new("f", vec![], Ty::Void);
+        let s = b.alloca(outer);
+        let pi = b.field_addr(s, 1); // &s.1 (inner struct at offset 8)
+        let pii = b.field_addr(pi, 1); // &s.1.1 (offset 16)
+        let p0 = b.field_addr(s, 0); // &s.0 (offset 0)
+        b.ret(None);
+        let fid = m.add_function(b.finish());
+        let pt = PointsTo::analyze(&m);
+        let o = *pt.points_to(fid, pii).objects.iter().next().unwrap();
+        assert_eq!(pt.field_extent(o), Some((16, 8)));
+        // The nested leaf does not alias the disjoint first field, but does
+        // alias its containing inner-struct pointer.
+        assert!(!pt.may_alias((fid, pii), (fid, p0)));
+        assert!(pt.may_alias((fid, pii), (fid, pi)));
+    }
+
+    #[test]
+    fn stores_via_field_visible_to_base_loads() {
+        let mut m = Module::new("m");
+        let st = Ty::strukt(vec![Ty::ptr(Ty::I64)]);
+        let mut b = FunctionBuilder::new("f", vec![], Ty::Void);
+        let x = b.alloca(Ty::I64);
+        let s = b.alloca(st);
+        let f0 = b.field_addr(s, 0);
+        b.store(x, f0); // store &x through the field pointer
+        let ld = b.load(s); // load through the base pointer
+        b.ret(None);
+        let fid = m.add_function(b.finish());
+        let pt = PointsTo::analyze(&m);
+        // The base-pointer load must still see the field-stored pointer.
+        assert!(pt.may_alias((fid, ld), (fid, x)));
+    }
+
+    #[test]
+    fn field_addr_on_heap_falls_back_to_base() {
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("f", vec![], Ty::Void);
+        let n = b.const_i64(16);
+        let h = b.call_intrinsic(Intrinsic::Malloc, vec![n], Ty::ptr(Ty::I8));
+        let p0 = b.field_addr(h, 0);
+        let p1 = b.field_addr(h, 1);
+        b.ret(None);
+        let fid = m.add_function(b.finish());
+        let pt = PointsTo::analyze(&m);
+        // No layout for heap sites: both field pointers keep the site object.
+        assert!(pt.may_alias((fid, p0), (fid, p1)));
+        assert_eq!(pt.num_field_objects(), 0);
+    }
+
+    #[test]
+    fn sensitive_relation_refines_insensitive() {
+        // may_alias must never gain pairs when sharpening the precision.
+        let (m, fid, _, _, _, _) = struct_module();
+        let fs = PointsTo::analyze(&m);
+        let fi = PointsTo::analyze_with(&m, Precision::FieldInsensitive);
+        let f = m.func(fid);
+        for a in f.value_ids() {
+            for bv in f.value_ids() {
+                if fs.may_alias((fid, a), (fid, bv)) {
+                    assert!(
+                        fi.may_alias((fid, a), (fid, bv)),
+                        "field-sensitive gained alias pair ({a}, {bv})"
+                    );
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,584 @@
+//! Interval (value-range) analysis: a forward dataflow on the shared
+//! worklist solver that bounds every integer SSA value with a closed
+//! interval `[lo, hi]`, precise enough to prove variable-index memory
+//! accesses in-bounds (`0 ≤ index < count` along **all** paths).
+//!
+//! The obligation pruner ([`crate::reach`]) consumes these proofs: a store
+//! through a `gep` whose index is proven in-bounds for every pointee
+//! cannot overflow into a neighboring object, so it is not an
+//! overflow-capable write and the objects adjacent to its targets need no
+//! protection on its account.
+//!
+//! # Lattice
+//!
+//! A fact is `None` (unreachable — the optimistic ⊤) or a map from
+//! [`ValueId`] to [`Interval`]; an absent key means the full range (the
+//! per-variable ⊥). The join widens with a *threshold set* harvested from
+//! the function's integer constants (each `c` contributes `c−1`, `c`,
+//! `c+1`, plus 0 and the i64 extremes): unequal bounds snap outward to the
+//! nearest threshold, so every per-variable chain is finite and the solver
+//! converges without giving up the loop-bound constants that in-bounds
+//! proofs actually need (`i < N` refinement keeps `N−1`).
+//!
+//! Branch refinement and phi selection both live in the solver's
+//! [`DataflowAnalysis::edge`] hook: crossing `pred → target` first clamps
+//! the ranges of the compared operands according to the branch condition's
+//! outcome on that edge, then binds each phi in `target` to its
+//! edge-specific operand range.
+
+use crate::dataflow::{solve, DataflowAnalysis, Direction, SolveResult};
+use pythia_ir::{BinOp, BlockId, CmpPred, Function, Inst, ValueId, ValueKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A closed interval `[lo, hi]` over `i64`. Empty intervals are never
+/// constructed (refinement that would empty a range leaves it untouched —
+/// the edge is then infeasible but still modeled conservatively).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: i64,
+    /// Inclusive upper bound.
+    pub hi: i64,
+}
+
+impl Interval {
+    /// The full `i64` range (the per-variable ⊥).
+    pub const FULL: Interval = Interval {
+        lo: i64::MIN,
+        hi: i64::MAX,
+    };
+
+    /// The singleton interval `[c, c]`.
+    pub fn exact(c: i64) -> Self {
+        Interval { lo: c, hi: c }
+    }
+
+    /// Whether this is the full (uninformative) range.
+    pub fn is_full(&self) -> bool {
+        *self == Self::FULL
+    }
+
+    /// Whether every value in the interval lies in `[0, count)`.
+    pub fn within_bounds(&self, count: u64) -> bool {
+        self.lo >= 0 && u64::try_from(self.hi).map(|h| h < count).unwrap_or(false)
+    }
+
+    fn add(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.saturating_add(other.lo),
+            hi: self.hi.saturating_add(other.hi),
+        }
+    }
+
+    fn sub(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.saturating_sub(other.hi),
+            hi: self.hi.saturating_sub(other.lo),
+        }
+    }
+
+    fn mul(self, other: Interval) -> Interval {
+        let candidates = [
+            self.lo.saturating_mul(other.lo),
+            self.lo.saturating_mul(other.hi),
+            self.hi.saturating_mul(other.lo),
+            self.hi.saturating_mul(other.hi),
+        ];
+        Interval {
+            lo: *candidates.iter().min().unwrap(),
+            hi: *candidates.iter().max().unwrap(),
+        }
+    }
+}
+
+/// `None` = block not (yet) reachable; absent key = full range.
+type Fact = Option<BTreeMap<ValueId, Interval>>;
+
+struct RangeAnalysis {
+    /// Sorted widening thresholds (always contains `i64::MIN`, 0,
+    /// `i64::MAX`).
+    thresholds: Vec<i64>,
+}
+
+impl RangeAnalysis {
+    fn for_function(f: &Function) -> Self {
+        let mut ts: BTreeSet<i64> = BTreeSet::new();
+        ts.insert(i64::MIN);
+        ts.insert(0);
+        ts.insert(i64::MAX);
+        for v in f.value_ids() {
+            if let ValueKind::ConstInt(c) = f.value(v).kind {
+                ts.insert(c.saturating_sub(1));
+                ts.insert(c);
+                ts.insert(c.saturating_add(1));
+            }
+        }
+        RangeAnalysis {
+            thresholds: ts.into_iter().collect(),
+        }
+    }
+
+    /// Widen `v` down to the nearest threshold `≤ v`.
+    fn widen_down(&self, v: i64) -> i64 {
+        match self.thresholds.binary_search(&v) {
+            Ok(_) => v,
+            Err(0) => i64::MIN,
+            Err(i) => self.thresholds[i - 1],
+        }
+    }
+
+    /// Widen `v` up to the nearest threshold `≥ v`.
+    fn widen_up(&self, v: i64) -> i64 {
+        match self.thresholds.binary_search(&v) {
+            Ok(_) => v,
+            Err(i) if i < self.thresholds.len() => self.thresholds[i],
+            Err(_) => i64::MAX,
+        }
+    }
+
+    /// Widened join: equal bounds are kept exactly; unequal bounds snap
+    /// outward to the nearest threshold. Commutative, and each bound can
+    /// only move a threshold-count number of times — the termination
+    /// argument for loops.
+    fn join(&self, a: Interval, b: Interval) -> Interval {
+        let lo = if a.lo == b.lo {
+            a.lo
+        } else {
+            self.widen_down(a.lo.min(b.lo))
+        };
+        let hi = if a.hi == b.hi {
+            a.hi
+        } else {
+            self.widen_up(a.hi.max(b.hi))
+        };
+        Interval { lo, hi }
+    }
+
+    fn range_of(f: &Function, fact: &BTreeMap<ValueId, Interval>, v: ValueId) -> Interval {
+        match f.value(v).kind {
+            ValueKind::ConstInt(c) => Interval::exact(c),
+            _ => fact.get(&v).copied().unwrap_or(Interval::FULL),
+        }
+    }
+
+    /// Transfer one instruction. Only integer-valued results are tracked;
+    /// untracked instructions map to the absent (full) range.
+    fn transfer_inst(&self, f: &Function, fact: &mut BTreeMap<ValueId, Interval>, iv: ValueId) {
+        let Some(inst) = f.inst(iv) else { return };
+        let range = match inst {
+            Inst::Bin { op, lhs, rhs } => {
+                let l = Self::range_of(f, fact, *lhs);
+                let r = Self::range_of(f, fact, *rhs);
+                match op {
+                    BinOp::Add => Some(l.add(r)),
+                    BinOp::Sub => Some(l.sub(r)),
+                    BinOp::Mul => Some(l.mul(r)),
+                    _ => None,
+                }
+            }
+            Inst::Icmp { .. } => Some(Interval { lo: 0, hi: 1 }),
+            Inst::Select {
+                on_true, on_false, ..
+            } => {
+                let t = Self::range_of(f, fact, *on_true);
+                let e = Self::range_of(f, fact, *on_false);
+                // Plain (unwidened) hull: select has no back edge.
+                Some(Interval {
+                    lo: t.lo.min(e.lo),
+                    hi: t.hi.max(e.hi),
+                })
+            }
+            // Phi ranges are bound on the incoming edges (`edge` hook);
+            // the block's own transfer must not clobber them.
+            Inst::Phi { .. } => return,
+            // Loads, calls, casts and pointers stay untracked (full).
+            _ => None,
+        };
+        match range {
+            Some(r) if !r.is_full() && f.value(iv).ty.is_int() => {
+                fact.insert(iv, r);
+            }
+            _ => {
+                fact.remove(&iv);
+            }
+        }
+    }
+
+    /// Clamp `(lhs, rhs)` ranges under the assumption `lhs pred rhs` holds.
+    /// Returns `None` when the predicate supports no interval refinement.
+    fn refine(pred: CmpPred, l: Interval, r: Interval) -> Option<(Interval, Interval)> {
+        let clamp = |iv: Interval, lo: i64, hi: i64| -> Interval {
+            let nl = iv.lo.max(lo);
+            let nh = iv.hi.min(hi);
+            if nl <= nh {
+                Interval { lo: nl, hi: nh }
+            } else {
+                // Infeasible edge; keep the unrefined range (sound).
+                iv
+            }
+        };
+        // Unsigned comparisons refine like signed ones only when both
+        // sides are already known non-negative.
+        let both_nonneg = l.lo >= 0 && r.lo >= 0;
+        let signedish = |p: CmpPred| match p {
+            CmpPred::Ult if both_nonneg => Some(CmpPred::Slt),
+            CmpPred::Ule if both_nonneg => Some(CmpPred::Sle),
+            CmpPred::Ugt if both_nonneg => Some(CmpPred::Sgt),
+            CmpPred::Uge if both_nonneg => Some(CmpPred::Sge),
+            CmpPred::Ult | CmpPred::Ule | CmpPred::Ugt | CmpPred::Uge => None,
+            p => Some(p),
+        };
+        match signedish(pred)? {
+            CmpPred::Eq => {
+                let lo = l.lo.max(r.lo);
+                let hi = l.hi.min(r.hi);
+                if lo <= hi {
+                    Some((Interval { lo, hi }, Interval { lo, hi }))
+                } else {
+                    None
+                }
+            }
+            CmpPred::Ne => None,
+            CmpPred::Slt => Some((
+                clamp(l, i64::MIN, r.hi.saturating_sub(1)),
+                clamp(r, l.lo.saturating_add(1), i64::MAX),
+            )),
+            CmpPred::Sle => Some((clamp(l, i64::MIN, r.hi), clamp(r, l.lo, i64::MAX))),
+            CmpPred::Sgt => Some((
+                clamp(l, r.lo.saturating_add(1), i64::MAX),
+                clamp(r, i64::MIN, l.hi.saturating_sub(1)),
+            )),
+            CmpPred::Sge => Some((clamp(l, r.lo, i64::MAX), clamp(r, i64::MIN, l.hi))),
+            _ => None,
+        }
+    }
+
+    fn negate(pred: CmpPred) -> CmpPred {
+        match pred {
+            CmpPred::Eq => CmpPred::Ne,
+            CmpPred::Ne => CmpPred::Eq,
+            CmpPred::Slt => CmpPred::Sge,
+            CmpPred::Sle => CmpPred::Sgt,
+            CmpPred::Sgt => CmpPred::Sle,
+            CmpPred::Sge => CmpPred::Slt,
+            CmpPred::Ult => CmpPred::Uge,
+            CmpPred::Ule => CmpPred::Ugt,
+            CmpPred::Ugt => CmpPred::Ule,
+            CmpPred::Uge => CmpPred::Ult,
+        }
+    }
+}
+
+impl DataflowAnalysis for RangeAnalysis {
+    type Fact = Fact;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self, _f: &Function, _bb: BlockId) -> Fact {
+        Some(BTreeMap::new())
+    }
+
+    fn top(&self, _f: &Function) -> Fact {
+        None
+    }
+
+    fn meet(&self, a: &Fact, b: &Fact) -> Fact {
+        match (a, b) {
+            (None, x) | (x, None) => x.clone(),
+            (Some(a), Some(b)) => {
+                // Pointwise widened join; keys absent on either side are
+                // full there, so the join is full (drop the key).
+                let mut out = BTreeMap::new();
+                for (v, ia) in a {
+                    if let Some(ib) = b.get(v) {
+                        let j = self.join(*ia, *ib);
+                        if !j.is_full() {
+                            out.insert(*v, j);
+                        }
+                    }
+                }
+                Some(out)
+            }
+        }
+    }
+
+    fn transfer(&self, f: &Function, bb: BlockId, fact: &Fact) -> Fact {
+        let mut out = fact.clone()?;
+        for &iv in &f.block(bb).insts {
+            self.transfer_inst(f, &mut out, iv);
+        }
+        Some(out)
+    }
+
+    fn edge(&self, f: &Function, from: BlockId, to: BlockId, fact: &Fact) -> Fact {
+        let Some(map) = fact else { return None };
+        let mut out = map.clone();
+
+        // Branch-condition refinement: the edge taken tells us the
+        // condition's outcome (unless both targets coincide).
+        if let Some(Inst::Br {
+            cond,
+            then_bb,
+            else_bb,
+        }) = f.terminator(from)
+        {
+            if then_bb != else_bb {
+                if let Some(Inst::Icmp { pred, lhs, rhs }) = f.inst(*cond) {
+                    let effective = if to == *then_bb {
+                        *pred
+                    } else {
+                        Self::negate(*pred)
+                    };
+                    let l = Self::range_of(f, &out, *lhs);
+                    let r = Self::range_of(f, &out, *rhs);
+                    if let Some((nl, nr)) = Self::refine(effective, l, r) {
+                        for (v, iv) in [(*lhs, nl), (*rhs, nr)] {
+                            if !matches!(f.value(v).kind, ValueKind::ConstInt(_)) && !iv.is_full() {
+                                out.insert(v, iv);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Phi selection: in `to`, each phi takes exactly the operand
+        // flowing along this edge; bind its (refined) range.
+        let mut phi_bindings: Vec<(ValueId, Interval)> = Vec::new();
+        for &iv in &f.block(to).insts {
+            if let Some(Inst::Phi { incomings }) = f.inst(iv) {
+                if !f.value(iv).ty.is_int() {
+                    continue;
+                }
+                for (pb, pv) in incomings {
+                    if *pb == from {
+                        phi_bindings.push((iv, Self::range_of(f, &out, *pv)));
+                    }
+                }
+            }
+        }
+        for (v, r) in phi_bindings {
+            if r.is_full() {
+                out.remove(&v);
+            } else {
+                out.insert(v, r);
+            }
+        }
+        Some(out)
+    }
+}
+
+/// Per-function value-range results, queryable at any program point.
+pub struct ValueRanges {
+    analysis: RangeAnalysis,
+    result: SolveResult<Fact>,
+}
+
+/// Compute value ranges for one function.
+pub fn value_ranges(f: &Function) -> ValueRanges {
+    let analysis = RangeAnalysis::for_function(f);
+    let result = solve(f, &analysis);
+    ValueRanges { analysis, result }
+}
+
+impl ValueRanges {
+    /// Whether the fixpoint converged (it can only fail to on the solver's
+    /// fuel fuse; callers must then treat every range as full).
+    pub fn converged(&self) -> bool {
+        self.result.converged
+    }
+
+    /// The interval of `v` at the program point **just before** `at`
+    /// executes (replaying the containing block from its input fact).
+    /// Returns the full range when the block is statically unreachable or
+    /// the fixpoint did not converge — both are sound for bound proofs.
+    pub fn range_before(&self, f: &Function, at: ValueId, v: ValueId) -> Interval {
+        if !self.result.converged {
+            return Interval::FULL;
+        }
+        let Some(bb) = f.block_of(at) else {
+            return Interval::FULL;
+        };
+        let Some(input) = self.result.input(bb) else {
+            // Unreachable code: any claim holds; FULL keeps callers honest.
+            return Interval::FULL;
+        };
+        let mut fact = input.clone();
+        for &iv in &f.block(bb).insts {
+            if iv == at {
+                break;
+            }
+            self.analysis.transfer_inst(f, &mut fact, iv);
+        }
+        RangeAnalysis::range_of(f, &fact, v)
+    }
+
+    /// Whether block `bb` is reachable under the analysis.
+    pub fn block_reachable(&self, bb: BlockId) -> bool {
+        self.result.input(bb).is_some() || !self.result.converged
+    }
+}
+
+/// Proof query used by the pruner: is the `gep` at `(f, gep_inst)` with
+/// the given `index` value provably in `[0, count)` at that point?
+pub fn index_in_bounds(
+    f: &Function,
+    ranges: &ValueRanges,
+    gep_inst: ValueId,
+    index: ValueId,
+    count: u64,
+) -> bool {
+    // Constant indexes need no dataflow.
+    if let ValueKind::ConstInt(c) = f.value(index).kind {
+        return c >= 0 && (c as u64) < count;
+    }
+    ranges
+        .range_before(f, gep_inst, index)
+        .within_bounds(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pythia_ir::{CmpPred, FunctionBuilder, Ty};
+
+    #[test]
+    fn constants_and_arithmetic_have_exact_ranges() {
+        let mut b = FunctionBuilder::new("f", vec![], Ty::I64);
+        let x = b.const_i64(5);
+        let y = b.const_i64(7);
+        let s = b.add(x, y);
+        let d = b.sub(s, x);
+        b.ret(Some(d));
+        let f = b.finish();
+        let r = value_ranges(&f);
+        assert!(r.converged());
+        assert_eq!(r.range_before(&f, d, s), Interval::exact(12));
+        // Before `ret`, d = s - x = 7.
+        let ret = *f.block(f.entry()).insts.last().unwrap();
+        assert_eq!(r.range_before(&f, ret, d), Interval::exact(7));
+    }
+
+    #[test]
+    fn branch_refinement_clamps_the_taken_edge() {
+        // if (n < 8) { use n } else { use n }
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::I64);
+        let t = b.new_block("t");
+        let e = b.new_block("e");
+        let n = b.func().arg(0);
+        let eight = b.const_i64(8);
+        let c = b.icmp(CmpPred::Slt, n, eight);
+        b.br(c, t, e);
+        b.switch_to(t);
+        let one = b.const_i64(1);
+        let tv = b.add(n, one);
+        b.ret(Some(tv));
+        b.switch_to(e);
+        let ev = b.add(n, one);
+        b.ret(Some(ev));
+        let f = b.finish();
+        let r = value_ranges(&f);
+        assert!(r.converged());
+        // In the then-arm, n ≤ 7; in the else-arm, n ≥ 8.
+        assert_eq!(r.range_before(&f, tv, n).hi, 7);
+        assert!(r.range_before(&f, tv, n).lo == i64::MIN);
+        assert_eq!(r.range_before(&f, ev, n).lo, 8);
+    }
+
+    #[test]
+    fn counted_loop_index_is_proven_in_bounds() {
+        // i = 0; while (i < 16) { access buf[i]; i = i + 1; }
+        let mut b = FunctionBuilder::new("f", vec![], Ty::Void);
+        let head = b.new_block("head");
+        let body = b.new_block("body");
+        let exit = b.new_block("exit");
+        let buf = b.alloca_n(Ty::I64, 16);
+        let zero = b.const_i64(0);
+        let sixteen = b.const_i64(16);
+        let one = b.const_i64(1);
+        b.jmp(head);
+        b.switch_to(head);
+        let entry = b.func().entry();
+        let i = b.phi(vec![(entry, zero)]);
+        let c = b.icmp(CmpPred::Slt, i, sixteen);
+        b.br(c, body, exit);
+        b.switch_to(body);
+        let p = b.gep(buf, i);
+        b.store(zero, p);
+        let inext = b.add(i, one);
+        b.jmp(head);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut f = b.finish();
+        // Wire the back-edge incoming: body -> inext.
+        let body_bb = f.block_of(p).unwrap();
+        if let Some(pythia_ir::Inst::Phi { incomings }) = f.inst_mut(i) {
+            incomings.push((body_bb, inext));
+        }
+        let r = value_ranges(&f);
+        assert!(r.converged());
+        assert!(index_in_bounds(&f, &r, p, i, 16), "i ∈ [0, 15] at the gep");
+        assert!(!index_in_bounds(&f, &r, p, i, 15), "15 is reachable");
+    }
+
+    #[test]
+    fn unguarded_index_is_not_proven() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::Void);
+        let buf = b.alloca_n(Ty::I64, 8);
+        let n = b.func().arg(0);
+        let p = b.gep(buf, n);
+        let zero = b.const_i64(0);
+        b.store(zero, p);
+        b.ret(None);
+        let f = b.finish();
+        let r = value_ranges(&f);
+        assert!(!index_in_bounds(&f, &r, p, n, 8));
+    }
+
+    #[test]
+    fn guarded_index_is_proven() {
+        // if (0 <= n && n < 8) buf[n] = 0 — encoded as two branches.
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::Void);
+        let c1ok = b.new_block("c1ok");
+        let okbb = b.new_block("ok");
+        let bad = b.new_block("bad");
+        let buf = b.alloca_n(Ty::I64, 8);
+        let n = b.func().arg(0);
+        let zero = b.const_i64(0);
+        let eight = b.const_i64(8);
+        let c1 = b.icmp(CmpPred::Sge, n, zero);
+        b.br(c1, c1ok, bad);
+        b.switch_to(c1ok);
+        let c2 = b.icmp(CmpPred::Slt, n, eight);
+        b.br(c2, okbb, bad);
+        b.switch_to(okbb);
+        let p = b.gep(buf, n);
+        b.store(zero, p);
+        b.ret(None);
+        b.switch_to(bad);
+        b.ret(None);
+        let f = b.finish();
+        let r = value_ranges(&f);
+        assert!(r.converged());
+        assert!(index_in_bounds(&f, &r, p, n, 8));
+        assert!(!index_in_bounds(&f, &r, p, n, 4));
+    }
+
+    #[test]
+    fn unreachable_blocks_report_full_ranges() {
+        let mut b = FunctionBuilder::new("f", vec![], Ty::I64);
+        let dead = b.new_block("dead");
+        let one = b.const_i64(1);
+        b.ret(Some(one));
+        b.switch_to(dead);
+        let two = b.const_i64(2);
+        let s = b.add(two, two);
+        b.ret(Some(s));
+        let f = b.finish();
+        let r = value_ranges(&f);
+        assert!(!r.block_reachable(f.block_of(s).unwrap()));
+        assert!(r.range_before(&f, s, two).is_full() || !r.converged());
+    }
+}

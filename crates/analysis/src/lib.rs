@@ -12,7 +12,13 @@
 //! - [`defuse`] — SSA def-use chains (Definition 2.2);
 //! - [`liveness`] — live variables and flow-sensitive reaching stores
 //!   (the machine-pass/spill side of §5 and DFI's def-set precision);
-//! - [`alias`] — module-wide Andersen-style points-to analysis;
+//! - [`alias`] — module-wide Andersen-style points-to analysis with
+//!   field-sensitive abstract objects (and a field-insensitive mode
+//!   modeling DFI's coarser view);
+//! - [`interval`] — value-range dataflow proving variable-index accesses
+//!   in-bounds along all paths;
+//! - [`reach`] — overflow-reachability: which objects an attacker-driven
+//!   overflow-capable write can corrupt (drives obligation pruning);
 //! - [`channels`] — input-channel discovery & the six categories
 //!   (Definition 2.1, Fig. 5b);
 //! - [`slicing`] — *branch decomposition* (backward slices, Alg. 1) and
@@ -60,11 +66,13 @@ pub mod cfg;
 pub mod channels;
 pub mod dataflow;
 pub mod defuse;
+pub mod interval;
 pub mod liveness;
+pub mod reach;
 pub mod slicing;
 pub mod vulnerability;
 
-pub use alias::{MemObjectKind, ObjId, ObjSet, PointsTo};
+pub use alias::{MemObjectKind, ObjId, ObjSet, PointsTo, Precision};
 pub use callgraph::CallGraph;
 pub use cfg::{
     back_edges, control_dependence, loop_depths, reverse_postorder, Dominators, PostDominators,
@@ -72,6 +80,10 @@ pub use cfg::{
 pub use channels::{IcSite, InputChannels};
 pub use dataflow::{solve, DataflowAnalysis, Direction, SolveResult};
 pub use defuse::DefUse;
+pub use interval::{index_in_bounds, value_ranges, Interval, ValueRanges};
 pub use liveness::{Liveness, ReachingStores};
+pub use reach::OverflowReach;
 pub use slicing::{BackwardSlice, ForwardSlice, SliceContext, SliceMode};
-pub use vulnerability::{BranchInfo, HeapVuln, IcEffect, StackVuln, VulnerabilityReport};
+pub use vulnerability::{
+    BranchInfo, HeapVuln, IcEffect, PrunedObligations, StackVuln, VulnerabilityReport,
+};

@@ -12,7 +12,7 @@
 //!   index and at field-sensitive accesses, leaving the rest of the slice —
 //!   and hence the branch — unprotected.
 
-use crate::alias::{ObjId, PointsTo};
+use crate::alias::{ObjId, PointsTo, Precision};
 use crate::channels::{IcSite, InputChannels};
 use pythia_ir::{BlockId, Callee, FuncId, Inst, Intrinsic, Module, ValueId, ValueKind};
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
@@ -76,20 +76,98 @@ pub struct ForwardSlice {
     pub objects: BTreeSet<ObjId>,
 }
 
-/// Shared indexes for slicing over one module.
-pub struct SliceContext<'m> {
-    /// The module under analysis.
-    pub module: &'m Module,
-    /// Points-to results.
-    pub points_to: PointsTo,
-    /// Discovered input channels.
-    pub channels: InputChannels,
+/// Per-relation object indexes (which stores/loads/channels may touch
+/// each abstract object). Built once per points-to relation; the
+/// field-sensitive instance is *overlap-closed*: an access whose pointer
+/// resolves to object `o` is registered under every object overlapping
+/// `o` (its root and intersecting fields), so a store through a base
+/// pointer is found when slicing a load through a field pointer.
+struct ObjectMaps {
     /// For each object: store instructions that may write it.
     stores_by_object: HashMap<ObjId, Vec<(FuncId, ValueId)>>,
     /// For each object: memory-writing IC sites that may write it.
     ics_by_object: HashMap<ObjId, Vec<IcSite>>,
     /// For each object: loads that may read it.
     loads_by_object: HashMap<ObjId, Vec<(FuncId, ValueId)>>,
+}
+
+impl ObjectMaps {
+    fn build(module: &Module, points_to: &PointsTo, channels: &InputChannels) -> Self {
+        let mut stores_by_object: HashMap<ObjId, Vec<(FuncId, ValueId)>> = HashMap::new();
+        let mut loads_by_object: HashMap<ObjId, Vec<(FuncId, ValueId)>> = HashMap::new();
+        for fid in module.func_ids() {
+            let f = module.func(fid);
+            for bb in f.block_ids() {
+                for &iv in &f.block(bb).insts {
+                    match f.inst(iv) {
+                        Some(Inst::Store { ptr, .. }) => {
+                            if let Some(objs) = points_to.write_targets(fid, *ptr) {
+                                for o in objs {
+                                    for o2 in points_to.overlapping_objects(o) {
+                                        stores_by_object.entry(o2).or_default().push((fid, iv));
+                                    }
+                                }
+                            }
+                        }
+                        Some(Inst::Load { ptr }) => {
+                            let pts = points_to.points_to(fid, *ptr);
+                            for &o in &pts.objects {
+                                for o2 in points_to.overlapping_objects(o) {
+                                    loads_by_object.entry(o2).or_default().push((fid, iv));
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        let mut ics_by_object: HashMap<ObjId, Vec<IcSite>> = HashMap::new();
+        for site in channels.sites.iter().filter(|s| s.writes_memory()) {
+            if let Some(dst) = site.dest_ptr(module) {
+                if let Some(objs) = points_to.write_targets(site.func, dst) {
+                    for o in objs {
+                        for o2 in points_to.overlapping_objects(o) {
+                            ics_by_object.entry(o2).or_default().push(*site);
+                        }
+                    }
+                }
+            }
+        }
+        for v in stores_by_object.values_mut() {
+            v.dedup();
+        }
+        for v in loads_by_object.values_mut() {
+            v.dedup();
+        }
+        ics_by_object
+            .values_mut()
+            .for_each(|v| v.dedup_by_key(|s| (s.func, s.call)));
+        ObjectMaps {
+            stores_by_object,
+            ics_by_object,
+            loads_by_object,
+        }
+    }
+}
+
+/// Shared indexes for slicing over one module.
+pub struct SliceContext<'m> {
+    /// The module under analysis.
+    pub module: &'m Module,
+    /// Field-sensitive points-to results — the relation Pythia/CPA slicing
+    /// and obligation derivation use.
+    pub points_to: PointsTo,
+    /// Field-insensitive points-to results — the coarser relation DFI's
+    /// model assumes (paper §6.2: DFI terminates at field accesses).
+    /// Root object ids are shared with [`Self::points_to`].
+    pub points_to_fi: PointsTo,
+    /// Discovered input channels.
+    pub channels: InputChannels,
+    /// Object indexes over the field-sensitive relation (overlap-closed).
+    maps: ObjectMaps,
+    /// Object indexes over the field-insensitive relation.
+    maps_fi: ObjectMaps,
     /// Call sites per callee.
     callers: HashMap<FuncId, Vec<(FuncId, ValueId)>>,
     /// Lazily computed def-use chains, one slot per function. Shared by
@@ -114,50 +192,25 @@ const _: () = {
 };
 
 impl<'m> SliceContext<'m> {
-    /// Build the context (runs points-to analysis).
+    /// Build the context (runs points-to analysis at both precisions).
     pub fn new(module: &'m Module) -> Self {
         let points_to = PointsTo::analyze(module);
+        let points_to_fi = PointsTo::analyze_with(module, Precision::FieldInsensitive);
         let channels = InputChannels::find(module);
-        let mut stores_by_object: HashMap<ObjId, Vec<(FuncId, ValueId)>> = HashMap::new();
-        let mut callers: HashMap<FuncId, Vec<(FuncId, ValueId)>> = HashMap::new();
+        let maps = ObjectMaps::build(module, &points_to, &channels);
+        let maps_fi = ObjectMaps::build(module, &points_to_fi, &channels);
 
-        let mut loads_by_object: HashMap<ObjId, Vec<(FuncId, ValueId)>> = HashMap::new();
+        let mut callers: HashMap<FuncId, Vec<(FuncId, ValueId)>> = HashMap::new();
         for fid in module.func_ids() {
             let f = module.func(fid);
             for bb in f.block_ids() {
                 for &iv in &f.block(bb).insts {
-                    match f.inst(iv) {
-                        Some(Inst::Store { ptr, .. }) => {
-                            if let Some(objs) = points_to.write_targets(fid, *ptr) {
-                                for o in objs {
-                                    stores_by_object.entry(o).or_default().push((fid, iv));
-                                }
-                            }
-                        }
-                        Some(Inst::Load { ptr }) => {
-                            let pts = points_to.points_to(fid, *ptr);
-                            for &o in &pts.objects {
-                                loads_by_object.entry(o).or_default().push((fid, iv));
-                            }
-                        }
-                        Some(Inst::Call {
-                            callee: Callee::Func(target),
-                            ..
-                        }) => {
-                            callers.entry(*target).or_default().push((fid, iv));
-                        }
-                        _ => {}
-                    }
-                }
-            }
-        }
-
-        let mut ics_by_object: HashMap<ObjId, Vec<IcSite>> = HashMap::new();
-        for site in channels.sites.iter().filter(|s| s.writes_memory()) {
-            if let Some(dst) = site.dest_ptr(module) {
-                if let Some(objs) = points_to.write_targets(site.func, dst) {
-                    for o in objs {
-                        ics_by_object.entry(o).or_default().push(*site);
+                    if let Some(Inst::Call {
+                        callee: Callee::Func(target),
+                        ..
+                    }) = f.inst(iv)
+                    {
+                        callers.entry(*target).or_default().push((fid, iv));
                     }
                 }
             }
@@ -167,10 +220,10 @@ impl<'m> SliceContext<'m> {
         SliceContext {
             module,
             points_to,
+            points_to_fi,
             channels,
-            stores_by_object,
-            ics_by_object,
-            loads_by_object,
+            maps,
+            maps_fi,
             callers,
             du: (0..nfuncs).map(|_| OnceLock::new()).collect(),
             cd: (0..nfuncs).map(|_| OnceLock::new()).collect(),
@@ -200,25 +253,61 @@ impl<'m> SliceContext<'m> {
         )
     }
 
-    /// Stores that may write `obj`.
+    /// The points-to relation a slicing mode assumes: field-sensitive for
+    /// Pythia/CPA, field-insensitive for DFI.
+    pub fn relation(&self, mode: SliceMode) -> &PointsTo {
+        match mode {
+            SliceMode::Pythia => &self.points_to,
+            SliceMode::Dfi => &self.points_to_fi,
+        }
+    }
+
+    fn maps_for(&self, mode: SliceMode) -> &ObjectMaps {
+        match mode {
+            SliceMode::Pythia => &self.maps,
+            SliceMode::Dfi => &self.maps_fi,
+        }
+    }
+
+    /// Stores that may write `obj` (field-sensitive relation).
     pub fn stores_of(&self, obj: ObjId) -> &[(FuncId, ValueId)] {
-        self.stores_by_object
+        self.stores_of_in(SliceMode::Pythia, obj)
+    }
+
+    /// Stores that may write `obj` under `mode`'s relation.
+    pub fn stores_of_in(&self, mode: SliceMode, obj: ObjId) -> &[(FuncId, ValueId)] {
+        self.maps_for(mode)
+            .stores_by_object
             .get(&obj)
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
 
-    /// Loads that may read `obj`.
+    /// Loads that may read `obj` (field-sensitive relation).
     pub fn loads_of(&self, obj: ObjId) -> &[(FuncId, ValueId)] {
-        self.loads_by_object
+        self.loads_of_in(SliceMode::Pythia, obj)
+    }
+
+    /// Loads that may read `obj` under `mode`'s relation.
+    pub fn loads_of_in(&self, mode: SliceMode, obj: ObjId) -> &[(FuncId, ValueId)] {
+        self.maps_for(mode)
+            .loads_by_object
             .get(&obj)
             .map(Vec::as_slice)
             .unwrap_or(&[])
     }
 
-    /// Memory-writing input channels that may write `obj`.
+    /// Memory-writing input channels that may write `obj` (field-sensitive
+    /// relation).
     pub fn ics_writing(&self, obj: ObjId) -> &[IcSite] {
-        self.ics_by_object
+        self.ics_writing_in(SliceMode::Pythia, obj)
+    }
+
+    /// Memory-writing input channels that may write `obj` under `mode`'s
+    /// relation.
+    pub fn ics_writing_in(&self, mode: SliceMode, obj: ObjId) -> &[IcSite] {
+        self.maps_for(mode)
+            .ics_by_object
             .get(&obj)
             .map(Vec::as_slice)
             .unwrap_or(&[])
@@ -343,7 +432,7 @@ impl<'m> SliceContext<'m> {
                 ValueKind::Inst(inst) => match inst {
                     Inst::Load { ptr } => {
                         push(&mut work, &mut seen, fid, *ptr);
-                        let pts = self.points_to.points_to(fid, *ptr);
+                        let pts = self.relation(mode).points_to(fid, *ptr);
                         if pts.unknown {
                             // Cannot enumerate the loaded-from objects.
                             slice.complete = false;
@@ -354,7 +443,7 @@ impl<'m> SliceContext<'m> {
                                 direct_objects.insert(o);
                             }
                             if newly {
-                                for &(sf, sv) in self.stores_of(o) {
+                                for &(sf, sv) in self.stores_of_in(mode, o) {
                                     if let Some(Inst::Store { value, .. }) =
                                         self.module.func(sf).inst(sv)
                                     {
@@ -434,7 +523,7 @@ impl<'m> SliceContext<'m> {
         // Which write-channels can taint the slice?
         let mut seen_ic: HashSet<(FuncId, ValueId)> = HashSet::new();
         for &o in &slice.objects {
-            for site in self.ics_writing(o) {
+            for site in self.ics_writing_in(mode, o) {
                 if seen_ic.insert((site.func, site.call)) {
                     slice.tainting_ics.push(*site);
                     if direct_objects.contains(&o) {
@@ -527,7 +616,7 @@ impl<'m> SliceContext<'m> {
         loop {
             while let Some(o) = obj_work.pop_front() {
                 // Every load that may read this object becomes tainted.
-                if let Some(loads) = self.loads_by_object.get(&o) {
+                if let Some(loads) = self.maps.loads_by_object.get(&o) {
                     for &(fid, iv) in loads {
                         if seen_vals.insert((fid, iv)) {
                             val_work.push_back((fid, iv));

@@ -3,8 +3,8 @@
 //! Usage: `reproduce [--out <dir>] [--bench-json] [--lint] [--profile]
 //! [--smoke] [section...]`
 //! where a section is one of `fig4a fig4b fig5a fig5b fig6a fig6b fig7a
-//! fig7b dist dynpa heap campaign models nginx motiv eq6 ablations
-//! profile` — or nothing for the full report.
+//! fig7b dist precision dynpa heap campaign models nginx motiv eq6
+//! ablations profile` — or nothing for the full report.
 //!
 //! `--bench-json` additionally writes `BENCH_suite.json` (into the
 //! `--out` directory when given, else the working directory) with the
@@ -77,8 +77,8 @@ fn main() {
 
     // Experiments that need the evaluated suite share one run.
     let needs_suite = [
-        "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b", "fig7a", "fig7b", "dist", "dynpa",
-        "heap", "models", "profile",
+        "fig4a", "fig4b", "fig5a", "fig5b", "fig6a", "fig6b", "fig7a", "fig7b", "dist",
+        "precision", "dynpa", "heap", "models", "profile",
     ];
     let run_suite_now =
         args.is_empty() || bench_json || args.iter().any(|a| needs_suite.contains(&a.as_str()));
@@ -171,6 +171,7 @@ fn main() {
             "fig7a" => exp::fig7a(evals.as_ref().unwrap()),
             "fig7b" => exp::fig7b(evals.as_ref().unwrap()),
             "dist" => exp::dist(evals.as_ref().unwrap()),
+            "precision" => exp::precision(evals.as_ref().unwrap()),
             "dynpa" => exp::dynpa(evals.as_ref().unwrap()),
             "heap" => exp::heap(evals.as_ref().unwrap()),
             "models" => exp::models(evals.as_ref().unwrap()),

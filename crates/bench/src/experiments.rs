@@ -303,7 +303,7 @@ fn scheme_profile_json(r: &pythia_core::SchemeResult) -> String {
         .collect();
     let pa_static_match = p.pa.static_sign_auth() == r.stats.pa_total() as u64;
     format!(
-        "{{ \"scheme\": \"{}\", \"pa_executed\": {}, \"pa_signs\": {}, \"pa_auths\": {}, \"pa_strips\": {}, \"pa_auth_failures\": {}, \"pa_static\": {}, \"pa_static_match\": {}, \"dfi_setdefs\": {}, \"dfi_chkdefs\": {}, \"shadow_bulk_tags\": {}, \"mem_faults\": {}, \"resident_bytes\": {}, \"heap_allocs\": {}, \"heap_frees\": {}, \"heap_peak_bytes\": {}, \"heap_fastbin_hits\": {}, \"heap_coalesces\": {}, \"intrinsic_calls\": {}, \"top_opcodes\": [{}] }}",
+        "{{ \"scheme\": \"{}\", \"pa_executed\": {}, \"pa_signs\": {}, \"pa_auths\": {}, \"pa_strips\": {}, \"pa_auth_failures\": {}, \"pa_static\": {}, \"pa_static_unpruned\": {}, \"obligations_pruned\": {}, \"pa_static_match\": {}, \"dfi_setdefs\": {}, \"dfi_chkdefs\": {}, \"shadow_bulk_tags\": {}, \"mem_faults\": {}, \"resident_bytes\": {}, \"heap_allocs\": {}, \"heap_frees\": {}, \"heap_peak_bytes\": {}, \"heap_fastbin_hits\": {}, \"heap_coalesces\": {}, \"intrinsic_calls\": {}, \"top_opcodes\": [{}] }}",
         r.scheme.name(),
         p.pa.executed(),
         p.pa.signs,
@@ -311,6 +311,8 @@ fn scheme_profile_json(r: &pythia_core::SchemeResult) -> String {
         p.pa.strips,
         p.pa.auth_failures,
         p.pa.static_sign_auth(),
+        r.pa_static_unpruned,
+        r.stats.obligations_pruned,
         pa_static_match,
         p.shadow.setdefs,
         p.shadow.chkdefs,
@@ -459,10 +461,14 @@ pub fn profile_section(suite: &[SuiteEntry]) -> String {
         t.render()
     ));
 
-    // Per-scheme dynamic counters, summed across benchmarks.
+    // Per-scheme dynamic counters, summed across benchmarks. The
+    // `pa unpruned` column is what each scheme would have emitted without
+    // the precision stage; `pa static` is what survived pruning and
+    // `pruned` the dropped obligation count — the executed-PA reduction
+    // the field-sensitive points-to + bounds proofs buy.
     let mut t = Table::new(vec![
-        "scheme", "pa sign", "pa auth", "pa strip", "pa static", "dfi setdef", "dfi chkdef",
-        "heap allocs", "coalesces", "resident KiB",
+        "scheme", "pa sign", "pa auth", "pa strip", "pa static", "pa unpruned", "pruned",
+        "dfi setdef", "dfi chkdef", "heap allocs", "coalesces", "resident KiB",
     ]);
     for scheme in Scheme::ALL {
         let rs: Vec<&pythia_core::SchemeResult> = evs
@@ -482,6 +488,8 @@ pub fn profile_section(suite: &[SuiteEntry]) -> String {
             count(sum(&|p| p.pa.auths)),
             count(sum(&|p| p.pa.strips)),
             count(sum(&|p| p.pa.static_sign_auth())),
+            count(rs.iter().map(|r| r.pa_static_unpruned as u64).sum()),
+            count(rs.iter().map(|r| r.stats.obligations_pruned as u64).sum()),
             count(sum(&|p| p.shadow.setdefs)),
             count(sum(&|p| p.shadow.chkdefs)),
             count(sum(&|p| p.heap_shared.allocs + p.heap_isolated.allocs)),
@@ -490,7 +498,7 @@ pub fn profile_section(suite: &[SuiteEntry]) -> String {
         ]);
     }
     out.push_str(&format!(
-        "### per-scheme dynamic counters (summed; `pa static` = sign/auth sites in the instrumented module)\n\n{}\n",
+        "### per-scheme dynamic counters (summed; `pa static` = sign/auth sites in the instrumented module after pruning, `pa unpruned` = without the precision stage)\n\n{}\n",
         t.render()
     ));
 
@@ -1008,6 +1016,86 @@ pub fn models(suite: &[BenchEvaluation]) -> String {
     )
 }
 
+/// Precision stage: what the field-sensitive points-to and the interval
+/// bounds proofs bought. No paper counterpart — the paper's alias
+/// analysis is field-insensitive and keeps every obligation; this table
+/// shows the average points-to set size, the struct-field objects the
+/// solver split, the overflow-corruptible object count (`TOP` when one
+/// unresolvable channel forces the conservative fixpoint), the
+/// variable-index stores proven in-bounds, and the CPA sign/auth sites
+/// dropped because their objects are unreachable from any overflow. The
+/// last two columns carry the security context: branch-coverage and
+/// attack-distance deltas of Pythia over DFI, which pruning must not
+/// erode (the soundness regression attacks both builds).
+pub fn precision(suite: &[BenchEvaluation]) -> String {
+    let mut t = Table::new(vec![
+        "benchmark",
+        "avg-pts",
+        "field-objs",
+        "reach",
+        "proven-geps",
+        "cpa-pa",
+        "cpa-unpruned",
+        "pruned",
+        "sec-delta",
+        "dist-delta",
+    ]);
+    let (mut kept_total, mut unpruned_total, mut pruned_total) = (0usize, 0usize, 0usize);
+    for ev in suite {
+        let a = &ev.analysis;
+        let c_kept = ev
+            .result(Scheme::Cpa)
+            .map(|r| r.stats.pa_total())
+            .unwrap_or(0);
+        let c_un = ev
+            .result(Scheme::Cpa)
+            .map(|r| r.pa_static_unpruned)
+            .unwrap_or(0);
+        kept_total += c_kept;
+        unpruned_total += c_un;
+        pruned_total += a.obligations_pruned;
+        t.row(vec![
+            ev.name.clone(),
+            format!("{:.2}", a.avg_points_to),
+            a.field_objects.to_string(),
+            if a.reach_top {
+                "TOP".to_owned()
+            } else {
+                a.reach_objects.to_string()
+            },
+            a.proven_gep_stores.to_string(),
+            c_kept.to_string(),
+            c_un.to_string(),
+            a.obligations_pruned.to_string(),
+            pct(a.pythia_secured - a.dfi_secured),
+            format!("{:+.1}", a.pythia_distance - a.dfi_distance),
+        ]);
+    }
+    let dropped = unpruned_total.saturating_sub(kept_total);
+    let share = if unpruned_total > 0 {
+        dropped as f64 / unpruned_total as f64
+    } else {
+        0.0
+    };
+    t.row(vec![
+        "TOTAL".to_owned(),
+        format!("{:.2}", mean(suite.iter().map(|e| e.analysis.avg_points_to))),
+        String::new(),
+        String::new(),
+        String::new(),
+        kept_total.to_string(),
+        unpruned_total.to_string(),
+        pruned_total.to_string(),
+        String::new(),
+        String::new(),
+    ]);
+    format!(
+        "## precision — field-sensitive points-to + bounds proofs prune PA obligations (no paper counterpart; pruning drops {dropped} of {unpruned_total} CPA sign/auth sites = {})\n\n{}",
+        frac(share),
+        t.render()
+    )
+}
+
 /// §6.2: fraction of static PA sites that executed dynamically.
 pub fn dynpa(suite: &[BenchEvaluation]) -> String {
     let mut t = Table::new(vec![
@@ -1250,6 +1338,8 @@ pub fn render_all(entries: &[SuiteEntry]) -> String {
     out.push_str(&fig7b(&suite));
     out.push('\n');
     out.push_str(&dist(&suite));
+    out.push('\n');
+    out.push_str(&precision(&suite));
     out.push('\n');
     out.push_str(&dynpa(&suite));
     out.push('\n');

@@ -19,7 +19,7 @@
 use crate::pipeline::SchemeResult;
 use pythia_analysis::{SliceContext, VulnerabilityReport};
 use pythia_ir::{Module, PythiaError};
-use pythia_passes::{instrument_with, Scheme};
+use pythia_passes::{instrument_with, prune_obligations, Scheme};
 use pythia_vm::{AttackSpec, DetectionMechanism, ExitReason, InputPlan, Vm, VmConfig};
 use std::collections::BTreeMap;
 
@@ -91,10 +91,11 @@ impl CampaignResult {
     }
 }
 
-/// Run a campaign: instrument `module` with `scheme`, then attack channel
-/// executions `0, step, 2*step, ...` (up to `max_attacks`) with
-/// `payload_len`-byte smashes, comparing each run against the benign run
-/// of the same instrumented module.
+/// Run a campaign: instrument `module` with `scheme` from its **pruned**
+/// obligation report (the same precision stage the pipeline applies),
+/// then attack channel executions `0, step, 2*step, ...` (up to
+/// `max_attacks`) with `payload_len`-byte smashes, comparing each run
+/// against the benign run of the same instrumented module.
 ///
 /// # Errors
 ///
@@ -111,7 +112,29 @@ pub fn run_campaign(
 ) -> Result<CampaignResult, PythiaError> {
     let ctx = SliceContext::new(module);
     let report = VulnerabilityReport::analyze(&ctx);
-    let inst = instrument_with(module, &ctx, &report, scheme);
+    let pruned = prune_obligations(&ctx, &report);
+    run_campaign_with(module, &ctx, &pruned, scheme, seed, payload_len, max_attacks, cfg)
+}
+
+/// [`run_campaign`] against a caller-supplied analysis/report — the hook
+/// the soundness regression uses to attack pruned and unpruned builds of
+/// the *same* module and demand identical outcome histograms.
+///
+/// # Errors
+///
+/// Same as [`run_campaign`].
+#[allow(clippy::too_many_arguments)] // mirrors run_campaign + the precomputed analysis
+pub fn run_campaign_with(
+    module: &Module,
+    ctx: &SliceContext<'_>,
+    report: &VulnerabilityReport,
+    scheme: Scheme,
+    seed: u64,
+    payload_len: usize,
+    max_attacks: u64,
+    cfg: &VmConfig,
+) -> Result<CampaignResult, PythiaError> {
+    let inst = instrument_with(module, ctx, report, scheme);
 
     // Reference run: how many writing-channel executions are there, and
     // what does benign behaviour look like?

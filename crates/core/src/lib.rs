@@ -35,7 +35,7 @@ pub mod campaign;
 pub mod pipeline;
 pub mod security;
 
-pub use campaign::{run_campaign, AttackOutcome, CampaignResult};
+pub use campaign::{run_campaign, run_campaign_with, AttackOutcome, CampaignResult};
 pub use pipeline::{
     evaluate, AnalysisSummary, BenchEvaluation, Phase, PhaseSpan, SchemeResult, Timings,
 };

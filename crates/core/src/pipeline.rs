@@ -5,7 +5,7 @@
 use pythia_analysis::{InputChannels, SliceContext, VulnerabilityReport};
 use pythia_ir::{verify, IcCategory, Module, PythiaError};
 use pythia_lint::lint_instrumented;
-use pythia_passes::{instrument_with, InstrumentationStats, Scheme};
+use pythia_passes::{instrument_with, prune_obligations, InstrumentationStats, Scheme};
 use pythia_vm::{ExitReason, InputPlan, Profile, RunMetrics, Vm, VmConfig};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -28,6 +28,10 @@ pub struct SchemeResult {
     /// Protection obligations statically certified by `pythia-lint`
     /// before the variant was allowed to execute (0 for vanilla).
     pub lint_checks: usize,
+    /// Static PA instructions the scheme would have emitted *without*
+    /// obligation pruning (a dry instrumentation run against the unpruned
+    /// report). `stats.pa_total()` vs this is the precision win.
+    pub pa_static_unpruned: usize,
 }
 
 /// Static analysis facts about a benchmark (independent of scheme).
@@ -81,6 +85,24 @@ pub struct AnalysisSummary {
     pub memo_hits: u64,
     /// Backward-slice memo-table misses (distinct slices computed).
     pub memo_misses: u64,
+    /// Mean points-to set size under the field-sensitive relation (set
+    /// sizes of values with at least one pointee).
+    pub avg_points_to: f64,
+    /// Abstract objects the field-sensitive solver split out of
+    /// struct-typed allocation sites (0 under a field-insensitive run).
+    pub field_objects: usize,
+    /// Root objects an attacker-driven overflow-capable write may corrupt
+    /// (the seed set obligation pruning keeps).
+    pub reach_objects: usize,
+    /// The overflow-reach analysis hit ⊤ (a store through a statically
+    /// unknown pointer) — nothing was prunable.
+    pub reach_top: bool,
+    /// Variable-index stores the interval analysis proved in-bounds
+    /// (each one removes a derived overflow source).
+    pub proven_gep_stores: usize,
+    /// Obligations dropped by `prune_obligations` across all schemes'
+    /// sets (CPA slots + CPA sign values + Pythia heap + DFI objects).
+    pub obligations_pruned: usize,
 }
 
 impl AnalysisSummary {
@@ -308,6 +330,10 @@ pub fn evaluate(
     verify::verify_module(module)?;
     let ctx = SliceContext::new(module);
     let report = VulnerabilityReport::analyze(&ctx);
+    // Precision stage: drop obligations on provably uncorruptible objects.
+    // Every variant below instruments (and is linted) from the pruned
+    // report; the unpruned one is kept for the before/after accounting.
+    let pruned = prune_obligations(&ctx, &report);
     let channels = InputChannels::find(module);
     let analysis_secs = t_analysis.elapsed().as_secs_f64();
 
@@ -331,6 +357,12 @@ pub fn evaluate(
         insts: module.num_insts(),
         memo_hits: 0,
         memo_misses: 0,
+        avg_points_to: ctx.points_to.avg_points_to_size(),
+        field_objects: ctx.points_to.num_field_objects(),
+        reach_objects: pruned.pruned.reachable_objects,
+        reach_top: pruned.pruned.reach_top,
+        proven_gep_stores: pruned.pruned.proven_gep_stores,
+        obligations_pruned: pruned.pruned.total(),
     };
 
     let mut all = vec![Scheme::Vanilla];
@@ -352,9 +384,15 @@ pub fn evaluate(
             .map(|scheme| {
                 let ctx = &ctx;
                 let report = &report;
+                let pruned = &pruned;
                 let worker = move || -> Result<(SchemeResult, [f64; 3]), PythiaError> {
                     let t_inst = Instant::now();
-                    let inst = instrument_with(module, ctx, report, scheme);
+                    // Dry run against the unpruned report: its stats are the
+                    // "pa_static before" column of the precision tables.
+                    let unpruned_pa = instrument_with(module, ctx, report, scheme)
+                        .stats
+                        .pa_total();
+                    let inst = instrument_with(module, ctx, pruned, scheme);
                     let instrument_secs = t_inst.elapsed().as_secs_f64();
                     // Static certification gate: the instrumented variant
                     // must satisfy every protection invariant before it is
@@ -363,7 +401,7 @@ pub fn evaluate(
                     // folding it into instrumentation under-reported where
                     // evaluation time goes.
                     let t_lint = Instant::now();
-                    let lint = lint_instrumented(module, ctx, report, &inst.module, scheme);
+                    let lint = lint_instrumented(module, ctx, pruned, &inst.module, scheme);
                     if !lint.is_clean() {
                         return Err(lint.into_setup_error());
                     }
@@ -381,6 +419,7 @@ pub fn evaluate(
                             metrics: r.metrics,
                             profile: r.profile,
                             lint_checks,
+                            pa_static_unpruned: unpruned_pa,
                         },
                         [instrument_secs, lint_secs, execute_secs],
                     ))
@@ -571,6 +610,28 @@ mod tests {
         let again = evaluate(&m, &[Scheme::Pythia], 1, &VmConfig::default()).unwrap();
         assert_eq!(a.memo_hits, again.analysis.memo_hits);
         assert_eq!(a.memo_misses, again.analysis.memo_misses);
+    }
+
+    #[test]
+    fn precision_counters_surface_in_results() {
+        let m = generate(profile_by_name("lbm").unwrap());
+        let ev = evaluate(&m, &[Scheme::Cpa], 1, &VmConfig::default()).unwrap();
+        let a = &ev.analysis;
+        assert!(a.avg_points_to > 0.0, "the solver must bind some pointers");
+        let cpa = ev.result(Scheme::Cpa).unwrap();
+        assert!(
+            cpa.stats.pa_total() <= cpa.pa_static_unpruned,
+            "pruning can only shrink the static PA count ({} vs {})",
+            cpa.stats.pa_total(),
+            cpa.pa_static_unpruned
+        );
+        assert_eq!(
+            cpa.stats.obligations_pruned, a.obligations_pruned,
+            "the per-scheme counter and the analysis summary must agree"
+        );
+        if a.reach_top {
+            assert_eq!(a.obligations_pruned, 0, "⊤ reach must prune nothing");
+        }
     }
 
     #[test]

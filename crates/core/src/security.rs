@@ -1,8 +1,9 @@
 //! Attack-scenario adjudication: run a [`Scenario`] benign and attacked
 //! under each protection scheme and classify the outcome.
 
+use pythia_analysis::{SliceContext, VulnerabilityReport};
 use pythia_ir::PythiaError;
-use pythia_passes::{instrument, Scheme};
+use pythia_passes::{instrument_with, prune_obligations, Scheme};
 use pythia_vm::{DetectionMechanism, ExitReason, Vm, VmConfig};
 use pythia_workloads::Scenario;
 
@@ -45,7 +46,8 @@ impl ScenarioOutcome {
     }
 }
 
-/// Run `scenario` under `scheme` (instrumenting the module) and classify.
+/// Run `scenario` under `scheme` (instrumenting the module from its
+/// pruned obligation report, like the pipeline does) and classify.
 ///
 /// # Errors
 ///
@@ -57,7 +59,10 @@ pub fn adjudicate(
     scheme: Scheme,
     cfg: &VmConfig,
 ) -> Result<ScenarioOutcome, PythiaError> {
-    let inst = instrument(&scenario.module, scheme);
+    let ctx = SliceContext::new(&scenario.module);
+    let report = VulnerabilityReport::analyze(&ctx);
+    let pruned = prune_obligations(&ctx, &report);
+    let inst = instrument_with(&scenario.module, &ctx, &pruned, scheme);
 
     let benign_exit = {
         let mut vm = Vm::new(&inst.module, cfg.clone(), scenario.benign.clone());

@@ -21,14 +21,19 @@
 //! | PY-02  | Pythia | each same-function input channel is immediately preceded by canary re-randomization (§4.4) |
 //! | PY-03  | Pythia | each vulnerable stack buffer sits at the overflow-exposed frame end, immediately followed by its canary slot (Alg. 3's re-layout) |
 //! | DFI-01 | DFI    | the runtime `chkdef` set of every protected load equals the static reaching-store set (Castro et al.) |
+//! | OPT-01 | all    | every obligation the precision stage pruned is provably dispensable: its object is overflow-unreachable and shares no access with a retained obligation |
 //!
 //! PY-01/PY-02 are *must* dataflow problems (intersection meet) solved
 //! with [`pythia_analysis::solve`]; DFI-01 additionally cross-checks the
 //! emitted sets against the flow-sensitive [`ReachingStores`] analysis.
+//! OPT-01 re-derives the unpruned obligation sets and the
+//! [`OverflowReach`] fixpoint from scratch — independently of
+//! `prune_obligations` — so a pruner bug surfaces as a diagnostic rather
+//! than a silent protection hole.
 
 use pythia_analysis::{
-    solve, DataflowAnalysis, DefUse, Direction, IcSite, ReachingStores, SliceContext, SolveResult,
-    VulnerabilityReport,
+    solve, DataflowAnalysis, DefUse, Direction, IcSite, MemObjectKind, ObjId, OverflowReach,
+    ReachingStores, SliceContext, SliceMode, SolveResult, VulnerabilityReport,
 };
 use pythia_ir::{
     dfi_def_id, BlockId, Callee, FuncId, Function, Inst, Module, PaKey, PythiaError, Ty, ValueId,
@@ -53,17 +58,21 @@ pub enum RuleCode {
     Py03,
     /// Runtime check-set disagrees with the static reaching-store set.
     Dfi01,
+    /// A pruned obligation is still required (overflow-reachable object,
+    /// or coupled to a retained obligation through a shared access).
+    Opt01,
 }
 
 impl RuleCode {
     /// All rules, in report order.
-    pub const ALL: [RuleCode; 6] = [
+    pub const ALL: [RuleCode; 7] = [
         RuleCode::Cpa01,
         RuleCode::Cpa02,
         RuleCode::Py01,
         RuleCode::Py02,
         RuleCode::Py03,
         RuleCode::Dfi01,
+        RuleCode::Opt01,
     ];
 
     /// The stable textual code (`"CPA-01"`, ...).
@@ -75,6 +84,7 @@ impl RuleCode {
             RuleCode::Py02 => "PY-02",
             RuleCode::Py03 => "PY-03",
             RuleCode::Dfi01 => "DFI-01",
+            RuleCode::Opt01 => "OPT-01",
         }
     }
 
@@ -87,15 +97,18 @@ impl RuleCode {
             RuleCode::Py02 => "input channel without re-randomization",
             RuleCode::Py03 => "vulnerable buffer not at frame end",
             RuleCode::Dfi01 => "check-set / reaching-store mismatch",
+            RuleCode::Opt01 => "pruned obligation is still required",
         }
     }
 
-    /// Which scheme the rule applies to.
-    pub fn scheme(self) -> Scheme {
+    /// Which scheme the rule applies to; `None` for scheme-independent
+    /// rules that can fire under any instrumented scheme.
+    pub fn scheme(self) -> Option<Scheme> {
         match self {
-            RuleCode::Cpa01 | RuleCode::Cpa02 => Scheme::Cpa,
-            RuleCode::Py01 | RuleCode::Py02 | RuleCode::Py03 => Scheme::Pythia,
-            RuleCode::Dfi01 => Scheme::Dfi,
+            RuleCode::Cpa01 | RuleCode::Cpa02 => Some(Scheme::Cpa),
+            RuleCode::Py01 | RuleCode::Py02 | RuleCode::Py03 => Some(Scheme::Pythia),
+            RuleCode::Dfi01 => Some(Scheme::Dfi),
+            RuleCode::Opt01 => None,
         }
     }
 }
@@ -299,6 +312,9 @@ pub fn lint_instrumented(
         Scheme::Pythia => linter.check_pythia(),
         Scheme::Dfi => linter.check_dfi(),
     }
+    if scheme != Scheme::Vanilla {
+        linter.check_pruning(scheme);
+    }
     LintReport {
         scheme,
         module: instrumented.name.clone(),
@@ -307,16 +323,20 @@ pub fn lint_instrumented(
     }
 }
 
-/// Analyze `m` once and lint every requested scheme's instrumented
-/// variant. Convenience entry for the CLI and tests.
+/// Analyze `m` once, prune its obligations the way the pipeline does, and
+/// lint every requested scheme's instrumented variant — so certification
+/// covers exactly the builds the evaluation ships, including the OPT-01
+/// re-derivation of the pruning decisions. Convenience entry for the CLI
+/// and tests.
 pub fn lint_module(m: &Module, schemes: &[Scheme]) -> Vec<LintReport> {
     let ctx = SliceContext::new(m);
     let report = VulnerabilityReport::analyze(&ctx);
+    let pruned = pythia_passes::prune_obligations(&ctx, &report);
     schemes
         .iter()
         .map(|&s| {
-            let inst = instrument_with(m, &ctx, &report, s);
-            lint_instrumented(m, &ctx, &report, &inst.module, s)
+            let inst = instrument_with(m, &ctx, &pruned, s);
+            lint_instrumented(m, &ctx, &pruned, &inst.module, s)
         })
         .collect()
 }
@@ -621,16 +641,20 @@ impl<'a> Linter<'a> {
     // -----------------------------------------------------------------
     // DFI (Castro et al.): every protected store is tagged, every
     // protected load checks exactly the static reaching-writer set.
+    // Mirrors `run_dfi`: all queries run against the field-insensitive
+    // relation ([`SliceMode::Dfi`]), whose object ids are the roots the
+    // protected set is expressed in.
     // -----------------------------------------------------------------
 
     fn check_dfi(&mut self) {
+        const MODE: SliceMode = SliceMode::Dfi;
         let protected = &self.report.dfi_objects;
         let mut done_stores: BTreeSet<(FuncId, ValueId)> = BTreeSet::new();
         let mut done_loads: BTreeSet<(FuncId, ValueId)> = BTreeSet::new();
         let mut reaching: HashMap<FuncId, ReachingStores> = HashMap::new();
 
         for &o in protected.iter() {
-            for &(fid, st) in self.ctx.stores_of(o) {
+            for &(fid, st) in self.ctx.stores_of_in(MODE, o) {
                 if !done_stores.insert((fid, st)) {
                     continue;
                 }
@@ -667,7 +691,7 @@ impl<'a> Linter<'a> {
                 }
             }
 
-            for &(fid, ld) in self.ctx.loads_of(o) {
+            for &(fid, ld) in self.ctx.loads_of_in(MODE, o) {
                 if !done_loads.insert((fid, ld)) {
                     continue;
                 }
@@ -677,13 +701,13 @@ impl<'a> Linter<'a> {
                 let ptr = *ptr;
                 // The expected allowed-writer set: stores and writing
                 // channels of every protected object the pointer may read.
-                let pts = self.ctx.points_to.points_to(fid, ptr);
+                let pts = self.ctx.relation(MODE).points_to(fid, ptr);
                 let mut expected: BTreeSet<u32> = BTreeSet::new();
                 for &q in pts.objects.iter().filter(|q| protected.contains(q)) {
-                    for &(sf, sv) in self.ctx.stores_of(q) {
+                    for &(sf, sv) in self.ctx.stores_of_in(MODE, q) {
                         expected.insert(dfi_def_id(sf, sv));
                     }
-                    for site in self.ctx.ics_writing(q) {
+                    for site in self.ctx.ics_writing_in(MODE, q) {
                         expected.insert(dfi_def_id(site.func, site.call));
                     }
                 }
@@ -735,7 +759,7 @@ impl<'a> Linter<'a> {
                 let rs = reaching.entry(fid).or_insert_with(|| {
                     let mut by_ptr: HashMap<ValueId, Vec<u32>> = HashMap::new();
                     for &q in protected.iter() {
-                        for &(sf, sv) in self.ctx.stores_of(q) {
+                        for &(sf, sv) in self.ctx.stores_of_in(MODE, q) {
                             if sf != fid {
                                 continue;
                             }
@@ -774,6 +798,186 @@ impl<'a> Linter<'a> {
                     );
                 }
             }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // OPT-01: re-derive the pruning decisions from scratch. The linter
+    // recomputes the unpruned obligation sets and the overflow-reach
+    // fixpoint itself (it never consults `prune_obligations` or the
+    // report's `pruned` counters), then demands that every dropped
+    // obligation be (a) overflow-unreachable and (b) uncoupled —
+    // sharing no memory access with any retained obligation, because
+    // the instrumentation's consistency fixpoints treat access groups
+    // atomically. A report that was never pruned has no dropped
+    // obligations and passes vacuously.
+    // -----------------------------------------------------------------
+
+    fn check_pruning(&mut self, scheme: Scheme) {
+        let baseline = VulnerabilityReport::analyze(self.ctx);
+        let (mode, candidates, kept): (SliceMode, BTreeSet<ObjId>, BTreeSet<ObjId>) = match scheme
+        {
+            Scheme::Cpa => (
+                SliceMode::Pythia,
+                baseline.cpa_slot_objects.clone(),
+                self.report.cpa_slot_objects.clone(),
+            ),
+            Scheme::Pythia => {
+                // Only the PA-signed heap sectioning is prunable; stack
+                // canaries and secure_malloc key off IC destinations.
+                let heap: BTreeSet<ObjId> = baseline
+                    .pythia_objects
+                    .iter()
+                    .copied()
+                    .filter(|&o| {
+                        matches!(
+                            self.ctx.points_to.obj_kind(o),
+                            MemObjectKind::Heap { .. }
+                        )
+                    })
+                    .collect();
+                (SliceMode::Pythia, heap, self.report.pythia_objects.clone())
+            }
+            Scheme::Dfi => (
+                SliceMode::Dfi,
+                baseline.dfi_objects.clone(),
+                self.report.dfi_objects.clone(),
+            ),
+            Scheme::Vanilla => return,
+        };
+        // Pythia's non-heap obligations are never legitimately prunable.
+        let illegal: Vec<ObjId> = if scheme == Scheme::Pythia {
+            baseline
+                .pythia_objects
+                .iter()
+                .filter(|o| !kept.contains(o) && !candidates.contains(o))
+                .copied()
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let dropped: Vec<ObjId> = candidates
+            .iter()
+            .filter(|o| !kept.contains(o))
+            .copied()
+            .collect();
+        let dropped_signs: Vec<(FuncId, ValueId)> = if scheme == Scheme::Cpa {
+            baseline
+                .cpa_sign_values
+                .difference(&self.report.cpa_sign_values)
+                .copied()
+                .collect()
+        } else {
+            Vec::new()
+        };
+        if dropped.is_empty() && dropped_signs.is_empty() && illegal.is_empty() {
+            return; // nothing was pruned for this scheme
+        }
+
+        for &o in &illegal {
+            self.checks += 1;
+            self.diag_obj(
+                o,
+                format!(
+                    "non-heap Pythia obligation for object {o} was pruned — only provably uncorruptible heap objects are prunable"
+                ),
+            );
+        }
+
+        let reach = OverflowReach::compute(self.ctx);
+        let pt = self.ctx.relation(mode);
+        // Access groups over the *unpruned* candidate set: each memory
+        // access maps to every candidate it may touch.
+        let mut by_access: HashMap<(FuncId, ValueId), Vec<ObjId>> = HashMap::new();
+        for &o in &candidates {
+            for &(fid, iv) in self
+                .ctx
+                .loads_of_in(mode, o)
+                .iter()
+                .chain(self.ctx.stores_of_in(mode, o).iter())
+            {
+                by_access.entry((fid, iv)).or_default().push(o);
+            }
+        }
+
+        for &o in &dropped {
+            self.checks += 1;
+            if reach.top {
+                self.diag_obj(
+                    o,
+                    format!(
+                        "obligation for object {o} was pruned although overflow reach is unbounded — nothing is provably uncorruptible"
+                    ),
+                );
+            } else if reach.is_reachable(pt, o) {
+                self.diag_obj(
+                    o,
+                    format!(
+                        "pruned obligation guards object {o}, which an overflow-capable write can still corrupt"
+                    ),
+                );
+            } else if let Some(&q) = by_access
+                .values()
+                .filter(|g| g.contains(&o))
+                .flat_map(|g| g.iter())
+                .find(|q| kept.contains(q))
+            {
+                self.diag_obj(
+                    o,
+                    format!(
+                        "pruned obligation for object {o} shares a memory access with retained object {q} — the access group must be kept atomically"
+                    ),
+                );
+            }
+        }
+
+        for (fid, v) in dropped_signs {
+            self.checks += 1;
+            let dispensable = !reach.top
+                && matches!(
+                    self.ctx.module.func(fid).inst(v),
+                    Some(Inst::Load { ptr })
+                        if {
+                            let pts = self.ctx.points_to.points_to(fid, *ptr);
+                            !pts.unknown
+                                && !pts.objects.is_empty()
+                                && pts
+                                    .objects
+                                    .iter()
+                                    .all(|&o| !reach.is_reachable(&self.ctx.points_to, o))
+                        }
+                );
+            if !dispensable {
+                self.diag(
+                    RuleCode::Opt01,
+                    fid,
+                    Some(v),
+                    format!(
+                        "sign/auth obligation for {v} was pruned but the value may still carry attacker-controlled data"
+                    ),
+                );
+            }
+        }
+    }
+
+    /// OPT-01 diagnostics anchor to the pruned object's allocation site.
+    fn diag_obj(&mut self, o: ObjId, message: String) {
+        let pt = &self.ctx.points_to;
+        match pt.obj_kind(pt.base_object(o)) {
+            MemObjectKind::Stack { func, value } | MemObjectKind::Heap { func, value } => {
+                self.diag(RuleCode::Opt01, func, Some(value), message);
+            }
+            MemObjectKind::Global(_) => {
+                self.diagnostics.push(Diagnostic {
+                    code: RuleCode::Opt01,
+                    severity: Severity::Error,
+                    function: "<module>".into(),
+                    block: None,
+                    instruction: None,
+                    message,
+                });
+            }
+            MemObjectKind::Field { .. } => unreachable!("base_object returns a root"),
         }
     }
 }
@@ -1054,11 +1258,95 @@ mod tests {
         let codes: Vec<&str> = RuleCode::ALL.iter().map(|c| c.as_str()).collect();
         assert_eq!(
             codes,
-            ["CPA-01", "CPA-02", "PY-01", "PY-02", "PY-03", "DFI-01"]
+            ["CPA-01", "CPA-02", "PY-01", "PY-02", "PY-03", "DFI-01", "OPT-01"]
         );
         for c in RuleCode::ALL {
             assert!(!c.summary().is_empty());
-            assert_ne!(c.scheme(), Scheme::Vanilla);
+            assert_ne!(c.scheme(), Some(Scheme::Vanilla));
         }
+        assert_eq!(
+            RuleCode::Opt01.scheme(),
+            None,
+            "OPT-01 is scheme-independent"
+        );
+    }
+
+    /// A module with a genuinely prunable obligation: `secret` sits below
+    /// every channel-written buffer, so no overflow reaches it, yet its
+    /// branch puts it in CPA's conservative slot set.
+    fn prunable_module() -> Module {
+        let mut m = Module::new("prunable");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let secret = b.alloca(Ty::I64);
+        let input = b.alloca(Ty::array(Ty::I8, 8));
+        let user = b.alloca(Ty::I64);
+        let fmt = b.alloca(Ty::array(Ty::I8, 4));
+        let seven = b.const_i64(7);
+        b.store(seven, secret);
+        b.call_intrinsic(pythia_ir::Intrinsic::Scanf, vec![fmt, user], Ty::I64);
+        b.call_intrinsic(pythia_ir::Intrinsic::Gets, vec![input], Ty::ptr(Ty::I8));
+        let sv = b.load(secret);
+        let uv = b.load(user);
+        let thresh = b.const_i64(1000);
+        let c1 = b.icmp(pythia_ir::CmpPred::Sgt, uv, thresh);
+        let (t, e) = (b.new_block("t"), b.new_block("e"));
+        b.br(c1, t, e);
+        b.switch_to(t);
+        let one = b.const_i64(1);
+        b.ret(Some(one));
+        b.switch_to(e);
+        let (t2, e2) = (b.new_block("t2"), b.new_block("e2"));
+        let c2 = b.icmp(pythia_ir::CmpPred::Sgt, sv, thresh);
+        b.br(c2, t2, e2);
+        b.switch_to(t2);
+        b.ret(Some(seven));
+        b.switch_to(e2);
+        let zero = b.const_i64(0);
+        b.ret(Some(zero));
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn legitimate_pruning_is_certified_clean() {
+        let m = prunable_module();
+        let ctx = SliceContext::new(&m);
+        let report = VulnerabilityReport::analyze(&ctx);
+        let pruned = pythia_passes::prune_obligations(&ctx, &report);
+        assert!(
+            pruned.pruned.total() > 0,
+            "the fixture must actually prune something"
+        );
+        for report in lint_module(&m, &Scheme::ALL) {
+            assert!(
+                report.is_clean(),
+                "{:?} flagged a legitimate prune:\n{}",
+                report.scheme,
+                report.render()
+            );
+        }
+    }
+
+    #[test]
+    fn force_pruned_needed_obligation_is_flagged_as_opt01() {
+        let m = prunable_module();
+        let ctx = SliceContext::new(&m);
+        let report = VulnerabilityReport::analyze(&ctx);
+        let mut sabotaged = pythia_passes::prune_obligations(&ctx, &report);
+        // Drop a *kept* (overflow-reachable) slot obligation — the kind of
+        // hole a pruner bug would open.
+        let victim = *sabotaged
+            .cpa_slot_objects
+            .iter()
+            .next()
+            .expect("the reachable buffers keep their obligations");
+        sabotaged.cpa_slot_objects.remove(&victim);
+        let inst = instrument_with(&m, &ctx, &sabotaged, Scheme::Cpa);
+        let lint = lint_instrumented(&m, &ctx, &sabotaged, &inst.module, Scheme::Cpa);
+        assert!(
+            lint.diagnostics.iter().any(|d| d.code == RuleCode::Opt01),
+            "over-pruning must be a lint violation, got:\n{}",
+            lint.render()
+        );
     }
 }

@@ -205,5 +205,6 @@ pub fn object_byte_size(ctx: &SliceContext<'_>, obj: ObjId) -> Option<u64> {
             }
             _ => None,
         },
+        MemObjectKind::Field { size, .. } => Some(size),
     }
 }

@@ -16,17 +16,23 @@
 
 use crate::editor::EditPlan;
 use crate::stats::InstrumentationStats;
-use pythia_analysis::{SliceContext, VulnerabilityReport};
+use pythia_analysis::{SliceContext, SliceMode, VulnerabilityReport};
 use pythia_ir::{dfi_def_id, FuncId, Inst, Module, Ty, ValueId};
 use std::collections::{BTreeSet, HashMap};
 
 /// Apply DFI to `out` (a clone of the analyzed module).
+///
+/// All queries run against the **field-insensitive** relation
+/// ([`SliceMode::Dfi`]): the paper's DFI does not distinguish struct
+/// fields, and its protected set comes from DFI-mode slices whose object
+/// ids are field-insensitive roots.
 pub fn run_dfi(
     out: &mut Module,
     ctx: &SliceContext<'_>,
     report: &VulnerabilityReport,
     stats: &mut InstrumentationStats,
 ) {
+    const MODE: SliceMode = SliceMode::Dfi;
     let protected = &report.dfi_objects;
     let mut per_func: HashMap<FuncId, EditPlan> = HashMap::new();
     let mut done_stores: BTreeSet<(FuncId, ValueId)> = BTreeSet::new();
@@ -34,7 +40,7 @@ pub fn run_dfi(
 
     for &o in protected.iter() {
         // Instrument every store that may write the object.
-        for &(fid, st) in ctx.stores_of(o) {
+        for &(fid, st) in ctx.stores_of_in(MODE, o) {
             if !done_stores.insert((fid, st)) {
                 continue;
             }
@@ -56,7 +62,7 @@ pub fn run_dfi(
         }
 
         // Guard every load with the static reaching-writer set.
-        for &(fid, ld) in ctx.loads_of(o) {
+        for &(fid, ld) in ctx.loads_of_in(MODE, o) {
             if !done_loads.insert((fid, ld)) {
                 continue;
             }
@@ -66,13 +72,13 @@ pub fn run_dfi(
             };
             // Allowed writers: stores and write-channels of every protected
             // object this pointer may reference.
-            let pts = ctx.points_to.points_to(fid, ptr);
+            let pts = ctx.relation(MODE).points_to(fid, ptr);
             let mut allowed: BTreeSet<u32> = BTreeSet::new();
             for &q in pts.objects.iter().filter(|q| protected.contains(q)) {
-                for &(sf, sv) in ctx.stores_of(q) {
+                for &(sf, sv) in ctx.stores_of_in(MODE, q) {
                     allowed.insert(dfi_def_id(sf, sv));
                 }
-                for site in ctx.ics_writing(q) {
+                for site in ctx.ics_writing_in(MODE, q) {
                     allowed.insert(dfi_def_id(site.func, site.call));
                 }
             }

@@ -47,7 +47,7 @@ pub mod pythia;
 pub mod stats;
 
 pub use editor::EditPlan;
-pub use opt::{optimize_module, OptStats};
+pub use opt::{optimize_module, prune_obligations, OptStats};
 pub use pythia::PythiaConfig;
 pub use stats::{InstrumentationStats, Scheme};
 
@@ -102,6 +102,7 @@ pub fn instrument_with(
     let mut out = m.clone();
     let mut stats = InstrumentationStats {
         insts_before: m.num_insts(),
+        obligations_pruned: report.pruned.total(),
         ..Default::default()
     };
     match scheme {

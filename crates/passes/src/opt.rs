@@ -1,5 +1,6 @@
-//! Scalar optimizations: constant folding, dead-code elimination, and CFG
-//! simplification.
+//! Scalar optimizations: constant folding, dead-code elimination, CFG
+//! simplification — and **obligation pruning**, the precision stage that
+//! feeds the overflow-reach + interval analyses into the instrumentation.
 //!
 //! The paper instruments LLVM IR after `mem2reg`/`-O3` (§5); generated PIR
 //! is already register-promoted, but workload generators and hand-written
@@ -7,11 +8,23 @@
 //! passes bring a module to the form the instrumentation expects, and they
 //! power an ablation: instrumenting unoptimized code inflates the
 //! vulnerable-variable counts without improving protection.
+//!
+//! [`prune_obligations`] is different in kind: it does not touch the
+//! module at all. It shrinks a [`VulnerabilityReport`]'s obligation sets
+//! to the objects an attacker can actually corrupt (per
+//! [`pythia_analysis::reach`]), so the passes emit fewer PA/DFI
+//! instructions with — provably, see DESIGN.md §5e — identical detection
+//! behaviour. `pythia-lint` re-derives the same reach set independently
+//! and treats a pruned-but-needed obligation as a hard violation.
 
-use pythia_ir::{
-    BinOp, BlockId, CastKind, Function, Inst, Module, Ty, ValueData, ValueId, ValueKind,
+use pythia_analysis::{
+    MemObjectKind, ObjId, OverflowReach, PrunedObligations, SliceContext, SliceMode,
+    VulnerabilityReport,
 };
-use std::collections::HashSet;
+use pythia_ir::{
+    BinOp, BlockId, CastKind, FuncId, Function, Inst, Module, Ty, ValueData, ValueId, ValueKind,
+};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Statistics from one optimization run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -56,6 +69,124 @@ pub fn optimize_module(m: &mut Module) -> OptStats {
         }
     }
     total
+}
+
+/// Shrink `report`'s obligation sets to the objects an overflow-capable
+/// write can actually corrupt. Returns a pruned clone; the original stays
+/// untouched (the benchmark harness diffs the two for the precision
+/// tables).
+///
+/// # Soundness
+///
+/// Obligations are dropped **by access-sharing component**: the
+/// instrumentation's consistency fixpoints (`stable_signable`, DFI's
+/// per-load allowed-writer sets) couple every object an access may touch,
+/// so removing one member of a component would silently change the
+/// instrumentation of the survivors. A component is pruned only when *no*
+/// member is reachable by any overflow source — then its PA/DFI
+/// instructions guarded memory the attacker provably cannot corrupt, and
+/// dropping them is detection-preserving. When the reach analysis hits ⊤
+/// (a store through an unknown pointer) nothing is pruned.
+pub fn prune_obligations(
+    ctx: &SliceContext<'_>,
+    report: &VulnerabilityReport,
+) -> VulnerabilityReport {
+    let reach = OverflowReach::compute(ctx);
+    let mut out = report.clone();
+    out.pruned = PrunedObligations {
+        reach_top: reach.top,
+        reachable_objects: reach.num_reachable(),
+        proven_gep_stores: reach.proven_gep_stores,
+        ..Default::default()
+    };
+    if reach.top {
+        return out;
+    }
+
+    // CPA slot signing (field-sensitive relation, like run_cpa).
+    let keep = keep_components(ctx, SliceMode::Pythia, &reach, &report.cpa_slot_objects);
+    out.pruned.cpa_slots = report.cpa_slot_objects.len() - keep.len();
+    out.cpa_slot_objects = keep;
+
+    // CPA SSA sign/auth values: a value defined by a load that can only
+    // read uncorruptible memory cannot carry attacker data; signing it
+    // protects nothing.
+    let pt = &ctx.points_to;
+    let m = ctx.module;
+    let before = report.cpa_sign_values.len();
+    out.cpa_sign_values.retain(|&(fid, v)| match m.func(fid).inst(v) {
+        Some(Inst::Load { ptr }) => {
+            let pts = pt.points_to(fid, *ptr);
+            pts.unknown
+                || pts.objects.is_empty()
+                || pts.objects.iter().any(|&o| reach.is_reachable(pt, o))
+        }
+        _ => true,
+    });
+    out.pruned.cpa_sign_values = before - out.cpa_sign_values.len();
+
+    // Pythia heap sectioning: only the PA-signed heap objects are
+    // prunable; canaries and secure_malloc redirection key off IC
+    // destinations, which are overflow seeds and always reachable.
+    let heap_candidates: BTreeSet<ObjId> = report
+        .pythia_objects
+        .iter()
+        .copied()
+        .filter(|&o| matches!(pt.obj_kind(o), MemObjectKind::Heap { .. }))
+        .collect();
+    let keep_heap = keep_components(ctx, SliceMode::Pythia, &reach, &heap_candidates);
+    out.pruned.pythia_heap_objects = heap_candidates.len() - keep_heap.len();
+    out.pythia_objects
+        .retain(|o| !heap_candidates.contains(o) || keep_heap.contains(o));
+
+    // DFI chkdef/setdef objects (field-insensitive relation, like run_dfi).
+    let keep_dfi = keep_components(ctx, SliceMode::Dfi, &reach, &report.dfi_objects);
+    out.pruned.dfi_objects = report.dfi_objects.len() - keep_dfi.len();
+    out.dfi_objects = keep_dfi;
+
+    out
+}
+
+/// The subset of `set` that must keep its obligations: every member that
+/// is overflow-reachable, closed over access sharing (an access touching
+/// both a kept and an unkept member forces the whole access group kept).
+fn keep_components(
+    ctx: &SliceContext<'_>,
+    mode: SliceMode,
+    reach: &OverflowReach,
+    set: &BTreeSet<ObjId>,
+) -> BTreeSet<ObjId> {
+    let pt = ctx.relation(mode);
+    // access -> the set members it may touch.
+    let mut by_access: HashMap<(FuncId, ValueId), Vec<ObjId>> = HashMap::new();
+    for &o in set {
+        for &(fid, iv) in ctx
+            .loads_of_in(mode, o)
+            .iter()
+            .chain(ctx.stores_of_in(mode, o).iter())
+        {
+            by_access.entry((fid, iv)).or_default().push(o);
+        }
+    }
+    let mut kept: BTreeSet<ObjId> = set
+        .iter()
+        .copied()
+        .filter(|&o| reach.is_reachable(pt, o))
+        .collect();
+    loop {
+        let mut grew = false;
+        for members in by_access.values() {
+            if members.iter().any(|o| kept.contains(o)) {
+                for &o in members {
+                    grew |= kept.insert(o);
+                }
+            }
+        }
+        if !grew {
+            break;
+        }
+    }
+    kept
 }
 
 fn const_of(f: &Function, v: ValueId) -> Option<i64> {
@@ -407,6 +538,85 @@ mod tests {
         };
         assert_eq!(run(&m0), run(&m1));
         verify::verify_module(&m1).unwrap();
+    }
+
+    #[test]
+    fn pruning_drops_unreachable_obligations_and_keeps_detection() {
+        use crate::{instrument_with, Scheme};
+        use pythia_analysis::{SliceContext, VulnerabilityReport};
+        use pythia_ir::{FunctionBuilder, Intrinsic};
+        use pythia_vm::{AttackSpec, DetectionMechanism, ExitReason, InputPlan, Vm, VmConfig};
+
+        // `secret` sits *below* every channel-written buffer, so no
+        // overflow can reach it — its branch obligation is prunable.
+        let mut m = Module::new("m");
+        let mut b = FunctionBuilder::new("main", vec![], Ty::I64);
+        let secret = b.alloca(Ty::I64);
+        let input = b.alloca(Ty::array(Ty::I8, 8));
+        let user = b.alloca(Ty::I64);
+        let fmt = b.alloca(Ty::array(Ty::I8, 4));
+        let seven = b.const_i64(7);
+        b.store(seven, secret);
+        b.call_intrinsic(Intrinsic::Scanf, vec![fmt, user], Ty::I64);
+        b.call_intrinsic(Intrinsic::Gets, vec![input], Ty::ptr(Ty::I8));
+        let sv = b.load(secret);
+        let uv = b.load(user);
+        let thresh = b.const_i64(1000);
+        let c1 = b.icmp(CmpPred::Sgt, uv, thresh);
+        let (t, e) = (b.new_block("t"), b.new_block("e"));
+        b.br(c1, t, e);
+        b.switch_to(t);
+        let one = b.const_i64(1);
+        b.ret(Some(one));
+        b.switch_to(e);
+        // Branch on the (unreachable) secret too, so it lands in the
+        // conservative CPA set.
+        let (t2, e2) = (b.new_block("t2"), b.new_block("e2"));
+        let c2 = b.icmp(CmpPred::Sgt, sv, thresh);
+        b.br(c2, t2, e2);
+        b.switch_to(t2);
+        b.ret(Some(seven));
+        b.switch_to(e2);
+        let zero = b.const_i64(0);
+        b.ret(Some(zero));
+        m.add_function(b.finish());
+
+        let ctx = SliceContext::new(&m);
+        let report = VulnerabilityReport::analyze(&ctx);
+        let pruned = prune_obligations(&ctx, &report);
+        assert!(!pruned.pruned.reach_top);
+        assert!(
+            pruned.pruned.cpa_slots >= 1,
+            "the secret's slot obligation must be pruned: {:?}",
+            pruned.pruned
+        );
+        assert!(pruned.cpa_slot_objects.len() < report.cpa_slot_objects.len());
+
+        let unpruned_inst = instrument_with(&m, &ctx, &report, Scheme::Cpa);
+        let inst = instrument_with(&m, &ctx, &pruned, Scheme::Cpa);
+        assert!(
+            inst.stats.pa_total() < unpruned_inst.stats.pa_total(),
+            "pruning must shrink the static PA count ({} vs {})",
+            inst.stats.pa_total(),
+            unpruned_inst.stats.pa_total()
+        );
+        assert_eq!(inst.stats.obligations_pruned, pruned.pruned.total());
+
+        // Benign and attacked behaviour must match the unpruned build.
+        let run = |module: &Module, plan: InputPlan| {
+            let mut vm = Vm::new(module, VmConfig::default(), plan);
+            vm.run("main", &[]).unwrap()
+        };
+        let benign = run(&inst.module, InputPlan::benign(7));
+        assert_eq!(benign.exit, ExitReason::Returned(0));
+        // IC #1 is the gets; overflow `input` into `user`.
+        let attack = InputPlan::with_attack(7, AttackSpec::aimed(1, 24, 0x7fff_ffff));
+        let attacked = run(&inst.module, attack);
+        assert_eq!(
+            attacked.detected(),
+            Some(DetectionMechanism::DataPac),
+            "pruned CPA must still catch the overflow"
+        );
     }
 
     /// A small program with foldable slack: (x*1 + (2+3)) summed in a loop

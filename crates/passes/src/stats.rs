@@ -60,6 +60,9 @@ pub struct InstrumentationStats {
     pub secure_malloc_rewrites: usize,
     /// Objects the scheme ended up protecting with PA signing.
     pub protected_objects: usize,
+    /// Obligations the precision stage dropped before instrumentation
+    /// (zero when the pass ran on an unpruned report).
+    pub obligations_pruned: usize,
 }
 
 impl InstrumentationStats {

@@ -25,6 +25,11 @@ cargo build --release --workspace
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo doc --workspace --no-deps (RUSTDOCFLAGS=-D warnings) =="
+# The analysis/passes/core crates carry #![warn(missing_docs)]; denying
+# rustdoc warnings here turns a stale or missing doc into a CI failure.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "== cargo test -q --workspace =="
 # --workspace for the same reason as the build above: a bare `cargo
 # test` from the root only tests the root package.
@@ -83,4 +88,15 @@ if grep -q '"pa_static_match": false' "$JSON"; then
     exit 1
 fi
 
-echo "OK: build, clippy, tests, certification, smoke suite and profiler gates are clean ($JSON)"
+# Precision-stage gate: the field-sensitive points-to + bounds-proof
+# pruner must drop at least one obligation on at least one smoke
+# benchmark (mcf prunes; lbm and nginx legitimately don't). A zero
+# everywhere means the precision stage silently stopped firing — the
+# pruned builds are still certified by pythia-lint's OPT-01 above.
+if ! grep -qE '"obligations_pruned": [1-9]' "$JSON"; then
+    echo "FAIL: no smoke benchmark pruned any obligation — precision stage inert:" >&2
+    grep '"obligations_pruned"' "$JSON" >&2
+    exit 1
+fi
+
+echo "OK: build, clippy, docs, tests, certification, smoke suite, profiler and pruning gates are clean ($JSON)"
