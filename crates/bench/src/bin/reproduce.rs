@@ -1,7 +1,7 @@
 //! Regenerate the paper's tables and figures (see DESIGN.md §4).
 //!
-//! Usage: `reproduce [--out <dir>] [--bench-json] [--lint] [--profile]
-//! [--smoke] [section...]`
+//! Usage: `reproduce [--out <dir>] [--engine <legacy|block>]
+//! [--bench-json] [--lint] [--profile] [--smoke] [section...]`
 //! where a section is one of `fig4a fig4b fig5a fig5b fig6a fig6b fig7a
 //! fig7b dist precision dynpa heap campaign models nginx motiv eq6
 //! ablations profile` — or nothing for the full report.
@@ -33,6 +33,13 @@
 //! and skips the sections that need the full suite — a CI-speed health
 //! check, used by `scripts/check.sh`.
 //!
+//! `--engine <legacy|block>` selects the VM execution engine (default:
+//! the block-cached engine, or whatever `PYTHIA_ENGINE` says). Both
+//! engines are observation-equivalent — `report.md` is byte-identical
+//! either way; only the wall-clock numbers in `BENCH_suite.json` and
+//! `profile.md` move. `scripts/check.sh` and `scripts/bench.sh` use
+//! this to diff the engines against each other.
+//!
 //! A benchmark that fails to evaluate does not abort the run: it shows up
 //! in the report's error section (and in `BENCH_suite.json` as its error
 //! variant), the remaining benchmarks render normally, and the process
@@ -51,6 +58,24 @@ fn main() {
         }
         out_dir = Some(args.remove(i + 1));
         args.remove(i);
+    }
+    // `--engine` steers every VmConfig::default() the harness builds
+    // (suite workers, campaigns, adjudications) via PYTHIA_ENGINE. Set
+    // before any evaluation starts; main is single-threaded here.
+    if let Some(i) = args.iter().position(|a| a == "--engine") {
+        if i + 1 >= args.len() {
+            eprintln!("--engine needs a value (legacy|block)");
+            std::process::exit(2);
+        }
+        let engine = args.remove(i + 1);
+        args.remove(i);
+        match engine.as_str() {
+            "legacy" | "block" => std::env::set_var("PYTHIA_ENGINE", &engine),
+            other => {
+                eprintln!("unknown engine `{other}` (expected legacy|block)");
+                std::process::exit(2);
+            }
+        }
     }
     let mut bench_json = false;
     if let Some(i) = args.iter().position(|a| a == "--bench-json") {

@@ -158,9 +158,8 @@ pub fn worker_count() -> usize {
 /// benchmark yields an error entry in its slot instead of poisoning the
 /// pool: the other jobs keep draining the queue and land in their usual
 /// positions.
-fn run_jobs(jobs: &[SuiteJob], threads: usize) -> Vec<SuiteEntry> {
+fn run_jobs(jobs: &[SuiteJob], threads: usize, cfg: &VmConfig) -> Vec<SuiteEntry> {
     type Outcome = Result<BenchEvaluation, PythiaError>;
-    let cfg = VmConfig::default();
     let threads = threads.clamp(1, jobs.len().max(1));
     let next = AtomicUsize::new(0);
     let (tx, rx) = std::sync::mpsc::channel::<(usize, Outcome)>();
@@ -168,7 +167,6 @@ fn run_jobs(jobs: &[SuiteJob], threads: usize) -> Vec<SuiteEntry> {
         for _ in 0..threads {
             let tx = tx.clone();
             let next = &next;
-            let cfg = &cfg;
             s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(i) else { break };
@@ -204,13 +202,21 @@ pub fn run_suite() -> Vec<SuiteEntry> {
 
 /// [`run_suite`] with an explicit worker count (1 = fully serial).
 pub fn run_suite_with(threads: usize) -> Vec<SuiteEntry> {
-    run_jobs(&suite_jobs(), threads)
+    run_jobs(&suite_jobs(), threads, &VmConfig::default())
 }
 
 /// Evaluate a subset of the suite by (possibly partial) profile name,
 /// with an explicit worker count. A name matching no profile yields a
 /// setup-error entry in its slot instead of a panic.
 pub fn run_profiles(names: &[&str], threads: usize) -> Vec<SuiteEntry> {
+    run_profiles_cfg(names, threads, &VmConfig::default())
+}
+
+/// [`run_profiles`] with an explicit [`VmConfig`] — the hook the engine
+/// differential tests use to pin `cfg.engine` without touching the
+/// `PYTHIA_ENGINE` environment variable (tests run concurrently; env
+/// mutation races).
+pub fn run_profiles_cfg(names: &[&str], threads: usize, cfg: &VmConfig) -> Vec<SuiteEntry> {
     let jobs: Vec<SuiteJob> = names
         .iter()
         .map(|n| match profile_by_name(n) {
@@ -220,7 +226,7 @@ pub fn run_profiles(names: &[&str], threads: usize) -> Vec<SuiteEntry> {
             },
         })
         .collect();
-    run_jobs(&jobs, threads)
+    run_jobs(&jobs, threads, cfg)
 }
 
 /// Evaluate caller-supplied `(name, module, seed)` triples on the suite
@@ -231,7 +237,7 @@ pub fn evaluate_modules(modules: Vec<(String, Module, u64)>, threads: usize) -> 
         .into_iter()
         .map(|(name, module, seed)| SuiteJob::Module { name, module, seed })
         .collect();
-    run_jobs(&jobs, threads)
+    run_jobs(&jobs, threads, &VmConfig::default())
 }
 
 /// The reduced smoke suite behind `reproduce --smoke`: two fast SPEC-like
@@ -251,7 +257,7 @@ pub fn run_smoke_with(threads: usize) -> Vec<SuiteEntry> {
         requests: 10,
         seed: NGINX_SEED,
     });
-    run_jobs(&jobs, threads)
+    run_jobs(&jobs, threads, &VmConfig::default())
 }
 
 /// Timing envelope of one suite run (for `BENCH_suite.json`).
@@ -289,6 +295,38 @@ pub fn run_smoke_timed() -> (Vec<SuiteEntry>, SuiteTiming) {
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Instructions retired by one evaluation, summed across its schemes.
+fn retired_insts(ev: &BenchEvaluation) -> u64 {
+    ev.results.iter().map(|r| r.metrics.insts).sum()
+}
+
+/// Retirement rate of one evaluation in millions of instructions per
+/// second of execute-phase wall-clock (0 when nothing was timed).
+fn retirement_of(ev: &BenchEvaluation) -> f64 {
+    let secs = ev.timings.execute_secs();
+    if secs > 0.0 {
+        retired_insts(ev) as f64 / secs / 1e6
+    } else {
+        0.0
+    }
+}
+
+/// Aggregate retirement rate of a suite: instructions retired across
+/// every scheme of every successful benchmark, per second of summed
+/// execute-phase wall-clock, in Minsts/s. The headline number of the
+/// block-cached engine (ISSUE 6 demands ≥10× over the legacy
+/// interpreter on the suite aggregate).
+pub fn retirement_minsts_per_sec(suite: &[SuiteEntry]) -> f64 {
+    let evs: Vec<&BenchEvaluation> = suite.iter().filter_map(|e| e.evaluation()).collect();
+    let insts: u64 = evs.iter().map(|e| retired_insts(e)).sum();
+    let secs: f64 = evs.iter().map(|e| e.timings.execute_secs()).sum();
+    if secs > 0.0 {
+        insts as f64 / secs / 1e6
+    } else {
+        0.0
+    }
 }
 
 /// One scheme's profile as a single JSON line, so shell gates can grep
@@ -348,11 +386,22 @@ pub fn bench_json(suite: &[SuiteEntry], timing: &SuiteTiming, lint: bool, profil
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"threads\": {},\n", timing.threads));
     out.push_str(&format!("  \"total_secs\": {:.6},\n", timing.total_secs));
+    // The engine the suite executed under: `VmConfig::default()` reads
+    // `PYTHIA_ENGINE`, the same path the suite workers take.
     out.push_str(&format!(
-        "  \"per_phase\": {{ \"analysis\": {:.6}, \"instrument\": {:.6}, \"lint\": {:.6}, \"execute\": {:.6} }},\n",
+        "  \"engine\": \"{}\",\n",
+        VmConfig::default().engine.name()
+    ));
+    out.push_str(&format!(
+        "  \"retirement_minsts_per_sec\": {:.3},\n",
+        retirement_minsts_per_sec(suite)
+    ));
+    out.push_str(&format!(
+        "  \"per_phase\": {{ \"analysis\": {:.6}, \"instrument\": {:.6}, \"lint\": {:.6}, \"decode\": {:.6}, \"execute\": {:.6} }},\n",
         sum(&|t| t.analysis_secs()),
         sum(&|t| t.instrument_secs()),
         sum(&|t| t.lint_secs()),
+        sum(&|t| t.decode_secs()),
         sum(&|t| t.execute_secs())
     ));
     out.push_str("  \"benchmarks\": [\n");
@@ -373,12 +422,14 @@ pub fn bench_json(suite: &[SuiteEntry], timing: &SuiteTiming, lint: bool, profil
                 };
                 if profile {
                     out.push_str(&format!(
-                        "    {{ \"name\": \"{}\", \"status\": \"ok\", \"analysis_secs\": {:.6}, \"instrument_secs\": {:.6}, \"lint_secs\": {:.6}, \"execute_secs\": {:.6}{lint_field},\n",
+                        "    {{ \"name\": \"{}\", \"status\": \"ok\", \"analysis_secs\": {:.6}, \"instrument_secs\": {:.6}, \"lint_secs\": {:.6}, \"decode_secs\": {:.6}, \"execute_secs\": {:.6}, \"retirement_minsts_per_sec\": {:.3}{lint_field},\n",
                         json_escape(&entry.name),
                         t.analysis_secs(),
                         t.instrument_secs(),
                         t.lint_secs(),
+                        t.decode_secs(),
                         t.execute_secs(),
+                        retirement_of(ev),
                     ));
                     out.push_str(&format!(
                         "      \"profile\": {{ \"memo\": {{ \"hits\": {}, \"misses\": {} }}, \"schemes\": [\n",
@@ -391,11 +442,12 @@ pub fn bench_json(suite: &[SuiteEntry], timing: &SuiteTiming, lint: bool, profil
                     out.push_str(&format!("      ] }} }}{comma}\n"));
                 } else {
                     out.push_str(&format!(
-                        "    {{ \"name\": \"{}\", \"status\": \"ok\", \"analysis_secs\": {:.6}, \"instrument_secs\": {:.6}, \"lint_secs\": {:.6}, \"execute_secs\": {:.6}{lint_field} }}{comma}\n",
+                        "    {{ \"name\": \"{}\", \"status\": \"ok\", \"analysis_secs\": {:.6}, \"instrument_secs\": {:.6}, \"lint_secs\": {:.6}, \"decode_secs\": {:.6}, \"execute_secs\": {:.6}{lint_field} }}{comma}\n",
                         json_escape(&entry.name),
                         t.analysis_secs(),
                         t.instrument_secs(),
                         t.lint_secs(),
+                        t.decode_secs(),
                         t.execute_secs(),
                     ));
                 }
@@ -458,6 +510,25 @@ pub fn profile_section(suite: &[SuiteEntry]) -> String {
     out.push_str(&format!(
         "### phase wall-clock across {} benchmarks\n\n{}\n",
         evs.len(),
+        t.render()
+    ));
+
+    // Retirement rate: the block-cached engine's headline metric.
+    // Decode amortization context rides along — the one-time lowering
+    // cost must stay well under the execute time it saves.
+    let total_insts: u64 = evs.iter().map(|e| retired_insts(e)).sum();
+    let exec_secs: f64 = evs.iter().map(|e| e.timings.execute_secs()).sum();
+    let decode_secs: f64 = evs.iter().map(|e| e.timings.decode_secs()).sum();
+    let mut t = Table::new(vec!["engine", "insts retired", "execute secs", "decode secs", "Minsts/s"]);
+    t.row(vec![
+        VmConfig::default().engine.name().to_owned(),
+        count(total_insts),
+        format!("{exec_secs:.3}"),
+        format!("{decode_secs:.3}"),
+        format!("{:.2}", retirement_minsts_per_sec(suite)),
+    ]);
+    out.push_str(&format!(
+        "### retirement rate, all schemes pooled (`scripts/bench.sh` compares engines; decode is the one-time block-lowering cost)\n\n{}\n",
         t.render()
     ));
 

@@ -91,6 +91,64 @@ fn serial_and_parallel_report_text_is_byte_identical() {
 }
 
 #[test]
+fn legacy_and_block_engines_are_observationally_identical() {
+    // The block-cached engine is a pure speedup: every observable — exit,
+    // metered metrics, profile counters, and the report text rendered
+    // from them — must be byte-for-byte what the legacy per-instruction
+    // interpreter produces, at 1 and 4 workers, profiling on and off.
+    // Engines are pinned via cfg.engine, never PYTHIA_ENGINE: tests run
+    // concurrently and env mutation races.
+    use pythia_core::{Engine, VmConfig};
+
+    let render = |suite: &[pythia_core::BenchEvaluation]| {
+        let mut out = String::new();
+        out.push_str(&exp::fig4a(suite));
+        out.push_str(&exp::fig4b(suite));
+        out.push_str(&exp::fig5a(suite));
+        out.push_str(&exp::fig6a(suite));
+        out.push_str(&exp::fig6b(suite));
+        out.push_str(&exp::fig7a(suite));
+        out.push_str(&exp::fig7b(suite));
+        out.push_str(&exp::dist(suite));
+        out
+    };
+    for threads in [1usize, 4] {
+        for profile in [true, false] {
+            let run = |engine: Engine| {
+                let cfg = VmConfig {
+                    engine,
+                    profile,
+                    ..VmConfig::default()
+                };
+                exp::ok_evaluations(&exp::run_profiles_cfg(&NAMES, threads, &cfg))
+            };
+            let legacy = run(Engine::Legacy);
+            let block = run(Engine::Block);
+            assert_eq!(legacy.len(), NAMES.len(), "every benchmark must evaluate");
+            assert_eq!(legacy.len(), block.len());
+            for (l, b) in legacy.iter().zip(&block) {
+                let ctx = format!("{} (threads={threads}, profile={profile})", l.name);
+                assert_eq!(l.name, b.name, "{ctx}: order differs");
+                assert_eq!(l.analysis, b.analysis, "{ctx}: analysis differs");
+                assert_eq!(l.results.len(), b.results.len());
+                for (rl, rb) in l.results.iter().zip(&b.results) {
+                    assert_eq!(rl.scheme, rb.scheme, "{ctx}: scheme order differs");
+                    assert_eq!(rl.stats, rb.stats, "{ctx}: instrumentation differs");
+                    assert_eq!(rl.exit, rb.exit, "{ctx}: exit differs");
+                    assert_eq!(rl.metrics, rb.metrics, "{ctx}: metrics differ");
+                    assert_eq!(rl.profile, rb.profile, "{ctx}: profile differs");
+                }
+            }
+            assert_eq!(
+                render(&legacy),
+                render(&block),
+                "report text must be byte-identical across engines (threads={threads}, profile={profile})"
+            );
+        }
+    }
+}
+
+#[test]
 fn rerunning_the_same_profile_is_reproducible() {
     // Same seed, same machine state → same evaluation, run to run.
     let a = exp::ok_evaluations(&exp::run_profiles(&["519.lbm_r"], 2));

@@ -20,8 +20,11 @@ use crate::pipeline::SchemeResult;
 use pythia_analysis::{SliceContext, VulnerabilityReport};
 use pythia_ir::{Module, PythiaError};
 use pythia_passes::{instrument_with, prune_obligations, Scheme};
-use pythia_vm::{AttackSpec, DetectionMechanism, ExitReason, InputPlan, Vm, VmConfig};
+use pythia_vm::{
+    AttackSpec, DecodedModule, DetectionMechanism, Engine, ExitReason, InputPlan, Vm, VmConfig,
+};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Outcome of one attack in a campaign.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,10 +139,23 @@ pub fn run_campaign_with(
 ) -> Result<CampaignResult, PythiaError> {
     let inst = instrument_with(module, ctx, report, scheme);
 
+    // One decode cache for the whole campaign: the benign reference and
+    // every attack run execute the same instrumented module, so each
+    // block is lowered at most once instead of once per attack.
+    let decoded = Arc::new(DecodedModule::new(&inst.module));
+    if cfg.engine == Engine::Block {
+        decoded.decode_all(&inst.module);
+    }
+
     // Reference run: how many writing-channel executions are there, and
     // what does benign behaviour look like?
     let benign = {
-        let mut vm = Vm::new(&inst.module, cfg.clone(), InputPlan::benign(seed));
+        let mut vm = Vm::with_decoded(
+            &inst.module,
+            Arc::clone(&decoded),
+            cfg.clone(),
+            InputPlan::benign(seed),
+        );
         vm.run("main", &[])
             .map_err(|e| e.with_function(module.name.clone()))?
     };
@@ -151,7 +167,7 @@ pub fn run_campaign_with(
     let mut target = 0u64;
     while target < total_channels && attacks < max_attacks {
         let plan = InputPlan::with_attack(seed, AttackSpec::smash(target, payload_len));
-        let mut vm = Vm::new(&inst.module, cfg.clone(), plan);
+        let mut vm = Vm::with_decoded(&inst.module, Arc::clone(&decoded), cfg.clone(), plan);
         let r = vm
             .run("main", &[])
             .map_err(|e| e.with_function(module.name.clone()))?;

@@ -42,6 +42,7 @@ pub use pipeline::{
 pub use pythia_ir::{DetectionKind, ErrorContext, PythiaError};
 pub use pythia_passes::{instrument, instrument_with, InstrumentationStats, Scheme};
 pub use pythia_vm::{
-    DetectionMechanism, ExitReason, InputPlan, Profile, RunMetrics, Vm, VmConfig,
+    DecodedModule, DetectionMechanism, Engine, ExitReason, InputPlan, Profile, RunMetrics, Vm,
+    VmConfig,
 };
 pub use security::{adjudicate, adjudicate_all, ScenarioOutcome};

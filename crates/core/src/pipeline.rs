@@ -6,9 +6,10 @@ use pythia_analysis::{InputChannels, SliceContext, VulnerabilityReport};
 use pythia_ir::{verify, IcCategory, Module, PythiaError};
 use pythia_lint::lint_instrumented;
 use pythia_passes::{instrument_with, prune_obligations, InstrumentationStats, Scheme};
-use pythia_vm::{ExitReason, InputPlan, Profile, RunMetrics, Vm, VmConfig};
+use pythia_vm::{DecodedModule, Engine, ExitReason, InputPlan, Profile, RunMetrics, Vm, VmConfig};
 use std::collections::BTreeMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Results of running one scheme's variant of a benchmark.
@@ -126,16 +127,21 @@ pub enum Phase {
     Instrument,
     /// Static certification of one instrumented variant (`pythia-lint`).
     Lint,
+    /// Lowering one variant into the VM's block-cached form (building the
+    /// `DecodedModule`; under the block engine every block is decoded
+    /// here rather than lazily during execution).
+    Decode,
     /// VM execution of one variant.
     Execute,
 }
 
 impl Phase {
     /// All phases in pipeline order.
-    pub const ALL: [Phase; 4] = [
+    pub const ALL: [Phase; 5] = [
         Phase::Analysis,
         Phase::Instrument,
         Phase::Lint,
+        Phase::Decode,
         Phase::Execute,
     ];
 
@@ -145,6 +151,7 @@ impl Phase {
             Phase::Analysis => "analysis",
             Phase::Instrument => "instrument",
             Phase::Lint => "lint",
+            Phase::Decode => "decode",
             Phase::Execute => "execute",
         }
     }
@@ -168,7 +175,8 @@ pub struct PhaseSpan {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Timings {
     /// Every timed span: one `Analysis` span, then an `Instrument`,
-    /// `Lint` and `Execute` span per scheme variant, in scheme order.
+    /// `Lint`, `Decode` and `Execute` span per scheme variant, in scheme
+    /// order.
     pub spans: Vec<PhaseSpan>,
 }
 
@@ -206,12 +214,18 @@ impl Timings {
         self.phase_secs(Phase::Lint)
     }
 
+    /// Block-cache decode (module lowering), summed across all variants.
+    pub fn decode_secs(&self) -> f64 {
+        self.phase_secs(Phase::Decode)
+    }
+
     /// VM execution, summed across all scheme variants.
     pub fn execute_secs(&self) -> f64 {
         self.phase_secs(Phase::Execute)
     }
 
-    /// Sum of all phases (analysis + instrument + lint + execute).
+    /// Sum of all phases (analysis + instrument + lint + decode +
+    /// execute).
     pub fn total_secs(&self) -> f64 {
         self.spans.iter().map(|s| s.secs).sum()
     }
@@ -303,6 +317,16 @@ impl BenchEvaluation {
     }
 }
 
+/// Whether [`evaluate`] should run its per-scheme workers serially:
+/// `PYTHIA_THREADS=1` pins the whole harness to one lane, and on one
+/// lane concurrency only distorts per-phase wall-clock attribution.
+fn serial_schemes() -> bool {
+    std::env::var("PYTHIA_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        == Some(1)
+}
+
 /// Evaluate one module under the given schemes (vanilla is always added).
 ///
 /// The module is verified first; each scheme variant is then instrumented
@@ -378,14 +402,12 @@ pub fn evaluate(
     // `catch_unwind` so one panicking variant cannot poison the others:
     // the join below always succeeds and the panic payload is converted
     // into a typed error.
-    let (results, mut scheme_spans) = std::thread::scope(|s| {
-        let handles: Vec<_> = all
-            .into_iter()
-            .map(|scheme| {
-                let ctx = &ctx;
-                let report = &report;
-                let pruned = &pruned;
-                let worker = move || -> Result<(SchemeResult, [f64; 3]), PythiaError> {
+    let worker = |scheme: Scheme| -> Result<(SchemeResult, [f64; 4]), PythiaError> {
+        {
+            let ctx = &ctx;
+            let report = &report;
+            let pruned = &pruned;
+            {
                     let t_inst = Instant::now();
                     // Dry run against the unpruned report: its stats are the
                     // "pa_static before" column of the precision tables.
@@ -407,8 +429,24 @@ pub fn evaluate(
                     }
                     let lint_checks = lint.checks;
                     let lint_secs = t_lint.elapsed().as_secs_f64();
+                    // Decode phase: lower the instrumented module into the
+                    // VM's block-cached form. Under the block engine every
+                    // block is force-decoded here so the execute span stays
+                    // pure execution; the legacy engine only needs the
+                    // frame layouts (decode stays cheap and lazy).
+                    let t_decode = Instant::now();
+                    let decoded = Arc::new(DecodedModule::new(&inst.module));
+                    if cfg.engine == Engine::Block {
+                        decoded.decode_all(&inst.module);
+                    }
+                    let decode_secs = t_decode.elapsed().as_secs_f64();
+                    // VM construction (memory image, cache model, shadow
+                    // state) is setup, not execution — keeping it outside
+                    // the execute span keeps retirement rates comparable
+                    // across engines with very different execute times.
+                    let mut vm =
+                        Vm::with_decoded(&inst.module, decoded, cfg.clone(), InputPlan::benign(seed));
                     let t_exec = Instant::now();
-                    let mut vm = Vm::new(&inst.module, cfg.clone(), InputPlan::benign(seed));
                     let r = vm.run("main", &[])?;
                     let execute_secs = t_exec.elapsed().as_secs_f64();
                     Ok((
@@ -421,40 +459,73 @@ pub fn evaluate(
                             lint_checks,
                             pa_static_unpruned: unpruned_pa,
                         },
-                        [instrument_secs, lint_secs, execute_secs],
+                        [instrument_secs, lint_secs, decode_secs, execute_secs],
                     ))
-                };
-                (
-                    scheme,
-                    s.spawn(move || catch_unwind(AssertUnwindSafe(worker))),
-                )
-            })
-            .collect();
-        let mut results = Vec::with_capacity(handles.len());
-        let mut spans = Vec::new();
-        for (scheme, h) in handles {
-            let joined = match h.join() {
-                Ok(Ok(r)) => r,
-                Ok(Err(p)) => Err(PythiaError::from_panic(p.as_ref())),
-                Err(p) => Err(PythiaError::from_panic(p.as_ref())),
-            };
-            let (r, [instrument, lint, execute]) = joined
-                .map_err(|e| e.with_function(format!("{}/{scheme:?}", module.name)))?;
-            results.push(r);
-            for (phase, secs) in [
-                (Phase::Instrument, instrument),
-                (Phase::Lint, lint),
-                (Phase::Execute, execute),
-            ] {
-                spans.push(PhaseSpan {
-                    phase,
-                    scheme: Some(scheme),
-                    secs,
-                });
             }
         }
-        Ok::<_, PythiaError>((results, spans))
-    })?;
+    };
+    let worker = &worker;
+
+    // On a single-CPU measurement box (`PYTHIA_THREADS=1`) the variants
+    // run serially: concurrent variants time-share the core, so every
+    // execute span absorbs the other variants' work. That both inflates
+    // the phase table and — because the dilution lands proportionally
+    // harder on short spans — compresses cross-engine retirement ratios.
+    // Workers are deterministic and joined in spawn order, so the
+    // results (and any report rendered from them) are identical either
+    // way; only the timings change.
+    type Joined = Result<(SchemeResult, [f64; 4]), PythiaError>;
+    let outcomes: Vec<(Scheme, Joined)> = if serial_schemes() {
+        all.into_iter()
+            .map(|scheme| {
+                let joined = catch_unwind(AssertUnwindSafe(|| worker(scheme)))
+                    .unwrap_or_else(|p| Err(PythiaError::from_panic(p.as_ref())));
+                (scheme, joined)
+            })
+            .collect()
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = all
+                .into_iter()
+                .map(|scheme| {
+                    (
+                        scheme,
+                        s.spawn(move || catch_unwind(AssertUnwindSafe(|| worker(scheme)))),
+                    )
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|(scheme, h)| {
+                    let joined = match h.join() {
+                        Ok(Ok(r)) => r,
+                        Ok(Err(p)) => Err(PythiaError::from_panic(p.as_ref())),
+                        Err(p) => Err(PythiaError::from_panic(p.as_ref())),
+                    };
+                    (scheme, joined)
+                })
+                .collect()
+        })
+    };
+    let mut results = Vec::with_capacity(outcomes.len());
+    let mut scheme_spans = Vec::new();
+    for (scheme, joined) in outcomes {
+        let (r, [instrument, lint, decode, execute]) =
+            joined.map_err(|e| e.with_function(format!("{}/{scheme:?}", module.name)))?;
+        results.push(r);
+        for (phase, secs) in [
+            (Phase::Instrument, instrument),
+            (Phase::Lint, lint),
+            (Phase::Decode, decode),
+            (Phase::Execute, execute),
+        ] {
+            scheme_spans.push(PhaseSpan {
+                phase,
+                scheme: Some(scheme),
+                secs,
+            });
+        }
+    }
 
     let mut spans = vec![PhaseSpan {
         phase: Phase::Analysis,
@@ -562,7 +633,7 @@ mod tests {
     }
 
     #[test]
-    fn phase_spans_cover_all_four_phases() {
+    fn phase_spans_cover_all_phases() {
         let m = generate(profile_by_name("lbm").unwrap());
         let ev = evaluate(
             &m,
@@ -571,16 +642,17 @@ mod tests {
             &VmConfig::default(),
         )
         .unwrap();
-        // One analysis span plus instrument/lint/execute per variant.
-        assert_eq!(ev.timings.spans.len(), 1 + 3 * ev.results.len());
+        // One analysis span plus instrument/lint/decode/execute per
+        // variant.
+        assert_eq!(ev.timings.spans.len(), 1 + 4 * ev.results.len());
         for phase in Phase::ALL {
             assert!(
                 ev.timings.phase_secs(phase) > 0.0,
                 "{phase:?} phase was not timed"
             );
         }
-        // total_secs is exactly the sum of the four phases: the lint gate
-        // is no longer silently dropped from the accounting.
+        // total_secs is exactly the sum of the phases: neither the lint
+        // gate nor the decode tier is silently dropped from accounting.
         let by_phase: f64 = Phase::ALL.iter().map(|&p| ev.timings.phase_secs(p)).sum();
         assert!((ev.timings.total_secs() - by_phase).abs() < 1e-12);
         for s in &ev.results {

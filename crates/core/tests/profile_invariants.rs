@@ -5,31 +5,51 @@
 //! scan — and that scan must land on exactly the numbers
 //! `pythia-passes` reports for each scheme. Vanilla executes zero PA
 //! ops; DFI inserts none (its mechanism is shadow memory).
+//!
+//! Every invariant is checked under *both* execution engines — the
+//! legacy per-instruction interpreter and the block-cached translated
+//! engine — because the block engine folds its dense opcode/PA-key
+//! counters into the profile maps at run end, and that fold must land
+//! on exactly the numbers the legacy path records directly.
 
-use pythia_core::{evaluate, Scheme, VmConfig};
+use pythia_core::{evaluate, Engine, Scheme, VmConfig};
 use pythia_workloads::{generate, profile_by_name};
 
 const NAMES: [&str; 3] = ["519.lbm_r", "505.mcf_r", "525.x264_r"];
 const SCHEMES: [Scheme; 3] = [Scheme::Cpa, Scheme::Pythia, Scheme::Dfi];
 
+/// A config pinned to `engine` — tests must never flip `PYTHIA_ENGINE`
+/// (the harness runs tests concurrently; env mutation races).
+fn cfg_for(engine: Engine) -> VmConfig {
+    VmConfig {
+        engine,
+        ..VmConfig::default()
+    }
+}
+
 #[test]
 fn profiler_static_pa_counts_match_pass_stats() {
-    for name in NAMES {
-        let p = profile_by_name(name).expect("profile");
-        let module = generate(p);
-        let ev = evaluate(&module, &SCHEMES, p.seed, &VmConfig::default()).expect(name);
-        for r in &ev.results {
-            assert_eq!(
-                r.profile.pa.static_sign_auth(),
-                r.stats.pa_total() as u64,
-                "{name}/{}: profiler's static PA scan disagrees with passes::stats",
-                r.scheme.name()
-            );
-            assert_eq!(
-                r.profile.pa.static_strips, 0,
-                "{name}/{}: no pass inserts PacStrip",
-                r.scheme.name()
-            );
+    for engine in [Engine::Legacy, Engine::Block] {
+        for name in NAMES {
+            let p = profile_by_name(name).expect("profile");
+            let module = generate(p);
+            let ev = evaluate(&module, &SCHEMES, p.seed, &cfg_for(engine)).expect(name);
+            for r in &ev.results {
+                assert_eq!(
+                    r.profile.pa.static_sign_auth(),
+                    r.stats.pa_total() as u64,
+                    "{name}/{}/{}: profiler's static PA scan disagrees with passes::stats",
+                    r.scheme.name(),
+                    engine.name()
+                );
+                assert_eq!(
+                    r.profile.pa.static_strips,
+                    0,
+                    "{name}/{}/{}: no pass inserts PacStrip",
+                    r.scheme.name(),
+                    engine.name()
+                );
+            }
         }
     }
 }
@@ -38,32 +58,36 @@ fn profiler_static_pa_counts_match_pass_stats() {
 fn pa_execution_counters_match_metrics_per_scheme() {
     let p = profile_by_name("519.lbm_r").expect("profile");
     let module = generate(p);
-    let ev = evaluate(&module, &SCHEMES, p.seed, &VmConfig::default()).expect("lbm");
-    for r in &ev.results {
-        match r.scheme {
-            Scheme::Vanilla => {
-                assert_eq!(r.profile.pa.executed(), 0, "vanilla executes no PA ops");
-                assert_eq!(r.profile.pa.static_sign_auth(), 0, "vanilla contains no PA ops");
-            }
-            Scheme::Dfi => {
-                assert_eq!(r.profile.pa.executed(), 0, "DFI uses shadow memory, not PA");
-                assert!(
-                    r.profile.shadow.updates() > 0,
-                    "DFI must record shadow-memory updates"
-                );
-            }
-            Scheme::Cpa | Scheme::Pythia => {
-                assert!(
-                    r.profile.pa.executed() > 0,
-                    "{}: instrumented scheme must execute PA ops",
-                    r.scheme.name()
-                );
-                assert_eq!(
-                    r.profile.pa.executed(),
-                    r.metrics.pa_insts,
-                    "{}: profiler and RunMetrics disagree on PA executions",
-                    r.scheme.name()
-                );
+    for engine in [Engine::Legacy, Engine::Block] {
+        let ev = evaluate(&module, &SCHEMES, p.seed, &cfg_for(engine)).expect("lbm");
+        for r in &ev.results {
+            match r.scheme {
+                Scheme::Vanilla => {
+                    assert_eq!(r.profile.pa.executed(), 0, "vanilla executes no PA ops");
+                    assert_eq!(r.profile.pa.static_sign_auth(), 0, "vanilla contains no PA ops");
+                }
+                Scheme::Dfi => {
+                    assert_eq!(r.profile.pa.executed(), 0, "DFI uses shadow memory, not PA");
+                    assert!(
+                        r.profile.shadow.updates() > 0,
+                        "DFI must record shadow-memory updates"
+                    );
+                }
+                Scheme::Cpa | Scheme::Pythia => {
+                    assert!(
+                        r.profile.pa.executed() > 0,
+                        "{}/{}: instrumented scheme must execute PA ops",
+                        r.scheme.name(),
+                        engine.name()
+                    );
+                    assert_eq!(
+                        r.profile.pa.executed(),
+                        r.metrics.pa_insts,
+                        "{}/{}: profiler and RunMetrics disagree on PA executions",
+                        r.scheme.name(),
+                        engine.name()
+                    );
+                }
             }
         }
     }
@@ -73,13 +97,46 @@ fn pa_execution_counters_match_metrics_per_scheme() {
 fn opcode_histogram_accounts_for_every_retired_inst() {
     let p = profile_by_name("505.mcf_r").expect("profile");
     let module = generate(p);
-    let ev = evaluate(&module, &SCHEMES, p.seed, &VmConfig::default()).expect("mcf");
-    for r in &ev.results {
-        assert_eq!(
-            r.profile.total_ops(),
-            r.metrics.insts,
-            "{}: opcode histogram must sum to executed instructions",
-            r.scheme.name()
-        );
+    for engine in [Engine::Legacy, Engine::Block] {
+        let ev = evaluate(&module, &SCHEMES, p.seed, &cfg_for(engine)).expect("mcf");
+        for r in &ev.results {
+            assert_eq!(
+                r.profile.total_ops(),
+                r.metrics.insts,
+                "{}/{}: opcode histogram must sum to executed instructions",
+                r.scheme.name(),
+                engine.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_produce_identical_profiles() {
+    // The decisive differential: every profile field — opcode histogram,
+    // attributed cycles, PA key breakdown, shadow/heap counters — must be
+    // equal between engines, not merely each self-consistent.
+    for name in NAMES {
+        let p = profile_by_name(name).expect("profile");
+        let module = generate(p);
+        let legacy = evaluate(&module, &SCHEMES, p.seed, &cfg_for(Engine::Legacy)).expect(name);
+        let block = evaluate(&module, &SCHEMES, p.seed, &cfg_for(Engine::Block)).expect(name);
+        assert_eq!(legacy.results.len(), block.results.len());
+        for (l, b) in legacy.results.iter().zip(&block.results) {
+            assert_eq!(l.scheme, b.scheme);
+            assert_eq!(l.exit, b.exit, "{name}/{}: exit differs", l.scheme.name());
+            assert_eq!(
+                l.metrics,
+                b.metrics,
+                "{name}/{}: metrics differ between engines",
+                l.scheme.name()
+            );
+            assert_eq!(
+                l.profile,
+                b.profile,
+                "{name}/{}: profile differs between engines",
+                l.scheme.name()
+            );
+        }
     }
 }

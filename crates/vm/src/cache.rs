@@ -18,9 +18,17 @@ pub enum CacheOutcome {
 }
 
 /// One set-associative level with LRU replacement.
+///
+/// Tags live in one flat `sets × ways` array (LRU first, MRU last
+/// within each set's live prefix) instead of a `Vec` per set: the level
+/// is built fresh for every VM run, and ~33k per-set allocations for an
+/// LLC-sized level cost more than many short benchmark runs execute.
+/// The flat form is one calloc — lazily faulted — and each access
+/// touches a single short contiguous stripe.
 #[derive(Debug, Clone)]
 struct Level {
-    sets: Vec<Vec<u64>>, // each set: tags, most-recent last
+    tags: Vec<u64>, // sets * ways
+    lens: Vec<u32>, // live ways per set
     ways: usize,
     set_shift: u32,
     set_mask: u64,
@@ -37,7 +45,8 @@ impl Level {
         }
         let ways = (lines / sets).max(1);
         Level {
-            sets: vec![Vec::with_capacity(ways); sets],
+            tags: vec![0; sets * ways],
+            lens: vec![0; sets],
             ways,
             set_shift: line.trailing_zeros(),
             set_mask: sets as u64 - 1,
@@ -48,16 +57,27 @@ impl Level {
     fn access(&mut self, addr: u64) -> bool {
         let line = addr >> self.set_shift;
         let set = (line & self.set_mask) as usize;
-        let tags = &mut self.sets[set];
+        let len = self.lens[set] as usize;
+        let tags = &mut self.tags[set * self.ways..set * self.ways + len];
+        // MRU fast path: repeated hits on the hottest line (the common
+        // case for consecutive accesses) skip the scan and the rotate.
+        if len > 0 && tags[len - 1] == line {
+            return true;
+        }
         if let Some(pos) = tags.iter().position(|&t| t == line) {
-            let t = tags.remove(pos);
-            tags.push(t);
+            // Refresh to MRU (end of the live prefix).
+            tags[pos..].rotate_left(1);
+            tags[len - 1] = line;
             true
         } else {
-            if tags.len() == self.ways {
-                tags.remove(0);
+            if len == self.ways {
+                // Evict the LRU tag at the front.
+                tags.rotate_left(1);
+                tags[len - 1] = line;
+            } else {
+                self.tags[set * self.ways + len] = line;
+                self.lens[set] = (len + 1) as u32;
             }
-            tags.push(line);
             false
         }
     }

@@ -36,6 +36,8 @@
 
 pub mod cache;
 pub mod cost;
+pub mod decode;
+mod engine;
 pub mod input;
 pub mod memory;
 pub mod profile;
@@ -43,9 +45,10 @@ pub mod vm;
 
 pub use cache::{CacheOutcome, CacheSim, CacheStats};
 pub use cost::{CostModel, MILLI};
+pub use decode::{DecodedModule, FrameLayout};
 pub use input::{AttackSpec, InputPlan, IntOrPayload, MAX_BENIGN_STRING};
 pub use memory::{layout, Memory, MemoryError, MemoryFault, NULL_GUARD, PAGE_SIZE, VA_BITS};
 pub use profile::{static_pa_counts, PaProfile, Profile, ShadowProfile};
 pub use vm::{
-    DetectionMechanism, ExitReason, RunMetrics, RunResult, TraceEvent, Trap, Vm, VmConfig,
+    DetectionMechanism, Engine, ExitReason, RunMetrics, RunResult, TraceEvent, Trap, Vm, VmConfig,
 };

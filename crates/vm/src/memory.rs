@@ -82,16 +82,95 @@ impl fmt::Display for MemoryError {
 
 impl std::error::Error for MemoryError {}
 
+/// Deterministic single-`u64`-key hasher (splitmix64 finalizer). The
+/// interpreter does one page lookup per load/store and one granule
+/// lookup per DFI-checked access; SipHash would dominate that cost.
+/// Maps keyed with it are only ever point-queried or counted — never
+/// iterated — so hash order is unobservable.
+#[derive(Default)]
+pub struct FastKeyHasher(u64);
+
+impl std::hash::Hasher for FastKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback for non-u64 keys (unused by the VM's maps).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        let mut z = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+/// A `u64`-keyed hash map using [`FastKeyHasher`].
+pub type FastMap<V> = HashMap<u64, V, std::hash::BuildHasherDefault<FastKeyHasher>>;
+
+/// One 4 KiB backing page.
+type Page = Box<[u8; PAGE_SIZE as usize]>;
+
+/// Pages per radix leaf (16 Ki pages = 64 MiB of VA per leaf).
+const LEAF_BITS: u32 = 14;
+const LEAF_LEN: usize = 1 << LEAF_BITS;
+/// Radix root entries covering the full 40-bit address space.
+const ROOT_LEN: usize = 1 << (VA_BITS - 12 - LEAF_BITS);
+
 /// Sparse byte-addressable memory.
-#[derive(Debug, Default, Clone)]
+///
+/// Pages hang off a two-level radix table indexed directly by page
+/// number — the interpreter does one page translation per load/store,
+/// and two dependent indexed loads beat any hash. Roots and leaves are
+/// all-`None` niches, so the table is calloc-backed and lazily faulted
+/// by the host.
+#[derive(Debug, Clone)]
 pub struct Memory {
-    pages: HashMap<u64, Box<[u8; PAGE_SIZE as usize]>>,
+    roots: Vec<Option<Box<[Option<Page>; LEAF_LEN]>>>,
+    resident: u64,
+}
+
+impl Default for Memory {
+    fn default() -> Self {
+        Memory {
+            roots: vec![None; ROOT_LEN],
+            resident: 0,
+        }
+    }
 }
 
 impl Memory {
     /// Fresh, fully-unmapped memory.
     pub fn new() -> Self {
         Memory::default()
+    }
+
+    /// The page backing `pn`, if it has been written.
+    #[inline]
+    fn page(&self, pn: u64) -> Option<&[u8; PAGE_SIZE as usize]> {
+        let leaf = self.roots[(pn >> LEAF_BITS) as usize].as_ref()?;
+        leaf[(pn as usize) & (LEAF_LEN - 1)].as_deref()
+    }
+
+    /// The page backing `pn`, mapped in (zeroed) on first touch.
+    #[inline]
+    fn page_mut(&mut self, pn: u64) -> &mut [u8; PAGE_SIZE as usize] {
+        let root = &mut self.roots[(pn >> LEAF_BITS) as usize];
+        let leaf = root.get_or_insert_with(|| {
+            const NONE: Option<Page> = None;
+            Box::new([NONE; LEAF_LEN])
+        });
+        let slot = &mut leaf[(pn as usize) & (LEAF_LEN - 1)];
+        if slot.is_none() {
+            *slot = Some(Box::new([0u8; PAGE_SIZE as usize]));
+            self.resident += 1;
+        }
+        slot.as_deref_mut().expect("page just mapped")
     }
 
     fn check(addr: u64, write: bool) -> Result<(), MemoryFault> {
@@ -110,10 +189,8 @@ impl Memory {
     /// valid) addresses read as zero.
     pub fn read_u8(&self, addr: u64) -> Result<u8, MemoryFault> {
         Self::check(addr, false)?;
-        let page = addr / PAGE_SIZE;
         Ok(self
-            .pages
-            .get(&page)
+            .page(addr / PAGE_SIZE)
             .map(|p| p[(addr % PAGE_SIZE) as usize])
             .unwrap_or(0))
     }
@@ -125,12 +202,7 @@ impl Memory {
     /// Faults on the null page or beyond the VA width.
     pub fn write_u8(&mut self, addr: u64, value: u8) -> Result<(), MemoryFault> {
         Self::check(addr, true)?;
-        let page = addr / PAGE_SIZE;
-        let slot = self
-            .pages
-            .entry(page)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]));
-        slot[(addr % PAGE_SIZE) as usize] = value;
+        self.page_mut(addr / PAGE_SIZE)[(addr % PAGE_SIZE) as usize] = value;
         Ok(())
     }
 
@@ -141,13 +213,33 @@ impl Memory {
     /// Faults if any byte faults; an address-space wrap-around faults at the
     /// wrapping byte instead of overflowing.
     pub fn read_bytes(&self, addr: u64, n: u64) -> Result<Vec<u8>, MemoryFault> {
-        let mut out = Vec::with_capacity(n.min(PAGE_SIZE) as usize);
-        for i in 0..n {
-            let a = addr.checked_add(i).ok_or(MemoryFault {
-                addr: u64::MAX,
+        // Page-chunked: one map lookup per page instead of per byte. The
+        // valid address range is contiguous, so the byte-wise semantics
+        // — bytes up to the first invalid address are produced, then the
+        // fault carries that address — reduce to a prefix copy. (The
+        // fault address never overflows: it is at most `1 << VA_BITS`.)
+        let valid = if (NULL_GUARD..(1 << VA_BITS)).contains(&addr) {
+            n.min((1 << VA_BITS) - addr)
+        } else {
+            0
+        };
+        let mut out = Vec::with_capacity(valid.min(PAGE_SIZE) as usize);
+        let mut i = 0u64;
+        while i < valid {
+            let a = addr + i;
+            let off = (a % PAGE_SIZE) as usize;
+            let take = (PAGE_SIZE as usize - off).min((valid - i) as usize);
+            match self.page(a / PAGE_SIZE) {
+                Some(p) => out.extend_from_slice(&p[off..off + take]),
+                None => out.resize(out.len() + take, 0),
+            }
+            i += take as u64;
+        }
+        if valid < n {
+            return Err(MemoryFault {
+                addr: addr + valid,
                 write: false,
-            })?;
-            out.push(self.read_u8(a)?);
+            });
         }
         Ok(out)
     }
@@ -159,12 +251,29 @@ impl Memory {
     /// Faults if any byte faults; bytes before the fault stay written
     /// (overflows really corrupt memory up to the fault point).
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemoryFault> {
-        for (i, b) in bytes.iter().enumerate() {
-            let a = addr.checked_add(i as u64).ok_or(MemoryFault {
-                addr: u64::MAX,
+        // Page-chunked mirror of [`Memory::read_bytes`]: the valid
+        // prefix really lands (overflows corrupt memory up to the fault
+        // point), then the first invalid address faults.
+        let n = bytes.len() as u64;
+        let valid = if (NULL_GUARD..(1 << VA_BITS)).contains(&addr) {
+            n.min((1 << VA_BITS) - addr)
+        } else {
+            0
+        };
+        let mut i = 0u64;
+        while i < valid {
+            let a = addr + i;
+            let off = (a % PAGE_SIZE) as usize;
+            let take = (PAGE_SIZE as usize - off).min((valid - i) as usize);
+            let slot = self.page_mut(a / PAGE_SIZE);
+            slot[off..off + take].copy_from_slice(&bytes[i as usize..i as usize + take]);
+            i += take as u64;
+        }
+        if valid < n {
+            return Err(MemoryFault {
+                addr: addr + valid,
                 write: true,
-            })?;
-            self.write_u8(a, *b)?;
+            });
         }
         Ok(())
     }
@@ -180,17 +289,37 @@ impl Memory {
         if !matches!(size, 1 | 2 | 4 | 8) {
             return Err(MemoryError::UnsupportedScalarSize { addr, size });
         }
+        // Fast path (the interpreter's per-load route): in-range and
+        // within one page — a single lookup, no intermediate Vec.
+        let off = addr % PAGE_SIZE;
+        if (NULL_GUARD..(1 << VA_BITS) - 8).contains(&addr) && off + size <= PAGE_SIZE {
+            let v = match self.page(addr / PAGE_SIZE) {
+                Some(p) => {
+                    let mut buf = [0u8; 8];
+                    buf[..size as usize]
+                        .copy_from_slice(&p[off as usize..(off + size) as usize]);
+                    u64::from_le_bytes(buf)
+                }
+                None => 0,
+            };
+            return Ok(Self::sign_extend(v, size));
+        }
         let bytes = self.read_bytes(addr, size)?;
         let mut v: u64 = 0;
         for (i, b) in bytes.iter().enumerate() {
             v |= (*b as u64) << (8 * i);
         }
-        Ok(match size {
+        Ok(Self::sign_extend(v, size))
+    }
+
+    /// Sign-preserve a `size`-byte little-endian value into an `i64`.
+    fn sign_extend(v: u64, size: u64) -> i64 {
+        match size {
             1 => v as u8 as i8 as i64,
             2 => v as u16 as i16 as i64,
             4 => v as u32 as i32 as i64,
             _ => v as i64,
-        })
+        }
     }
 
     /// Write a little-endian scalar of `size` bytes.
@@ -204,13 +333,15 @@ impl Memory {
             return Err(MemoryError::UnsupportedScalarSize { addr, size });
         }
         let v = value as u64;
-        for i in 0..size {
-            let a = addr.checked_add(i).ok_or(MemoryFault {
-                addr: u64::MAX,
-                write: true,
-            })?;
-            self.write_u8(a, ((v >> (8 * i)) & 0xff) as u8)?;
+        // Fast path mirror of [`Memory::read_scalar`]: one map entry.
+        let off = addr % PAGE_SIZE;
+        if (NULL_GUARD..(1 << VA_BITS) - 8).contains(&addr) && off + size <= PAGE_SIZE {
+            let slot = self.page_mut(addr / PAGE_SIZE);
+            slot[off as usize..(off + size) as usize]
+                .copy_from_slice(&v.to_le_bytes()[..size as usize]);
+            return Ok(());
         }
+        self.write_bytes(addr, &v.to_le_bytes()[..size as usize])?;
         Ok(())
     }
 
@@ -237,13 +368,13 @@ impl Memory {
 
     /// Number of resident pages (for memory accounting in tests).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.resident as usize
     }
 
     /// Bytes of simulated memory touched so far (page granularity) — the
     /// run's resident footprint, reported by the execution profile.
     pub fn resident_bytes(&self) -> u64 {
-        self.pages.len() as u64 * PAGE_SIZE
+        self.resident * PAGE_SIZE
     }
 }
 

@@ -16,8 +16,9 @@
 
 use crate::cache::{CacheSim, CacheStats};
 use crate::cost::CostModel;
+use crate::decode::{cost_table, DecodedModule, FrameLayout, MNEMONICS, N_MNEMONICS};
 use crate::input::{InputPlan, IntOrPayload};
-use crate::memory::{layout, Memory, MemoryError, MemoryFault};
+use crate::memory::{layout, FastMap, Memory, MemoryError, MemoryFault};
 use crate::profile::Profile;
 use pythia_heap::{AllocStats, Section, SectionConfig, SectionedHeap};
 use pythia_ir::{
@@ -27,8 +28,9 @@ use pythia_ir::{
 use pythia_pa::PaContext;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Why a run stopped abnormally.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,7 +131,7 @@ impl Trap {
 /// Internal control flow of the interpreter: either a machine [`Trap`]
 /// (data — surfaces as [`ExitReason::Trapped`]) or a [`PythiaError`]
 /// (surfaces as `Err` from [`Vm::run`]).
-enum Halt {
+pub(crate) enum Halt {
     Trap(Trap),
     Error(Box<PythiaError>),
 }
@@ -288,6 +290,44 @@ impl RunResult {
     }
 }
 
+/// Which execution engine [`Vm::run`] drives.
+///
+/// Both engines are observation-equivalent: identical exit reasons,
+/// [`RunMetrics`], [`Profile`] counters, trace events and trap points on
+/// every module (certified by the differential tests and the
+/// `scripts/check.sh` engine gate). `Block` is the default; `Legacy` is
+/// kept as the differential baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// The original per-instruction match-dispatch interpreter.
+    Legacy,
+    /// The block-cached translated engine: blocks are lowered once into
+    /// flat pre-resolved op buffers (see [`crate::decode`]) and executed
+    /// by a tight dispatch loop with superblock chaining.
+    #[default]
+    Block,
+}
+
+impl Engine {
+    /// Engine selected by the `PYTHIA_ENGINE` environment variable
+    /// (`legacy` or `block`, case-insensitive); anything else — including
+    /// the variable being unset — selects [`Engine::Block`].
+    pub fn from_env() -> Self {
+        match std::env::var("PYTHIA_ENGINE") {
+            Ok(v) if v.eq_ignore_ascii_case("legacy") => Engine::Legacy,
+            _ => Engine::Block,
+        }
+    }
+
+    /// Stable lowercase name (reports, bench labels).
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Legacy => "legacy",
+            Engine::Block => "block",
+        }
+    }
+}
+
 /// VM configuration.
 #[derive(Debug, Clone)]
 pub struct VmConfig {
@@ -311,6 +351,10 @@ pub struct VmConfig {
     /// PA/shadow counters, heap stats). Purely observational: toggling it
     /// never changes [`RunMetrics`] or the exit reason.
     pub profile: bool,
+    /// Which execution engine to use. Defaults to [`Engine::from_env`] so
+    /// the whole harness (reproduce, campaigns, scripts) can be switched
+    /// with `PYTHIA_ENGINE=legacy` without plumbing a flag everywhere.
+    pub engine: Engine,
 }
 
 impl Default for VmConfig {
@@ -324,15 +368,17 @@ impl Default for VmConfig {
             enable_cache: true,
             trace_limit: 0,
             profile: true,
+            engine: Engine::from_env(),
         }
     }
 }
 
+/// A legacy-engine call frame. Alloca addresses live in the shared dense
+/// [`FrameLayout`] (see [`crate::decode`]), not in a per-frame map.
 struct Frame {
     values: Vec<i64>,
     base: u64,
     size: u64,
-    alloca_addr: HashMap<ValueId, u64>,
 }
 
 /// One recorded instruction execution (see [`VmConfig::trace_limit`]).
@@ -347,29 +393,57 @@ pub struct TraceEvent {
 }
 
 /// The interpreter. Construct with [`Vm::new`], execute with [`Vm::run`].
+///
+/// Fields are `pub(crate)` so the block engine (`engine.rs`) shares the
+/// exact same machine state — memory, cache, heap, PA context, shadow
+/// table, metrics — as the legacy interpreter.
 pub struct Vm<'m> {
-    module: &'m Module,
-    cfg: VmConfig,
-    mem: Memory,
-    cache: CacheSim,
-    pa: PaContext,
-    heap: SectionedHeap,
-    plan: InputPlan,
-    rng: SmallRng,
-    shadow: HashMap<u64, u32>,
-    metrics: RunMetrics,
-    sp: u64,
-    globals_addr: Vec<u64>,
-    globals_map: BTreeMap<u64, u64>,
-    stack_objects: BTreeMap<u64, u64>,
-    ic_write_counter: u64,
-    halted: Option<i64>,
-    pa_site_set: std::collections::HashSet<(u32, u32)>,
-    profile: Profile,
-    trace: Vec<TraceEvent>,
+    pub(crate) module: &'m Module,
+    pub(crate) cfg: VmConfig,
+    pub(crate) mem: Memory,
+    pub(crate) cache: CacheSim,
+    pub(crate) pa: PaContext,
+    pub(crate) heap: SectionedHeap,
+    pub(crate) plan: InputPlan,
+    pub(crate) rng: SmallRng,
+    pub(crate) shadow: FastMap<u32>,
+    pub(crate) metrics: RunMetrics,
+    pub(crate) sp: u64,
+    pub(crate) globals_addr: Vec<u64>,
+    pub(crate) globals_map: BTreeMap<u64, u64>,
+    pub(crate) stack_objects: BTreeMap<u64, u64>,
+    pub(crate) ic_write_counter: u64,
+    pub(crate) halted: Option<i64>,
+    pub(crate) pa_site_set: std::collections::HashSet<(u32, u32)>,
+    pub(crate) profile: Profile,
+    pub(crate) trace: Vec<TraceEvent>,
     /// A setup problem found during construction, reported by the next
     /// [`Vm::run`] (construction stays infallible for ergonomics).
-    setup_error: Option<PythiaError>,
+    pub(crate) setup_error: Option<PythiaError>,
+    /// The shared decode cache (frame layouts for both engines, decoded
+    /// superblocks for the block engine).
+    pub(crate) decoded: Arc<DecodedModule>,
+    /// Per-class base costs for this VM's cost model.
+    pub(crate) cost_tbl: [u64; 256],
+    /// Block-engine opcode histogram (dense; folded into
+    /// [`Profile::opcodes`]/`opcode_mc` once at the end of [`Vm::run`]).
+    pub(crate) op_counts: [u64; 256],
+    /// Block-engine PA-key histogram, folded into `Profile::pa.by_key`.
+    pub(crate) pa_key_counts: [u64; 5],
+    /// Whether the next executed instruction should be traced. Starts as
+    /// `trace_limit > 0` and is flipped off once the limit is reached, so
+    /// a disabled/full trace costs one boolean test per instruction.
+    pub(crate) trace_on: bool,
+    /// Scratch for parallel-copy phi prologues (block engine).
+    pub(crate) phi_scratch: Vec<i64>,
+    /// Retired frame value arrays, reused by the block engine so a call
+    /// costs a memset instead of a malloc + memset (pure optimization:
+    /// frames are fully re-initialized on reuse).
+    pub(crate) frame_pool: Vec<Vec<i64>>,
+    /// Retired call-argument buffers, same idea.
+    pub(crate) argv_pool: Vec<Vec<i64>>,
+    /// Reusable zero buffer for frame clearing.
+    zeros: Vec<u8>,
 }
 
 impl<'m> Vm<'m> {
@@ -379,6 +453,28 @@ impl<'m> Vm<'m> {
     /// layout that does not fit the address space is recorded and
     /// surfaced as a [`PythiaError::Setup`] by the next [`Vm::run`].
     pub fn new(module: &'m Module, cfg: VmConfig, plan: InputPlan) -> Self {
+        Self::new_inner(module, None, cfg, plan)
+    }
+
+    /// Like [`Vm::new`], but reuse an existing decode cache. `decoded`
+    /// must have been built from this same `module`; sharing one
+    /// [`DecodedModule`] across many VMs (e.g. every attack run of a
+    /// campaign) means each block is decoded at most once.
+    pub fn with_decoded(
+        module: &'m Module,
+        decoded: Arc<DecodedModule>,
+        cfg: VmConfig,
+        plan: InputPlan,
+    ) -> Self {
+        Self::new_inner(module, Some(decoded), cfg, plan)
+    }
+
+    fn new_inner(
+        module: &'m Module,
+        decoded: Option<Arc<DecodedModule>>,
+        cfg: VmConfig,
+        plan: InputPlan,
+    ) -> Self {
         let (heap, heap_error) = match SectionedHeap::try_new(cfg.heap) {
             Ok(h) => (h, None),
             Err(e) => (
@@ -394,7 +490,7 @@ impl<'m> Vm<'m> {
             mem: Memory::new(),
             plan,
             rng: SmallRng::seed_from_u64(cfg.seed.wrapping_mul(0x9e3779b97f4a7c15)),
-            shadow: HashMap::new(),
+            shadow: FastMap::default(),
             metrics: RunMetrics::default(),
             sp: layout::STACK_BASE,
             globals_addr: Vec::new(),
@@ -406,6 +502,15 @@ impl<'m> Vm<'m> {
             profile: Profile::default(),
             trace: Vec::new(),
             setup_error: heap_error,
+            decoded: decoded.unwrap_or_else(|| Arc::new(DecodedModule::new(module))),
+            cost_tbl: cost_table(&cfg.cost),
+            op_counts: [0; 256],
+            pa_key_counts: [0; 5],
+            trace_on: cfg.trace_limit > 0,
+            phi_scratch: Vec::new(),
+            frame_pool: Vec::new(),
+            argv_pool: Vec::new(),
+            zeros: Vec::new(),
             cfg,
         };
         if let Err(e) = vm.init_globals() {
@@ -519,6 +624,28 @@ impl<'m> Vm<'m> {
         self.metrics.heap_init_calls = self.heap.init_calls();
         self.metrics.pa_sites = self.pa_site_set.len() as u64;
         if self.cfg.profile {
+            // Fold the block engine's dense histograms into the Profile
+            // maps. Valid because the base cost of an instruction depends
+            // only on its mnemonic class, so `sum(base) == count * base`.
+            // Under the legacy engine both arrays stay zero (it records
+            // straight into the maps) and this is a no-op.
+            for (i, &n) in self.op_counts.iter().take(N_MNEMONICS).enumerate() {
+                if n > 0 {
+                    *self.profile.opcodes.entry(MNEMONICS[i]).or_insert(0) += n;
+                    *self.profile.opcode_mc.entry(MNEMONICS[i]).or_insert(0) +=
+                        n * self.cost_tbl[i];
+                }
+            }
+            for (k, &n) in self.pa_key_counts.iter().enumerate() {
+                if n > 0 {
+                    *self
+                        .profile
+                        .pa
+                        .by_key
+                        .entry(PaKey::ALL[k].mnemonic())
+                        .or_insert(0) += n;
+                }
+            }
             self.profile.scan_static_pa(self.module);
             if matches!(exit, ExitReason::Trapped(Trap::MemoryFault { .. })) {
                 self.profile.mem_faults += 1;
@@ -545,12 +672,16 @@ impl<'m> Vm<'m> {
     /// instead of unwinding into the caller.
     fn exec_entry(&mut self, fid: FuncId, args: &[i64]) -> Result<i64, Halt> {
         const INTERP_STACK: usize = 32 << 20;
+        let engine = self.cfg.engine;
         let this = &mut *self;
         let spawned = std::thread::scope(|s| {
             let worker = std::thread::Builder::new()
                 .name("pythia-interp".into())
                 .stack_size(INTERP_STACK)
-                .spawn_scoped(s, move || this.exec_function(fid, args, 0));
+                .spawn_scoped(s, move || match engine {
+                    Engine::Legacy => this.exec_function(fid, args, 0),
+                    Engine::Block => this.exec_function_block(fid, args, 0),
+                });
             worker.ok().map(|h| {
                 h.join()
                     .unwrap_or_else(|p| Err(PythiaError::from_panic(p.as_ref()).into()))
@@ -560,12 +691,38 @@ impl<'m> Vm<'m> {
             Some(r) => r,
             // Spawn failure (resource exhaustion): degrade to running on
             // the caller's stack rather than refusing outright.
-            None => self.exec_function(fid, args, 0),
+            None => match engine {
+                Engine::Legacy => self.exec_function(fid, args, 0),
+                Engine::Block => self.exec_function_block(fid, args, 0),
+            },
         }
     }
 
-    fn charge(&mut self, mc: u64) {
+    pub(crate) fn charge(&mut self, mc: u64) {
         self.metrics.cycles_mc += mc;
+    }
+
+    /// Record a trace event and flip tracing off once the limit is hit
+    /// (so the hot loops test a single cached boolean).
+    pub(crate) fn push_trace(&mut self, fid: FuncId, iv: ValueId, mnemonic: &'static str) {
+        self.trace.push(TraceEvent {
+            func: fid,
+            value: iv,
+            mnemonic,
+        });
+        if self.trace.len() as u64 >= self.cfg.trace_limit {
+            self.trace_on = false;
+        }
+    }
+
+    /// Zero `len` bytes at `addr` through a reusable buffer (frame clears
+    /// happen on every call; a fresh `vec![0; size]` per frame is not).
+    pub(crate) fn write_zeros(&mut self, addr: u64, len: u64) -> Result<(), MemoryFault> {
+        let n = len as usize;
+        if self.zeros.len() < n {
+            self.zeros.resize(n, 0);
+        }
+        self.mem.write_bytes(addr, &self.zeros[..n])
     }
 
     fn cache_access(&mut self, addr: u64) -> u64 {
@@ -584,14 +741,14 @@ impl<'m> Vm<'m> {
         self.cfg.cost.cache_extra(out)
     }
 
-    fn mem_read(&mut self, addr: u64, size: u64) -> Result<i64, Halt> {
+    pub(crate) fn mem_read(&mut self, addr: u64, size: u64) -> Result<i64, Halt> {
         self.metrics.loads += 1;
         let extra = self.cache_access(addr);
         self.charge(extra);
         Ok(self.mem.read_scalar(addr, size)?)
     }
 
-    fn mem_write(&mut self, addr: u64, size: u64, value: i64) -> Result<(), Halt> {
+    pub(crate) fn mem_write(&mut self, addr: u64, size: u64, value: i64) -> Result<(), Halt> {
         self.metrics.stores += 1;
         let extra = self.cache_access(addr);
         self.charge(extra);
@@ -650,48 +807,37 @@ impl<'m> Vm<'m> {
         let m = self.module;
         let f = m.func(fid);
 
-        // --- frame layout: allocas in entry-block order, low to high ----
+        // --- frame layout: the dense per-function table (allocas in
+        // entry-block order, low to high), computed once at decode time --
+        let dm = self.decoded.clone();
+        let flayout = dm.layout(fid);
         let mut frame = Frame {
             values: vec![0i64; f.num_values()],
             base: self.sp,
-            size: 0,
-            alloca_addr: HashMap::new(),
+            size: flayout.frame_size,
         };
-        let mut off = 0u64;
-        for a in f.allocas() {
-            if let Some(Inst::Alloca { elem, count }) = f.inst(a) {
-                let align = elem.align().max(8);
-                off = off.div_ceil(align).saturating_mul(align);
-                frame.alloca_addr.insert(a, frame.base.saturating_add(off));
-                off = off
-                    .saturating_add(elem.size().max(1).saturating_mul(u64::from((*count).max(1))));
-            }
-        }
-        frame.size = off.div_ceil(16).saturating_mul(16);
         if frame.base.saturating_add(frame.size) > layout::STACK_BASE + layout::STACK_SIZE {
             return Err(Trap::StackOverflow.into());
         }
         self.sp = frame.base + frame.size;
         // Zero the frame (stack reuse would otherwise leak prior frames).
         if frame.size > 0 {
-            let zeros = vec![0u8; frame.size as usize];
-            self.mem.write_bytes(frame.base, &zeros)?;
+            self.write_zeros(frame.base, frame.size)?;
         }
-        for (&a, addr) in &frame.alloca_addr {
-            if let Some(Inst::Alloca { elem, count }) = f.inst(a) {
-                self.stack_objects
-                    .insert(*addr, elem.size().max(1).saturating_mul(u64::from((*count).max(1))));
-            }
+        for slot in &flayout.objects {
+            self.stack_objects
+                .insert(frame.base.saturating_add(slot.off), slot.size);
         }
         for (i, &a) in args.iter().enumerate().take(f.params.len()) {
             frame.values[i] = a;
         }
 
-        let result = self.exec_blocks(fid, &mut frame, depth);
+        let result = self.exec_blocks(fid, &mut frame, flayout, depth);
 
         // --- frame teardown ---------------------------------------------
-        for addr in frame.alloca_addr.values() {
-            self.stack_objects.remove(addr);
+        for slot in &flayout.objects {
+            self.stack_objects
+                .remove(&frame.base.saturating_add(slot.off));
         }
         if frame.size > 0 {
             for g in (frame.base >> 3)..=((frame.base + frame.size - 1) >> 3) {
@@ -703,14 +849,22 @@ impl<'m> Vm<'m> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn exec_blocks(&mut self, fid: FuncId, frame: &mut Frame, depth: usize) -> Result<i64, Halt> {
+    fn exec_blocks(
+        &mut self,
+        fid: FuncId,
+        frame: &mut Frame,
+        flayout: &FrameLayout,
+        depth: usize,
+    ) -> Result<i64, Halt> {
         let m = self.module;
         let f = m.func(fid);
         let mut block = f.entry();
         let mut prev: Option<BlockId> = None;
 
         'blocks: loop {
-            let insts = f.block(block).insts.clone();
+            // `f` borrows the module (not `self`), so the instruction list
+            // can be borrowed across the loop — no per-iteration clone.
+            let insts = &f.block(block).insts;
 
             // Phase 1: evaluate all leading phis simultaneously.
             let mut idx = 0;
@@ -757,22 +911,17 @@ impl<'m> Vm<'m> {
                     return Err(Trap::InstBudgetExhausted.into());
                 }
                 self.metrics.insts += 1;
-                let inst = f
-                    .inst(iv)
-                    .ok_or_else(|| {
-                        PythiaError::internal("block member is not an instruction")
-                            .with_function(f.name.clone())
-                            .with_instruction(iv.0)
-                    })?
-                    .clone();
-                if (self.trace.len() as u64) < self.cfg.trace_limit {
-                    self.trace.push(TraceEvent {
-                        func: fid,
-                        value: iv,
-                        mnemonic: inst.mnemonic(),
-                    });
+                // Borrow the instruction (legacy used to clone it here —
+                // one `Inst` clone per executed instruction).
+                let inst = f.inst(iv).ok_or_else(|| {
+                    PythiaError::internal("block member is not an instruction")
+                        .with_function(f.name.clone())
+                        .with_instruction(iv.0)
+                })?;
+                if self.trace_on {
+                    self.push_trace(fid, iv, inst.mnemonic());
                 }
-                let base = self.cfg.cost.base_cost(&inst);
+                let base = self.cfg.cost.base_cost(inst);
                 self.charge(base);
                 if self.cfg.profile {
                     self.profile.record_op(inst.mnemonic(), base);
@@ -780,89 +929,79 @@ impl<'m> Vm<'m> {
 
                 match inst {
                     Inst::Alloca { .. } => {
-                        let addr = frame.alloca_addr.get(&iv).copied().ok_or_else(|| {
+                        let off = flayout.offset_of(iv).ok_or_else(|| {
                             PythiaError::internal("alloca missing from frame layout")
                                 .with_function(f.name.clone())
                                 .with_instruction(iv.0)
                         })?;
-                        frame.values[iv.0 as usize] = addr as i64;
+                        frame.values[iv.0 as usize] = frame.base.saturating_add(off) as i64;
                     }
                     Inst::Load { ptr } => {
-                        let addr = self.value_of(f, &frame.values, ptr) as u64;
+                        let addr = self.value_of(f, &frame.values, *ptr) as u64;
                         let size = f.value(iv).ty.size().clamp(1, 8);
                         frame.values[iv.0 as usize] = self.mem_read(addr, size)?;
                     }
                     Inst::Store { ptr, value } => {
-                        let addr = self.value_of(f, &frame.values, ptr) as u64;
-                        let v = self.value_of(f, &frame.values, value);
-                        let size = f.value(value).ty.size().clamp(1, 8);
+                        let addr = self.value_of(f, &frame.values, *ptr) as u64;
+                        let v = self.value_of(f, &frame.values, *value);
+                        let size = f.value(*value).ty.size().clamp(1, 8);
                         self.mem_write(addr, size, v)?;
                     }
-                    Inst::Gep {
-                        base,
-                        index,
-                        ref elem,
-                    } => {
-                        let b = self.value_of(f, &frame.values, base);
-                        let i = self.value_of(f, &frame.values, index);
+                    Inst::Gep { base, index, elem } => {
+                        let b = self.value_of(f, &frame.values, *base);
+                        let i = self.value_of(f, &frame.values, *index);
                         frame.values[iv.0 as usize] =
                             b.wrapping_add(i.wrapping_mul(elem.size().max(1) as i64));
                     }
                     Inst::FieldAddr { base, field } => {
-                        let b = self.value_of(f, &frame.values, base) as u64;
-                        let off = match f.value(base).ty.pointee() {
+                        let b = self.value_of(f, &frame.values, *base) as u64;
+                        let off = match f.value(*base).ty.pointee() {
                             // An out-of-range field index (unverified input)
                             // falls through to the flat fallback instead of
                             // panicking inside `field_offset`.
-                            Some(s @ Ty::Struct(fields)) if (field as usize) < fields.len() => {
-                                s.field_offset(field)
+                            Some(s @ Ty::Struct(fields)) if (*field as usize) < fields.len() => {
+                                s.field_offset(*field)
                             }
-                            _ => u64::from(field).saturating_mul(8),
+                            _ => u64::from(*field).saturating_mul(8),
                         };
                         frame.values[iv.0 as usize] = b.wrapping_add(off) as i64;
                     }
                     Inst::Bin { op, lhs, rhs } => {
-                        let a = self.value_of(f, &frame.values, lhs);
-                        let b = self.value_of(f, &frame.values, rhs);
-                        let raw = eval_bin(op, a, b).ok_or(Trap::DivByZero)?;
+                        let a = self.value_of(f, &frame.values, *lhs);
+                        let b = self.value_of(f, &frame.values, *rhs);
+                        let raw = eval_bin(*op, a, b).ok_or(Trap::DivByZero)?;
                         frame.values[iv.0 as usize] = f.value(iv).ty.wrap(raw);
                     }
                     Inst::Icmp { pred, lhs, rhs } => {
-                        let a = self.value_of(f, &frame.values, lhs);
-                        let b = self.value_of(f, &frame.values, rhs);
+                        let a = self.value_of(f, &frame.values, *lhs);
+                        let b = self.value_of(f, &frame.values, *rhs);
                         frame.values[iv.0 as usize] = i64::from(pred.eval(a, b));
                     }
-                    Inst::Cast {
-                        kind,
-                        value,
-                        ref to,
-                    } => {
-                        let v = self.value_of(f, &frame.values, value);
-                        frame.values[iv.0 as usize] = eval_cast(kind, v, to);
+                    Inst::Cast { kind, value, to } => {
+                        let v = self.value_of(f, &frame.values, *value);
+                        frame.values[iv.0 as usize] = eval_cast(*kind, v, to);
                     }
                     Inst::Select {
                         cond,
                         on_true,
                         on_false,
                     } => {
-                        let c = self.value_of(f, &frame.values, cond);
+                        let c = self.value_of(f, &frame.values, *cond);
                         frame.values[iv.0 as usize] = if c != 0 {
-                            self.value_of(f, &frame.values, on_true)
+                            self.value_of(f, &frame.values, *on_true)
                         } else {
-                            self.value_of(f, &frame.values, on_false)
+                            self.value_of(f, &frame.values, *on_false)
                         };
                     }
-                    Inst::Phi { .. } => {
+                    Inst::Phi { incomings } => {
                         // A phi after a non-phi: treat as copy from pred.
                         let pred = prev.ok_or_else(|| {
                             PythiaError::setup("phi in entry block (module not verified?)")
                                 .with_function(f.name.clone())
                                 .with_instruction(iv.0)
                         })?;
-                        if let Some(Inst::Phi { incomings }) = f.inst(iv) {
-                            if let Some((_, src)) = incomings.iter().find(|(b, _)| *b == pred) {
-                                frame.values[iv.0 as usize] = self.value_of(f, &frame.values, *src);
-                            }
+                        if let Some((_, src)) = incomings.iter().find(|(b, _)| *b == pred) {
+                            frame.values[iv.0 as usize] = self.value_of(f, &frame.values, *src);
                         }
                     }
                     Inst::PacSign {
@@ -876,9 +1015,9 @@ impl<'m> Vm<'m> {
                             self.profile.pa.signs += 1;
                             *self.profile.pa.by_key.entry(key.mnemonic()).or_insert(0) += 1;
                         }
-                        let v = self.value_of(f, &frame.values, value) as u64;
-                        let md = self.value_of(f, &frame.values, modifier) as u64;
-                        frame.values[iv.0 as usize] = self.pa.sign(key, v, md) as i64;
+                        let v = self.value_of(f, &frame.values, *value) as u64;
+                        let md = self.value_of(f, &frame.values, *modifier) as u64;
+                        frame.values[iv.0 as usize] = self.pa.sign(*key, v, md) as i64;
                     }
                     Inst::PacAuth {
                         value,
@@ -891,15 +1030,15 @@ impl<'m> Vm<'m> {
                             self.profile.pa.auths += 1;
                             *self.profile.pa.by_key.entry(key.mnemonic()).or_insert(0) += 1;
                         }
-                        let v = self.value_of(f, &frame.values, value) as u64;
-                        let md = self.value_of(f, &frame.values, modifier) as u64;
-                        match self.pa.auth(key, v, md) {
+                        let v = self.value_of(f, &frame.values, *value) as u64;
+                        let md = self.value_of(f, &frame.values, *modifier) as u64;
+                        match self.pa.auth(*key, v, md) {
                             Ok(raw) => frame.values[iv.0 as usize] = raw as i64,
                             Err(_) => {
                                 if self.cfg.profile {
                                     self.profile.pa.auth_failures += 1;
                                 }
-                                return Err(Trap::PacAuthFailure { key }.into());
+                                return Err(Trap::PacAuthFailure { key: *key }.into());
                             }
                         }
                     }
@@ -909,7 +1048,7 @@ impl<'m> Vm<'m> {
                         if self.cfg.profile {
                             self.profile.pa.strips += 1;
                         }
-                        let v = self.value_of(f, &frame.values, value) as u64;
+                        let v = self.value_of(f, &frame.values, *value) as u64;
                         frame.values[iv.0 as usize] = self.pa.strip(v) as i64;
                     }
                     Inst::SetDef { ptr, def_id } => {
@@ -917,25 +1056,22 @@ impl<'m> Vm<'m> {
                         if self.cfg.profile {
                             self.profile.shadow.setdefs += 1;
                         }
-                        let addr = self.value_of(f, &frame.values, ptr) as u64;
-                        self.shadow.insert(addr >> 3, def_id);
+                        let addr = self.value_of(f, &frame.values, *ptr) as u64;
+                        self.shadow.insert(addr >> 3, *def_id);
                     }
-                    Inst::ChkDef { ptr, ref allowed } => {
+                    Inst::ChkDef { ptr, allowed } => {
                         self.metrics.dfi_insts += 1;
                         if self.cfg.profile {
                             self.profile.shadow.chkdefs += 1;
                         }
-                        let addr = self.value_of(f, &frame.values, ptr) as u64;
+                        let addr = self.value_of(f, &frame.values, *ptr) as u64;
                         if let Some(&found) = self.shadow.get(&(addr >> 3)) {
                             if !allowed.contains(&found) {
                                 return Err(Trap::DfiViolation { found }.into());
                             }
                         }
                     }
-                    Inst::Call {
-                        ref callee,
-                        ref args,
-                    } => {
+                    Inst::Call { callee, args } => {
                         self.metrics.calls += 1;
                         let argv: Vec<i64> = args
                             .iter()
@@ -969,14 +1105,14 @@ impl<'m> Vm<'m> {
                         else_bb,
                     } => {
                         self.metrics.branches += 1;
-                        let c = self.value_of(f, &frame.values, cond);
+                        let c = self.value_of(f, &frame.values, *cond);
                         prev = Some(block);
-                        block = if c != 0 { then_bb } else { else_bb };
+                        block = if c != 0 { *then_bb } else { *else_bb };
                         continue 'blocks;
                     }
                     Inst::Jmp { target } => {
                         prev = Some(block);
-                        block = target;
+                        block = *target;
                         continue 'blocks;
                     }
                     Inst::Ret { value } => {
@@ -997,7 +1133,7 @@ impl<'m> Vm<'m> {
     // ---- intrinsics -----------------------------------------------------
 
     #[allow(clippy::too_many_lines)]
-    fn exec_intrinsic(
+    pub(crate) fn exec_intrinsic(
         &mut self,
         fid: FuncId,
         call: ValueId,
@@ -1328,7 +1464,7 @@ impl<'m> Vm<'m> {
     }
 }
 
-fn eval_bin(op: BinOp, a: i64, b: i64) -> Option<i64> {
+pub(crate) fn eval_bin(op: BinOp, a: i64, b: i64) -> Option<i64> {
     Some(match op {
         BinOp::Add => a.wrapping_add(b),
         BinOp::Sub => a.wrapping_sub(b),
@@ -1354,7 +1490,7 @@ fn eval_bin(op: BinOp, a: i64, b: i64) -> Option<i64> {
     })
 }
 
-fn eval_cast(kind: CastKind, v: i64, to: &Ty) -> i64 {
+pub(crate) fn eval_cast(kind: CastKind, v: i64, to: &Ty) -> i64 {
     match kind {
         CastKind::Zext => match to.bits() {
             Some(64) | None => v,

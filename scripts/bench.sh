@@ -49,3 +49,29 @@ echo "serial:   $(grep '"per_phase"' "$OUT/serial/BENCH_suite.json")"
 echo "parallel: $(grep '"per_phase"' "$OUT/parallel/BENCH_suite.json")"
 echo "timings: $OUT/BENCH_suite.json"
 echo "profiles: $OUT/serial/profile.md $OUT/parallel/profile.md"
+
+# Engine retirement-rate comparison: the block-cached engine must retire
+# instructions >= 5x faster than the legacy interpreter on the smoke
+# suite. One pair of runs is noise-bound on a shared single-CPU box
+# (setup-heavy smoke runs bounce ~30%), so the gate takes the best ratio
+# of three interleaved pairs — an engine regression shifts all three.
+echo "== engine retirement rates (legacy vs block, smoke, best of 3) =="
+best_ratio=0
+for i in 1 2 3; do
+    PYTHIA_THREADS=1 PYTHIA_ENGINE=legacy "$REPRODUCE" --smoke --bench-json --profile \
+        --out "$OUT/retire-legacy" >/dev/null
+    PYTHIA_THREADS=1 PYTHIA_ENGINE=block "$REPRODUCE" --smoke --bench-json --profile \
+        --out "$OUT/retire-block" >/dev/null
+    legacy_rate=$(grep -o '"retirement_minsts_per_sec": [0-9.]*' \
+        "$OUT/retire-legacy/BENCH_suite.json" | head -1 | grep -o '[0-9.]*$')
+    block_rate=$(grep -o '"retirement_minsts_per_sec": [0-9.]*' \
+        "$OUT/retire-block/BENCH_suite.json" | head -1 | grep -o '[0-9.]*$')
+    ratio=$(awk -v b="$block_rate" -v l="$legacy_rate" 'BEGIN { printf "%.2f", b / (l > 0 ? l : 1) }')
+    echo "pair $i: legacy ${legacy_rate} Minsts/s  block ${block_rate} Minsts/s  ratio ${ratio}x"
+    best_ratio=$(awk -v r="$ratio" -v b="$best_ratio" 'BEGIN { print (r > b) ? r : b }')
+done
+if awk -v r="$best_ratio" 'BEGIN { exit !(r < 5) }'; then
+    echo "FAIL: block engine retirement rate is ${best_ratio}x legacy (< 5x) on the smoke suite" >&2
+    exit 1
+fi
+echo "OK: block engine retires ${best_ratio}x faster than legacy (>= 5x gate)"

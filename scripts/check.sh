@@ -88,6 +88,21 @@ if grep -q '"pa_static_match": false' "$JSON"; then
     exit 1
 fi
 
+# Differential engine gate: the block-cached engine must be observation-
+# preserving — one smoke pass per engine, rendered reports byte-identical.
+# Everything a report can show (attack outcomes, metrics, overheads,
+# profiles) goes through the VM, so a byte-identical report means the
+# block engine reproduced every observable of the legacy interpreter.
+echo "== engine differential gate (legacy vs block, smoke) =="
+target/release/reproduce --smoke --engine legacy --out "$OUT/engine-legacy" >/dev/null || true
+target/release/reproduce --smoke --engine block --out "$OUT/engine-block" >/dev/null || true
+if ! diff -q "$OUT/engine-legacy/report.md" "$OUT/engine-block/report.md"; then
+    echo "FAIL: legacy and block engines render different reports" >&2
+    diff -u "$OUT/engine-legacy/report.md" "$OUT/engine-block/report.md" | head -50 >&2
+    exit 1
+fi
+echo "OK: legacy and block engine reports are byte-identical"
+
 # Precision-stage gate: the field-sensitive points-to + bounds-proof
 # pruner must drop at least one obligation on at least one smoke
 # benchmark (mcf prunes; lbm and nginx legitimately don't). A zero
@@ -99,4 +114,4 @@ if ! grep -qE '"obligations_pruned": [1-9]' "$JSON"; then
     exit 1
 fi
 
-echo "OK: build, clippy, docs, tests, certification, smoke suite, profiler and pruning gates are clean ($JSON)"
+echo "OK: build, clippy, docs, tests, certification, smoke suite, engine differential, profiler and pruning gates are clean ($JSON)"
