@@ -19,6 +19,16 @@ use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
+/// Default capacity of the backward-slice memo table (entries). Far
+/// above any real suite's distinct-branch count — even the ref tier's
+/// largest module stays in the low thousands of branches × 2 modes — so
+/// the bound only matters as a guarantee: whole memoized slices are the
+/// analysis side's largest retained allocation, and an unbounded table
+/// would grow with module size forever. At capacity, queries for
+/// uncached keys compute without inserting (no eviction, so cached
+/// entries stay valid and results stay deterministic).
+pub const SLICE_MEMO_CAPACITY: usize = 65_536;
+
 /// Which technique's slicing rules to apply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SliceMode {
@@ -177,8 +187,13 @@ pub struct SliceContext<'m> {
     cd: Vec<OnceLock<Vec<Vec<BlockId>>>>,
     /// Memo table for whole backward slices, keyed by (func, branch, mode).
     /// CPA/Pythia/DFI and the control-dependence extension all re-query the
-    /// same branches; each is computed once per context.
+    /// same branches; each is computed once per context. Bounded by
+    /// [`Self::memo_capacity`]: at capacity, further keys compute without
+    /// inserting.
     slice_memo: RwLock<HashMap<(FuncId, ValueId, SliceMode), Arc<BackwardSlice>>>,
+    /// Maximum number of memoized slices ([`SLICE_MEMO_CAPACITY`] by
+    /// default).
+    memo_capacity: usize,
     /// Memo-table hits (served without recomputation).
     memo_hits: AtomicU64,
     /// Memo-table misses (full traversals performed).
@@ -194,6 +209,13 @@ const _: () = {
 impl<'m> SliceContext<'m> {
     /// Build the context (runs points-to analysis at both precisions).
     pub fn new(module: &'m Module) -> Self {
+        Self::with_memo_capacity(module, SLICE_MEMO_CAPACITY)
+    }
+
+    /// [`Self::new`] with an explicit slice-memo bound. Mostly for tests:
+    /// a tiny capacity exercises the compute-without-insert path that a
+    /// real suite never reaches.
+    pub fn with_memo_capacity(module: &'m Module, memo_capacity: usize) -> Self {
         let points_to = PointsTo::analyze(module);
         let points_to_fi = PointsTo::analyze_with(module, Precision::FieldInsensitive);
         let channels = InputChannels::find(module);
@@ -228,6 +250,7 @@ impl<'m> SliceContext<'m> {
             du: (0..nfuncs).map(|_| OnceLock::new()).collect(),
             cd: (0..nfuncs).map(|_| OnceLock::new()).collect(),
             slice_memo: RwLock::new(HashMap::new()),
+            memo_capacity,
             memo_hits: AtomicU64::new(0),
             memo_misses: AtomicU64::new(0),
         }
@@ -357,9 +380,17 @@ impl<'m> SliceContext<'m> {
         // makes `misses` = distinct keys ever computed and `hits` =
         // re-queries, both independent of thread scheduling — the suite's
         // determinism tests compare these counters across worker counts.
+        let at_capacity = memo.len() >= self.memo_capacity;
         match memo.entry(key) {
             std::collections::hash_map::Entry::Vacant(v) => {
-                v.insert(Arc::new(slice.clone()));
+                // At capacity the result is returned without caching (no
+                // eviction — cached entries stay shared and the table
+                // never exceeds the bound); the recomputation still
+                // counts as a miss, so hits + misses = queries holds at
+                // any capacity.
+                if !at_capacity {
+                    v.insert(Arc::new(slice.clone()));
+                }
                 self.memo_misses.fetch_add(1, Ordering::Relaxed);
             }
             std::collections::hash_map::Entry::Occupied(_) => {
@@ -887,6 +918,32 @@ mod tests {
         // A different mode is a different key: one more miss, no new hit.
         ctx.backward_slice(fid, br, SliceMode::Dfi);
         assert_eq!(ctx.memo_stats(), (1, 2));
+    }
+
+    #[test]
+    fn memo_capacity_bounds_the_table_without_changing_results() {
+        let (m, fid) = listing1_like();
+        let unbounded = SliceContext::new(&m);
+        let bounded = SliceContext::with_memo_capacity(&m, 1);
+        let br = bounded.branches_in(fid)[0];
+        // First key fills the table.
+        let a1 = bounded.backward_slice(fid, br, SliceMode::Pythia);
+        assert_eq!(bounded.memo_stats(), (0, 1));
+        // Second key finds the table full: computed, not cached, still a
+        // miss — and the result matches an unbounded context's.
+        let b1 = bounded.backward_slice(fid, br, SliceMode::Dfi);
+        assert_eq!(bounded.memo_stats(), (0, 2));
+        let b2 = bounded.backward_slice(fid, br, SliceMode::Dfi);
+        assert_eq!(bounded.memo_stats(), (0, 3), "uncached key recomputes");
+        assert_eq!(b1.values, b2.values);
+        assert_eq!(
+            b1.values,
+            unbounded.backward_slice(fid, br, SliceMode::Dfi).values
+        );
+        // The cached key still hits.
+        let a2 = bounded.backward_slice(fid, br, SliceMode::Pythia);
+        assert_eq!(bounded.memo_stats(), (1, 3));
+        assert_eq!(a1.values, a2.values);
     }
 
     #[test]

@@ -1,10 +1,22 @@
 //! Regenerate the paper's tables and figures (see DESIGN.md §4).
 //!
 //! Usage: `reproduce [--out <dir>] [--engine <legacy|block>]
+//! [--tier <smoke|standard|ref>] [--only <name[,name...]>]
 //! [--bench-json] [--lint] [--profile] [--smoke] [section...]`
 //! where a section is one of `fig4a fig4b fig5a fig5b fig6a fig6b fig7a
 //! fig7b dist precision dynpa heap campaign models nginx motiv eq6
 //! ablations profile` — or nothing for the full report.
+//!
+//! `--tier` selects the benchmark size tier (DESIGN.md §5g): `standard`
+//! (default) is the historical suite size, `ref` scales every profile to
+//! ~3× static / ~36× dynamic size (with the VM instruction budget scaled
+//! to match), `smoke` shrinks them for quick health checks. The suite
+//! runs through the streaming bounded-memory runner at every tier; the
+//! report stays byte-identical across worker counts within a tier.
+//!
+//! `--only <name[,name...]>` restricts the suite to the named benchmarks
+//! (partial SPEC names match; `nginx` selects the server workload) —
+//! `scripts/check.sh` uses this for the fast ref-tier gate.
 //!
 //! `--bench-json` additionally writes `BENCH_suite.json` (into the
 //! `--out` directory when given, else the working directory) with the
@@ -60,8 +72,12 @@ fn main() {
         args.remove(i);
     }
     // `--engine` steers every VmConfig::default() the harness builds
-    // (suite workers, campaigns, adjudications) via PYTHIA_ENGINE. Set
-    // before any evaluation starts; main is single-threaded here.
+    // (campaigns, adjudications, non-suite sections) via PYTHIA_ENGINE,
+    // set before any evaluation starts (main is single-threaded here) —
+    // and is *also* routed explicitly through the suite runner's
+    // `VmConfig` so the smoke/suite path no longer depends on the
+    // environment round-trip it used to silently bypass.
+    let mut engine_override: Option<pythia_vm::Engine> = None;
     if let Some(i) = args.iter().position(|a| a == "--engine") {
         if i + 1 >= args.len() {
             eprintln!("--engine needs a value (legacy|block)");
@@ -70,12 +86,40 @@ fn main() {
         let engine = args.remove(i + 1);
         args.remove(i);
         match engine.as_str() {
-            "legacy" | "block" => std::env::set_var("PYTHIA_ENGINE", &engine),
+            "legacy" => engine_override = Some(pythia_vm::Engine::Legacy),
+            "block" => engine_override = Some(pythia_vm::Engine::Block),
             other => {
                 eprintln!("unknown engine `{other}` (expected legacy|block)");
                 std::process::exit(2);
             }
         }
+        std::env::set_var("PYTHIA_ENGINE", &engine);
+    }
+    let mut tier = pythia_workloads::SizeTier::Standard;
+    if let Some(i) = args.iter().position(|a| a == "--tier") {
+        if i + 1 >= args.len() {
+            eprintln!("--tier needs a value (smoke|standard|ref)");
+            std::process::exit(2);
+        }
+        let t = args.remove(i + 1);
+        args.remove(i);
+        match pythia_workloads::SizeTier::parse(&t) {
+            Some(x) => tier = x,
+            None => {
+                eprintln!("unknown tier `{t}` (expected smoke|standard|ref)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mut only: Option<Vec<String>> = None;
+    if let Some(i) = args.iter().position(|a| a == "--only") {
+        if i + 1 >= args.len() {
+            eprintln!("--only needs a comma-separated benchmark list");
+            std::process::exit(2);
+        }
+        let names = args.remove(i + 1);
+        args.remove(i);
+        only = Some(names.split(',').map(str::to_owned).collect());
     }
     let mut bench_json = false;
     if let Some(i) = args.iter().position(|a| a == "--bench-json") {
@@ -107,29 +151,37 @@ fn main() {
     ];
     let run_suite_now =
         args.is_empty() || bench_json || args.iter().any(|a| needs_suite.contains(&a.as_str()));
-    let suite = if run_suite_now {
-        let (suite, timing) = if smoke {
-            exp::run_smoke_timed()
-        } else {
-            exp::run_suite_timed()
+    let run = if run_suite_now {
+        // Streaming bounded-memory runner: each benchmark's JSON row and
+        // profile sums are extracted as it completes; the entries kept
+        // for the figures are slim digests.
+        let spec = exp::SuiteSpec {
+            smoke,
+            tier,
+            only: only.clone(),
+            engine: engine_override,
+            lint,
+            profile,
         };
+        let run = exp::run_suite_streamed(&spec);
         if bench_json {
-            let json = exp::bench_json(&suite, &timing, lint, profile);
             let dir = out_dir.clone().unwrap_or_else(|| ".".to_owned());
             std::fs::create_dir_all(&dir).expect("create out dir");
             let path = std::path::Path::new(&dir).join("BENCH_suite.json");
-            std::fs::write(&path, json).expect("write BENCH_suite.json");
+            std::fs::write(&path, &run.json).expect("write BENCH_suite.json");
             eprintln!(
-                "wrote {} ({} threads, {:.2}s total)",
+                "wrote {} ({} tier, {} threads, {:.2}s total)",
                 path.display(),
-                timing.threads,
-                timing.total_secs
+                run.tier.name(),
+                run.timing.threads,
+                run.timing.total_secs
             );
         }
-        Some(suite)
+        Some(run)
     } else {
         None
     };
+    let suite = run.as_ref().map(|r| r.entries.clone());
 
     // One failed benchmark must not hide the others, but it must not
     // look like success either: report every failure on stderr and exit 1.
@@ -161,8 +213,10 @@ fn main() {
         };
         // The profile section never joins report.md: report bytes are the
         // determinism surface that scripts/bench.sh diffs serial vs
-        // parallel, and wall-clock seconds would break it.
-        let profile_report = profile.then(|| exp::profile_section(entries));
+        // parallel, and wall-clock seconds would break it. It was
+        // accumulated during the streamed run — the stripped digest
+        // entries no longer carry the profiles it renders from.
+        let profile_report = profile.then(|| run.as_ref().unwrap().profile_md.clone());
         match out_dir {
             Some(dir) => {
                 std::fs::create_dir_all(&dir).expect("create out dir");
@@ -200,7 +254,7 @@ fn main() {
             "dynpa" => exp::dynpa(evals.as_ref().unwrap()),
             "heap" => exp::heap(evals.as_ref().unwrap()),
             "models" => exp::models(evals.as_ref().unwrap()),
-            "profile" => exp::profile_section(suite.as_ref().unwrap()),
+            "profile" => run.as_ref().unwrap().profile_md.clone(),
             "nginx" => exp::nginx(),
             "motiv" => exp::motiv(),
             "campaign" => exp::campaign(),

@@ -9,13 +9,14 @@ use pythia_core::{adjudicate, evaluate, BenchEvaluation, PythiaError, Scheme, Vm
 use pythia_ir::{IcCategory, Module};
 use pythia_pa::{brute_force_probability, expected_tries, PaContext, PacConfig};
 use pythia_workloads::{
-    all_scenarios, generate, nginx_module, profile_by_name, run_workers, BenchProfile,
+    all_scenarios, generate, nginx_module, profile_by_name, run_workers, BenchProfile, SizeTier,
     SPEC_PROFILES,
 };
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
 /// The three instrumented schemes, in figure order.
@@ -84,8 +85,9 @@ pub fn errors_section(suite: &[SuiteEntry]) -> String {
 /// One unit of suite work: generate a module and evaluate it.
 #[derive(Debug, Clone)]
 enum SuiteJob {
-    /// A SPEC-like profile.
-    Profile(&'static BenchProfile),
+    /// A SPEC-like profile (owned: tier scaling produces non-`'static`
+    /// profiles, and `BenchProfile` is `Copy` anyway).
+    Profile(BenchProfile),
     /// The nginx server workload with a fixed request count.
     Nginx { requests: u64, seed: u64 },
     /// A caller-supplied module (test injection, ad-hoc suites).
@@ -125,14 +127,48 @@ impl SuiteJob {
     }
 }
 
-/// The full suite: all 16 SPEC-like benchmarks plus nginx, in report order.
-fn suite_jobs() -> Vec<SuiteJob> {
-    let mut jobs: Vec<SuiteJob> = SPEC_PROFILES.iter().map(SuiteJob::Profile).collect();
+/// The full suite at `tier`: all 16 SPEC-like benchmarks plus nginx, in
+/// report order. The nginx request count scales with the tier's
+/// input-channel volume factor.
+fn suite_jobs(tier: SizeTier) -> Vec<SuiteJob> {
+    let mut jobs: Vec<SuiteJob> = SPEC_PROFILES
+        .iter()
+        .map(|p| SuiteJob::Profile(p.at_tier(tier)))
+        .collect();
     jobs.push(SuiteJob::Nginx {
-        requests: 60,
+        requests: tier.scale_volume(60),
         seed: NGINX_SEED,
     });
     jobs
+}
+
+/// The reduced smoke set at `tier`: two fast SPEC-like profiles plus a
+/// short nginx run — enough to cross every pipeline layer.
+fn smoke_jobs(tier: SizeTier) -> Vec<SuiteJob> {
+    let mut jobs: Vec<SuiteJob> = ["519.lbm_r", "505.mcf_r"]
+        .iter()
+        .map(|n| match profile_by_name(n) {
+            Some(p) => SuiteJob::Profile(p.at_tier(tier)),
+            None => SuiteJob::Missing {
+                name: (*n).to_owned(),
+            },
+        })
+        .collect();
+    jobs.push(SuiteJob::Nginx {
+        requests: tier.scale_volume(10),
+        seed: NGINX_SEED,
+    });
+    jobs
+}
+
+/// The [`VmConfig`] a tiered suite run executes under: the default config
+/// (which honours `PYTHIA_ENGINE`) with the instruction budget scaled by
+/// the tier's factor — the ref tier's ~36× dynamic size would exhaust the
+/// standard 50 M budget on the larger profiles.
+pub fn tier_vm_config(tier: SizeTier) -> VmConfig {
+    let mut cfg = VmConfig::default();
+    cfg.max_insts = cfg.max_insts.saturating_mul(tier.inst_budget_factor());
+    cfg
 }
 
 /// Number of suite workers: `PYTHIA_THREADS` when set to a positive
@@ -149,28 +185,76 @@ pub fn worker_count() -> usize {
     }
 }
 
-/// Run `jobs` on a bounded worker pool, preserving input order in the
-/// output. Every job is deterministic (fixed generator and VM seeds), so
-/// the evaluations — and any report rendered from them — are identical
-/// for every worker count.
+/// Peak number of completed-but-unconsumed evaluations the streaming
+/// runner ever buffered — the quantity its backpressure bounds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamStats {
+    /// Jobs processed.
+    pub jobs: usize,
+    /// Peak reorder-buffer occupancy (≤ the claim window).
+    pub peak_buffered: usize,
+    /// The claim window: at most this many jobs may be past their claim
+    /// but not yet consumed, bounding live evaluations to `window + 1`.
+    pub window: usize,
+}
+
+/// Run `jobs` on a bounded worker pool, delivering each [`SuiteEntry`] to
+/// `sink` **in input order** the moment it is available, then dropping it
+/// — suite memory no longer scales with suite size, only with the worker
+/// window. Every job is deterministic (fixed generator and VM seeds), so
+/// the entries the sink sees — and any report rendered from them — are
+/// identical for every worker count.
+///
+/// Backpressure comes from two bounds instead of the old unbounded
+/// channel: a `sync_channel` sized to the worker count, and a claim
+/// window (2× workers) that stops a worker from starting job `i` until
+/// job `i - window` has been consumed by the sink. Together they cap
+/// completed-but-unconsumed evaluations at `window` however lopsided the
+/// job durations are.
+///
+/// Ordering audit (the claim counter): `fetch_add(Relaxed)` is sound
+/// here because the counter is a pure index dispenser — no data is
+/// published through it. Atomic RMWs on one variable have a total
+/// modification order even under `Relaxed`, so each index is claimed
+/// exactly once; the happens-before edge for the *results* is the
+/// channel send/recv pair, and the window gate's mutex orders the
+/// consumed counter.
 ///
 /// Each job body runs under `catch_unwind`, so one panicking or failing
 /// benchmark yields an error entry in its slot instead of poisoning the
 /// pool: the other jobs keep draining the queue and land in their usual
 /// positions.
-fn run_jobs(jobs: &[SuiteJob], threads: usize, cfg: &VmConfig) -> Vec<SuiteEntry> {
+fn run_jobs_streamed(
+    jobs: &[SuiteJob],
+    threads: usize,
+    cfg: &VmConfig,
+    mut sink: impl FnMut(SuiteEntry),
+) -> StreamStats {
     type Outcome = Result<BenchEvaluation, PythiaError>;
     let threads = threads.clamp(1, jobs.len().max(1));
+    let window = threads * 2;
     let next = AtomicUsize::new(0);
-    let (tx, rx) = std::sync::mpsc::channel::<(usize, Outcome)>();
+    // Consumed-prefix gate: workers wait here until the sink catches up.
+    let gate: (Mutex<usize>, Condvar) = (Mutex::new(0), Condvar::new());
+    let (tx, rx) = std::sync::mpsc::sync_channel::<(usize, Outcome)>(threads);
+    let mut peak_buffered = 0usize;
     std::thread::scope(|s| {
         for _ in 0..threads {
             let tx = tx.clone();
-            let next = &next;
+            let (next, gate) = (&next, &gate);
             s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(i) else { break };
-                let outcome = catch_unwind(AssertUnwindSafe(|| job.run(cfg)))
+                if i >= jobs.len() {
+                    break;
+                }
+                {
+                    let (consumed, cv) = gate;
+                    let mut done = consumed.lock().unwrap();
+                    while i >= *done + window {
+                        done = cv.wait(done).unwrap();
+                    }
+                }
+                let outcome = catch_unwind(AssertUnwindSafe(|| jobs[i].run(cfg)))
                     .unwrap_or_else(|p| Err(PythiaError::from_panic(p.as_ref())));
                 if tx.send((i, outcome)).is_err() {
                     break;
@@ -178,20 +262,48 @@ fn run_jobs(jobs: &[SuiteJob], threads: usize, cfg: &VmConfig) -> Vec<SuiteEntry
             });
         }
         drop(tx);
-        let mut slots: Vec<Option<Outcome>> = (0..jobs.len()).map(|_| None).collect();
-        for (i, outcome) in rx {
-            slots[i] = Some(outcome);
+        // Consume in input order; out-of-order completions wait in a
+        // reorder buffer bounded by the claim window.
+        let mut pending: std::collections::HashMap<usize, Outcome> = Default::default();
+        for (j, job) in jobs.iter().enumerate() {
+            let outcome = loop {
+                if let Some(o) = pending.remove(&j) {
+                    break Some(o);
+                }
+                match rx.recv() {
+                    Ok((i, o)) if i == j => break Some(o),
+                    Ok((i, o)) => {
+                        pending.insert(i, o);
+                        peak_buffered = peak_buffered.max(pending.len());
+                    }
+                    // Workers are gone and job j never arrived: it was
+                    // dropped (a worker died outside catch_unwind).
+                    Err(_) => break None,
+                }
+            };
+            let name = job.name();
+            let outcome = outcome.unwrap_or_else(|| {
+                Err(PythiaError::internal("suite worker dropped the job").with_function(&name))
+            });
+            sink(SuiteEntry { name, outcome });
+            let (consumed, cv) = &gate;
+            *consumed.lock().unwrap() += 1;
+            cv.notify_all();
         }
-        jobs.iter()
-            .zip(slots)
-            .map(|(job, slot)| SuiteEntry {
-                name: job.name(),
-                outcome: slot.unwrap_or_else(|| {
-                    Err(PythiaError::internal("suite worker dropped the job"))
-                }),
-            })
-            .collect()
-    })
+    });
+    StreamStats {
+        jobs: jobs.len(),
+        peak_buffered,
+        window,
+    }
+}
+
+/// Collecting wrapper over [`run_jobs_streamed`] for callers that want
+/// the whole suite in memory (tests, figure subsets).
+fn run_jobs(jobs: &[SuiteJob], threads: usize, cfg: &VmConfig) -> Vec<SuiteEntry> {
+    let mut out = Vec::with_capacity(jobs.len());
+    run_jobs_streamed(jobs, threads, cfg, |e| out.push(e));
+    out
 }
 
 /// Evaluate the full suite: all 16 SPEC-like benchmarks plus nginx,
@@ -202,7 +314,11 @@ pub fn run_suite() -> Vec<SuiteEntry> {
 
 /// [`run_suite`] with an explicit worker count (1 = fully serial).
 pub fn run_suite_with(threads: usize) -> Vec<SuiteEntry> {
-    run_jobs(&suite_jobs(), threads, &VmConfig::default())
+    run_jobs(
+        &suite_jobs(SizeTier::Standard),
+        threads,
+        &VmConfig::default(),
+    )
 }
 
 /// Evaluate a subset of the suite by (possibly partial) profile name,
@@ -217,10 +333,21 @@ pub fn run_profiles(names: &[&str], threads: usize) -> Vec<SuiteEntry> {
 /// `PYTHIA_ENGINE` environment variable (tests run concurrently; env
 /// mutation races).
 pub fn run_profiles_cfg(names: &[&str], threads: usize, cfg: &VmConfig) -> Vec<SuiteEntry> {
+    run_profiles_tier_cfg(names, SizeTier::Standard, threads, cfg)
+}
+
+/// [`run_profiles_cfg`] at an explicit [`SizeTier`] — the hook the tier
+/// determinism and bounded-memory tests use.
+pub fn run_profiles_tier_cfg(
+    names: &[&str],
+    tier: SizeTier,
+    threads: usize,
+    cfg: &VmConfig,
+) -> Vec<SuiteEntry> {
     let jobs: Vec<SuiteJob> = names
         .iter()
         .map(|n| match profile_by_name(n) {
-            Some(p) => SuiteJob::Profile(p),
+            Some(p) => SuiteJob::Profile(p.at_tier(tier)),
             None => SuiteJob::Missing {
                 name: (*n).to_owned(),
             },
@@ -233,31 +360,39 @@ pub fn run_profiles_cfg(names: &[&str], threads: usize, cfg: &VmConfig) -> Vec<S
 /// worker pool. The injection point for robustness tests and ad-hoc
 /// suites: entries come back in input order, failures as error entries.
 pub fn evaluate_modules(modules: Vec<(String, Module, u64)>, threads: usize) -> Vec<SuiteEntry> {
+    evaluate_modules_cfg(modules, threads, &VmConfig::default())
+}
+
+/// [`evaluate_modules`] with an explicit [`VmConfig`]. The default-config
+/// wrapper used to hardcode `VmConfig::default()` with no override path,
+/// silently pinning injected modules to the environment-selected engine;
+/// this is the plumbing `reproduce --engine` and the engine regression
+/// tests go through.
+pub fn evaluate_modules_cfg(
+    modules: Vec<(String, Module, u64)>,
+    threads: usize,
+    cfg: &VmConfig,
+) -> Vec<SuiteEntry> {
     let jobs: Vec<SuiteJob> = modules
         .into_iter()
         .map(|(name, module, seed)| SuiteJob::Module { name, module, seed })
         .collect();
-    run_jobs(&jobs, threads, &VmConfig::default())
+    run_jobs(&jobs, threads, cfg)
 }
 
 /// The reduced smoke suite behind `reproduce --smoke`: two fast SPEC-like
 /// profiles plus a short nginx run — enough to cross every pipeline layer
 /// (generate → analyze → instrument → execute → aggregate) in seconds.
 pub fn run_smoke_with(threads: usize) -> Vec<SuiteEntry> {
-    let mut jobs: Vec<SuiteJob> = ["519.lbm_r", "505.mcf_r"]
-        .iter()
-        .map(|n| match profile_by_name(n) {
-            Some(p) => SuiteJob::Profile(p),
-            None => SuiteJob::Missing {
-                name: (*n).to_owned(),
-            },
-        })
-        .collect();
-    jobs.push(SuiteJob::Nginx {
-        requests: 10,
-        seed: NGINX_SEED,
-    });
-    run_jobs(&jobs, threads, &VmConfig::default())
+    run_smoke_with_cfg(threads, &VmConfig::default())
+}
+
+/// [`run_smoke_with`] with an explicit [`VmConfig`]. Fixes the smoke
+/// path's engine-selection bypass: the old implementation hardcoded
+/// `VmConfig::default()`, so a caller that had already resolved an engine
+/// or budget override had no way to apply it to smoke runs.
+pub fn run_smoke_with_cfg(threads: usize, cfg: &VmConfig) -> Vec<SuiteEntry> {
+    run_jobs(&smoke_jobs(SizeTier::Standard), threads, cfg)
 }
 
 /// Timing envelope of one suite run (for `BENCH_suite.json`).
@@ -291,6 +426,122 @@ pub fn run_smoke_timed() -> (Vec<SuiteEntry>, SuiteTiming) {
         total_secs: start.elapsed().as_secs_f64(),
     };
     (suite, timing)
+}
+
+/// What to run and how, for [`run_suite_streamed`] (the `reproduce`
+/// entry point).
+#[derive(Debug, Clone, Default)]
+pub struct SuiteSpec {
+    /// Run the reduced smoke set instead of the full suite.
+    pub smoke: bool,
+    /// Benchmark size tier.
+    pub tier: SizeTier,
+    /// Restrict to these (possibly partial) benchmark names; `"nginx"`
+    /// selects the server workload. Overrides `smoke`.
+    pub only: Option<Vec<String>>,
+    /// Engine override (`reproduce --engine`); `None` keeps the
+    /// environment-driven default. Routed through the per-job `VmConfig`
+    /// — the smoke path used to hardcode `VmConfig::default()` and lose
+    /// this.
+    pub engine: Option<pythia_vm::Engine>,
+    /// Record certification status per benchmark in the JSON.
+    pub lint: bool,
+    /// Embed the per-scheme profile block in the JSON.
+    pub profile: bool,
+}
+
+/// Everything one streamed suite run produced. `entries` are slim
+/// digests: each evaluation's per-scheme execution profiles were
+/// consumed (into `json` rows and `profile_md` sums) and dropped as its
+/// benchmark completed, so holding the whole suite of digests is cheap
+/// and every figure renders byte-identically from them.
+#[derive(Debug, Clone)]
+pub struct SuiteRun {
+    /// Profile-stripped suite entries, in report order.
+    pub entries: Vec<SuiteEntry>,
+    /// Wall-clock envelope.
+    pub timing: SuiteTiming,
+    /// The tier the suite ran at.
+    pub tier: SizeTier,
+    /// The `BENCH_suite.json` document.
+    pub json: String,
+    /// The rendered profile section (`profile.md`).
+    pub profile_md: String,
+    /// Streaming-runner backpressure stats.
+    pub stream: StreamStats,
+}
+
+/// Run a suite through the streaming pipeline: generate → analyze →
+/// instrument → execute one benchmark per worker slot, render its JSON
+/// row and fold its profile into the pooled accumulator the moment it
+/// completes, then drop the heavy state before the claim window admits
+/// the next job. Peak memory is bounded by the worker window instead of
+/// the suite size — the property the ref tier depends on.
+pub fn run_suite_streamed(spec: &SuiteSpec) -> SuiteRun {
+    let threads = worker_count();
+    let tier = spec.tier;
+    let mut cfg = tier_vm_config(tier);
+    if let Some(engine) = spec.engine {
+        cfg.engine = engine;
+    }
+    let jobs: Vec<SuiteJob> = match &spec.only {
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                if n == "nginx" {
+                    SuiteJob::Nginx {
+                        requests: tier.scale_volume(60),
+                        seed: NGINX_SEED,
+                    }
+                } else {
+                    match profile_by_name(n) {
+                        Some(p) => SuiteJob::Profile(p.at_tier(tier)),
+                        None => SuiteJob::Missing { name: n.clone() },
+                    }
+                }
+            })
+            .collect(),
+        None if spec.smoke => smoke_jobs(tier),
+        None => suite_jobs(tier),
+    };
+    let mut acc = ProfileAcc::new(cfg.engine.name());
+    let mut rows = Vec::with_capacity(jobs.len());
+    let mut entries: Vec<SuiteEntry> = Vec::with_capacity(jobs.len());
+    let start = Instant::now();
+    let stream = run_jobs_streamed(&jobs, threads, &cfg, |mut e| {
+        rows.push(bench_json_row(&e, spec.lint, spec.profile));
+        if let Ok(ev) = &mut e.outcome {
+            acc.add(ev);
+            // Keep only the digest: the figures read analysis summaries,
+            // stats, metrics and timings — never the execution profiles,
+            // which dominate an evaluation's footprint.
+            for r in &mut ev.results {
+                r.profile = Default::default();
+            }
+        }
+        entries.push(e);
+    });
+    let timing = SuiteTiming {
+        threads,
+        total_secs: start.elapsed().as_secs_f64(),
+    };
+    let json = bench_json_assemble(
+        &entries,
+        &timing,
+        tier,
+        "streaming",
+        cfg.engine.name(),
+        Some(stream),
+        &rows,
+    );
+    SuiteRun {
+        profile_md: acc.render(),
+        entries,
+        timing,
+        tier,
+        json,
+        stream,
+    }
 }
 
 fn json_escape(s: &str) -> String {
@@ -367,15 +618,112 @@ fn scheme_profile_json(r: &pythia_core::SchemeResult) -> String {
     )
 }
 
-/// Render a machine-readable benchmark record: total and per-phase
-/// wall-clock, plus the per-benchmark breakdown with a `status` field
-/// (`ok`, or the error's taxonomy variant — `scripts/check.sh` fails the
-/// build on any `internal`). With `profile`, each `ok` benchmark also
-/// carries a `profile` block: the slice-memo counters and one line per
-/// scheme with PA/DFI/shadow/heap counters plus the top-5 opcode
-/// histogram (see DESIGN.md §5d for the schema). Hand-rolled JSON — the
-/// workspace is offline and carries no serde.
-pub fn bench_json(suite: &[SuiteEntry], timing: &SuiteTiming, lint: bool, profile: bool) -> String {
+/// Render one benchmark's JSON record (no trailing comma/newline). Must
+/// run **before** the streamed path strips the per-scheme execution
+/// profiles: `peak_resident_bytes` and the `profile` block read them.
+fn bench_json_row(entry: &SuiteEntry, lint: bool, profile: bool) -> String {
+    match &entry.outcome {
+        Ok(ev) => {
+            let t = &ev.timings;
+            // An `ok` evaluation implies the lint gate passed: every
+            // instrumented variant was certified before it executed.
+            let lint_field = if lint {
+                format!(
+                    ", \"lint\": \"certified\", \"lint_checks\": {}",
+                    ev.lint_checks()
+                )
+            } else {
+                String::new()
+            };
+            // Per-benchmark memory and phase-share summary: the peak VM
+            // resident set across schemes (deterministic — counted from
+            // touched pages, not host RSS), and where the wall-clock went.
+            let total = t.total_secs();
+            let share = |s: f64| if total > 0.0 { s / total } else { 0.0 };
+            let peak_resident: u64 = ev
+                .results
+                .iter()
+                .map(|r| r.profile.resident_bytes)
+                .max()
+                .unwrap_or(0);
+            let summary = format!(
+                ", \"analysis_share\": {:.3}, \"execute_share\": {:.3}, \"peak_resident_bytes\": {}, \"proven_geps\": {}, \"obligations_pruned\": {}",
+                share(t.analysis_secs()),
+                share(t.execute_secs()),
+                peak_resident,
+                ev.analysis.proven_gep_stores,
+                ev.analysis.obligations_pruned,
+            );
+            if profile {
+                let mut out = format!(
+                    "    {{ \"name\": \"{}\", \"status\": \"ok\", \"analysis_secs\": {:.6}, \"instrument_secs\": {:.6}, \"lint_secs\": {:.6}, \"decode_secs\": {:.6}, \"execute_secs\": {:.6}, \"retirement_minsts_per_sec\": {:.3}{summary}{lint_field},\n",
+                    json_escape(&entry.name),
+                    t.analysis_secs(),
+                    t.instrument_secs(),
+                    t.lint_secs(),
+                    t.decode_secs(),
+                    t.execute_secs(),
+                    retirement_of(ev),
+                );
+                out.push_str(&format!(
+                    "      \"profile\": {{ \"memo\": {{ \"hits\": {}, \"misses\": {} }}, \"schemes\": [\n",
+                    ev.analysis.memo_hits, ev.analysis.memo_misses
+                ));
+                for (j, r) in ev.results.iter().enumerate() {
+                    let c = if j + 1 < ev.results.len() { "," } else { "" };
+                    out.push_str(&format!("        {}{c}\n", scheme_profile_json(r)));
+                }
+                out.push_str("      ] }} }}");
+                out
+            } else {
+                format!(
+                    "    {{ \"name\": \"{}\", \"status\": \"ok\", \"analysis_secs\": {:.6}, \"instrument_secs\": {:.6}, \"lint_secs\": {:.6}, \"decode_secs\": {:.6}, \"execute_secs\": {:.6}{summary}{lint_field} }}",
+                    json_escape(&entry.name),
+                    t.analysis_secs(),
+                    t.instrument_secs(),
+                    t.lint_secs(),
+                    t.decode_secs(),
+                    t.execute_secs(),
+                )
+            }
+        }
+        Err(e) => {
+            let lint_field = if lint {
+                // The pipeline's certification error message is stable
+                // (pythia-lint's `into_setup_error`), so it doubles as
+                // the discriminator between "lint rejected this" and
+                // "the benchmark never reached the lint gate".
+                if e.to_string().contains("static certification") {
+                    ", \"lint\": \"violated\""
+                } else {
+                    ", \"lint\": \"not-reached\""
+                }
+            } else {
+                ""
+            };
+            format!(
+                "    {{ \"name\": \"{}\", \"status\": \"{}\", \"error\": \"{}\"{lint_field} }}",
+                json_escape(&entry.name),
+                e.variant(),
+                json_escape(&e.to_string()),
+            )
+        }
+    }
+}
+
+/// Assemble the suite-level JSON envelope around pre-rendered rows.
+/// `suite` supplies the per-phase and retirement sums — its digest fields
+/// (timings, metrics) survive profile-stripping, so the streamed path can
+/// pass its slim entries here.
+fn bench_json_assemble(
+    suite: &[SuiteEntry],
+    timing: &SuiteTiming,
+    tier: SizeTier,
+    runner: &str,
+    engine: &str,
+    stream: Option<StreamStats>,
+    rows: &[String],
+) -> String {
     let sum = |f: &dyn Fn(&pythia_core::Timings) -> f64| -> f64 {
         suite
             .iter()
@@ -385,13 +733,16 @@ pub fn bench_json(suite: &[SuiteEntry], timing: &SuiteTiming, lint: bool, profil
     };
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"threads\": {},\n", timing.threads));
+    out.push_str(&format!("  \"tier\": \"{}\",\n", tier.name()));
+    out.push_str(&format!("  \"runner\": \"{runner}\",\n"));
+    if let Some(s) = stream {
+        out.push_str(&format!(
+            "  \"stream_window\": {}, \"stream_peak_buffered\": {},\n",
+            s.window, s.peak_buffered
+        ));
+    }
     out.push_str(&format!("  \"total_secs\": {:.6},\n", timing.total_secs));
-    // The engine the suite executed under: `VmConfig::default()` reads
-    // `PYTHIA_ENGINE`, the same path the suite workers take.
-    out.push_str(&format!(
-        "  \"engine\": \"{}\",\n",
-        VmConfig::default().engine.name()
-    ));
+    out.push_str(&format!("  \"engine\": \"{engine}\",\n"));
     out.push_str(&format!(
         "  \"retirement_minsts_per_sec\": {:.3},\n",
         retirement_minsts_per_sec(suite)
@@ -405,78 +756,278 @@ pub fn bench_json(suite: &[SuiteEntry], timing: &SuiteTiming, lint: bool, profil
         sum(&|t| t.execute_secs())
     ));
     out.push_str("  \"benchmarks\": [\n");
-    for (i, entry) in suite.iter().enumerate() {
-        let comma = if i + 1 < suite.len() { "," } else { "" };
-        match &entry.outcome {
-            Ok(ev) => {
-                let t = &ev.timings;
-                // An `ok` evaluation implies the lint gate passed: every
-                // instrumented variant was certified before it executed.
-                let lint_field = if lint {
-                    format!(
-                        ", \"lint\": \"certified\", \"lint_checks\": {}",
-                        ev.lint_checks()
-                    )
-                } else {
-                    String::new()
-                };
-                if profile {
-                    out.push_str(&format!(
-                        "    {{ \"name\": \"{}\", \"status\": \"ok\", \"analysis_secs\": {:.6}, \"instrument_secs\": {:.6}, \"lint_secs\": {:.6}, \"decode_secs\": {:.6}, \"execute_secs\": {:.6}, \"retirement_minsts_per_sec\": {:.3}{lint_field},\n",
-                        json_escape(&entry.name),
-                        t.analysis_secs(),
-                        t.instrument_secs(),
-                        t.lint_secs(),
-                        t.decode_secs(),
-                        t.execute_secs(),
-                        retirement_of(ev),
-                    ));
-                    out.push_str(&format!(
-                        "      \"profile\": {{ \"memo\": {{ \"hits\": {}, \"misses\": {} }}, \"schemes\": [\n",
-                        ev.analysis.memo_hits, ev.analysis.memo_misses
-                    ));
-                    for (j, r) in ev.results.iter().enumerate() {
-                        let c = if j + 1 < ev.results.len() { "," } else { "" };
-                        out.push_str(&format!("        {}{c}\n", scheme_profile_json(r)));
-                    }
-                    out.push_str(&format!("      ] }} }}{comma}\n"));
-                } else {
-                    out.push_str(&format!(
-                        "    {{ \"name\": \"{}\", \"status\": \"ok\", \"analysis_secs\": {:.6}, \"instrument_secs\": {:.6}, \"lint_secs\": {:.6}, \"decode_secs\": {:.6}, \"execute_secs\": {:.6}{lint_field} }}{comma}\n",
-                        json_escape(&entry.name),
-                        t.analysis_secs(),
-                        t.instrument_secs(),
-                        t.lint_secs(),
-                        t.decode_secs(),
-                        t.execute_secs(),
-                    ));
-                }
-            }
-            Err(e) => {
-                let lint_field = if lint {
-                    // The pipeline's certification error message is stable
-                    // (pythia-lint's `into_setup_error`), so it doubles as
-                    // the discriminator between "lint rejected this" and
-                    // "the benchmark never reached the lint gate".
-                    if e.to_string().contains("static certification") {
-                        ", \"lint\": \"violated\""
-                    } else {
-                        ", \"lint\": \"not-reached\""
-                    }
-                } else {
-                    ""
-                };
-                out.push_str(&format!(
-                    "    {{ \"name\": \"{}\", \"status\": \"{}\", \"error\": \"{}\"{lint_field} }}{comma}\n",
-                    json_escape(&entry.name),
-                    e.variant(),
-                    json_escape(&e.to_string()),
-                ));
-            }
-        }
+    out.push_str(&rows.join(",\n"));
+    if !rows.is_empty() {
+        out.push('\n');
     }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Render a machine-readable benchmark record: total and per-phase
+/// wall-clock, plus the per-benchmark breakdown with a `status` field
+/// (`ok`, or the error's taxonomy variant — `scripts/check.sh` fails the
+/// build on any `internal`), per-benchmark peak resident bytes and
+/// analysis/execute wall-clock shares. With `profile`, each `ok`
+/// benchmark also carries a `profile` block: the slice-memo counters and
+/// one line per scheme with PA/DFI/shadow/heap counters plus the top-5
+/// opcode histogram (see DESIGN.md §5d for the schema). Hand-rolled JSON
+/// — the workspace is offline and carries no serde.
+///
+/// This collect-mode wrapper renders from in-memory entries at the
+/// standard tier; `reproduce` goes through [`run_suite_streamed`], which
+/// renders each row as its benchmark completes.
+pub fn bench_json(suite: &[SuiteEntry], timing: &SuiteTiming, lint: bool, profile: bool) -> String {
+    let rows: Vec<String> = suite
+        .iter()
+        .map(|e| bench_json_row(e, lint, profile))
+        .collect();
+    // The engine the suite executed under: `VmConfig::default()` reads
+    // `PYTHIA_ENGINE`, the same path the default-config runners take.
+    bench_json_assemble(
+        suite,
+        timing,
+        SizeTier::Standard,
+        "collect",
+        VmConfig::default().engine.name(),
+        None,
+        &rows,
+    )
+}
+
+/// Per-scheme counter sums for [`ProfileAcc`].
+#[derive(Debug, Clone, Copy, Default)]
+struct SchemeSums {
+    n: usize,
+    signs: u64,
+    auths: u64,
+    strips: u64,
+    statics: u64,
+    unpruned: u64,
+    pruned: u64,
+    setdefs: u64,
+    chkdefs: u64,
+    allocs: u64,
+    coalesces: u64,
+    resident: u64,
+}
+
+/// Streaming accumulator behind [`profile_section`]: consumes one
+/// evaluation at a time (while its execution profiles are still
+/// attached) and keeps only pooled sums plus one small memo-table row
+/// per benchmark, so profile reporting no longer requires the whole
+/// suite in memory.
+pub struct ProfileAcc {
+    engine: String,
+    evs: usize,
+    phase_secs: [f64; 5],
+    total_secs: f64,
+    insts: u64,
+    exec_secs: f64,
+    decode_secs: f64,
+    schemes: Vec<(Scheme, SchemeSums)>,
+    execs: std::collections::BTreeMap<&'static str, u64>,
+    mc: std::collections::BTreeMap<&'static str, u64>,
+    memo_rows: Vec<(String, u64, u64, f64)>,
+}
+
+impl ProfileAcc {
+    /// Fresh accumulator; `engine` is the name the retirement table shows.
+    pub fn new(engine: &str) -> ProfileAcc {
+        ProfileAcc {
+            engine: engine.to_owned(),
+            evs: 0,
+            phase_secs: [0.0; 5],
+            total_secs: 0.0,
+            insts: 0,
+            exec_secs: 0.0,
+            decode_secs: 0.0,
+            schemes: Scheme::ALL
+                .iter()
+                .map(|s| (*s, SchemeSums::default()))
+                .collect(),
+            execs: Default::default(),
+            mc: Default::default(),
+            memo_rows: Vec::new(),
+        }
+    }
+
+    /// Fold one successful evaluation into the pooled sums.
+    pub fn add(&mut self, ev: &BenchEvaluation) {
+        self.evs += 1;
+        self.total_secs += ev.timings.total_secs();
+        for (i, phase) in pythia_core::Phase::ALL.iter().enumerate() {
+            self.phase_secs[i] += ev.timings.phase_secs(*phase);
+        }
+        self.insts += retired_insts(ev);
+        self.exec_secs += ev.timings.execute_secs();
+        self.decode_secs += ev.timings.decode_secs();
+        for r in &ev.results {
+            if let Some((_, s)) = self.schemes.iter_mut().find(|(s, _)| *s == r.scheme) {
+                let p = &r.profile;
+                s.n += 1;
+                s.signs += p.pa.signs;
+                s.auths += p.pa.auths;
+                s.strips += p.pa.strips;
+                s.statics += p.pa.static_sign_auth();
+                s.unpruned += r.pa_static_unpruned as u64;
+                s.pruned += r.stats.obligations_pruned as u64;
+                s.setdefs += p.shadow.setdefs;
+                s.chkdefs += p.shadow.chkdefs;
+                s.allocs += p.heap_shared.allocs + p.heap_isolated.allocs;
+                s.coalesces += p.heap_shared.coalesces + p.heap_isolated.coalesces;
+                s.resident += p.resident_bytes;
+            }
+            for (op, n) in &r.profile.opcodes {
+                *self.execs.entry(op).or_default() += n;
+            }
+            for (op, m) in &r.profile.opcode_mc {
+                *self.mc.entry(op).or_default() += m;
+            }
+        }
+        self.memo_rows.push((
+            ev.name.clone(),
+            ev.analysis.memo_hits,
+            ev.analysis.memo_misses,
+            ev.analysis.memo_hit_rate(),
+        ));
+    }
+
+    /// Render the cost-attribution report from the accumulated sums.
+    pub fn render(&self) -> String {
+        use crate::table::count;
+
+        let mut out = String::from(
+            "## profile — execution cost attribution (observational; not part of the determinism surface)\n\n",
+        );
+        if self.evs == 0 {
+            out.push_str("no successful evaluations to profile\n");
+            return out;
+        }
+
+        // Phase wall-clock, summed across benchmarks.
+        let mut t = Table::new(vec!["phase", "secs", "share"]);
+        for (i, phase) in pythia_core::Phase::ALL.iter().enumerate() {
+            let secs = self.phase_secs[i];
+            t.row(vec![
+                phase.name().to_owned(),
+                format!("{secs:.3}"),
+                frac(if self.total_secs > 0.0 {
+                    secs / self.total_secs
+                } else {
+                    0.0
+                }),
+            ]);
+        }
+        out.push_str(&format!(
+            "### phase wall-clock across {} benchmarks\n\n{}\n",
+            self.evs,
+            t.render()
+        ));
+
+        // Retirement rate: the block-cached engine's headline metric.
+        // Decode amortization context rides along — the one-time lowering
+        // cost must stay well under the execute time it saves.
+        let rate = if self.exec_secs > 0.0 {
+            self.insts as f64 / self.exec_secs / 1e6
+        } else {
+            0.0
+        };
+        let mut t = Table::new(vec![
+            "engine",
+            "insts retired",
+            "execute secs",
+            "decode secs",
+            "Minsts/s",
+        ]);
+        t.row(vec![
+            self.engine.clone(),
+            count(self.insts),
+            format!("{:.3}", self.exec_secs),
+            format!("{:.3}", self.decode_secs),
+            format!("{rate:.2}"),
+        ]);
+        out.push_str(&format!(
+            "### retirement rate, all schemes pooled (`scripts/bench.sh` compares engines; decode is the one-time block-lowering cost)\n\n{}\n",
+            t.render()
+        ));
+
+        // Per-scheme dynamic counters, summed across benchmarks. The
+        // `pa unpruned` column is what each scheme would have emitted
+        // without the precision stage; `pa static` is what survived
+        // pruning and `pruned` the dropped obligation count — the
+        // executed-PA reduction the field-sensitive points-to + bounds
+        // proofs buy.
+        let mut t = Table::new(vec![
+            "scheme", "pa sign", "pa auth", "pa strip", "pa static", "pa unpruned", "pruned",
+            "dfi setdef", "dfi chkdef", "heap allocs", "coalesces", "resident KiB",
+        ]);
+        for (scheme, s) in &self.schemes {
+            if s.n == 0 {
+                continue;
+            }
+            t.row(vec![
+                scheme.name().to_owned(),
+                count(s.signs),
+                count(s.auths),
+                count(s.strips),
+                count(s.statics),
+                count(s.unpruned),
+                count(s.pruned),
+                count(s.setdefs),
+                count(s.chkdefs),
+                count(s.allocs),
+                count(s.coalesces),
+                count(s.resident / 1024),
+            ]);
+        }
+        out.push_str(&format!(
+            "### per-scheme dynamic counters (summed; `pa static` = sign/auth sites in the instrumented module after pruning, `pa unpruned` = without the precision stage)\n\n{}\n",
+            t.render()
+        ));
+
+        // Pooled opcode histogram: executions and attributed cycles across
+        // every scheme of every benchmark.
+        let mut ranked: Vec<(&'static str, u64)> =
+            self.execs.iter().map(|(k, v)| (*k, *v)).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let mut t = Table::new(vec!["opcode", "execs", "cycles"]);
+        for (op, n) in ranked.into_iter().take(10) {
+            let cycles =
+                pythia_vm::CostModel::to_cycles_f64(self.mc.get(op).copied().unwrap_or(0));
+            t.row(vec![op.to_owned(), count(n), format!("{cycles:.0}")]);
+        }
+        out.push_str(&format!(
+            "### top opcodes, all schemes pooled (base-cost attribution)\n\n{}\n",
+            t.render()
+        ));
+
+        // Slice-memo cache effectiveness per benchmark (misses = distinct
+        // slices computed, hits = warm re-queries by the passes + lint).
+        let mut t = Table::new(vec!["benchmark", "memo hits", "memo misses", "hit rate"]);
+        let (mut th, mut tm) = (0u64, 0u64);
+        for (name, hits, misses, rate) in &self.memo_rows {
+            th += hits;
+            tm += misses;
+            t.row(vec![name.clone(), count(*hits), count(*misses), frac(*rate)]);
+        }
+        let total_rate = if th + tm == 0 {
+            0.0
+        } else {
+            th as f64 / (th + tm) as f64
+        };
+        t.row(vec![
+            "TOTAL".to_owned(),
+            count(th),
+            count(tm),
+            frac(total_rate),
+        ]);
+        out.push_str(&format!(
+            "### backward-slice memo cache (misses = distinct slices, hits = warm re-queries)\n\n{}",
+            t.render()
+        ));
+        out
+    }
 }
 
 /// Human-readable cost-attribution report from the VM profiles: phase
@@ -484,145 +1035,16 @@ pub fn bench_json(suite: &[SuiteEntry], timing: &SuiteTiming, lint: bool, profil
 /// histogram, and slice-memo hit rates. Rendered *outside* `report.md`
 /// (wall-clock seconds are not deterministic) — `reproduce --profile`
 /// writes it to `profile.md` or appends it after the report on stdout.
+///
+/// Collect-mode wrapper over [`ProfileAcc`]; requires entries whose
+/// execution profiles are still attached (the streamed path accumulates
+/// before stripping instead).
 pub fn profile_section(suite: &[SuiteEntry]) -> String {
-    use crate::table::count;
-
-    let evs: Vec<&BenchEvaluation> = suite.iter().filter_map(|e| e.evaluation()).collect();
-    let mut out = String::from(
-        "## profile — execution cost attribution (observational; not part of the determinism surface)\n\n",
-    );
-    if evs.is_empty() {
-        out.push_str("no successful evaluations to profile\n");
-        return out;
+    let mut acc = ProfileAcc::new(VmConfig::default().engine.name());
+    for ev in suite.iter().filter_map(|e| e.evaluation()) {
+        acc.add(ev);
     }
-
-    // Phase wall-clock, summed across benchmarks.
-    let phase_total: f64 = evs.iter().map(|e| e.timings.total_secs()).sum();
-    let mut t = Table::new(vec!["phase", "secs", "share"]);
-    for phase in pythia_core::Phase::ALL {
-        let secs: f64 = evs.iter().map(|e| e.timings.phase_secs(phase)).sum();
-        t.row(vec![
-            phase.name().to_owned(),
-            format!("{secs:.3}"),
-            frac(if phase_total > 0.0 { secs / phase_total } else { 0.0 }),
-        ]);
-    }
-    out.push_str(&format!(
-        "### phase wall-clock across {} benchmarks\n\n{}\n",
-        evs.len(),
-        t.render()
-    ));
-
-    // Retirement rate: the block-cached engine's headline metric.
-    // Decode amortization context rides along — the one-time lowering
-    // cost must stay well under the execute time it saves.
-    let total_insts: u64 = evs.iter().map(|e| retired_insts(e)).sum();
-    let exec_secs: f64 = evs.iter().map(|e| e.timings.execute_secs()).sum();
-    let decode_secs: f64 = evs.iter().map(|e| e.timings.decode_secs()).sum();
-    let mut t = Table::new(vec!["engine", "insts retired", "execute secs", "decode secs", "Minsts/s"]);
-    t.row(vec![
-        VmConfig::default().engine.name().to_owned(),
-        count(total_insts),
-        format!("{exec_secs:.3}"),
-        format!("{decode_secs:.3}"),
-        format!("{:.2}", retirement_minsts_per_sec(suite)),
-    ]);
-    out.push_str(&format!(
-        "### retirement rate, all schemes pooled (`scripts/bench.sh` compares engines; decode is the one-time block-lowering cost)\n\n{}\n",
-        t.render()
-    ));
-
-    // Per-scheme dynamic counters, summed across benchmarks. The
-    // `pa unpruned` column is what each scheme would have emitted without
-    // the precision stage; `pa static` is what survived pruning and
-    // `pruned` the dropped obligation count — the executed-PA reduction
-    // the field-sensitive points-to + bounds proofs buy.
-    let mut t = Table::new(vec![
-        "scheme", "pa sign", "pa auth", "pa strip", "pa static", "pa unpruned", "pruned",
-        "dfi setdef", "dfi chkdef", "heap allocs", "coalesces", "resident KiB",
-    ]);
-    for scheme in Scheme::ALL {
-        let rs: Vec<&pythia_core::SchemeResult> = evs
-            .iter()
-            .flat_map(|e| e.results.iter())
-            .filter(|r| r.scheme == scheme)
-            .collect();
-        if rs.is_empty() {
-            continue;
-        }
-        let sum = |f: &dyn Fn(&pythia_core::Profile) -> u64| -> u64 {
-            rs.iter().map(|r| f(&r.profile)).sum()
-        };
-        t.row(vec![
-            scheme.name().to_owned(),
-            count(sum(&|p| p.pa.signs)),
-            count(sum(&|p| p.pa.auths)),
-            count(sum(&|p| p.pa.strips)),
-            count(sum(&|p| p.pa.static_sign_auth())),
-            count(rs.iter().map(|r| r.pa_static_unpruned as u64).sum()),
-            count(rs.iter().map(|r| r.stats.obligations_pruned as u64).sum()),
-            count(sum(&|p| p.shadow.setdefs)),
-            count(sum(&|p| p.shadow.chkdefs)),
-            count(sum(&|p| p.heap_shared.allocs + p.heap_isolated.allocs)),
-            count(sum(&|p| p.heap_shared.coalesces + p.heap_isolated.coalesces)),
-            count(sum(&|p| p.resident_bytes) / 1024),
-        ]);
-    }
-    out.push_str(&format!(
-        "### per-scheme dynamic counters (summed; `pa static` = sign/auth sites in the instrumented module after pruning, `pa unpruned` = without the precision stage)\n\n{}\n",
-        t.render()
-    ));
-
-    // Pooled opcode histogram: executions and attributed cycles across
-    // every scheme of every benchmark.
-    let mut execs: std::collections::BTreeMap<&'static str, u64> = Default::default();
-    let mut mc: std::collections::BTreeMap<&'static str, u64> = Default::default();
-    for r in evs.iter().flat_map(|e| e.results.iter()) {
-        for (op, n) in &r.profile.opcodes {
-            *execs.entry(op).or_default() += n;
-        }
-        for (op, m) in &r.profile.opcode_mc {
-            *mc.entry(op).or_default() += m;
-        }
-    }
-    let mut ranked: Vec<(&'static str, u64)> = execs.iter().map(|(k, v)| (*k, *v)).collect();
-    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
-    let mut t = Table::new(vec!["opcode", "execs", "cycles"]);
-    for (op, n) in ranked.into_iter().take(10) {
-        let cycles = pythia_vm::CostModel::to_cycles_f64(mc.get(op).copied().unwrap_or(0));
-        t.row(vec![op.to_owned(), count(n), format!("{cycles:.0}")]);
-    }
-    out.push_str(&format!(
-        "### top opcodes, all schemes pooled (base-cost attribution)\n\n{}\n",
-        t.render()
-    ));
-
-    // Slice-memo cache effectiveness per benchmark (misses = distinct
-    // slices computed, hits = warm re-queries by the passes + lint).
-    let mut t = Table::new(vec!["benchmark", "memo hits", "memo misses", "hit rate"]);
-    let (mut th, mut tm) = (0u64, 0u64);
-    for ev in &evs {
-        th += ev.analysis.memo_hits;
-        tm += ev.analysis.memo_misses;
-        t.row(vec![
-            ev.name.clone(),
-            count(ev.analysis.memo_hits),
-            count(ev.analysis.memo_misses),
-            frac(ev.analysis.memo_hit_rate()),
-        ]);
-    }
-    let total_rate = if th + tm == 0 { 0.0 } else { th as f64 / (th + tm) as f64 };
-    t.row(vec![
-        "TOTAL".to_owned(),
-        count(th),
-        count(tm),
-        frac(total_rate),
-    ]);
-    out.push_str(&format!(
-        "### backward-slice memo cache (misses = distinct slices, hits = warm re-queries)\n\n{}",
-        t.render()
-    ));
-    out
+    acc.render()
 }
 
 fn mean(vals: impl Iterator<Item = f64>) -> f64 {

@@ -24,7 +24,7 @@ struct Globals {
     src: GlobalId,
 }
 
-/// The nine predicate styles (see profile weights).
+/// The ten predicate styles (see profile weights).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Style {
     Pure,
@@ -40,9 +40,16 @@ enum Style {
     Get,
     Heap,
     Forged,
+    /// Bounded array walk: a channel-tainted index stored through a `gep`
+    /// behind explicit `0 <= idx < 8` guards (the bounds-check idiom real
+    /// code carries), then a counted walk over the array. Unlike `GepDyn`
+    /// (whose `srem` index the interval domain does not track), the guard
+    /// refinement lets `interval.rs` *prove* the store in-bounds, so the
+    /// pruner can discharge the obligation. Ref-tier-only (`w_walk`).
+    Walk,
 }
 
-const STYLES: [Style; 9] = [
+const STYLES: [Style; 10] = [
     Style::Pure,
     Style::CopyScalar,
     Style::StrBuf,
@@ -52,6 +59,7 @@ const STYLES: [Style; 9] = [
     Style::Get,
     Style::Heap,
     Style::Forged,
+    Style::Walk,
 ];
 
 fn pick_style(rng: &mut SmallRng, p: &BenchProfile) -> Style {
@@ -155,6 +163,11 @@ fn gen_worker(
             Style::Get => vec![b.alloca(Ty::array(Ty::I8, 16))],
             Style::Heap => vec![b.alloca(Ty::I64)],
             Style::Forged => vec![b.alloca(Ty::I64), b.alloca(Ty::I64)],
+            Style::Walk => vec![
+                b.alloca(Ty::I64),
+                b.alloca(Ty::I64),
+                b.alloca(Ty::array(Ty::I64, 8)),
+            ],
         };
         // Scalar channels (memcpy/scanf into one word) run on the hot
         // path unconditionally; bulk channels sit behind parsing guards.
@@ -183,6 +196,23 @@ fn gen_worker(
             guarded: false,
         };
     }
+    // The walk style is what makes interval proofs fire at scale; a
+    // profile that asks for walks (`w_walk > 0`, i.e. the ref tier) is
+    // guaranteed at least one per worker so tier-level assertions
+    // (nonzero proven-geps) do not ride on draw luck. Gated on `w_walk`
+    // so standard-tier RNG streams and modules are untouched.
+    if profile.w_walk > 0.0 && !preds.iter().any(|p| p.style == Style::Walk) {
+        let slots = vec![
+            b.alloca(Ty::I64),
+            b.alloca(Ty::I64),
+            b.alloca(Ty::array(Ty::I64, 8)),
+        ];
+        preds.push(Pred {
+            style: Style::Walk,
+            slots,
+            guarded: false,
+        });
+    }
     let has_loop = rng.gen_bool(profile.inner_loop);
     let loop_arr = has_loop.then(|| b.alloca(Ty::array(Ty::I64, 4)));
 
@@ -206,7 +236,10 @@ fn gen_worker(
             let pj = b.new_block(format!("pj{j}"));
             b.br(g, icb, skipb);
             b.switch_to(icb);
-            let cond_ic = emit_predicate(&mut b, pred, x, globals, rng);
+            let cond_ic = emit_predicate(&mut b, pred, x, globals, rng, j);
+            // Predicates with internal control flow (Walk) end in a block
+            // of their own; the join phi must name the actual predecessor.
+            let ic_end = b.current_block();
             b.jmp(pj);
             b.switch_to(skipb);
             let ca = b.const_i64(3);
@@ -217,9 +250,9 @@ fn gen_worker(
             let cond_skip = b.icmp(CmpPred::Sgt, t2, fifty);
             b.jmp(pj);
             b.switch_to(pj);
-            b.phi(vec![(icb, cond_ic), (skipb, cond_skip)])
+            b.phi(vec![(ic_end, cond_ic), (skipb, cond_skip)])
         } else {
-            emit_predicate(&mut b, pred, x, globals, rng)
+            emit_predicate(&mut b, pred, x, globals, rng, j)
         };
         let tb = b.new_block(format!("t{j}"));
         let eb = b.new_block(format!("e{j}"));
@@ -272,12 +305,15 @@ fn gen_worker(
 }
 
 /// Emit the predicate computation for one diamond; returns the `i1` cond.
+/// `j` is the diamond index, used to keep block names unique for styles
+/// that emit internal control flow.
 fn emit_predicate(
     b: &mut FunctionBuilder,
     pred: &Pred,
     x: ValueId,
     globals: &Globals,
     rng: &mut SmallRng,
+    j: usize,
 ) -> ValueId {
     let ca = b.const_i64(rng.gen_range(1..7));
     let hundred = b.const_i64(100);
@@ -399,6 +435,72 @@ fn emit_predicate(
             let t0 = b.add(w, lv);
             let t = b.bin(pythia_ir::BinOp::Srem, t0, hundred);
             b.icmp(CmpPred::Sgt, t, fifty)
+        }
+        Style::Walk => {
+            let (staging, idxslot, arr) = (pred.slots[0], pred.slots[1], pred.slots[2]);
+            let zero = b.const_i64(0);
+            let one = b.const_i64(1);
+            // The index arrives through a move/copy channel: it is
+            // attacker-tainted, so the store below is an overflow
+            // obligation until the bounds proof discharges it.
+            let xv = b.mul(x, ca);
+            b.store(xv, staging);
+            b.call_intrinsic(
+                Intrinsic::Memcpy,
+                vec![idxslot, staging, eight],
+                Ty::ptr(Ty::I8),
+            );
+            let idx = b.load(idxslot);
+            // Explicit `0 <= idx && idx < 8` guards — branch-edge
+            // refinement clamps the (otherwise unknown) loaded index to
+            // [0, 7], which is exactly what `interval.rs` needs to prove
+            // the gep store in-bounds.
+            let lo = b.icmp(CmpPred::Sge, idx, zero);
+            let lob = b.new_block(format!("wlo{j}"));
+            let okb = b.new_block(format!("wok{j}"));
+            let badb = b.new_block(format!("wbad{j}"));
+            let joinb = b.new_block(format!("wj{j}"));
+            b.br(lo, lob, badb);
+            b.switch_to(lob);
+            let hi = b.icmp(CmpPred::Slt, idx, eight);
+            b.br(hi, okb, badb);
+            b.switch_to(okb);
+            // Tainted index, proven bounds: the one store shape the
+            // pruner can discharge (reach.rs `proven_gep_stores`).
+            let p = b.gep(arr, idx);
+            b.store(xv, p);
+            // Bounded walk over the array: the dynamic bulk of the style.
+            let pre = b.current_block();
+            let wbody = b.new_block(format!("wloop{j}"));
+            let wafter = b.new_block(format!("wafter{j}"));
+            b.jmp(wbody);
+            b.switch_to(wbody);
+            let k = b.phi(vec![(pre, zero)]);
+            let s = b.phi(vec![(pre, xv)]);
+            let q = b.gep(arr, k);
+            let lv = b.load(q);
+            let s2 = b.add(s, lv);
+            let k2 = b.add(k, one);
+            if let Some(Inst::Phi { incomings }) = b.func_mut().inst_mut(k) {
+                incomings.push((wbody, k2));
+            }
+            if let Some(Inst::Phi { incomings }) = b.func_mut().inst_mut(s) {
+                incomings.push((wbody, s2));
+            }
+            let wc = b.icmp(CmpPred::Slt, k2, eight);
+            b.br(wc, wbody, wafter);
+            b.switch_to(wafter);
+            let t = b.bin(pythia_ir::BinOp::Srem, s2, hundred);
+            let cond_ok = b.icmp(CmpPred::Sgt, t, fifty);
+            let ok_end = b.current_block();
+            b.jmp(joinb);
+            b.switch_to(badb);
+            let t1 = b.add(xv, x);
+            let t2 = b.bin(pythia_ir::BinOp::Srem, t1, hundred);
+            let cond_bad = b.icmp(CmpPred::Sgt, t2, fifty);
+            b.jmp(joinb);
+            b.switch_to(joinb);
+            b.phi(vec![(ok_end, cond_ok), (badb, cond_bad)])
         }
     }
 }
@@ -585,6 +687,55 @@ mod tests {
         let rf = vm_full.run("main", &[]).unwrap();
         let rq = vm_quick.run("main", &[]).unwrap();
         assert!(rq.metrics.insts * 2 < rf.metrics.insts);
+    }
+
+    #[test]
+    fn ref_tier_scales_the_module_and_still_runs() {
+        use crate::profiles::SizeTier;
+        let p = profile_by_name("lbm").unwrap();
+        // Standard tier is the identity: the tier system must not perturb
+        // the historical modules byte-for-byte.
+        assert_eq!(generate(p), generate(&p.at_tier(SizeTier::Standard)));
+        let r = p.at_tier(SizeTier::Ref);
+        let m = generate(&r);
+        if let Err(errs) = verify::verify_module(&m) {
+            panic!("ref-tier lbm: invalid IR: {:?}", &errs[..errs.len().min(5)]);
+        }
+        let std_m = generate(p);
+        assert!(m.num_insts() > std_m.num_insts() * 2, "static scale-up");
+        let mut vm = Vm::new(&m, VmConfig::default(), InputPlan::benign(1));
+        let res = vm.run("main", &[]).unwrap();
+        assert!(matches!(res.exit, ExitReason::Returned(_)), "{:?}", res.exit);
+        let mut vm_std = Vm::new(&std_m, VmConfig::default(), InputPlan::benign(1));
+        let res_std = vm_std.run("main", &[]).unwrap();
+        assert!(
+            res.metrics.insts > res_std.metrics.insts * 10,
+            "dynamic scale-up: ref {} vs standard {}",
+            res.metrics.insts,
+            res_std.metrics.insts
+        );
+    }
+
+    #[test]
+    fn ref_tier_walks_produce_interval_proofs() {
+        use crate::profiles::SizeTier;
+        use pythia_analysis::{OverflowReach, SliceContext};
+        // The walk style's guarded, channel-tainted gep store is the one
+        // shape the interval analysis can prove in-bounds; at the standard
+        // tier the count is zero suite-wide, at the ref tier every worker
+        // carries at least one provable walk.
+        let p = profile_by_name("lbm").unwrap();
+        let std_m = generate(p);
+        let std_ctx = SliceContext::new(&std_m);
+        assert_eq!(OverflowReach::compute(&std_ctx).proven_gep_stores, 0);
+        let m = generate(&p.at_tier(SizeTier::Ref));
+        let ctx = SliceContext::new(&m);
+        let reach = OverflowReach::compute(&ctx);
+        assert!(
+            reach.proven_gep_stores >= 1,
+            "ref-tier walks must yield interval proofs, got {}",
+            reach.proven_gep_stores
+        );
     }
 
     #[test]

@@ -38,5 +38,5 @@ pub mod realworld;
 pub use examples::{all as all_scenarios, Scenario};
 pub use generator::{generate, generate_all, generate_scaled};
 pub use nginx::{nginx_module, run_workers, NginxRun};
-pub use profiles::{profile_by_name, BenchProfile, SPEC_PROFILES};
+pub use profiles::{profile_by_name, BenchProfile, SizeTier, SPEC_PROFILES};
 pub use realworld::extended as extended_scenarios;

@@ -44,6 +44,12 @@ pub struct BenchProfile {
     /// Weight: forged-pointer predicate (pointer dualism; even Pythia's
     /// slicing cannot complete these — paper §6.2 "complex aliasing").
     pub w_forged: f64,
+    /// Weight: bounded array walk — a channel-tainted index stored through
+    /// a `gep` behind explicit `0 <= idx && idx < N` guards, the pattern
+    /// `interval.rs` can prove in-bounds. Zero at the standard tier (the
+    /// base profiles predate the tier system and must stay byte-identical);
+    /// [`BenchProfile::at_tier`] turns it on for the ref tier.
+    pub w_walk: f64,
     /// Probability of a `printf` filler per diamond (print ICs).
     pub print_filler: f64,
     /// Probability a worker carries an inner summing loop.
@@ -55,8 +61,10 @@ pub struct BenchProfile {
 }
 
 impl BenchProfile {
-    /// Normalized weights over the nine predicate styles.
-    pub fn style_weights(&self) -> [f64; 9] {
+    /// Normalized weights over the ten predicate styles. `w_walk` is zero
+    /// for every base profile, so the standard-tier draw distribution (and
+    /// therefore every generated module) is unchanged by its addition.
+    pub fn style_weights(&self) -> [f64; 10] {
         [
             self.w_pure,
             self.w_copy_scalar,
@@ -67,7 +75,93 @@ impl BenchProfile {
             self.w_get,
             self.w_heap,
             self.w_forged,
+            self.w_walk,
         ]
+    }
+
+    /// The profile rescaled to a [`SizeTier`]. `Standard` is the identity
+    /// (bit-for-bit: the base profiles keep producing the exact modules
+    /// they always have). `Ref` multiplies static size (worker count) and
+    /// dynamic size (driver-loop iterations) for a ~36× larger run and
+    /// switches on the provable bounded-walk style; `Smoke` shrinks both
+    /// for quick health checks.
+    pub fn at_tier(&self, tier: SizeTier) -> BenchProfile {
+        let mut p = *self;
+        match tier {
+            SizeTier::Smoke => {
+                p.functions = (p.functions / 2).max(2);
+                p.loop_iters = (p.loop_iters / 4).max(1);
+            }
+            SizeTier::Standard => {}
+            SizeTier::Ref => {
+                p.functions *= 3;
+                p.loop_iters *= 12;
+                p.w_walk = 0.05;
+            }
+        }
+        p
+    }
+}
+
+/// Benchmark size tier: how big the generated programs are, statically and
+/// dynamically. The standard tier is the historical (pre-tier) size and
+/// keeps all existing outputs byte-identical; the ref tier is the paper's
+/// "ref-size" analogue at roughly 3× static / 36× dynamic scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SizeTier {
+    /// Quick health-check scale (~½ static, ~¼ driver iterations).
+    Smoke,
+    /// The historical suite scale; the identity scaling.
+    #[default]
+    Standard,
+    /// Ref size: 3× workers, 12× driver iterations, walk style enabled.
+    Ref,
+}
+
+impl SizeTier {
+    /// All tiers, smallest first (the order `bench.sh` trends over).
+    pub const ALL: [SizeTier; 3] = [SizeTier::Smoke, SizeTier::Standard, SizeTier::Ref];
+
+    /// Parse a tier name as accepted by `reproduce --tier`.
+    pub fn parse(s: &str) -> Option<SizeTier> {
+        match s {
+            "smoke" => Some(SizeTier::Smoke),
+            "standard" => Some(SizeTier::Standard),
+            "ref" => Some(SizeTier::Ref),
+            _ => None,
+        }
+    }
+
+    /// Canonical lower-case name (JSON `tier` field, CLI flag value).
+    pub fn name(self) -> &'static str {
+        match self {
+            SizeTier::Smoke => "smoke",
+            SizeTier::Standard => "standard",
+            SizeTier::Ref => "ref",
+        }
+    }
+
+    /// Multiplier for the VM instruction budget (`VmConfig::max_insts`).
+    /// The ref tier's ~36× dynamic scale would exhaust the standard 50 M
+    /// budget on the larger profiles; callers building a tiered `VmConfig`
+    /// scale the budget by this factor so a ref run is bounded by the same
+    /// safety margin, not a smaller one.
+    pub fn inst_budget_factor(self) -> u64 {
+        match self {
+            SizeTier::Smoke | SizeTier::Standard => 1,
+            SizeTier::Ref => 20,
+        }
+    }
+
+    /// Scale an input-channel volume knob outside the generator (e.g. the
+    /// nginx workload's request count), keeping driver-volume scaling
+    /// consistent across workload kinds. Standard is the identity.
+    pub fn scale_volume(self, v: u64) -> u64 {
+        match self {
+            SizeTier::Smoke => (v / 4).max(1),
+            SizeTier::Standard => v,
+            SizeTier::Ref => v * 10,
+        }
     }
 }
 
@@ -93,6 +187,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_get: 0.01,
         w_heap: 0.03,
         w_forged: 0.025,
+        w_walk: 0.0,
         print_filler: 0.25,
         inner_loop: 0.7,
         loop_iters: 12,
@@ -113,6 +208,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_get: 0.01,
         w_heap: 0.03,
         w_forged: 0.03,
+        w_walk: 0.0,
         print_filler: 0.3,
         inner_loop: 0.7,
         loop_iters: 10,
@@ -133,6 +229,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_get: 0.0,
         w_heap: 0.04,
         w_forged: 0.0,
+        w_walk: 0.0,
         print_filler: 0.15,
         inner_loop: 0.8,
         loop_iters: 26,
@@ -153,6 +250,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_get: 0.0,
         w_heap: 0.02,
         w_forged: 0.025,
+        w_walk: 0.0,
         print_filler: 0.2,
         inner_loop: 0.9,
         loop_iters: 18,
@@ -173,6 +271,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_get: 0.01,
         w_heap: 0.03,
         w_forged: 0.025,
+        w_walk: 0.0,
         print_filler: 0.35,
         inner_loop: 0.8,
         loop_iters: 10,
@@ -193,6 +292,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_get: 0.01,
         w_heap: 0.03,
         w_forged: 0.025,
+        w_walk: 0.0,
         print_filler: 0.25,
         inner_loop: 0.7,
         loop_iters: 12,
@@ -213,6 +313,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_get: 0.0,
         w_heap: 0.02,
         w_forged: 0.0,
+        w_walk: 0.0,
         print_filler: 0.1,
         inner_loop: 0.95,
         loop_iters: 40,
@@ -233,6 +334,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_get: 0.01,
         w_heap: 0.04,
         w_forged: 0.025,
+        w_walk: 0.0,
         print_filler: 0.3,
         inner_loop: 0.9,
         loop_iters: 16,
@@ -253,6 +355,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_get: 0.0,
         w_heap: 0.03,
         w_forged: 0.03,
+        w_walk: 0.0,
         print_filler: 0.3,
         inner_loop: 0.9,
         loop_iters: 11,
@@ -273,6 +376,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_get: 0.0,
         w_heap: 0.06,
         w_forged: 0.0,
+        w_walk: 0.0,
         print_filler: 0.2,
         inner_loop: 0.9,
         loop_iters: 16,
@@ -293,6 +397,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_get: 0.0,
         w_heap: 0.04,
         w_forged: 0.025,
+        w_walk: 0.0,
         print_filler: 0.25,
         inner_loop: 0.7,
         loop_iters: 9,
@@ -313,6 +418,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_get: 0.0,
         w_heap: 0.04,
         w_forged: 0.025,
+        w_walk: 0.0,
         print_filler: 0.2,
         inner_loop: 0.8,
         loop_iters: 16,
@@ -333,6 +439,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_get: 0.01,
         w_heap: 0.03,
         w_forged: 0.025,
+        w_walk: 0.0,
         print_filler: 0.2,
         inner_loop: 0.8,
         loop_iters: 13,
@@ -353,6 +460,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_get: 0.0,
         w_heap: 0.03,
         w_forged: 0.025,
+        w_walk: 0.0,
         print_filler: 0.25,
         inner_loop: 0.7,
         loop_iters: 14,
@@ -373,6 +481,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_get: 0.0,
         w_heap: 0.03,
         w_forged: 0.025,
+        w_walk: 0.0,
         print_filler: 0.15,
         inner_loop: 0.9,
         loop_iters: 18,
@@ -393,6 +502,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_get: 0.01,
         w_heap: 0.03,
         w_forged: 0.025,
+        w_walk: 0.0,
         print_filler: 0.2,
         inner_loop: 0.8,
         loop_iters: 16,
@@ -440,6 +550,44 @@ mod tests {
         assert_eq!(profile_by_name("gcc").unwrap().name, "502.gcc_r");
         assert_eq!(profile_by_name("519.lbm_r").unwrap().name, "519.lbm_r");
         assert!(profile_by_name("doom").is_none());
+    }
+
+    #[test]
+    fn standard_tier_is_the_identity() {
+        for p in &SPEC_PROFILES {
+            assert_eq!(p.at_tier(SizeTier::Standard), *p, "{}", p.name);
+            // The base profiles predate the tier system: their walk weight
+            // must stay zero so standard-tier modules are byte-identical.
+            assert_eq!(p.w_walk, 0.0, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn ref_tier_scales_up_and_enables_walks() {
+        for p in &SPEC_PROFILES {
+            let r = p.at_tier(SizeTier::Ref);
+            assert_eq!(r.functions, p.functions * 3, "{}", p.name);
+            assert_eq!(r.loop_iters, p.loop_iters * 12, "{}", p.name);
+            assert!(r.w_walk > 0.0, "{}", p.name);
+            assert_eq!(r.name, p.name);
+            assert_eq!(r.seed, p.seed);
+        }
+        let s = SPEC_PROFILES[0].at_tier(SizeTier::Smoke);
+        assert!(s.functions < SPEC_PROFILES[0].functions);
+        assert!(s.loop_iters < SPEC_PROFILES[0].loop_iters);
+    }
+
+    #[test]
+    fn tier_names_round_trip() {
+        for t in SizeTier::ALL {
+            assert_eq!(SizeTier::parse(t.name()), Some(t));
+        }
+        assert_eq!(SizeTier::parse("jumbo"), None);
+        assert_eq!(SizeTier::default(), SizeTier::Standard);
+        assert!(SizeTier::Ref.inst_budget_factor() > 1);
+        assert_eq!(SizeTier::Standard.scale_volume(60), 60);
+        assert_eq!(SizeTier::Ref.scale_volume(60), 600);
+        assert_eq!(SizeTier::Smoke.scale_volume(60), 15);
     }
 
     #[test]

@@ -75,3 +75,20 @@ if awk -v r="$best_ratio" 'BEGIN { exit !(r < 5) }'; then
     exit 1
 fi
 echo "OK: block engine retires ${best_ratio}x faster than legacy (>= 5x gate)"
+
+# Tier trend: one benchmark (mcf) at each size tier through the
+# streaming runner, showing how total wall-clock and the analysis vs
+# execute split move as the workload grows ~36x dynamic from smoke to
+# ref. Informational — the correctness gates for the tiers live in
+# scripts/check.sh and the crate tests.
+echo "== tier trend (505.mcf_r at smoke/standard/ref, streaming) =="
+for tier in smoke standard ref; do
+    PYTHIA_THREADS=1 "$REPRODUCE" --only 505.mcf_r --tier "$tier" --bench-json \
+        --out "$OUT/tier-$tier" fig4a >/dev/null
+    TJ="$OUT/tier-$tier/BENCH_suite.json"
+    total=$(grep -o '"total_secs": [0-9.]*' "$TJ" | grep -o '[0-9.]*$')
+    ashare=$(grep -o '"analysis_share": [0-9.]*' "$TJ" | head -1 | grep -o '[0-9.]*$')
+    eshare=$(grep -o '"execute_share": [0-9.]*' "$TJ" | head -1 | grep -o '[0-9.]*$')
+    printf "%-9s total %8ss  analysis share %s  execute share %s\n" \
+        "$tier" "$total" "$ashare" "$eshare"
+done

@@ -114,4 +114,35 @@ if ! grep -qE '"obligations_pruned": [1-9]' "$JSON"; then
     exit 1
 fi
 
-echo "OK: build, clippy, docs, tests, certification, smoke suite, engine differential, profiler and pruning gates are clean ($JSON)"
+# Ref-tier gate: one fast benchmark at --tier ref through the streaming
+# runner. The tier's bounded-loop array walks must give the interval
+# analysis something to discharge — nonzero proven geps AND pruned
+# obligations on the same benchmark — and the JSON must attest the
+# streaming path actually ran (tier + runner fields).
+echo "== ref-tier single-benchmark gate (lbm, streaming) =="
+# The trailing `fig4a` section keeps the run suite-only: a bare
+# invocation would render the full report's campaign/ablation sections,
+# which dwarf the single benchmark this gate actually measures.
+target/release/reproduce --only 519.lbm_r --tier ref --bench-json --out "$OUT/ref-gate" fig4a >/dev/null
+REFJSON="$OUT/ref-gate/BENCH_suite.json"
+if ! grep -q '"tier": "ref"' "$REFJSON"; then
+    echo "FAIL: ref-tier run did not report tier=ref" >&2
+    exit 1
+fi
+if ! grep -q '"runner": "streaming"' "$REFJSON"; then
+    echo "FAIL: ref-tier run did not go through the streaming runner" >&2
+    exit 1
+fi
+if ! grep -qE '"proven_geps": [1-9]' "$REFJSON"; then
+    echo "FAIL: ref-tier lbm proved no gep bounds — walk generation or interval analysis inert:" >&2
+    grep '"proven_geps"' "$REFJSON" >&2
+    exit 1
+fi
+if ! grep -qE '"obligations_pruned": [1-9]' "$REFJSON"; then
+    echo "FAIL: ref-tier lbm pruned no obligations despite proven geps:" >&2
+    grep '"obligations_pruned"' "$REFJSON" >&2
+    exit 1
+fi
+echo "OK: ref-tier lbm proves gep bounds and prunes obligations under the streaming runner"
+
+echo "OK: build, clippy, docs, tests, certification, smoke suite, engine differential, profiler, pruning and ref-tier gates are clean ($JSON)"
