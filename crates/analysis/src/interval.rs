@@ -11,24 +11,61 @@
 //!
 //! # Lattice
 //!
-//! A fact is `None` (unreachable — the optimistic ⊤) or a map from
-//! [`ValueId`] to [`Interval`]; an absent key means the full range (the
-//! per-variable ⊥). The join widens with a *threshold set* harvested from
-//! the function's integer constants (each `c` contributes `c−1`, `c`,
-//! `c+1`, plus 0 and the i64 extremes): unequal bounds snap outward to the
-//! nearest threshold, so every per-variable chain is finite and the solver
-//! converges without giving up the loop-bound constants that in-bounds
-//! proofs actually need (`i < N` refinement keeps `N−1`).
+//! A fact is `None` (unreachable — the optimistic ⊤) or an `Env`: a map
+//! from [`ValueId`] to [`Interval`] (an absent key means the full range,
+//! the per-variable ⊥) plus a map of *relational upper bounds* `v ≤ w + k`
+//! against non-constant SSA values `w`. The interval join widens with a
+//! *threshold set* harvested from the function's integer constants (each
+//! `c` contributes `c−1`, `c`, `c+1`, plus 0 and the i64 extremes):
+//! unequal bounds snap outward to the nearest threshold, so every
+//! per-variable chain is finite and the solver converges without giving
+//! up the loop-bound constants that in-bounds proofs actually need
+//! (`i < N` refinement keeps `N−1`).
+//!
+//! # Relational facts
+//!
+//! Guards against a *non-constant* bound (`i < len`) record `i ≤ len − 1`
+//! symbolically. Because both sides are SSA values, the relation can never
+//! be invalidated by a later assignment — there is no kill set — so it
+//! survives until a join drops it (relations meet by key intersection,
+//! keeping the weaker offset). At query time the relation is substituted
+//! one level deep: `hi(i) = min(hi(i), hi(len) + k)`, which resolves
+//! guards whose bound only becomes constant *after* the guard (`if i <
+//! len { if len <= 8 { a[i] } }`) and bounds seeded per calling context.
+//! Offsets are clamped to [`REL_K_MAX`] and each value keeps at most
+//! [`REL_MAX_TERMS`] relations, which bounds the lattice height.
 //!
 //! Branch refinement and phi selection both live in the solver's
 //! [`DataflowAnalysis::edge`] hook: crossing `pred → target` first clamps
 //! the ranges of the compared operands according to the branch condition's
 //! outcome on that edge, then binds each phi in `target` to its
-//! edge-specific operand range.
+//! edge-specific operand range (intervals and relations alike).
+//!
+//! # Unsigned guards
+//!
+//! `a <u b` with `b` statically non-negative implies `0 ≤ a ≤ b − 1` even
+//! when `a`'s own range spans negatives: a negative signed `a`
+//! reinterprets as a huge unsigned value and fails the test. A single
+//! `i ult len` guard therefore proves both bounds of an index. No
+//! refinement is sound when the bound side may be negative (its unsigned
+//! reinterpretation would be enormous), and the *false* edge of such a
+//! guard refines nothing (`i ≥u len` is the disjunction `i ≥ len ∨ i <
+//! 0`).
 
 use crate::dataflow::{solve, DataflowAnalysis, Direction, SolveResult};
 use pythia_ir::{BinOp, BlockId, CmpPred, Function, Inst, ValueId, ValueKind};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Largest |k| kept in a relational fact `v ≤ w + k`. Clamping the offset
+/// bounds the relational lattice height (the join takes the max offset, so
+/// a loop can only creep an offset upward `2·REL_K_MAX` times before the
+/// fact is dropped).
+pub const REL_K_MAX: i64 = 4096;
+
+/// Most relations retained per value; further (deterministically later in
+/// `ValueId` order) bounds are dropped, which is sound — dropping an upper
+/// bound only weakens the fact.
+pub const REL_MAX_TERMS: usize = 8;
 
 /// A closed interval `[lo, hi]` over `i64`. Empty intervals are never
 /// constructed (refinement that would empty a range leaves it untouched —
@@ -91,30 +128,78 @@ impl Interval {
     }
 }
 
-/// `None` = block not (yet) reachable; absent key = full range.
-type Fact = Option<BTreeMap<ValueId, Interval>>;
+/// Relational upper bounds of one value: `v ≤ w + k` for each entry
+/// `(w, k)`. `w` is always a non-constant SSA value.
+type UpperBounds = BTreeMap<ValueId, i64>;
+
+/// The reachable-path fact: per-value intervals plus relational upper
+/// bounds. Absent interval key = full range; absent relation = no bound.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+struct Env {
+    iv: BTreeMap<ValueId, Interval>,
+    ub: BTreeMap<ValueId, UpperBounds>,
+}
+
+impl Env {
+    /// Record `v ≤ w + k`, clamping the offset and the per-value term
+    /// count (both for lattice-height reasons, both weakening-only).
+    fn bound(&mut self, v: ValueId, w: ValueId, k: i64) {
+        if k.abs() > REL_K_MAX {
+            return;
+        }
+        let terms = self.ub.entry(v).or_default();
+        match terms.get(&w) {
+            // Keep the tighter (smaller) offset on in-path re-derivation.
+            Some(&old) if old <= k => {}
+            _ => {
+                terms.insert(w, k);
+            }
+        }
+        while terms.len() > REL_MAX_TERMS {
+            let last = *terms.keys().next_back().expect("non-empty");
+            terms.remove(&last);
+        }
+    }
+}
+
+/// `None` = block not (yet) reachable.
+type Fact = Option<Env>;
 
 struct RangeAnalysis {
     /// Sorted widening thresholds (always contains `i64::MIN`, 0,
     /// `i64::MAX`).
     thresholds: Vec<i64>,
+    /// Intervals assumed for specific values (typically parameters, seeded
+    /// from a calling context's constant arguments) at function entry.
+    param_seeds: BTreeMap<ValueId, Interval>,
 }
 
 impl RangeAnalysis {
-    fn for_function(f: &Function) -> Self {
+    fn for_function(f: &Function, param_seeds: BTreeMap<ValueId, Interval>) -> Self {
         let mut ts: BTreeSet<i64> = BTreeSet::new();
         ts.insert(i64::MIN);
         ts.insert(0);
         ts.insert(i64::MAX);
+        let mut thresholds_around = |c: i64| {
+            ts.insert(c.saturating_sub(1));
+            ts.insert(c);
+            ts.insert(c.saturating_add(1));
+        };
         for v in f.value_ids() {
             if let ValueKind::ConstInt(c) = f.value(v).kind {
-                ts.insert(c.saturating_sub(1));
-                ts.insert(c);
-                ts.insert(c.saturating_add(1));
+                thresholds_around(c);
             }
+        }
+        // Seeded bounds are as load-bearing as in-function constants:
+        // without matching thresholds a loop join would widen straight
+        // past them.
+        for iv in param_seeds.values() {
+            thresholds_around(iv.lo);
+            thresholds_around(iv.hi);
         }
         RangeAnalysis {
             thresholds: ts.into_iter().collect(),
+            param_seeds,
         }
     }
 
@@ -154,21 +239,67 @@ impl RangeAnalysis {
         Interval { lo, hi }
     }
 
-    fn range_of(f: &Function, fact: &BTreeMap<ValueId, Interval>, v: ValueId) -> Interval {
+    fn range_of(f: &Function, env: &Env, v: ValueId) -> Interval {
         match f.value(v).kind {
             ValueKind::ConstInt(c) => Interval::exact(c),
-            _ => fact.get(&v).copied().unwrap_or(Interval::FULL),
+            _ => env.iv.get(&v).copied().unwrap_or(Interval::FULL),
         }
+    }
+
+    /// [`Self::range_of`] with relational upper bounds substituted one
+    /// level deep: `hi(v) = min(hi(v), min over v ≤ w + k of hi(w) + k)`.
+    /// One level avoids cycles (`a ≤ b, b ≤ a`); chains still resolve
+    /// because [`Env::bound`] shifts transitive offsets in at derivation
+    /// time.
+    fn resolved_range(f: &Function, env: &Env, v: ValueId) -> Interval {
+        let base = Self::range_of(f, env, v);
+        let Some(terms) = env.ub.get(&v) else {
+            return base;
+        };
+        let mut hi = base.hi;
+        for (&w, &k) in terms {
+            let wr = Self::range_of(f, env, w);
+            if wr.hi != i64::MAX {
+                hi = hi.min(wr.hi.saturating_add(k));
+            }
+        }
+        if hi < base.lo {
+            // The relations make this point infeasible; stay conservative.
+            return base;
+        }
+        Interval { lo: base.lo, hi }
     }
 
     /// Transfer one instruction. Only integer-valued results are tracked;
     /// untracked instructions map to the absent (full) range.
-    fn transfer_inst(&self, f: &Function, fact: &mut BTreeMap<ValueId, Interval>, iv: ValueId) {
+    fn transfer_inst(&self, f: &Function, env: &mut Env, iv: ValueId) {
         let Some(inst) = f.inst(iv) else { return };
         let range = match inst {
             Inst::Bin { op, lhs, rhs } => {
-                let l = Self::range_of(f, fact, *lhs);
-                let r = Self::range_of(f, fact, *rhs);
+                let l = Self::range_of(f, env, *lhs);
+                let r = Self::range_of(f, env, *rhs);
+                // `v = w ± c` inherits w's relational bounds shifted by c
+                // (and `v ≤ w ± c` itself): the exact-arithmetic cases the
+                // guard patterns produce.
+                let shifted = match (op, &f.value(*lhs).kind, &f.value(*rhs).kind) {
+                    (BinOp::Add, _, ValueKind::ConstInt(c)) => Some((*lhs, *c)),
+                    (BinOp::Add, ValueKind::ConstInt(c), _) => Some((*rhs, *c)),
+                    (BinOp::Sub, _, ValueKind::ConstInt(c)) => Some((*lhs, -*c)),
+                    _ => None,
+                };
+                if let Some((w, c)) = shifted {
+                    if !matches!(f.value(w).kind, ValueKind::ConstInt(_)) {
+                        let inherited: Vec<(ValueId, i64)> = env
+                            .ub
+                            .get(&w)
+                            .map(|ts| ts.iter().map(|(&u, &k)| (u, k.saturating_add(c))).collect())
+                            .unwrap_or_default();
+                        env.bound(iv, w, c);
+                        for (u, k) in inherited {
+                            env.bound(iv, u, k);
+                        }
+                    }
+                }
                 match op {
                     BinOp::Add => Some(l.add(r)),
                     BinOp::Sub => Some(l.sub(r)),
@@ -180,8 +311,8 @@ impl RangeAnalysis {
             Inst::Select {
                 on_true, on_false, ..
             } => {
-                let t = Self::range_of(f, fact, *on_true);
-                let e = Self::range_of(f, fact, *on_false);
+                let t = Self::range_of(f, env, *on_true);
+                let e = Self::range_of(f, env, *on_false);
                 // Plain (unwidened) hull: select has no back edge.
                 Some(Interval {
                     lo: t.lo.min(e.lo),
@@ -196,10 +327,10 @@ impl RangeAnalysis {
         };
         match range {
             Some(r) if !r.is_full() && f.value(iv).ty.is_int() => {
-                fact.insert(iv, r);
+                env.iv.insert(iv, r);
             }
             _ => {
-                fact.remove(&iv);
+                env.iv.remove(&iv);
             }
         }
     }
@@ -217,18 +348,7 @@ impl RangeAnalysis {
                 iv
             }
         };
-        // Unsigned comparisons refine like signed ones only when both
-        // sides are already known non-negative.
-        let both_nonneg = l.lo >= 0 && r.lo >= 0;
-        let signedish = |p: CmpPred| match p {
-            CmpPred::Ult if both_nonneg => Some(CmpPred::Slt),
-            CmpPred::Ule if both_nonneg => Some(CmpPred::Sle),
-            CmpPred::Ugt if both_nonneg => Some(CmpPred::Sgt),
-            CmpPred::Uge if both_nonneg => Some(CmpPred::Sge),
-            CmpPred::Ult | CmpPred::Ule | CmpPred::Ugt | CmpPred::Uge => None,
-            p => Some(p),
-        };
-        match signedish(pred)? {
+        match pred {
             CmpPred::Eq => {
                 let lo = l.lo.max(r.lo);
                 let hi = l.hi.min(r.hi);
@@ -249,7 +369,53 @@ impl RangeAnalysis {
                 clamp(r, i64::MIN, l.hi.saturating_sub(1)),
             )),
             CmpPred::Sge => Some((clamp(l, r.lo, i64::MAX), clamp(r, i64::MIN, l.hi))),
-            _ => None,
+            CmpPred::Ult | CmpPred::Ule | CmpPred::Ugt | CmpPred::Uge => {
+                // Normalize to `small ≤u bound` (strict or not). When the
+                // bound side is statically non-negative, the comparison
+                // pins the small side into `[0, bound]` — a negative
+                // signed value reinterprets as a huge unsigned one and
+                // fails the test — and the bound side to at least the
+                // small side's unsigned minimum, `max(lo, 0)`. A possibly
+                // negative bound supports no refinement at all.
+                let strict = matches!(pred, CmpPred::Ult | CmpPred::Ugt);
+                let small_first = matches!(pred, CmpPred::Ult | CmpPred::Ule);
+                let (a, bnd) = if small_first { (l, r) } else { (r, l) };
+                if bnd.lo < 0 {
+                    return None;
+                }
+                let off = i64::from(strict);
+                let na = clamp(a, 0, bnd.hi.saturating_sub(off));
+                let nb = clamp(bnd, a.lo.max(0).saturating_add(off), i64::MAX);
+                Some(if small_first { (na, nb) } else { (nb, na) })
+            }
+        }
+    }
+
+    /// Record the relational fact a taken guard edge establishes against a
+    /// *non-constant* bound (`l pred r` just held). Signed less-than forms
+    /// are unconditionally sound; unsigned forms additionally require the
+    /// bound side to be statically non-negative (same wrap argument as
+    /// [`Self::refine`]).
+    fn relate(pred: CmpPred, env: &mut Env, f: &Function, lhs: ValueId, rhs: ValueId) {
+        let is_const = |v: ValueId| matches!(f.value(v).kind, ValueKind::ConstInt(_));
+        let lhs_nonneg = Self::range_of(f, env, lhs).lo >= 0;
+        let rhs_nonneg = Self::range_of(f, env, rhs).lo >= 0;
+        let bounds: &[(ValueId, ValueId, i64)] = match pred {
+            CmpPred::Slt => &[(lhs, rhs, -1)],
+            CmpPred::Sle => &[(lhs, rhs, 0)],
+            CmpPred::Sgt => &[(rhs, lhs, -1)],
+            CmpPred::Sge => &[(rhs, lhs, 0)],
+            CmpPred::Ult if rhs_nonneg => &[(lhs, rhs, -1)],
+            CmpPred::Ule if rhs_nonneg => &[(lhs, rhs, 0)],
+            CmpPred::Ugt if lhs_nonneg => &[(rhs, lhs, -1)],
+            CmpPred::Uge if lhs_nonneg => &[(rhs, lhs, 0)],
+            CmpPred::Eq => &[(lhs, rhs, 0), (rhs, lhs, 0)],
+            _ => &[],
+        };
+        for &(small, big, k) in bounds {
+            if !is_const(small) && !is_const(big) {
+                env.bound(small, big, k);
+            }
         }
     }
 
@@ -277,7 +443,10 @@ impl DataflowAnalysis for RangeAnalysis {
     }
 
     fn boundary(&self, _f: &Function, _bb: BlockId) -> Fact {
-        Some(BTreeMap::new())
+        Some(Env {
+            iv: self.param_seeds.clone(),
+            ub: BTreeMap::new(),
+        })
     }
 
     fn top(&self, _f: &Function) -> Fact {
@@ -290,16 +459,32 @@ impl DataflowAnalysis for RangeAnalysis {
             (Some(a), Some(b)) => {
                 // Pointwise widened join; keys absent on either side are
                 // full there, so the join is full (drop the key).
-                let mut out = BTreeMap::new();
-                for (v, ia) in a {
-                    if let Some(ib) = b.get(v) {
+                let mut iv = BTreeMap::new();
+                for (v, ia) in &a.iv {
+                    if let Some(ib) = b.iv.get(v) {
                         let j = self.join(*ia, *ib);
                         if !j.is_full() {
-                            out.insert(*v, j);
+                            iv.insert(*v, j);
                         }
                     }
                 }
-                Some(out)
+                // Relations survive a join only when both paths carry
+                // them; the joined offset is the weaker (larger) one.
+                let mut ub = BTreeMap::new();
+                for (v, ta) in &a.ub {
+                    if let Some(tb) = b.ub.get(v) {
+                        let mut terms = UpperBounds::new();
+                        for (w, ka) in ta {
+                            if let Some(kb) = tb.get(w) {
+                                terms.insert(*w, (*ka).max(*kb));
+                            }
+                        }
+                        if !terms.is_empty() {
+                            ub.insert(*v, terms);
+                        }
+                    }
+                }
+                Some(Env { iv, ub })
             }
         }
     }
@@ -313,8 +498,8 @@ impl DataflowAnalysis for RangeAnalysis {
     }
 
     fn edge(&self, f: &Function, from: BlockId, to: BlockId, fact: &Fact) -> Fact {
-        let Some(map) = fact else { return None };
-        let mut out = map.clone();
+        let Some(env) = fact else { return None };
+        let mut out = env.clone();
 
         // Branch-condition refinement: the edge taken tells us the
         // condition's outcome (unless both targets coincide).
@@ -336,17 +521,19 @@ impl DataflowAnalysis for RangeAnalysis {
                     if let Some((nl, nr)) = Self::refine(effective, l, r) {
                         for (v, iv) in [(*lhs, nl), (*rhs, nr)] {
                             if !matches!(f.value(v).kind, ValueKind::ConstInt(_)) && !iv.is_full() {
-                                out.insert(v, iv);
+                                out.iv.insert(v, iv);
                             }
                         }
                     }
+                    Self::relate(effective, &mut out, f, *lhs, *rhs);
                 }
             }
         }
 
         // Phi selection: in `to`, each phi takes exactly the operand
-        // flowing along this edge; bind its (refined) range.
-        let mut phi_bindings: Vec<(ValueId, Interval)> = Vec::new();
+        // flowing along this edge; bind its (refined) range and, for a
+        // non-constant operand, its relations plus `phi ≤ operand`.
+        let mut phi_bindings: Vec<(ValueId, ValueId, Interval)> = Vec::new();
         for &iv in &f.block(to).insts {
             if let Some(Inst::Phi { incomings }) = f.inst(iv) {
                 if !f.value(iv).ty.is_int() {
@@ -354,16 +541,28 @@ impl DataflowAnalysis for RangeAnalysis {
                 }
                 for (pb, pv) in incomings {
                     if *pb == from {
-                        phi_bindings.push((iv, Self::range_of(f, &out, *pv)));
+                        phi_bindings.push((iv, *pv, Self::range_of(f, &out, *pv)));
                     }
                 }
             }
         }
-        for (v, r) in phi_bindings {
+        for (v, pv, r) in phi_bindings {
             if r.is_full() {
-                out.remove(&v);
+                out.iv.remove(&v);
             } else {
-                out.insert(v, r);
+                out.iv.insert(v, r);
+            }
+            out.ub.remove(&v);
+            if !matches!(f.value(pv).kind, ValueKind::ConstInt(_)) {
+                let inherited: Vec<(ValueId, i64)> = out
+                    .ub
+                    .get(&pv)
+                    .map(|ts| ts.iter().map(|(&u, &k)| (u, k)).collect())
+                    .unwrap_or_default();
+                out.bound(v, pv, 0);
+                for (u, k) in inherited {
+                    out.bound(v, u, k);
+                }
             }
         }
         Some(out)
@@ -378,7 +577,16 @@ pub struct ValueRanges {
 
 /// Compute value ranges for one function.
 pub fn value_ranges(f: &Function) -> ValueRanges {
-    let analysis = RangeAnalysis::for_function(f);
+    value_ranges_seeded(f, &[])
+}
+
+/// [`value_ranges`] with assumed entry intervals for specific values —
+/// used by the context-sensitive pruner to replay a function under one
+/// calling context (parameters pinned to the callsite's constant
+/// arguments). Passing seeds that over-approximate every caller keeps the
+/// result sound for that caller set; the unseeded form assumes nothing.
+pub fn value_ranges_seeded(f: &Function, seeds: &[(ValueId, Interval)]) -> ValueRanges {
+    let analysis = RangeAnalysis::for_function(f, seeds.iter().copied().collect());
     let result = solve(f, &analysis);
     ValueRanges { analysis, result }
 }
@@ -391,9 +599,10 @@ impl ValueRanges {
     }
 
     /// The interval of `v` at the program point **just before** `at`
-    /// executes (replaying the containing block from its input fact).
-    /// Returns the full range when the block is statically unreachable or
-    /// the fixpoint did not converge — both are sound for bound proofs.
+    /// executes (replaying the containing block from its input fact, with
+    /// relational upper bounds substituted). Returns the full range when
+    /// the block is statically unreachable or the fixpoint did not
+    /// converge — both are sound for bound proofs.
     pub fn range_before(&self, f: &Function, at: ValueId, v: ValueId) -> Interval {
         if !self.result.converged {
             return Interval::FULL;
@@ -405,14 +614,14 @@ impl ValueRanges {
             // Unreachable code: any claim holds; FULL keeps callers honest.
             return Interval::FULL;
         };
-        let mut fact = input.clone();
+        let mut env = input.clone();
         for &iv in &f.block(bb).insts {
             if iv == at {
                 break;
             }
-            self.analysis.transfer_inst(f, &mut fact, iv);
+            self.analysis.transfer_inst(f, &mut env, iv);
         }
-        RangeAnalysis::range_of(f, &fact, v)
+        RangeAnalysis::resolved_range(f, &env, v)
     }
 
     /// Whether block `bb` is reachable under the analysis.
@@ -564,6 +773,257 @@ mod tests {
         assert!(r.converged());
         assert!(index_in_bounds(&f, &r, p, n, 8));
         assert!(!index_in_bounds(&f, &r, p, n, 4));
+    }
+
+    /// The mixed-signedness regression: one `n ult 8` guard proves *both*
+    /// bounds, because a negative `n` reinterprets as a huge unsigned
+    /// value and takes the other edge.
+    #[test]
+    fn single_ult_guard_proves_both_bounds() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::Void);
+        let okbb = b.new_block("ok");
+        let bad = b.new_block("bad");
+        let buf = b.alloca_n(Ty::I64, 8);
+        let n = b.func().arg(0);
+        let zero = b.const_i64(0);
+        let eight = b.const_i64(8);
+        let c = b.icmp(CmpPred::Ult, n, eight);
+        b.br(c, okbb, bad);
+        b.switch_to(okbb);
+        let p = b.gep(buf, n);
+        b.store(zero, p);
+        b.ret(None);
+        b.switch_to(bad);
+        b.ret(None);
+        let f = b.finish();
+        let r = value_ranges(&f);
+        assert!(r.converged());
+        assert!(index_in_bounds(&f, &r, p, n, 8), "ult alone pins [0, 7]");
+        assert!(!index_in_bounds(&f, &r, p, n, 7), "7 is reachable");
+    }
+
+    /// The false edge of `n ult len` must stay unrefined: it means
+    /// `n ≥ len ∨ n < 0`, which bounds nothing.
+    #[test]
+    fn ult_false_edge_refines_nothing() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64], Ty::Void);
+        let okbb = b.new_block("ok");
+        let bad = b.new_block("bad");
+        let buf = b.alloca_n(Ty::I64, 8);
+        let n = b.func().arg(0);
+        let zero = b.const_i64(0);
+        let eight = b.const_i64(8);
+        let c = b.icmp(CmpPred::Ult, n, eight);
+        b.br(c, okbb, bad);
+        b.switch_to(okbb);
+        b.ret(None);
+        b.switch_to(bad);
+        let p = b.gep(buf, n);
+        b.store(zero, p);
+        b.ret(None);
+        let f = b.finish();
+        let r = value_ranges(&f);
+        assert!(r.converged());
+        assert!(
+            !index_in_bounds(&f, &r, p, n, 1 << 40),
+            "n may be negative on the uge edge"
+        );
+    }
+
+    /// `n ult m` with `m` of unknown sign refines nothing: a negative `m`
+    /// is a huge unsigned bound.
+    #[test]
+    fn ult_against_possibly_negative_bound_refines_nothing() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64, Ty::I64], Ty::Void);
+        let okbb = b.new_block("ok");
+        let bad = b.new_block("bad");
+        let buf = b.alloca_n(Ty::I64, 8);
+        let n = b.func().arg(0);
+        let m = b.func().arg(1);
+        let zero = b.const_i64(0);
+        let c = b.icmp(CmpPred::Ult, n, m);
+        b.br(c, okbb, bad);
+        b.switch_to(okbb);
+        let p = b.gep(buf, n);
+        b.store(zero, p);
+        b.ret(None);
+        b.switch_to(bad);
+        b.ret(None);
+        let f = b.finish();
+        let r = value_ranges(&f);
+        assert!(r.converged());
+        assert!(!index_in_bounds(&f, &r, p, n, 8));
+    }
+
+    /// Builds `if (i >= 0) { if (i < len) { if (len <= 8) { buf8[i] } } }`
+    /// — the bound `len` only becomes constant *after* the `i < len`
+    /// guard, so plain intervals cannot prove the access; the relational
+    /// fact `i ≤ len − 1` substituted at the gep can.
+    #[test]
+    fn relational_bound_resolves_late_constant_len() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64, Ty::I64], Ty::Void);
+        let c1ok = b.new_block("c1ok");
+        let c2ok = b.new_block("c2ok");
+        let okbb = b.new_block("ok");
+        let bad = b.new_block("bad");
+        let buf = b.alloca_n(Ty::I64, 8);
+        let i = b.func().arg(0);
+        let len = b.func().arg(1);
+        let zero = b.const_i64(0);
+        let eight = b.const_i64(8);
+        let c1 = b.icmp(CmpPred::Sge, i, zero);
+        b.br(c1, c1ok, bad);
+        b.switch_to(c1ok);
+        let c2 = b.icmp(CmpPred::Slt, i, len);
+        b.br(c2, c2ok, bad);
+        b.switch_to(c2ok);
+        let c3 = b.icmp(CmpPred::Sle, len, eight);
+        b.br(c3, okbb, bad);
+        b.switch_to(okbb);
+        let p = b.gep(buf, i);
+        b.store(zero, p);
+        b.ret(None);
+        b.switch_to(bad);
+        b.ret(None);
+        let f = b.finish();
+        let r = value_ranges(&f);
+        assert!(r.converged());
+        assert!(index_in_bounds(&f, &r, p, i, 8), "i ≤ len − 1 ≤ 7");
+        assert!(!index_in_bounds(&f, &r, p, i, 7));
+    }
+
+    /// Relational facts survive a phi join when every incoming arm
+    /// carries one: j = phi(i, i + 1) keeps j ≤ len (from i ≤ len − 1).
+    #[test]
+    fn relational_bounds_join_through_phi() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64, Ty::I64, Ty::I64], Ty::Void);
+        let guarded = b.new_block("guarded");
+        let tbb = b.new_block("t");
+        let ebb = b.new_block("e");
+        let join = b.new_block("join");
+        let lenok = b.new_block("lenok");
+        let bad = b.new_block("bad");
+        let buf = b.alloca_n(Ty::I64, 9);
+        let i = b.func().arg(0);
+        let len = b.func().arg(1);
+        let sel = b.func().arg(2);
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        let eight = b.const_i64(8);
+        let c0 = b.icmp(CmpPred::Ult, i, len);
+        b.br(c0, guarded, bad);
+        b.switch_to(guarded);
+        let cs = b.icmp(CmpPred::Sgt, sel, zero);
+        b.br(cs, tbb, ebb);
+        b.switch_to(tbb);
+        b.jmp(join);
+        b.switch_to(ebb);
+        let i1 = b.add(i, one);
+        b.jmp(join);
+        b.switch_to(join);
+        let j = b.phi(vec![(tbb, i), (ebb, i1)]);
+        let cl = b.icmp(CmpPred::Sle, len, eight);
+        b.br(cl, lenok, bad);
+        b.switch_to(lenok);
+        let p = b.gep(buf, j);
+        b.store(zero, p);
+        b.ret(None);
+        b.switch_to(bad);
+        b.ret(None);
+        let f = b.finish();
+        let r = value_ranges(&f);
+        assert!(r.converged());
+        // len's sign is unknown at the ult guard, so no relation may be
+        // recorded (a negative len is a huge unsigned bound): unproven.
+        assert!(!index_in_bounds(&f, &r, p, j, 9));
+    }
+
+    /// Same shape as above but with the bound's sign established first
+    /// (`len sge 0`), so `i ult len` both refines and relates; the phi
+    /// join then keeps j ≤ len ≤ 8 and j ≥ 0.
+    #[test]
+    fn relational_bounds_join_through_phi_with_known_sign() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64, Ty::I64, Ty::I64], Ty::Void);
+        let sgn = b.new_block("sgn");
+        let guarded = b.new_block("guarded");
+        let tbb = b.new_block("t");
+        let ebb = b.new_block("e");
+        let join = b.new_block("join");
+        let lenok = b.new_block("lenok");
+        let bad = b.new_block("bad");
+        let buf = b.alloca_n(Ty::I64, 9);
+        let i = b.func().arg(0);
+        let len = b.func().arg(1);
+        let sel = b.func().arg(2);
+        let zero = b.const_i64(0);
+        let one = b.const_i64(1);
+        let eight = b.const_i64(8);
+        let csgn = b.icmp(CmpPred::Sge, len, zero);
+        b.br(csgn, sgn, bad);
+        b.switch_to(sgn);
+        let c0 = b.icmp(CmpPred::Ult, i, len);
+        b.br(c0, guarded, bad);
+        b.switch_to(guarded);
+        let cs = b.icmp(CmpPred::Sgt, sel, zero);
+        b.br(cs, tbb, ebb);
+        b.switch_to(tbb);
+        b.jmp(join);
+        b.switch_to(ebb);
+        let i1 = b.add(i, one);
+        b.jmp(join);
+        b.switch_to(join);
+        let j = b.phi(vec![(tbb, i), (ebb, i1)]);
+        let cl = b.icmp(CmpPred::Sle, len, eight);
+        b.br(cl, lenok, bad);
+        b.switch_to(lenok);
+        let p = b.gep(buf, j);
+        b.store(zero, p);
+        b.ret(None);
+        b.switch_to(bad);
+        b.ret(None);
+        let f = b.finish();
+        let r = value_ranges(&f);
+        assert!(r.converged());
+        assert!(index_in_bounds(&f, &r, p, j, 9), "j ≤ len ≤ 8, j ≥ 0");
+        assert!(!index_in_bounds(&f, &r, p, j, 8), "j = len = 8 reachable");
+    }
+
+    /// Entry seeds stand in for a calling context: pinning the `len`
+    /// parameter to the callsite's constant makes the guarded store
+    /// provable, exactly the per-context replay the pruner performs.
+    #[test]
+    fn seeded_parameter_ranges_prove_guarded_store() {
+        let mut b = FunctionBuilder::new("f", vec![Ty::ptr(Ty::I64), Ty::I64, Ty::I64], Ty::Void);
+        let okbb = b.new_block("ok");
+        let out = b.new_block("out");
+        let p = b.func().arg(0);
+        let len = b.func().arg(1);
+        let i = b.func().arg(2);
+        let zero = b.const_i64(0);
+        let c = b.icmp(CmpPred::Ult, i, len);
+        b.br(c, okbb, out);
+        b.switch_to(okbb);
+        let q = b.gep(p, i);
+        b.store(zero, q);
+        b.jmp(out);
+        b.switch_to(out);
+        b.ret(None);
+        let f = b.finish();
+
+        // Unseeded: len's sign is unknown, nothing proves.
+        let r0 = value_ranges(&f);
+        assert!(!index_in_bounds(&f, &r0, q, i, 8));
+
+        // Seeded with len = 8 (a callsite passing a constant): proven.
+        let r8 = value_ranges_seeded(&f, &[(len, Interval::exact(8))]);
+        assert!(r8.converged());
+        assert!(index_in_bounds(&f, &r8, q, i, 8));
+        assert!(!index_in_bounds(&f, &r8, q, i, 7));
+
+        // Seeded with a larger capacity than the proof needs: unproven.
+        let r16 = value_ranges_seeded(&f, &[(len, Interval::exact(16))]);
+        assert!(!index_in_bounds(&f, &r16, q, i, 8));
+        assert!(index_in_bounds(&f, &r16, q, i, 16));
     }
 
     #[test]

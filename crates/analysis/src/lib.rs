@@ -72,7 +72,7 @@ pub mod reach;
 pub mod slicing;
 pub mod vulnerability;
 
-pub use alias::{MemObjectKind, ObjId, ObjSet, PointsTo, Precision};
+pub use alias::{CtxPointsTo, CtxStats, MemObjectKind, ObjId, ObjSet, PointsTo, Precision};
 pub use callgraph::CallGraph;
 pub use cfg::{
     back_edges, control_dependence, loop_depths, reverse_postorder, Dominators, PostDominators,
@@ -80,7 +80,7 @@ pub use cfg::{
 pub use channels::{IcSite, InputChannels};
 pub use dataflow::{solve, DataflowAnalysis, Direction, SolveResult};
 pub use defuse::DefUse;
-pub use interval::{index_in_bounds, value_ranges, Interval, ValueRanges};
+pub use interval::{index_in_bounds, value_ranges, value_ranges_seeded, Interval, ValueRanges};
 pub use liveness::{Liveness, ReachingStores};
 pub use reach::OverflowReach;
 pub use slicing::{BackwardSlice, ForwardSlice, SliceContext, SliceMode};

@@ -50,7 +50,7 @@
 
 use crate::alias::{MemObjectKind, ObjId, PointsTo};
 use crate::callgraph::CallGraph;
-use crate::interval::{index_in_bounds, value_ranges, ValueRanges};
+use crate::interval::{index_in_bounds, value_ranges, value_ranges_seeded, Interval, ValueRanges};
 use crate::slicing::SliceContext;
 use pythia_ir::{Callee, FuncId, Inst, Intrinsic, ValueId, ValueKind};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -69,8 +69,15 @@ pub struct OverflowReach {
     /// in-bounds (each contributed its adjacency closure).
     pub unproven_gep_stores: usize,
     /// Tainted variable-index gep stores the interval analysis proved
-    /// in-bounds (each pruned an overflow source).
+    /// in-bounds (each pruned an overflow source). Proofs run per calling
+    /// context of the 1-CFA layer: every context must discharge every
+    /// object its (sharper) pointee set contains.
     pub proven_gep_stores: usize,
+    /// Calling contexts the 1-CFA points-to layer explored.
+    pub contexts: usize,
+    /// Whether the 1-CFA solve fell back to the insensitive relation
+    /// (node budget exhausted or object-remap divergence).
+    pub ctx_fallback: bool,
 }
 
 impl OverflowReach {
@@ -97,8 +104,9 @@ struct Builder<'a, 'm> {
     cg: CallGraph,
     /// Per-function VM-identical frame offsets: alloca -> (offset, size).
     frame_offsets: HashMap<FuncId, HashMap<ValueId, (u64, u64)>>,
-    /// Lazily computed per-function value ranges.
-    ranges: HashMap<FuncId, ValueRanges>,
+    /// Lazily computed per-(function, calling-context) value ranges; the
+    /// context's callsite seeds constant arguments into the parameters.
+    ranges: HashMap<(FuncId, usize), ValueRanges>,
     /// Functions whose address is taken (indirect-call targets).
     address_taken: Vec<FuncId>,
     reachable: BTreeSet<ObjId>,
@@ -281,28 +289,95 @@ impl<'a, 'm> Builder<'a, 'm> {
     }
 
     /// Is the gep store at `(fid, gep)` (with variable, tainted `index`)
-    /// proven in-bounds for **every** object its base may point at?
+    /// proven in-bounds for **every** object its base may point at, in
+    /// **every** calling context?
+    ///
+    /// The 1-CFA layer makes this strictly stronger than one insensitive
+    /// check: each context sees only the objects that flow in through its
+    /// own callsite (often a single heap cell instead of every caller's),
+    /// and its value ranges are seeded with the callsite's constant
+    /// arguments (a constant `len` argument turns an `i <u len` guard
+    /// into a closed bound). A context whose pointee set is empty has no
+    /// store footprint and is vacuously discharged; on fallback the
+    /// insensitive relation and unseeded ranges apply — the pre-context
+    /// behavior.
     fn gep_proven(&mut self, fid: FuncId, gep: ValueId, base: ValueId, index: ValueId) -> bool {
         let f = self.ctx.module.func(fid);
         let Some(Inst::Gep { elem, .. }) = f.inst(gep) else {
             return false;
         };
         let elem_size = elem.size().max(1);
-        let pts = self.ctx.points_to.points_to(fid, base).clone();
-        if pts.unknown || pts.objects.is_empty() {
-            return false;
+        let cpt = self.ctx.ctx_points_to();
+        let nctx = cpt.num_contexts_of(fid);
+        let mut any_objects = false;
+        for ci in 0..nctx {
+            let pts = match cpt.points_to_in(fid, ci, base) {
+                Some(s) => s.clone(),
+                None => self.ctx.points_to.points_to(fid, base).clone(),
+            };
+            if pts.unknown {
+                return false;
+            }
+            if pts.objects.is_empty() {
+                continue;
+            }
+            any_objects = true;
+            let counts: Option<Vec<u64>> = pts
+                .objects
+                .iter()
+                .map(|&o| self.elem_count(o, elem_size))
+                .collect();
+            let Some(counts) = counts else { return false };
+            let ranges = self.ranges_for(fid, ci);
+            if !counts
+                .iter()
+                .all(|&count| index_in_bounds(f, ranges, gep, index, count))
+            {
+                return false;
+            }
         }
-        let counts: Option<Vec<u64>> = pts
-            .objects
-            .iter()
-            .map(|&o| self.elem_count(o, elem_size))
-            .collect();
-        let Some(counts) = counts else { return false };
-        let func = self.ctx.module.func(fid);
-        let ranges = self.ranges.entry(fid).or_insert_with(|| value_ranges(func));
-        counts
-            .iter()
-            .all(|&count| index_in_bounds(f, ranges, gep, index, count))
+        // No context carries any pointee: the store has no static
+        // footprint anywhere, which only counts as a *proof* if the
+        // insensitive relation agrees it writes nothing.
+        any_objects || self.ctx.points_to.points_to(fid, base).objects.is_empty()
+    }
+
+    /// Value ranges of `fid` in calling context `ci`, seeded with the
+    /// context callsite's constant arguments when that site is a direct
+    /// call to `fid` (an indirect site may bind other targets' argument
+    /// lists, so it seeds nothing).
+    fn ranges_for(&mut self, fid: FuncId, ci: usize) -> &ValueRanges {
+        if !self.ranges.contains_key(&(fid, ci)) {
+            let m = self.ctx.module;
+            let f = m.func(fid);
+            let mut seeds: Vec<(ValueId, Interval)> = Vec::new();
+            if let Some((caller, site)) = self.ctx.ctx_points_to().ctx_callsite(fid, ci) {
+                let cf = m.func(caller);
+                if let Some(Inst::Call {
+                    callee: Callee::Func(t),
+                    args,
+                }) = cf.inst(site)
+                {
+                    if *t == fid {
+                        for (i, &a) in args.iter().enumerate() {
+                            if i >= f.params.len() {
+                                break;
+                            }
+                            if let ValueKind::ConstInt(c) = cf.value(a).kind {
+                                seeds.push((f.arg(i), Interval::exact(c)));
+                            }
+                        }
+                    }
+                }
+            }
+            let r = if seeds.is_empty() {
+                value_ranges(f)
+            } else {
+                value_ranges_seeded(f, &seeds)
+            };
+            self.ranges.insert((fid, ci), r);
+        }
+        &self.ranges[&(fid, ci)]
     }
 
     /// Walk the pointer-derivation chain of a store's pointer and find the
@@ -477,12 +552,15 @@ impl<'a, 'm> Builder<'a, 'm> {
             }
         }
 
+        let cstats = self.ctx.ctx_points_to().stats();
         OverflowReach {
             reachable: self.reachable,
             top: self.top,
             ic_sources: self.ic_sources,
             unproven_gep_stores: self.unproven_gep_stores.len(),
             proven_gep_stores: self.proven_gep_stores.len(),
+            contexts: cstats.contexts,
+            ctx_fallback: cstats.fallback,
         }
     }
 

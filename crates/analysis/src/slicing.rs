@@ -12,7 +12,7 @@
 //!   index and at field-sensitive accesses, leaving the rest of the slice —
 //!   and hence the branch — unprotected.
 
-use crate::alias::{ObjId, PointsTo, Precision};
+use crate::alias::{CtxPointsTo, ObjId, PointsTo, Precision};
 use crate::channels::{IcSite, InputChannels};
 use pythia_ir::{BlockId, Callee, FuncId, Inst, Intrinsic, Module, ValueId, ValueKind};
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
@@ -198,6 +198,9 @@ pub struct SliceContext<'m> {
     memo_hits: AtomicU64,
     /// Memo-table misses (full traversals performed).
     memo_misses: AtomicU64,
+    /// Lazily computed 1-CFA points-to layer over [`Self::points_to`].
+    /// Only the overflow-reachability pruner pays for it, on first use.
+    ctx1: OnceLock<CtxPointsTo>,
 }
 
 /// The context is shared by reference across evaluation worker threads.
@@ -253,7 +256,29 @@ impl<'m> SliceContext<'m> {
             memo_capacity,
             memo_hits: AtomicU64::new(0),
             memo_misses: AtomicU64::new(0),
+            ctx1: OnceLock::new(),
         }
+    }
+
+    /// The 1-CFA points-to layer over the field-sensitive relation,
+    /// computed once per context on first use (and shared by concurrent
+    /// readers). On budget fallback its queries return `None` and callers
+    /// use [`Self::points_to`] — always a sound superset.
+    /// `PYTHIA_CTX_BUDGET` overrides the solver's node budget (`0`
+    /// forces the insensitive fallback — `scripts/bench.sh` uses it for
+    /// the insensitive-vs-1-CFA trend line).
+    pub fn ctx_points_to(&self) -> &CtxPointsTo {
+        self.ctx1.get_or_init(|| {
+            match std::env::var("PYTHIA_CTX_BUDGET")
+                .ok()
+                .and_then(|s| s.parse::<usize>().ok())
+            {
+                Some(budget) => {
+                    CtxPointsTo::analyze_with_budget(self.module, &self.points_to, budget)
+                }
+                None => CtxPointsTo::analyze(self.module, &self.points_to),
+            }
+        })
     }
 
     /// Def-use chains of `fid`, computed once per context and shared by

@@ -647,12 +647,17 @@ fn bench_json_row(entry: &SuiteEntry, lint: bool, profile: bool) -> String {
                 .max()
                 .unwrap_or(0);
             let summary = format!(
-                ", \"analysis_share\": {:.3}, \"execute_share\": {:.3}, \"peak_resident_bytes\": {}, \"proven_geps\": {}, \"obligations_pruned\": {}",
+                ", \"analysis_share\": {:.3}, \"execute_share\": {:.3}, \"peak_resident_bytes\": {}, \"proven_geps\": {}, \"obligations_pruned\": {}, \"reach_top\": {}, \"contexts\": {}, \"ctx_fallback\": {}, \"pythia_heap_pruned\": {}, \"dfi_pruned\": {}",
                 share(t.analysis_secs()),
                 share(t.execute_secs()),
                 peak_resident,
                 ev.analysis.proven_gep_stores,
                 ev.analysis.obligations_pruned,
+                ev.analysis.reach_top,
+                ev.analysis.contexts,
+                ev.analysis.ctx_fallback,
+                ev.analysis.pythia_heap_pruned,
+                ev.analysis.dfi_pruned,
             );
             if profile {
                 let mut out = format!(
@@ -829,6 +834,9 @@ pub struct ProfileAcc {
     execs: std::collections::BTreeMap<&'static str, u64>,
     mc: std::collections::BTreeMap<&'static str, u64>,
     memo_rows: Vec<(String, u64, u64, f64)>,
+    /// Per-benchmark context-solver digest: (name, reach_top, contexts,
+    /// fallback, pythia heap pruned, dfi pruned).
+    ctx_rows: Vec<(String, bool, usize, bool, usize, usize)>,
 }
 
 impl ProfileAcc {
@@ -849,6 +857,7 @@ impl ProfileAcc {
             execs: Default::default(),
             mc: Default::default(),
             memo_rows: Vec::new(),
+            ctx_rows: Vec::new(),
         }
     }
 
@@ -890,6 +899,14 @@ impl ProfileAcc {
             ev.analysis.memo_hits,
             ev.analysis.memo_misses,
             ev.analysis.memo_hit_rate(),
+        ));
+        self.ctx_rows.push((
+            ev.name.clone(),
+            ev.analysis.reach_top,
+            ev.analysis.contexts,
+            ev.analysis.ctx_fallback,
+            ev.analysis.pythia_heap_pruned,
+            ev.analysis.dfi_pruned,
         ));
     }
 
@@ -983,6 +1000,46 @@ impl ProfileAcc {
         }
         out.push_str(&format!(
             "### per-scheme dynamic counters (summed; `pa static` = sign/auth sites in the instrumented module after pruning, `pa unpruned` = without the precision stage)\n\n{}\n",
+            t.render()
+        ));
+
+        // Context-sensitive points-to digest per benchmark: how many
+        // 1-CFA contexts the solver cloned, whether it fell back to the
+        // insensitive relation, whether overflow reach hit ⊤, and the
+        // heap/DFI obligations the sharper relation pruned.
+        let mut t = Table::new(vec![
+            "benchmark",
+            "reach",
+            "contexts",
+            "fallback",
+            "heap pruned",
+            "dfi pruned",
+        ]);
+        let (mut ctx_total, mut fb_total, mut hp_total, mut dfi_total) = (0usize, 0usize, 0, 0);
+        for (name, top, ctxs, fb, hp, dfi) in &self.ctx_rows {
+            ctx_total += ctxs;
+            fb_total += *fb as usize;
+            hp_total += hp;
+            dfi_total += dfi;
+            t.row(vec![
+                name.clone(),
+                if *top { "TOP" } else { "ok" }.to_owned(),
+                ctxs.to_string(),
+                if *fb { "yes" } else { "no" }.to_owned(),
+                hp.to_string(),
+                dfi.to_string(),
+            ]);
+        }
+        t.row(vec![
+            "TOTAL".to_owned(),
+            String::new(),
+            ctx_total.to_string(),
+            fb_total.to_string(),
+            hp_total.to_string(),
+            dfi_total.to_string(),
+        ]);
+        out.push_str(&format!(
+            "### 1-CFA context solver (contexts explored, budget fallbacks, heap/DFI obligations pruned)\n\n{}\n",
             t.render()
         ));
 
@@ -1526,14 +1583,18 @@ pub fn precision(suite: &[BenchEvaluation]) -> String {
         "avg-pts",
         "field-objs",
         "reach",
+        "ctxs",
         "proven-geps",
         "cpa-pa",
         "cpa-unpruned",
         "pruned",
+        "heap-pruned",
+        "dfi-pruned",
         "sec-delta",
         "dist-delta",
     ]);
     let (mut kept_total, mut unpruned_total, mut pruned_total) = (0usize, 0usize, 0usize);
+    let (mut heap_total, mut dfi_total, mut ctx_total) = (0usize, 0usize, 0usize);
     for ev in suite {
         let a = &ev.analysis;
         let c_kept = ev
@@ -1547,6 +1608,9 @@ pub fn precision(suite: &[BenchEvaluation]) -> String {
         kept_total += c_kept;
         unpruned_total += c_un;
         pruned_total += a.obligations_pruned;
+        heap_total += a.pythia_heap_pruned;
+        dfi_total += a.dfi_pruned;
+        ctx_total += a.contexts;
         t.row(vec![
             ev.name.clone(),
             format!("{:.2}", a.avg_points_to),
@@ -1556,10 +1620,17 @@ pub fn precision(suite: &[BenchEvaluation]) -> String {
             } else {
                 a.reach_objects.to_string()
             },
+            if a.ctx_fallback {
+                format!("{}!", a.contexts)
+            } else {
+                a.contexts.to_string()
+            },
             a.proven_gep_stores.to_string(),
             c_kept.to_string(),
             c_un.to_string(),
             a.obligations_pruned.to_string(),
+            a.pythia_heap_pruned.to_string(),
+            a.dfi_pruned.to_string(),
             pct(a.pythia_secured - a.dfi_secured),
             format!("{:+.1}", a.pythia_distance - a.dfi_distance),
         ]);
@@ -1575,15 +1646,18 @@ pub fn precision(suite: &[BenchEvaluation]) -> String {
         format!("{:.2}", mean(suite.iter().map(|e| e.analysis.avg_points_to))),
         String::new(),
         String::new(),
+        ctx_total.to_string(),
         String::new(),
         kept_total.to_string(),
         unpruned_total.to_string(),
         pruned_total.to_string(),
+        heap_total.to_string(),
+        dfi_total.to_string(),
         String::new(),
         String::new(),
     ]);
     format!(
-        "## precision — field-sensitive points-to + bounds proofs prune PA obligations (no paper counterpart; pruning drops {dropped} of {unpruned_total} CPA sign/auth sites = {})\n\n{}",
+        "## precision — 1-CFA points-to + relational bounds proofs prune PA obligations (no paper counterpart; pruning drops {dropped} of {unpruned_total} CPA sign/auth sites = {}; `ctxs` = 1-CFA contexts, `!` = budget fallback to the insensitive relation)\n\n{}",
         frac(share),
         t.render()
     )

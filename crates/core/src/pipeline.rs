@@ -104,6 +104,18 @@ pub struct AnalysisSummary {
     /// Obligations dropped by `prune_obligations` across all schemes'
     /// sets (CPA slots + CPA sign values + Pythia heap + DFI objects).
     pub obligations_pruned: usize,
+    /// Calling contexts the 1-CFA points-to solver explored (0 when the
+    /// solver fell back before cloning anything).
+    pub contexts: usize,
+    /// The 1-CFA solver abandoned context sensitivity (node budget
+    /// exhausted or object remap divergence) and the analysis ran on the
+    /// insensitive relation alone.
+    pub ctx_fallback: bool,
+    /// Pythia heap-section objects whose obligations were pruned (heap
+    /// vulnerables provably out of overflow reach).
+    pub pythia_heap_pruned: usize,
+    /// DFI setdef/chkdef objects whose obligations were pruned.
+    pub dfi_pruned: usize,
 }
 
 impl AnalysisSummary {
@@ -387,6 +399,10 @@ pub fn evaluate(
         reach_top: pruned.pruned.reach_top,
         proven_gep_stores: pruned.pruned.proven_gep_stores,
         obligations_pruned: pruned.pruned.total(),
+        contexts: pruned.pruned.contexts,
+        ctx_fallback: pruned.pruned.ctx_fallback,
+        pythia_heap_pruned: pruned.pruned.pythia_heap_objects,
+        dfi_pruned: pruned.pruned.dfi_objects,
     };
 
     let mut all = vec![Scheme::Vanilla];

@@ -13,7 +13,9 @@
 //!    same benchmark produces identical outcome histograms — dropping a
 //!    statically-unreachable obligation never costs a detection.
 
-use pythia_analysis::{PointsTo, Precision, SliceContext, SliceMode, VulnerabilityReport};
+use pythia_analysis::{
+    CtxPointsTo, PointsTo, Precision, SliceContext, SliceMode, VulnerabilityReport,
+};
 use pythia_core::{instrument_with, run_campaign_with, Scheme, VmConfig};
 use pythia_ir::{Module, ValueId};
 use pythia_passes::prune_obligations;
@@ -91,6 +93,71 @@ fn field_sensitive_is_a_refinement_of_field_insensitive() {
 }
 
 #[test]
+fn one_cfa_is_a_refinement_of_the_insensitive_relation() {
+    for m in suite_modules() {
+        let base = PointsTo::analyze_with(&m, Precision::FieldSensitive);
+        let ctx1 = CtxPointsTo::analyze(&m, &base);
+        assert!(
+            !ctx1.is_fallback(),
+            "{}: suite module exhausted the context-node budget",
+            m.name
+        );
+        assert!(ctx1.stats().contexts > 0, "{}", m.name);
+        for fid in m.func_ids() {
+            let f = m.func(fid);
+            let nctx = ctx1.num_contexts_of(fid);
+            assert!(nctx >= 1, "{}: fn{} has no contexts", m.name, fid.0);
+            for v in (0..f.num_values() as u32).map(ValueId) {
+                let b = base.points_to(fid, v);
+                // The union over contexts is ⊆ the insensitive set: the
+                // 1-CFA solve runs the same constraint gatherer with
+                // sharper call linking, so sets (and ⊤) only shrink.
+                let proj = ctx1.projected(fid, v).expect("non-fallback projection");
+                assert!(
+                    !proj.unknown || b.unknown,
+                    "{}: fn{} v{} is ⊤ only context-sensitively",
+                    m.name,
+                    fid.0,
+                    v.0
+                );
+                for ci in 0..nctx {
+                    let s = ctx1.points_to_in(fid, ci, v).expect("non-fallback set");
+                    assert!(
+                        !s.unknown || b.unknown,
+                        "{}: fn{} ctx{} v{} is ⊤ only context-sensitively",
+                        m.name,
+                        fid.0,
+                        ci,
+                        v.0
+                    );
+                    if b.unknown {
+                        continue;
+                    }
+                    for &o in &s.objects {
+                        assert!(
+                            proj.objects.contains(&o),
+                            "{}: fn{} ctx{} v{}: object {o} missing from the projection",
+                            m.name,
+                            fid.0,
+                            ci,
+                            v.0
+                        );
+                        assert!(
+                            b.objects.contains(&o),
+                            "{}: fn{} ctx{} v{}: object {o} missing from the insensitive set",
+                            m.name,
+                            fid.0,
+                            ci,
+                            v.0
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn dfi_slice_relation_is_the_field_insensitive_solve() {
     for m in suite_modules() {
         let ctx = SliceContext::new(&m);
@@ -134,6 +201,21 @@ fn pruned_and_unpruned_campaigns_are_byte_identical() {
         assert!(
             pruned.pruned.total() > 0,
             "{name}: expected the precision stage to prune something"
+        );
+        // The 1-CFA upgrade must prune Pythia heap-section and DFI
+        // obligations on these heap-bearing benchmarks — the outcome
+        // histograms below prove those drops cost no detection.
+        assert!(
+            pruned.pruned.pythia_heap_objects > 0,
+            "{name}: expected pruned Pythia heap obligations"
+        );
+        assert!(
+            pruned.pruned.dfi_objects > 0,
+            "{name}: expected pruned DFI obligations"
+        );
+        assert!(
+            !pruned.pruned.ctx_fallback,
+            "{name}: context solver fell back on a suite benchmark"
         );
 
         let unpruned_pa = instrument_with(&m, &ctx, &report, Scheme::Cpa)

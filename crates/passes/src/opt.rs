@@ -97,6 +97,8 @@ pub fn prune_obligations(
         reach_top: reach.top,
         reachable_objects: reach.num_reachable(),
         proven_gep_stores: reach.proven_gep_stores,
+        contexts: reach.contexts,
+        ctx_fallback: reach.ctx_fallback,
         ..Default::default()
     };
     if reach.top {

@@ -12,7 +12,7 @@
 
 use crate::profiles::BenchProfile;
 use pythia_ir::{
-    CastKind, CmpPred, FunctionBuilder, GlobalId, Inst, Intrinsic, Module, Ty, ValueId,
+    CastKind, CmpPred, FuncId, FunctionBuilder, GlobalId, Inst, Intrinsic, Module, Ty, ValueId,
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -100,9 +100,13 @@ pub fn generate(profile: &BenchProfile) -> Module {
     };
     let mut rng = SmallRng::seed_from_u64(profile.seed);
 
+    // The shared heap-store helper every `Style::Heap` predicate calls.
+    // Added first (before any RNG draw) so worker ids shift uniformly and
+    // generation stays deterministic.
+    let hput = m.add_function(gen_hput());
     let mut worker_ids = Vec::new();
     for w in 0..profile.functions {
-        let f = gen_worker(profile, &globals, &mut rng, w);
+        let f = gen_worker(profile, &globals, &mut rng, w, hput);
         worker_ids.push(m.add_function(f));
     }
     let main = gen_main(profile, &worker_ids);
@@ -132,11 +136,46 @@ pub fn generate_all() -> Vec<(&'static BenchProfile, Module)> {
 // Worker functions
 // -----------------------------------------------------------------------
 
+/// The shared heap-store helper: `hput(p, len, i, v)` stores `v` at `p[i]`
+/// iff `i <u len` and returns `v`. One definition serves every heap
+/// predicate in the module, the way real code funnels writes through a
+/// bounds-checked setter. A context-insensitive points-to solve conflates
+/// all callers' heap cells through `p` (and `len` is unknowable), while
+/// the 1-CFA solve sees — per callsite context — a single heap object and
+/// a constant `len`, which the relational interval domain turns into an
+/// in-bounds proof. This is exactly the precision gap the
+/// context-sensitive layer exists to close.
+fn gen_hput() -> pythia_ir::Function {
+    let mut b = FunctionBuilder::new(
+        "hput",
+        vec![Ty::ptr(Ty::I64), Ty::I64, Ty::I64, Ty::I64],
+        Ty::I64,
+    );
+    let p = b.func().arg(0);
+    let len = b.func().arg(1);
+    let i = b.func().arg(2);
+    let v = b.func().arg(3);
+    let ok = b.new_block("hok");
+    let out = b.new_block("hout");
+    // One unsigned compare covers both bounds: `i <u len` rejects negative
+    // indices for free (they wrap huge).
+    let c = b.icmp(CmpPred::Ult, i, len);
+    b.br(c, ok, out);
+    b.switch_to(ok);
+    let q = b.gep(p, i);
+    b.store(v, q);
+    b.jmp(out);
+    b.switch_to(out);
+    b.ret(Some(v));
+    b.finish()
+}
+
 fn gen_worker(
     profile: &BenchProfile,
     globals: &Globals,
     rng: &mut SmallRng,
     index: usize,
+    hput: FuncId,
 ) -> pythia_ir::Function {
     let mut b = FunctionBuilder::new(format!("work_{index}"), vec![Ty::I64], Ty::I64);
     let x = b.func().arg(0);
@@ -161,7 +200,7 @@ fn gen_worker(
             ],
             Style::Scan => vec![b.alloca(Ty::I64)],
             Style::Get => vec![b.alloca(Ty::array(Ty::I8, 16))],
-            Style::Heap => vec![b.alloca(Ty::I64)],
+            Style::Heap => vec![b.alloca(Ty::I64), b.alloca(Ty::I64)],
             Style::Forged => vec![b.alloca(Ty::I64), b.alloca(Ty::I64)],
             Style::Walk => vec![
                 b.alloca(Ty::I64),
@@ -236,7 +275,7 @@ fn gen_worker(
             let pj = b.new_block(format!("pj{j}"));
             b.br(g, icb, skipb);
             b.switch_to(icb);
-            let cond_ic = emit_predicate(&mut b, pred, x, globals, rng, j);
+            let cond_ic = emit_predicate(&mut b, pred, x, globals, rng, j, hput);
             // Predicates with internal control flow (Walk) end in a block
             // of their own; the join phi must name the actual predecessor.
             let ic_end = b.current_block();
@@ -252,7 +291,7 @@ fn gen_worker(
             b.switch_to(pj);
             b.phi(vec![(ic_end, cond_ic), (skipb, cond_skip)])
         } else {
-            emit_predicate(&mut b, pred, x, globals, rng, j)
+            emit_predicate(&mut b, pred, x, globals, rng, j, hput)
         };
         let tb = b.new_block(format!("t{j}"));
         let eb = b.new_block(format!("e{j}"));
@@ -314,6 +353,7 @@ fn emit_predicate(
     globals: &Globals,
     rng: &mut SmallRng,
     j: usize,
+    hput: FuncId,
 ) -> ValueId {
     let ca = b.const_i64(rng.gen_range(1..7));
     let hundred = b.const_i64(100);
@@ -407,20 +447,44 @@ fn emit_predicate(
             b.icmp(CmpPred::Sgt, ext, thresh)
         }
         Style::Heap => {
-            let staging = pred.slots[0];
+            let (staging, idxslot) = (pred.slots[0], pred.slots[1]);
+            // The *index* arrives through the move/copy channel (a stack
+            // destination), not the heap cell itself: the heap object is
+            // attacker-reachable only through the guarded store inside
+            // `hput`, so a precise-enough solver can discharge it.
             let xv = b.mul(x, ca);
-            b.store(xv, staging);
+            let thirty_two = b.const_i64(32);
+            let t0 = b.bin(pythia_ir::BinOp::Srem, xv, thirty_two);
+            b.store(t0, staging);
+            b.call_intrinsic(
+                Intrinsic::Memcpy,
+                vec![idxslot, staging, eight],
+                Ty::ptr(Ty::I8),
+            );
+            let idx = b.load(idxslot);
+            let words: i64 = [4, 8, 16][rng.gen_range(0..3)];
+            let wordsc = b.const_i64(words);
+            let bytes = b.const_i64(words * 8);
             let alloc_fn = if rng.gen_bool(0.15) {
                 Intrinsic::Mmap
             } else {
                 Intrinsic::Malloc
             };
-            let h = b.call_intrinsic(alloc_fn, vec![eight], Ty::ptr(Ty::I64));
-            b.call_intrinsic(Intrinsic::Memcpy, vec![h, staging, eight], Ty::ptr(Ty::I8));
+            let h = b.call_intrinsic(alloc_fn, vec![bytes], Ty::ptr(Ty::I64));
+            // Define word 0 before the post-call read (DFI setdef).
+            let zero = b.const_i64(0);
+            let p0 = b.gep(h, zero);
+            b.store(xv, p0);
+            // Store the channel-derived index itself: the heap cell holds
+            // attacker-influenced data (so Pythia's refinement keeps its
+            // obligation) while remaining out of overflow reach — the
+            // prunable shape.
+            let r = b.call(hput, vec![h, wordsc, idx, idx], Ty::I64);
             let lv = b.load(h);
             b.call_intrinsic(Intrinsic::Free, vec![h], Ty::Void);
-            let t = b.bin(pythia_ir::BinOp::Srem, lv, hundred);
-            b.icmp(CmpPred::Sgt, t, fifty)
+            let t2 = b.add(lv, r);
+            let t3 = b.bin(pythia_ir::BinOp::Srem, t2, hundred);
+            b.icmp(CmpPred::Sgt, t3, fifty)
         }
         Style::Forged => {
             let (staging, v) = (pred.slots[0], pred.slots[1]);

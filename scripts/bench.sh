@@ -76,6 +76,31 @@ if awk -v r="$best_ratio" 'BEGIN { exit !(r < 5) }'; then
 fi
 echo "OK: block engine retires ${best_ratio}x faster than legacy (>= 5x gate)"
 
+# Precision trend: the smoke suite with the 1-CFA context solver forced
+# off (PYTHIA_CTX_BUDGET=0 — insensitive relation only) vs the default
+# budget, comparing summed analysis wall-clock against the obligations
+# the sharper relation prunes (total and Pythia heap). Informational —
+# the correctness gates (heap pruning fires, no budget fallback) live
+# in scripts/check.sh.
+echo "== precision trend (insensitive vs 1-CFA points-to, smoke, serial) =="
+for mode in insensitive 1cfa; do
+    if [ "$mode" = "insensitive" ]; then
+        PYTHIA_THREADS=1 PYTHIA_CTX_BUDGET=0 "$REPRODUCE" --smoke --bench-json \
+            --out "$OUT/prec-$mode" fig4a >/dev/null
+    else
+        PYTHIA_THREADS=1 "$REPRODUCE" --smoke --bench-json \
+            --out "$OUT/prec-$mode" fig4a >/dev/null
+    fi
+    PJ="$OUT/prec-$mode/BENCH_suite.json"
+    asecs=$(grep -o '"analysis": [0-9.]*' "$PJ" | grep -o '[0-9.]*$')
+    pruned=$(grep -o '"obligations_pruned": [0-9]*' "$PJ" \
+        | grep -o '[0-9]*$' | awk '{s+=$0} END {print s+0}')
+    heap=$(grep -o '"pythia_heap_pruned": [0-9]*' "$PJ" \
+        | grep -o '[0-9]*$' | awk '{s+=$0} END {print s+0}')
+    printf "%-12s analysis %8ss  pruned %4s  heap-pruned %3s\n" \
+        "$mode" "$asecs" "$pruned" "$heap"
+done
+
 # Tier trend: one benchmark (mcf) at each size tier through the
 # streaming runner, showing how total wall-clock and the analysis vs
 # execute split move as the workload grows ~36x dynamic from smoke to

@@ -114,6 +114,29 @@ if ! grep -qE '"obligations_pruned": [1-9]' "$JSON"; then
     exit 1
 fi
 
+# Context-solver gates: the 1-CFA layer must prune Pythia heap-section
+# obligations on at least one smoke benchmark (mcf prunes; lbm has no
+# heap predicates and nginx legitimately doesn't), and no smoke
+# benchmark may hit the solver's node-budget fallback — a fallback here
+# means the budget regressed or the object remap diverged, silently
+# degrading every context-derived proof to the insensitive relation.
+if ! grep -qE '"pythia_heap_pruned": [1-9]' "$JSON"; then
+    echo "FAIL: no smoke benchmark pruned a Pythia heap obligation — 1-CFA layer inert:" >&2
+    grep '"pythia_heap_pruned"' "$JSON" >&2
+    exit 1
+fi
+if grep -q '"ctx_fallback": true' "$JSON"; then
+    echo "FAIL: the 1-CFA solver fell back to the insensitive relation on a smoke benchmark:" >&2
+    grep '"ctx_fallback"' "$JSON" >&2
+    exit 1
+fi
+if ! grep -qE '"contexts": [1-9]' "$JSON"; then
+    echo "FAIL: the 1-CFA solver explored no calling contexts on the smoke set:" >&2
+    grep '"contexts"' "$JSON" >&2
+    exit 1
+fi
+echo "OK: 1-CFA context solver prunes heap obligations with zero budget fallbacks"
+
 # Ref-tier gate: one fast benchmark at --tier ref through the streaming
 # runner. The tier's bounded-loop array walks must give the interval
 # analysis something to discharge — nonzero proven geps AND pruned
