@@ -2,6 +2,7 @@
 //!
 //! Usage: `reproduce [--out <dir>] [--engine <legacy|block>]
 //! [--tier <smoke|standard|ref>] [--only <name[,name...]>]
+//! [--scenario server [--connections N] [--requests M] [--seed S]]
 //! [--bench-json] [--lint] [--profile] [--smoke] [section...]`
 //! where a section is one of `fig4a fig4b fig5a fig5b fig6a fig6b fig7a
 //! fig7b dist precision dynpa heap campaign models nginx motiv eq6
@@ -16,7 +17,18 @@
 //!
 //! `--only <name[,name...]>` restricts the suite to the named benchmarks
 //! (partial SPEC names match; `nginx` selects the server workload) —
-//! `scripts/check.sh` uses this for the fast ref-tier gate.
+//! `scripts/check.sh` uses this for the fast ref-tier gate. Unknown
+//! names are rejected before anything runs, with the valid list printed.
+//!
+//! `--scenario server` skips the suite and runs the event-loop
+//! multi-tenant server workload instead (DESIGN.md §5i): one event loop
+//! per protection scheme multiplexing `--connections` slots over
+//! `--requests` requests each (defaults 64 and 250,000 — 1M simulated
+//! requests across the 4 schemes), with attack payloads delivered at
+//! swept offsets inside the canary re-randomization window. Writes
+//! `BENCH_server.json` (byte-identical across runs and engines) into
+//! `--out`/cwd, prints the detection-vs-offset table to stdout, and the
+//! engine-dependent wall-clock requests/sec to stderr.
 //!
 //! `--bench-json` additionally writes `BENCH_suite.json` (into the
 //! `--out` directory when given, else the working directory) with the
@@ -58,6 +70,75 @@
 //! exits with status 1.
 
 use pythia_bench::experiments as exp;
+
+/// Pop `flag <value>` from the argument list; exits with usage errors on
+/// a missing/bad value or when the flag appears without `--scenario`.
+fn take_value(args: &mut Vec<String>, flag: &str, scenario_active: bool) -> Option<u64> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    if !scenario_active {
+        eprintln!("{flag} only applies with --scenario server");
+        std::process::exit(2);
+    }
+    match v.parse::<u64>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            eprintln!("{flag}: bad value `{v}` (expected a positive integer)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Run `--scenario server`: write BENCH_server.json (deterministic,
+/// engine-free), print the detection table to stdout and the
+/// engine-dependent wall-clock throughput to stderr. Exit code 1 when
+/// any event loop recorded an internal error.
+fn run_server(spec: &pythia_bench::ServerScenarioSpec, out_dir: Option<&str>) -> i32 {
+    let run = match pythia_bench::run_server_scenario(spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("reproduce: server scenario failed: {e}");
+            return 1;
+        }
+    };
+    let dir = out_dir.unwrap_or(".");
+    std::fs::create_dir_all(dir).expect("create out dir");
+    let path = std::path::Path::new(dir).join("BENCH_server.json");
+    std::fs::write(&path, &run.json).expect("write BENCH_server.json");
+    println!("{}", run.table);
+    let engine = match spec.engine {
+        pythia_vm::Engine::Legacy => "legacy",
+        pythia_vm::Engine::Block => "block",
+    };
+    for r in &run.runs {
+        eprintln!(
+            "server[{engine}] {}: {:.0} wall req/s ({} requests, {:.2}s)",
+            r.scheme.name(),
+            r.stats.retired as f64 / r.wall_secs.max(1e-9),
+            r.stats.retired,
+            r.wall_secs
+        );
+    }
+    eprintln!(
+        "wrote {} ({} requests total, {:.2}s)",
+        path.display(),
+        run.total_requests,
+        run.wall_secs
+    );
+    if run.internal_errors > 0 {
+        eprintln!(
+            "reproduce: server scenario recorded {} internal errors",
+            run.internal_errors
+        );
+        return 1;
+    }
+    0
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
@@ -119,7 +200,51 @@ fn main() {
         }
         let names = args.remove(i + 1);
         args.remove(i);
-        only = Some(names.split(',').map(str::to_owned).collect());
+        let names: Vec<String> = names.split(',').map(str::to_owned).collect();
+        // Reject unknown names up front, before any benchmark runs —
+        // a typo'd --only must not burn a whole suite pass to report
+        // one "unknown profile" row.
+        if let Err(bad) = exp::validate_only_names(&names) {
+            eprintln!(
+                "unknown benchmark `{bad}` for --only (partial SPEC names match); valid names: {}",
+                exp::valid_only_names().join(", ")
+            );
+            std::process::exit(2);
+        }
+        only = Some(names);
+    }
+    // `--scenario server [--connections N] [--requests M] [--seed S]`
+    // runs the event-loop server scenario (DESIGN.md §5i) instead of the
+    // suite: writes BENCH_server.json, prints the detection-vs-offset
+    // table to stdout and per-engine wall throughput to stderr.
+    let mut scenario: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--scenario") {
+        if i + 1 >= args.len() {
+            eprintln!("--scenario needs a name (server)");
+            std::process::exit(2);
+        }
+        scenario = Some(args.remove(i + 1));
+        args.remove(i);
+    }
+    let mut spec = pythia_bench::ServerScenarioSpec::default();
+    if let Some(v) = take_value(&mut args, "--connections", scenario.is_some()) {
+        spec.connections = v as usize;
+    }
+    if let Some(v) = take_value(&mut args, "--requests", scenario.is_some()) {
+        spec.requests = v;
+    }
+    if let Some(v) = take_value(&mut args, "--seed", scenario.is_some()) {
+        spec.seed = v;
+    }
+    if let Some(name) = &scenario {
+        if name != "server" {
+            eprintln!("unknown scenario `{name}` (expected: server)");
+            std::process::exit(2);
+        }
+        if let Some(e) = engine_override {
+            spec.engine = e;
+        }
+        std::process::exit(run_server(&spec, out_dir.as_deref()));
     }
     let mut bench_json = false;
     if let Some(i) = args.iter().position(|a| a == "--bench-json") {

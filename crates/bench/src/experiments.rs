@@ -161,6 +161,33 @@ fn smoke_jobs(tier: SizeTier) -> Vec<SuiteJob> {
     jobs
 }
 
+/// The benchmark names `--only` accepts: every SPEC-like profile plus
+/// `nginx`.
+pub fn valid_only_names() -> Vec<&'static str> {
+    let mut v: Vec<&'static str> = SPEC_PROFILES.iter().map(|p| p.name).collect();
+    v.push("nginx");
+    v
+}
+
+/// Validate `--only` names eagerly: each must be `nginx` or resolve to a
+/// SPEC profile (partial names match, like the suite's own resolution).
+/// Returns the first offending name so the CLI can reject it up front
+/// with the valid list, instead of burying an "unknown profile" error in
+/// the report after the rest of the suite already ran.
+///
+/// # Errors
+///
+/// The first name that resolves to no benchmark.
+pub fn validate_only_names(names: &[String]) -> Result<(), String> {
+    match names
+        .iter()
+        .find(|n| n.as_str() != "nginx" && profile_by_name(n).is_none())
+    {
+        Some(bad) => Err(bad.clone()),
+        None => Ok(()),
+    }
+}
+
 /// The [`VmConfig`] a tiered suite run executes under: the default config
 /// (which honours `PYTHIA_ENGINE`) with the instruction budget scaled by
 /// the tier's factor — the ref tier's ~36× dynamic size would exhaust the

@@ -12,4 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod server;
 pub mod table;
+
+pub use server::{run_server_scenario, SchemeServerRun, ServerScenarioRun, ServerScenarioSpec};

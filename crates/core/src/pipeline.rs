@@ -339,6 +339,34 @@ fn serial_schemes() -> bool {
         == Some(1)
 }
 
+/// Instrument `module` with `scheme` from a shared analysis
+/// context/report and statically certify the result with `pythia-lint` —
+/// the same instrument→lint gate [`evaluate`] applies per variant, as a
+/// standalone step for scenario drivers (the event-loop server
+/// instruments once and then retires ~10⁶ requests per variant, so the
+/// full per-run `evaluate` path is the wrong shape for it).
+///
+/// Returns the certified module and the number of protection obligations
+/// the lint checked.
+///
+/// # Errors
+///
+/// [`PythiaError::Setup`] when the instrumented variant violates a
+/// protection invariant (the lint gate).
+pub fn instrument_certified(
+    module: &Module,
+    ctx: &SliceContext<'_>,
+    report: &VulnerabilityReport,
+    scheme: Scheme,
+) -> Result<(Module, usize), PythiaError> {
+    let inst = instrument_with(module, ctx, report, scheme);
+    let lint = lint_instrumented(module, ctx, report, &inst.module, scheme);
+    if !lint.is_clean() {
+        return Err(lint.into_setup_error());
+    }
+    Ok((inst.module, lint.checks))
+}
+
 /// Evaluate one module under the given schemes (vanilla is always added).
 ///
 /// The module is verified first; each scheme variant is then instrumented

@@ -358,7 +358,9 @@ impl<'m> Vm<'m> {
                         self.pa_key_counts[*key as usize] += 1;
                         let v = read(values, *value) as u64;
                         let md = read(values, *modifier) as u64;
-                        values[op.iv.0 as usize] = self.pa.sign(*key, v, md) as i64;
+                        let signed = self.pa.sign(*key, v, md);
+                        self.witness_ga_sign(*key, md, signed);
+                        values[op.iv.0 as usize] = signed as i64;
                     }
                     OpKind::PacAuth {
                         value,

@@ -51,4 +51,5 @@ pub use memory::{layout, Memory, MemoryError, MemoryFault, NULL_GUARD, PAGE_SIZE
 pub use profile::{static_pa_counts, PaProfile, Profile, ShadowProfile};
 pub use vm::{
     DetectionMechanism, Engine, ExitReason, RunMetrics, RunResult, TraceEvent, Trap, Vm, VmConfig,
+    Witness,
 };

@@ -355,6 +355,17 @@ pub struct VmConfig {
     /// the whole harness (reproduce, campaigns, scripts) can be switched
     /// with `PYTHIA_ENGINE=legacy` without plumbing a flag everywhere.
     pub engine: Engine,
+    /// Record a disclosure [`Witness`] (executed `Ga` canary signs and
+    /// memory-writing input-channel executions). Purely observational —
+    /// metrics, profile and exit reason never change. The server
+    /// scenario's attack injector uses this to model an in-epoch leak.
+    pub record_witness: bool,
+    /// Run the entry function on the caller's stack instead of a
+    /// dedicated 32 MiB interpreter thread. For fleets of tiny runs
+    /// (the event-loop server retires ~10⁶ request VMs per scenario)
+    /// the per-run thread spawn dominates; callers opting in must keep
+    /// `max_call_depth` small enough for their own stack.
+    pub inline_exec: bool,
 }
 
 impl Default for VmConfig {
@@ -369,8 +380,25 @@ impl Default for VmConfig {
             trace_limit: 0,
             profile: true,
             engine: Engine::from_env(),
+            record_witness: false,
+            inline_exec: false,
         }
     }
+}
+
+/// What an attacker with an intra-epoch disclosure primitive learns from
+/// one run (recorded only when [`VmConfig::record_witness`] is set): the
+/// concrete canary values the run signed and where every input channel
+/// wrote. The server scenario's injector replays these to splice valid
+/// in-epoch canaries into an overflow payload (DESIGN.md §5i).
+#[derive(Debug, Clone, Default)]
+pub struct Witness {
+    /// Every executed `Ga` (canary) `pacsign`: `(modifier, signed value)`.
+    /// The modifier is the canary slot address under the Pythia scheme.
+    pub ga_signs: Vec<(u64, u64)>,
+    /// Every memory-writing input-channel execution:
+    /// `(ic execution index, destination address, declared capacity)`.
+    pub ic_writes: Vec<(u64, u64, u64)>,
 }
 
 /// A legacy-engine call frame. Alloca addresses live in the shared dense
@@ -444,6 +472,9 @@ pub struct Vm<'m> {
     pub(crate) argv_pool: Vec<Vec<i64>>,
     /// Reusable zero buffer for frame clearing.
     zeros: Vec<u8>,
+    /// Disclosure record (populated only under
+    /// [`VmConfig::record_witness`]).
+    pub(crate) witness: Witness,
 }
 
 impl<'m> Vm<'m> {
@@ -511,6 +542,7 @@ impl<'m> Vm<'m> {
             frame_pool: Vec::new(),
             argv_pool: Vec::new(),
             zeros: Vec::new(),
+            witness: Witness::default(),
             cfg,
         };
         if let Err(e) = vm.init_globals() {
@@ -578,6 +610,31 @@ impl<'m> Vm<'m> {
     /// Read access to the simulated memory (for tests/scenarios).
     pub fn memory(&self) -> &Memory {
         &self.mem
+    }
+
+    /// The disclosure witness recorded by the last run (empty unless
+    /// [`VmConfig::record_witness`] was set).
+    pub fn witness(&self) -> &Witness {
+        &self.witness
+    }
+
+    /// Record one executed `Ga` canary sign into the witness. Shared by
+    /// both engines' `PacSign` arms; a no-op unless witness recording is
+    /// on.
+    #[inline]
+    pub(crate) fn witness_ga_sign(&mut self, key: PaKey, modifier: u64, signed: u64) {
+        if self.cfg.record_witness && key == PaKey::Ga {
+            self.witness.ga_signs.push((modifier, signed));
+        }
+    }
+
+    /// Record one memory-writing input-channel execution into the
+    /// witness (both engines funnel through `exec_intrinsic`).
+    #[inline]
+    pub(crate) fn witness_ic_write(&mut self, n: u64, dst: u64, cap: u64) {
+        if self.cfg.record_witness {
+            self.witness.ic_writes.push((n, dst, cap));
+        }
     }
 
     /// Run `entry` with integer `args`. Returns the exit reason plus
@@ -673,6 +730,15 @@ impl<'m> Vm<'m> {
     fn exec_entry(&mut self, fid: FuncId, args: &[i64]) -> Result<i64, Halt> {
         const INTERP_STACK: usize = 32 << 20;
         let engine = self.cfg.engine;
+        // Opt-in fast path: no interpreter thread. The caller vouches
+        // that its own stack holds `max_call_depth` frames; the server
+        // event loop uses this to avoid ~10⁶ spawns per scenario.
+        if self.cfg.inline_exec {
+            return match engine {
+                Engine::Legacy => self.exec_function(fid, args, 0),
+                Engine::Block => self.exec_function_block(fid, args, 0),
+            };
+        }
         let this = &mut *self;
         let spawned = std::thread::scope(|s| {
             let worker = std::thread::Builder::new()
@@ -1017,7 +1083,9 @@ impl<'m> Vm<'m> {
                         }
                         let v = self.value_of(f, &frame.values, *value) as u64;
                         let md = self.value_of(f, &frame.values, *modifier) as u64;
-                        frame.values[iv.0 as usize] = self.pa.sign(*key, v, md) as i64;
+                        let signed = self.pa.sign(*key, v, md);
+                        self.witness_ga_sign(*key, md, signed);
+                        frame.values[iv.0 as usize] = signed as i64;
                     }
                     Inst::PacAuth {
                         value,
@@ -1206,6 +1274,7 @@ impl<'m> Vm<'m> {
                     uarg(2)
                 };
                 let n = next_ic(self);
+                self.witness_ic_write(n, dst, 8);
                 match self.plan.int_input(n) {
                     IntOrPayload::Int(v) => {
                         self.metrics.ic_writes += 1;
@@ -1226,6 +1295,7 @@ impl<'m> Vm<'m> {
                 let dst = uarg(0);
                 let n = next_ic(self);
                 let cap = self.capacity_at(dst);
+                self.witness_ic_write(n, dst, cap);
                 let bytes = self.plan.string_input(n, cap);
                 bulk_write!(dst, &bytes, true);
                 Ok(dst as i64)
@@ -1235,6 +1305,7 @@ impl<'m> Vm<'m> {
                 let limit = uarg(1).max(1);
                 let n = next_ic(self);
                 let cap = self.capacity_at(dst).min(limit);
+                self.witness_ic_write(n, dst, cap);
                 let bytes = self.plan.string_input(n, cap);
                 bulk_write!(dst, &bytes, true);
                 Ok(dst as i64)
@@ -1244,6 +1315,7 @@ impl<'m> Vm<'m> {
                 let limit = uarg(2);
                 let n = next_ic(self);
                 let cap = self.capacity_at(dst).min(limit.max(1));
+                self.witness_ic_write(n, dst, cap);
                 let bytes = self.plan.string_input(n, cap + 1);
                 let written = bulk_write!(dst, &bytes, false);
                 Ok(written)
@@ -1257,6 +1329,7 @@ impl<'m> Vm<'m> {
                     return Err(Trap::InstBudgetExhausted.into());
                 }
                 let n = next_ic(self);
+                self.witness_ic_write(n, dst, len);
                 let bytes = match self.plan.attack_for(n) {
                     Some(a) => a.payload.clone(),
                     None => self

@@ -34,9 +34,14 @@ pub mod generator;
 pub mod nginx;
 pub mod profiles;
 pub mod realworld;
+pub mod server;
 
 pub use examples::{all as all_scenarios, Scenario};
 pub use generator::{generate, generate_all, generate_scaled};
 pub use nginx::{nginx_module, run_workers, NginxRun};
 pub use profiles::{profile_by_name, BenchProfile, SizeTier, SPEC_PROFILES};
 pub use realworld::extended as extended_scenarios;
+pub use server::{
+    run_event_loop, server_module, EventLoopConfig, OffsetStats, ServerRunStats, ADMIN_EXIT,
+    ADMIN_MAGIC, WINDOW_OFFSETS,
+};

@@ -232,11 +232,18 @@ pub fn run_workers(module: &Module, threads: usize, seed: u64) -> Result<NginxRu
             for t in 0..threads {
                 let m = &*module;
                 let worker = move || -> Result<(u64, u64, RunMetrics), PythiaError> {
+                    // Splitmix-style stream derivation: `seed + t` /
+                    // `seed ^ (t << 8)` made adjacent seeds share worker
+                    // streams across runs (base 7 worker 1 == base 8
+                    // worker 0). Deriving through the avalanche keeps
+                    // every (seed, worker) pair independent while staying
+                    // deterministic per pair.
                     let cfg = VmConfig {
-                        seed: seed ^ (t as u64) << 8,
+                        seed: crate::server::sched::stream_seed(seed, 0x4B10_0000 | t as u64),
                         ..VmConfig::default()
                     };
-                    let mut vm = Vm::new(m, cfg, InputPlan::benign(seed + t as u64));
+                    let plan_seed = crate::server::sched::stream_seed(seed, 0x1470_0000 | t as u64);
+                    let mut vm = Vm::new(m, cfg, InputPlan::benign(plan_seed));
                     let r = vm.run("main", &[])?;
                     let bytes = r.exit.value().unwrap_or(0).max(0) as u64;
                     Ok((bytes, r.metrics.cycles(), r.metrics))
@@ -282,6 +289,20 @@ mod tests {
     use pythia_analysis::InputChannels;
     use pythia_ir::{verify, IcCategory};
     use pythia_vm::ExitReason;
+
+    #[test]
+    fn worker_streams_are_distinct_for_adjacent_seeds() {
+        // Regression: `seed ^ (t << 8)` (and `seed + t` plan seeds) let
+        // adjacent base seeds reproduce each other's worker streams.
+        use crate::server::sched::stream_seed;
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..16u64 {
+            for t in 0..16u64 {
+                assert!(seen.insert(stream_seed(seed, 0x4B10_0000 | t)));
+                assert!(seen.insert(stream_seed(seed, 0x1470_0000 | t)));
+            }
+        }
+    }
 
     #[test]
     fn nginx_module_verifies_and_runs() {

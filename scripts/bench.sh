@@ -101,6 +101,23 @@ for mode in insensitive 1cfa; do
         "$mode" "$asecs" "$pruned" "$heap"
 done
 
+# Server-scenario throughput: the event-loop workload (DESIGN.md §5i)
+# per engine. Wall requests/sec land on stderr (engine-dependent); the
+# JSON is the determinism surface and must be byte-identical across
+# engines — restart-based slicing and the attack injector included.
+echo "== server scenario wall req/s (legacy vs block) =="
+for eng in legacy block; do
+    "$REPRODUCE" --scenario server --connections 8 --requests 4000 --engine "$eng" \
+        --out "$OUT/server-$eng" >/dev/null 2> "$OUT/server-$eng.log"
+    grep "wall req/s" "$OUT/server-$eng.log" | sed 's/^/  /'
+done
+if ! diff -q "$OUT/server-legacy/BENCH_server.json" "$OUT/server-block/BENCH_server.json"; then
+    echo "FAIL: BENCH_server.json differs between engines" >&2
+    diff -u "$OUT/server-legacy/BENCH_server.json" "$OUT/server-block/BENCH_server.json" | head -30 >&2
+    exit 1
+fi
+echo "OK: BENCH_server.json is byte-identical across engines"
+
 # Tier trend: one benchmark (mcf) at each size tier through the
 # streaming runner, showing how total wall-clock and the analysis vs
 # execute split move as the workload grows ~36x dynamic from smoke to

@@ -168,4 +168,36 @@ if ! grep -qE '"obligations_pruned": [1-9]' "$REFJSON"; then
 fi
 echo "OK: ref-tier lbm proves gep bounds and prunes obligations under the streaming runner"
 
-echo "OK: build, clippy, docs, tests, certification, smoke suite, engine differential, profiler, pruning and ref-tier gates are clean ($JSON)"
+# Server-scenario gate: a short event-loop run (DESIGN.md §5i) must
+# retire requests, must detect at least one *in-window* attack under
+# pythia (offset > 0 — the boundary bucket alone would mean the jitter
+# model collapsed), and must finish with zero internal errors in every
+# scheme's loop. The scenario exit code already reflects internal
+# errors; the greps keep the gate honest against exit-code regressions.
+echo "== server scenario smoke gate (event loop, timed window attacks) =="
+target/release/reproduce --scenario server --connections 8 --requests 4000 \
+    --out "$OUT/server" >/dev/null
+SRVJSON="$OUT/server/BENCH_server.json"
+if [ ! -f "$SRVJSON" ]; then
+    echo "FAIL: server scenario produced no $SRVJSON" >&2
+    exit 1
+fi
+if grep -qE '"internal_errors": [1-9]' "$SRVJSON"; then
+    echo "FAIL: server scenario recorded internal errors:" >&2
+    grep '"internal_errors"' "$SRVJSON" >&2
+    exit 1
+fi
+if ! grep -qE '"retired": [1-9]' "$SRVJSON"; then
+    echo "FAIL: server scenario retired no requests:" >&2
+    grep '"retired"' "$SRVJSON" >&2
+    exit 1
+fi
+pythia_hits=$(awk '/"scheme": "pythia"/{f=1} f && /"in_window_detections"/{gsub(/[^0-9]/,""); print; exit}' "$SRVJSON")
+if [ -z "$pythia_hits" ] || [ "$pythia_hits" -eq 0 ]; then
+    echo "FAIL: pythia detected no in-window attacks in the server scenario" >&2
+    grep '"in_window_detections"' "$SRVJSON" >&2
+    exit 1
+fi
+echo "OK: server scenario retires requests, pythia detects $pythia_hits in-window attacks, zero internal errors"
+
+echo "OK: build, clippy, docs, tests, certification, smoke suite, engine differential, profiler, pruning, ref-tier and server-scenario gates are clean ($JSON)"
