@@ -166,6 +166,11 @@ pub struct PointsTo {
     value_base: Vec<u32>,
     /// Field objects of each root object, populated during the solve.
     fields_of: HashMap<ObjId, Vec<ObjId>>,
+    /// Per-object content type (what the object's bytes hold), used to
+    /// resolve `field_addr` splits. `None` = unknown layout (heap sites).
+    content_ty: Vec<Option<Ty>>,
+    /// Byte offset of each object within its root (0 for roots).
+    obj_offset: Vec<u64>,
     precision: Precision,
 }
 
@@ -325,6 +330,285 @@ impl PointsTo {
     pub fn analyze_with(m: &Module, precision: Precision) -> Self {
         Builder::new(m, precision).solve()
     }
+
+    /// The *already interned* field object for field `field` of `o`, or
+    /// `None` when no split applies (non-struct content, unknown layout,
+    /// out-of-range index — the same fallbacks as the solve itself) and
+    /// the caller must use `o`. Lookup-only: refining solvers layered over
+    /// this relation resolve their (⊆-smaller) `FieldOf` edges through
+    /// here, so their object space is exactly this relation's ids and no
+    /// remapping step is needed.
+    pub(crate) fn resolve_field(&self, o: ObjId, field: u32) -> Option<ObjId> {
+        let content = self.content_ty[o as usize].as_ref()?;
+        let Ty::Struct(fields) = content else {
+            return None;
+        };
+        if field as usize >= fields.len() {
+            return None;
+        }
+        let root = self.base_object(o);
+        let offset = self.obj_offset[o as usize] + content.field_offset(field);
+        let size = content.field_ty(field).size().max(1);
+        self.obj_id(MemObjectKind::Field {
+            base: root,
+            offset,
+            size,
+        })
+    }
+}
+
+/// One function's context-agnostic points-to constraints, gathered once
+/// per function from the IR and instantiated per calling context. Both
+/// the clone-based builder below and the summary solver
+/// ([`crate::summary`]) replay exactly this list, which is what makes
+/// their per-instruction semantics identical by construction (the OPT-02
+/// equivalence check then only has to compare *solving* strategies).
+#[derive(Debug, Clone)]
+pub(crate) enum LocalConstraint {
+    /// `pts(dst) ⊇ pts(src)` (both values of this function).
+    Copy {
+        /// Source value.
+        src: ValueId,
+        /// Destination value.
+        dst: ValueId,
+    },
+    /// `pts(dst) ⊇ mem(o')` for each `o ∈ pts(ptr)`, `o'` overlapping `o`.
+    Load {
+        /// Pointer operand.
+        ptr: ValueId,
+        /// Loaded value.
+        dst: ValueId,
+    },
+    /// `mem(o) ⊇ pts(src)` for each `o ∈ pts(ptr)`. Carries the store
+    /// instruction's own id so flow-sensitive strong updates can drop it.
+    Store {
+        /// The store instruction's value id.
+        inst: ValueId,
+        /// Pointer operand.
+        ptr: ValueId,
+        /// Stored value.
+        src: ValueId,
+    },
+    /// `pts(dst) ⊇ { field(o, field) | o ∈ pts(base) }` (field-sensitive
+    /// mode only; the insensitive gather emits a `Copy` instead).
+    FieldOf {
+        /// Base pointer.
+        base: ValueId,
+        /// Result value.
+        dst: ValueId,
+        /// Field index.
+        field: u32,
+    },
+    /// Seed `dst` with the object of `kind` (alloca / heap site / global
+    /// address), whose content layout is `content`.
+    Seed {
+        /// The value holding the object's address.
+        dst: ValueId,
+        /// Object identity.
+        kind: MemObjectKind,
+        /// Content layout (`None` for heap sites).
+        content: Option<Ty>,
+    },
+    /// Seed `dst` with ⊤ (`inttoptr` forging).
+    SeedUnknown {
+        /// The forged pointer value.
+        dst: ValueId,
+    },
+    /// A resolved call edge: `args` flow into `target`'s parameters and
+    /// `target`'s returned values flow back into `site`. Indirect calls
+    /// emit one edge per address-taken, arity-matching candidate.
+    Call {
+        /// The call instruction's value id.
+        site: ValueId,
+        /// Resolved callee.
+        target: FuncId,
+        /// Argument values at the site.
+        args: Vec<ValueId>,
+    },
+}
+
+/// Gather the context-agnostic constraint list of one function. The
+/// emission order mirrors the value order of the function, so replaying
+/// the list interns objects in the exact order the monolithic gather did.
+pub(crate) fn gather_function(
+    m: &Module,
+    fid: FuncId,
+    precision: Precision,
+    address_taken: &[FuncId],
+) -> Vec<LocalConstraint> {
+    let f = m.func(fid);
+    let mut out = Vec::new();
+    for v in f.value_ids() {
+        match &f.value(v).kind {
+            ValueKind::GlobalAddr(g) => {
+                let ty = m.global(*g).ty.clone();
+                out.push(LocalConstraint::Seed {
+                    dst: v,
+                    kind: MemObjectKind::Global(*g),
+                    content: Some(ty),
+                });
+            }
+            ValueKind::Inst(inst) => {
+                gather_inst(m, fid, v, inst, precision, address_taken, &mut out)
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn gather_inst(
+    m: &Module,
+    fid: FuncId,
+    v: ValueId,
+    inst: &Inst,
+    precision: Precision,
+    address_taken: &[FuncId],
+    out: &mut Vec<LocalConstraint>,
+) {
+    match inst {
+        Inst::Alloca { elem, count } => {
+            let content = if *count <= 1 {
+                elem.clone()
+            } else {
+                Ty::array(elem.clone(), *count)
+            };
+            out.push(LocalConstraint::Seed {
+                dst: v,
+                kind: MemObjectKind::Stack {
+                    func: fid,
+                    value: v,
+                },
+                content: Some(content),
+            });
+        }
+        Inst::Load { ptr } => out.push(LocalConstraint::Load { ptr: *ptr, dst: v }),
+        Inst::Store { ptr, value } => out.push(LocalConstraint::Store {
+            inst: v,
+            ptr: *ptr,
+            src: *value,
+        }),
+        Inst::Gep { base, .. } => {
+            // Variable-index pointer arithmetic stays monolithic: the
+            // result keeps the whole base object (safe fallback).
+            out.push(LocalConstraint::Copy { src: *base, dst: v });
+        }
+        Inst::FieldAddr { base, field } => match precision {
+            Precision::FieldSensitive => out.push(LocalConstraint::FieldOf {
+                base: *base,
+                dst: v,
+                field: *field,
+            }),
+            Precision::FieldInsensitive => out.push(LocalConstraint::Copy { src: *base, dst: v }),
+        },
+        Inst::Bin { lhs, rhs, .. } => {
+            // Pointer arithmetic through integer ops keeps the base
+            // objects (conservative: union both sides).
+            for s in [lhs, rhs] {
+                out.push(LocalConstraint::Copy { src: *s, dst: v });
+            }
+        }
+        Inst::Cast { kind, value, .. } => {
+            use pythia_ir::CastKind;
+            if matches!(kind, CastKind::IntToPtr) {
+                // Forged pointer: ⊤, but also keep whatever the integer
+                // was carrying (ptrtoint round trips).
+                out.push(LocalConstraint::SeedUnknown { dst: v });
+            }
+            out.push(LocalConstraint::Copy { src: *value, dst: v });
+        }
+        Inst::Select {
+            on_true, on_false, ..
+        } => {
+            for s in [on_true, on_false] {
+                out.push(LocalConstraint::Copy { src: *s, dst: v });
+            }
+        }
+        Inst::Phi { incomings } => {
+            for (_, s) in incomings {
+                out.push(LocalConstraint::Copy { src: *s, dst: v });
+            }
+        }
+        Inst::PacSign { value, .. } | Inst::PacAuth { value, .. } | Inst::PacStrip { value } => {
+            out.push(LocalConstraint::Copy { src: *value, dst: v });
+        }
+        Inst::Call { callee, args } => match callee {
+            Callee::Func(target) => out.push(LocalConstraint::Call {
+                site: v,
+                target: *target,
+                args: args.clone(),
+            }),
+            Callee::Indirect(_) => {
+                for t in address_taken
+                    .iter()
+                    .copied()
+                    .filter(|t| m.func(*t).params.len() == args.len())
+                {
+                    out.push(LocalConstraint::Call {
+                        site: v,
+                        target: t,
+                        args: args.clone(),
+                    });
+                }
+            }
+            Callee::Intrinsic(i) => {
+                if i.is_allocator() {
+                    // Allocation sites carry no layout, so heap objects are
+                    // never field-split (content type unknown).
+                    out.push(LocalConstraint::Seed {
+                        dst: v,
+                        kind: MemObjectKind::Heap {
+                            func: fid,
+                            value: v,
+                        },
+                        content: None,
+                    });
+                }
+                match i {
+                    // Channels that return their destination argument.
+                    Intrinsic::Memcpy
+                    | Intrinsic::Memmove
+                    | Intrinsic::Strcpy
+                    | Intrinsic::Strncpy
+                    | Intrinsic::Sstrncpy
+                    | Intrinsic::Strcat
+                    | Intrinsic::Strncat
+                    | Intrinsic::Fgets
+                    | Intrinsic::Gets
+                    | Intrinsic::Memset => {
+                        if let Some(dst) = args.first() {
+                            out.push(LocalConstraint::Copy { src: *dst, dst: v });
+                        }
+                    }
+                    Intrinsic::Realloc => {
+                        if let Some(old) = args.first() {
+                            out.push(LocalConstraint::Copy { src: *old, dst: v });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        },
+        _ => {}
+    }
+}
+
+/// Collect address-taken functions, in first-sighting order (shared by
+/// the gather, the context plans and the call graph's indirect-call
+/// resolution so every linked edge has a context to land in).
+pub(crate) fn collect_address_taken(m: &Module) -> Vec<FuncId> {
+    let mut out: Vec<FuncId> = Vec::new();
+    for fid in m.func_ids() {
+        let f = m.func(fid);
+        for v in f.value_ids() {
+            if let ValueKind::FuncAddr(t) = f.value(v).kind {
+                if !out.contains(&t) {
+                    out.push(t);
+                }
+            }
+        }
+    }
+    out
 }
 
 /// Constraint kinds gathered from the IR.
@@ -350,12 +634,6 @@ struct Builder<'m> {
     m: &'m Module,
     pt: PointsTo,
     constraints: Vec<Constraint>,
-    address_taken: Vec<FuncId>,
-    /// Per-object content type (what the object's bytes hold), used to
-    /// resolve `field_addr` splits. `None` = unknown layout (heap sites).
-    content_ty: Vec<Option<Ty>>,
-    /// Byte offset of each object within its root (0 for roots).
-    obj_offset: Vec<u64>,
     /// 1-CFA cloning plan; `None` = the context-insensitive solve.
     plan: Option<CtxPlan>,
     /// While gathering under a plan: the context index of the function
@@ -379,15 +657,14 @@ impl<'m> Builder<'m> {
             mem_pts: Vec::new(),
             value_base,
             fields_of: HashMap::new(),
+            content_ty: Vec::new(),
+            obj_offset: Vec::new(),
             precision,
         };
         Builder {
             m,
             pt,
             constraints: Vec::new(),
-            address_taken: Vec::new(),
-            content_ty: Vec::new(),
-            obj_offset: Vec::new(),
             plan: None,
             cur_ctx: 0,
         }
@@ -437,8 +714,8 @@ impl<'m> Builder<'m> {
         self.pt.objects.push(kind);
         self.pt.obj_index.insert(kind, id);
         self.pt.mem_pts.push(ObjSet::default());
-        self.content_ty.push(content);
-        self.obj_offset.push(offset);
+        self.pt.content_ty.push(content);
+        self.pt.obj_offset.push(offset);
         if let MemObjectKind::Field { base, .. } = kind {
             self.pt.fields_of.entry(base).or_default().push(id);
         }
@@ -449,7 +726,7 @@ impl<'m> Builder<'m> {
     /// the split is not possible (non-struct content, unknown layout,
     /// out-of-range index) and the caller must fall back to `o` itself.
     fn field_object(&mut self, o: ObjId, field: u32) -> Option<ObjId> {
-        let content = self.content_ty[o as usize].clone()?;
+        let content = self.pt.content_ty[o as usize].clone()?;
         let Ty::Struct(fields) = &content else {
             return None;
         };
@@ -457,7 +734,7 @@ impl<'m> Builder<'m> {
             return None;
         }
         let root = self.pt.base_object(o);
-        let offset = self.obj_offset[o as usize] + content.field_offset(field);
+        let offset = self.pt.obj_offset[o as usize] + content.field_offset(field);
         let fty = content.field_ty(field).clone();
         let size = fty.size().max(1);
         Some(self.intern_obj(
@@ -486,203 +763,59 @@ impl<'m> Builder<'m> {
             let ty = self.m.global(g).ty.clone();
             self.intern_obj(MemObjectKind::Global(g), Some(ty), 0);
         }
-        // Collect address-taken functions for indirect-call resolution.
-        for fid in self.m.func_ids() {
-            let f = self.m.func(fid);
-            for v in f.value_ids() {
-                if let ValueKind::FuncAddr(target) = f.value(v).kind {
-                    if !self.address_taken.contains(&target) {
-                        self.address_taken.push(target);
-                    }
-                }
-            }
-        }
+        let address_taken = collect_address_taken(self.m);
+        let locals: Vec<Vec<LocalConstraint>> = self
+            .m
+            .func_ids()
+            .map(|fid| gather_function(self.m, fid, self.pt.precision, &address_taken))
+            .collect();
 
         for fid in self.m.func_ids() {
-            let f = self.m.func(fid);
             let nctx = self.plan.as_ref().map_or(1, |p| p.nctx(fid));
             for ci in 0..nctx {
                 self.cur_ctx = ci;
-                for v in f.value_ids() {
-                    let node = self.vnode(fid, v);
-                    match &f.value(v).kind {
-                        ValueKind::GlobalAddr(g) => {
-                            let ty = self.m.global(*g).ty.clone();
-                            let o = self.intern_obj(MemObjectKind::Global(*g), Some(ty), 0);
-                            self.seed(node, o);
-                        }
-                        ValueKind::Inst(inst) => self.gather_inst(fid, v, node, inst),
-                        _ => {}
-                    }
+                for lc in &locals[fid.0 as usize] {
+                    self.apply_local(fid, lc);
                 }
             }
         }
     }
 
-    fn gather_inst(&mut self, fid: FuncId, v: ValueId, node: usize, inst: &Inst) {
-        match inst {
-            Inst::Alloca { elem, count } => {
-                let content = if *count <= 1 {
-                    elem.clone()
-                } else {
-                    Ty::array(elem.clone(), *count)
-                };
-                let o = self.intern_obj(
-                    MemObjectKind::Stack {
-                        func: fid,
-                        value: v,
-                    },
-                    Some(content),
-                    0,
-                );
-                self.seed(node, o);
+    /// Instantiate one shared constraint in the current gathering context.
+    fn apply_local(&mut self, fid: FuncId, lc: &LocalConstraint) {
+        match lc {
+            LocalConstraint::Copy { src, dst } => {
+                let (s, d) = (self.vnode(fid, *src), self.vnode(fid, *dst));
+                self.constraints.push(Constraint::Copy { src: s, dst: d });
             }
-            Inst::Load { ptr } => {
-                let p = self.vnode(fid, *ptr);
-                self.constraints
-                    .push(Constraint::Load { ptr: p, dst: node });
+            LocalConstraint::Load { ptr, dst } => {
+                let (p, d) = (self.vnode(fid, *ptr), self.vnode(fid, *dst));
+                self.constraints.push(Constraint::Load { ptr: p, dst: d });
             }
-            Inst::Store { ptr, value } => {
-                let p = self.vnode(fid, *ptr);
-                let s = self.vnode(fid, *value);
+            LocalConstraint::Store { ptr, src, .. } => {
+                let (p, s) = (self.vnode(fid, *ptr), self.vnode(fid, *src));
                 self.constraints.push(Constraint::Store { ptr: p, src: s });
             }
-            Inst::Gep { base, .. } => {
-                // Variable-index pointer arithmetic stays monolithic: the
-                // result keeps the whole base object (safe fallback).
-                let b = self.vnode(fid, *base);
-                self.constraints
-                    .push(Constraint::Copy { src: b, dst: node });
+            LocalConstraint::FieldOf { base, dst, field } => {
+                let (b, d) = (self.vnode(fid, *base), self.vnode(fid, *dst));
+                self.constraints.push(Constraint::FieldOf {
+                    base: b,
+                    dst: d,
+                    field: *field,
+                });
             }
-            Inst::FieldAddr { base, field } => {
-                let b = self.vnode(fid, *base);
-                match self.pt.precision {
-                    Precision::FieldSensitive => self.constraints.push(Constraint::FieldOf {
-                        base: b,
-                        dst: node,
-                        field: *field,
-                    }),
-                    Precision::FieldInsensitive => self
-                        .constraints
-                        .push(Constraint::Copy { src: b, dst: node }),
-                }
+            LocalConstraint::Seed { dst, kind, content } => {
+                let o = self.intern_obj(*kind, content.clone(), 0);
+                let node = self.vnode(fid, *dst);
+                self.seed(node, o);
             }
-            Inst::Bin { lhs, rhs, .. } => {
-                // Pointer arithmetic through integer ops keeps the base
-                // objects (conservative: union both sides).
-                for s in [lhs, rhs] {
-                    let sn = self.vnode(fid, *s);
-                    self.constraints
-                        .push(Constraint::Copy { src: sn, dst: node });
-                }
+            LocalConstraint::SeedUnknown { dst } => {
+                let node = self.vnode(fid, *dst);
+                self.seed_unknown(node);
             }
-            Inst::Cast { kind, value, .. } => {
-                use pythia_ir::CastKind;
-                let sn = self.vnode(fid, *value);
-                match kind {
-                    CastKind::IntToPtr => {
-                        // Forged pointer: ⊤, but also keep whatever the
-                        // integer was carrying (ptrtoint round trips).
-                        self.seed_unknown(node);
-                        self.constraints
-                            .push(Constraint::Copy { src: sn, dst: node });
-                    }
-                    _ => {
-                        self.constraints
-                            .push(Constraint::Copy { src: sn, dst: node });
-                    }
-                }
-            }
-            Inst::Select {
-                on_true, on_false, ..
-            } => {
-                for s in [on_true, on_false] {
-                    let sn = self.vnode(fid, *s);
-                    self.constraints
-                        .push(Constraint::Copy { src: sn, dst: node });
-                }
-            }
-            Inst::Phi { incomings } => {
-                for (_, s) in incomings {
-                    let sn = self.vnode(fid, *s);
-                    self.constraints
-                        .push(Constraint::Copy { src: sn, dst: node });
-                }
-            }
-            Inst::PacSign { value, .. }
-            | Inst::PacAuth { value, .. }
-            | Inst::PacStrip { value } => {
-                let sn = self.vnode(fid, *value);
-                self.constraints
-                    .push(Constraint::Copy { src: sn, dst: node });
-            }
-            Inst::Call { callee, args } => self.gather_call(fid, v, node, callee, args),
-            _ => {}
-        }
-    }
-
-    fn gather_call(
-        &mut self,
-        fid: FuncId,
-        v: ValueId,
-        node: usize,
-        callee: &Callee,
-        args: &[ValueId],
-    ) {
-        match callee {
-            Callee::Func(target) => self.link_call(fid, v, node, *target, args),
-            Callee::Indirect(_) => {
-                let candidates: Vec<FuncId> = self
-                    .address_taken
-                    .iter()
-                    .copied()
-                    .filter(|t| self.m.func(*t).params.len() == args.len())
-                    .collect();
-                for t in candidates {
-                    self.link_call(fid, v, node, t, args);
-                }
-            }
-            Callee::Intrinsic(i) => {
-                if i.is_allocator() {
-                    // Allocation sites carry no layout, so heap objects are
-                    // never field-split (content type unknown).
-                    let o = self.intern_obj(
-                        MemObjectKind::Heap {
-                            func: fid,
-                            value: v,
-                        },
-                        None,
-                        0,
-                    );
-                    self.seed(node, o);
-                }
-                match i {
-                    // Channels that return their destination argument.
-                    Intrinsic::Memcpy
-                    | Intrinsic::Memmove
-                    | Intrinsic::Strcpy
-                    | Intrinsic::Strncpy
-                    | Intrinsic::Sstrncpy
-                    | Intrinsic::Strcat
-                    | Intrinsic::Strncat
-                    | Intrinsic::Fgets
-                    | Intrinsic::Gets
-                    | Intrinsic::Memset => {
-                        if let Some(dst) = args.first() {
-                            let sn = self.vnode(fid, *dst);
-                            self.constraints
-                                .push(Constraint::Copy { src: sn, dst: node });
-                        }
-                    }
-                    Intrinsic::Realloc => {
-                        if let Some(old) = args.first() {
-                            let sn = self.vnode(fid, *old);
-                            self.constraints
-                                .push(Constraint::Copy { src: sn, dst: node });
-                        }
-                    }
-                    _ => {}
-                }
+            LocalConstraint::Call { site, target, args } => {
+                let node = self.vnode(fid, *site);
+                self.link_call(fid, *site, node, *target, args);
             }
         }
     }
@@ -848,17 +981,7 @@ impl CtxPlan {
         // Indirect-call resolution must mirror the constraint gatherer
         // (address-taken + arity match) so every edge `link_call` creates
         // has a context key to land in.
-        let mut address_taken: Vec<FuncId> = Vec::new();
-        for fid in m.func_ids() {
-            let f = m.func(fid);
-            for v in f.value_ids() {
-                if let ValueKind::FuncAddr(t) = f.value(v).kind {
-                    if !address_taken.contains(&t) {
-                        address_taken.push(t);
-                    }
-                }
-            }
-        }
+        let address_taken = collect_address_taken(m);
         let mut keys_of_scc: Vec<Vec<CtxKey>> = vec![Vec::new(); sccs.len()];
         for fid in m.func_ids() {
             let f = m.func(fid);
@@ -981,16 +1104,23 @@ impl CtxPointsTo {
         Self::analyze_with_budget(m, base, CTX_NODE_BUDGET)
     }
 
-    /// Run the 1-CFA solve with an explicit node budget.
-    pub fn analyze_with_budget(m: &Module, base: &PointsTo, budget: usize) -> Self {
-        let fallback = || CtxPointsTo {
+    /// The trivial no-context relation: every query returns `None` and
+    /// callers use the insensitive base. Used both as the budget-exhausted
+    /// fallback and as the forced-insensitive context policy.
+    pub(crate) fn insensitive(m: &Module) -> Self {
+        CtxPointsTo {
             data: None,
             stats: CtxStats {
                 contexts: m.functions().len(),
                 cloned_nodes: 0,
                 fallback: true,
             },
-        };
+        }
+    }
+
+    /// Run the 1-CFA solve with an explicit node budget.
+    pub fn analyze_with_budget(m: &Module, base: &PointsTo, budget: usize) -> Self {
+        let fallback = || Self::insensitive(m);
         let Some(plan) = CtxPlan::build(m, budget) else {
             return fallback();
         };

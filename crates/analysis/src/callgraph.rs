@@ -278,6 +278,100 @@ mod tests {
     }
 
     #[test]
+    fn calls_in_dead_blocks_still_produce_edges() {
+        // The builder walks every block, reachable or not, so a call that
+        // only appears in CFG-dead code is an edge. That is the
+        // conservative choice the summary solver's bottom-up order relies
+        // on: a dead-block call must not be able to reorder SCCs between
+        // a pruned and an unpruned build.
+        let mut m = Module::new("deadcall");
+        let mut callee = FunctionBuilder::new("callee", vec![], Ty::Void);
+        callee.ret(None);
+        let cid = m.add_function(callee.finish());
+        let mut f = FunctionBuilder::new("f", vec![], Ty::Void);
+        let dead = f.new_block("dead");
+        f.ret(None); // entry terminates; `dead` has no predecessor
+        f.switch_to(dead);
+        f.call(cid, vec![], Ty::Void);
+        f.ret(None);
+        let fid = m.add_function(f.finish());
+        let cg = CallGraph::build(&m);
+        assert_eq!(cg.callees(fid), &[cid]);
+        assert_eq!(cg.callers(cid), &[fid]);
+    }
+
+    #[test]
+    fn scc_order_is_bottom_up_and_deterministic() {
+        // d <- c <- {a <-> b} <- main, plus self-loop s. The component
+        // list must be usable as a bottom-up summary order: every callee
+        // outside a component appears in an earlier component. Building
+        // twice yields the identical order (the solver's summary cache
+        // keys on it).
+        let mut m = Module::new("order");
+        let mut fa = FunctionBuilder::new("a", vec![], Ty::Void); // id 0
+        let mut fb = FunctionBuilder::new("b", vec![], Ty::Void); // id 1
+        let mut fc = FunctionBuilder::new("c", vec![], Ty::Void); // id 2
+        let mut fd = FunctionBuilder::new("d", vec![], Ty::Void); // id 3
+        let mut fs = FunctionBuilder::new("s", vec![], Ty::Void); // id 4
+        fa.call(FuncId(1), vec![], Ty::Void); // a -> b
+        fa.call(FuncId(2), vec![], Ty::Void); // a -> c
+        fa.ret(None);
+        fb.call(FuncId(0), vec![], Ty::Void); // b -> a (collapse {a,b})
+        fb.ret(None);
+        fc.call(FuncId(3), vec![], Ty::Void); // c -> d
+        fc.ret(None);
+        fd.ret(None);
+        fs.call(FuncId(4), vec![], Ty::Void); // s -> s (self-loop)
+        fs.ret(None);
+        for f in [fa, fb, fc, fd, fs] {
+            m.add_function(f.finish());
+        }
+        let mut fm = FunctionBuilder::new("main", vec![], Ty::Void);
+        fm.call(FuncId(0), vec![], Ty::Void);
+        fm.call(FuncId(4), vec![], Ty::Void);
+        fm.ret(None);
+        m.add_function(fm.finish());
+
+        let cg = CallGraph::build(&m);
+        let sccs = cg.sccs();
+        // {a,b} collapse to one component; everything else is singleton.
+        assert_eq!(sccs.len(), 5);
+        assert!(sccs.contains(&vec![FuncId(0), FuncId(1)]));
+
+        // Reverse topological = bottom-up: cross-component callees are
+        // always in a strictly earlier component.
+        let mut comp_of = vec![usize::MAX; m.functions().len()];
+        for (i, comp) in sccs.iter().enumerate() {
+            for &f in comp {
+                comp_of[f.0 as usize] = i;
+            }
+        }
+        for fid in m.func_ids() {
+            for &t in cg.callees(fid) {
+                if comp_of[t.0 as usize] != comp_of[fid.0 as usize] {
+                    assert!(
+                        comp_of[t.0 as usize] < comp_of[fid.0 as usize],
+                        "callee fn{} not before caller fn{}",
+                        t.0,
+                        fid.0
+                    );
+                }
+            }
+        }
+        // Self-loop s is recursive; the collapsed pair is too.
+        let rec = cg.recursive_functions();
+        assert_eq!(
+            rec.len(),
+            3,
+            "expected exactly {{a, b, s}} recursive: {rec:?}"
+        );
+        assert!(rec.contains(&FuncId(4)));
+
+        // Deterministic across rebuilds.
+        assert_eq!(sccs, CallGraph::build(&m).sccs());
+    }
+
+    #[test]
     fn benchmarks_have_main_reaching_all_workers() {
         let m = pythia_workloads_shim();
         let cg = CallGraph::build(&m);

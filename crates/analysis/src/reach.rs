@@ -70,14 +70,26 @@ pub struct OverflowReach {
     pub unproven_gep_stores: usize,
     /// Tainted variable-index gep stores the interval analysis proved
     /// in-bounds (each pruned an overflow source). Proofs run per calling
-    /// context of the 1-CFA layer: every context must discharge every
-    /// object its (sharper) pointee set contains.
+    /// context of the context-sensitive layer: every context must
+    /// discharge every object its (sharper) pointee set contains.
     pub proven_gep_stores: usize,
-    /// Calling contexts the 1-CFA points-to layer explored.
+    /// Calling contexts the context-sensitive points-to layer explored.
     pub contexts: usize,
-    /// Whether the 1-CFA solve fell back to the insensitive relation
-    /// (node budget exhausted or object-remap divergence).
+    /// Whether the context-sensitive solve fell back to the insensitive
+    /// relation (node budget exhausted or object-remap divergence).
     pub ctx_fallback: bool,
+    /// Reporting label of the context policy that actually ran
+    /// (`"insensitive"` whenever the solve fell back, whatever was
+    /// requested).
+    pub policy: &'static str,
+    /// Distinct per-function summaries the summary solver gathered (0
+    /// for the clone/insensitive engines).
+    pub summaries: usize,
+    /// Call-edge instantiations served by an already-instantiated
+    /// summary instead of a fresh constraint-graph clone.
+    pub summary_reuse: usize,
+    /// Store instructions dropped by flow-sensitive strong updates.
+    pub strong_updates: usize,
 }
 
 impl OverflowReach {
@@ -105,8 +117,13 @@ struct Builder<'a, 'm> {
     /// Per-function VM-identical frame offsets: alloca -> (offset, size).
     frame_offsets: HashMap<FuncId, HashMap<ValueId, (u64, u64)>>,
     /// Lazily computed per-(function, calling-context) value ranges; the
-    /// context's callsite seeds constant arguments into the parameters.
+    /// context's callsite chain seeds constant arguments into the
+    /// parameters.
     ranges: HashMap<(FuncId, usize), ValueRanges>,
+    /// Memoized context-projected store-pointer pointee sets (the
+    /// fixpoint loop re-visits every store each round, and the
+    /// projection unions every calling context).
+    store_pts: HashMap<(FuncId, ValueId), crate::alias::ObjSet>,
     /// Functions whose address is taken (indirect-call targets).
     address_taken: Vec<FuncId>,
     reachable: BTreeSet<ObjId>,
@@ -155,6 +172,7 @@ impl<'a, 'm> Builder<'a, 'm> {
             cg: CallGraph::build(m),
             frame_offsets,
             ranges: HashMap::new(),
+            store_pts: HashMap::new(),
             address_taken,
             reachable: BTreeSet::new(),
             content_tainted: BTreeSet::new(),
@@ -342,32 +360,39 @@ impl<'a, 'm> Builder<'a, 'm> {
         any_objects || self.ctx.points_to.points_to(fid, base).objects.is_empty()
     }
 
-    /// Value ranges of `fid` in calling context `ci`, seeded with the
-    /// context callsite's constant arguments when that site is a direct
-    /// call to `fid` (an indirect site may bind other targets' argument
-    /// lists, so it seeds nothing).
+    /// The pointee set of a store's pointer under the context-sensitive
+    /// projection (union over calling contexts), memoized per `(fid,
+    /// ptr)`. Falls back to the insensitive base set when the context
+    /// solve fell back. This is where flow-sensitive strong updates
+    /// reach the pruner: a killed store's stale pointee is absent from
+    /// every per-context set, so the projection drops it too.
+    fn store_footprint(&mut self, fid: FuncId, ptr: ValueId) -> crate::alias::ObjSet {
+        if let Some(s) = self.store_pts.get(&(fid, ptr)) {
+            return s.clone();
+        }
+        let s = self
+            .ctx
+            .ctx_points_to()
+            .projected(fid, ptr)
+            .unwrap_or_else(|| self.ctx.points_to.points_to(fid, ptr).clone());
+        self.store_pts.insert((fid, ptr), s.clone());
+        s
+    }
+
+    /// Value ranges of `fid` in calling context `ci`, seeded with every
+    /// parameter whose value is a compile-time constant along the
+    /// context's callsite chain: a constant passed directly at the
+    /// innermost site, or threaded through intermediate wrappers'
+    /// parameters (`resolve_const_arg` walks outward through the chain).
     fn ranges_for(&mut self, fid: FuncId, ci: usize) -> &ValueRanges {
         if !self.ranges.contains_key(&(fid, ci)) {
             let m = self.ctx.module;
             let f = m.func(fid);
+            let chain = self.ctx.ctx_points_to().ctx_chain(fid, ci);
             let mut seeds: Vec<(ValueId, Interval)> = Vec::new();
-            if let Some((caller, site)) = self.ctx.ctx_points_to().ctx_callsite(fid, ci) {
-                let cf = m.func(caller);
-                if let Some(Inst::Call {
-                    callee: Callee::Func(t),
-                    args,
-                }) = cf.inst(site)
-                {
-                    if *t == fid {
-                        for (i, &a) in args.iter().enumerate() {
-                            if i >= f.params.len() {
-                                break;
-                            }
-                            if let ValueKind::ConstInt(c) = cf.value(a).kind {
-                                seeds.push((f.arg(i), Interval::exact(c)));
-                            }
-                        }
-                    }
+            for i in 0..f.params.len() {
+                if let Some(c) = resolve_const_arg(m, &chain, 0, fid, i as u32) {
+                    seeds.push((f.arg(i), Interval::exact(c)));
                 }
             }
             let r = if seeds.is_empty() {
@@ -464,7 +489,7 @@ impl<'a, 'm> Builder<'a, 'm> {
                             }
                         }
                         Inst::Store { value, ptr } => {
-                            let pts = self.ctx.points_to.points_to(fid, *ptr).clone();
+                            let pts = self.store_footprint(fid, *ptr);
                             if pts.unknown {
                                 // No static footprint: everything reachable.
                                 self.top = true;
@@ -552,7 +577,8 @@ impl<'a, 'm> Builder<'a, 'm> {
             }
         }
 
-        let cstats = self.ctx.ctx_points_to().stats();
+        let cpt = self.ctx.ctx_points_to();
+        let cstats = cpt.stats();
         OverflowReach {
             reachable: self.reachable,
             top: self.top,
@@ -561,6 +587,10 @@ impl<'a, 'm> Builder<'a, 'm> {
             proven_gep_stores: self.proven_gep_stores.len(),
             contexts: cstats.contexts,
             ctx_fallback: cstats.fallback,
+            policy: cpt.policy_name(),
+            summaries: cpt.summaries(),
+            summary_reuse: cpt.summary_reuse(),
+            strong_updates: cpt.strong_updates(),
         }
     }
 
@@ -587,6 +617,41 @@ impl<'a, 'm> Builder<'a, 'm> {
             }
         }
         changed
+    }
+}
+
+/// Resolve parameter `param` of `target` to a compile-time constant by
+/// walking the calling-context chain outward from `depth`. The chain
+/// element at `depth` must be a *direct* call to `target` (an indirect
+/// site may bind other targets' argument lists, so it resolves
+/// nothing). A `ConstInt` argument resolves immediately; an argument
+/// that is itself the caller's parameter recurses one chain element
+/// further out — this is what lets a k=2 chain see a constant threaded
+/// through a wrapper that 1-CFA's single callsite cannot.
+fn resolve_const_arg(
+    m: &pythia_ir::Module,
+    chain: &[(FuncId, ValueId)],
+    depth: usize,
+    target: FuncId,
+    param: u32,
+) -> Option<i64> {
+    let &(caller, site) = chain.get(depth)?;
+    let cf = m.func(caller);
+    let Some(Inst::Call {
+        callee: Callee::Func(t),
+        args,
+    }) = cf.inst(site)
+    else {
+        return None;
+    };
+    if *t != target {
+        return None;
+    }
+    let &a = args.get(param as usize)?;
+    match cf.value(a).kind {
+        ValueKind::ConstInt(c) => Some(c),
+        ValueKind::Arg(j) => resolve_const_arg(m, chain, depth + 1, caller, j),
+        _ => None,
     }
 }
 

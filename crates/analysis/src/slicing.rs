@@ -12,7 +12,8 @@
 //!   index and at field-sensitive accesses, leaving the rest of the slice —
 //!   and hence the branch — unprotected.
 
-use crate::alias::{CtxPointsTo, ObjId, PointsTo, Precision};
+use crate::alias::{ObjId, PointsTo, Precision};
+use crate::summary::CtxSolve;
 use crate::channels::{IcSite, InputChannels};
 use pythia_ir::{BlockId, Callee, FuncId, Inst, Intrinsic, Module, ValueId, ValueKind};
 use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
@@ -198,9 +199,11 @@ pub struct SliceContext<'m> {
     memo_hits: AtomicU64,
     /// Memo-table misses (full traversals performed).
     memo_misses: AtomicU64,
-    /// Lazily computed 1-CFA points-to layer over [`Self::points_to`].
-    /// Only the overflow-reachability pruner pays for it, on first use.
-    ctx1: OnceLock<CtxPointsTo>,
+    /// Lazily computed context-sensitive points-to layer over
+    /// [`Self::points_to`] (policy-selectable: clone 1-CFA, summary
+    /// k-CFA, or object sensitivity). Only the overflow-reachability
+    /// pruner pays for it, on first use.
+    ctx1: OnceLock<CtxSolve>,
 }
 
 /// The context is shared by reference across evaluation worker threads.
@@ -260,25 +263,28 @@ impl<'m> SliceContext<'m> {
         }
     }
 
-    /// The 1-CFA points-to layer over the field-sensitive relation,
-    /// computed once per context on first use (and shared by concurrent
-    /// readers). On budget fallback its queries return `None` and callers
-    /// use [`Self::points_to`] — always a sound superset.
-    /// `PYTHIA_CTX_BUDGET` overrides the solver's node budget (`0`
-    /// forces the insensitive fallback — `scripts/bench.sh` uses it for
-    /// the insensitive-vs-1-CFA trend line).
-    pub fn ctx_points_to(&self) -> &CtxPointsTo {
-        self.ctx1.get_or_init(|| {
-            match std::env::var("PYTHIA_CTX_BUDGET")
-                .ok()
-                .and_then(|s| s.parse::<usize>().ok())
-            {
-                Some(budget) => {
-                    CtxPointsTo::analyze_with_budget(self.module, &self.points_to, budget)
-                }
-                None => CtxPointsTo::analyze(self.module, &self.points_to),
-            }
-        })
+    /// The context-sensitive points-to layer over the field-sensitive
+    /// relation, computed once per context on first use (and shared by
+    /// concurrent readers). The engine is selected by
+    /// `PYTHIA_CTX_POLICY` (default: summary-based 2-CFA) within the
+    /// `PYTHIA_CTX_BUDGET` node budget (`0` forces the insensitive
+    /// relation — `scripts/bench.sh` uses it for the per-policy trend
+    /// line). On fallback its queries return `None` and callers use
+    /// [`Self::points_to`] — always a sound superset.
+    pub fn ctx_points_to(&self) -> &CtxSolve {
+        self.ctx1
+            .get_or_init(|| CtxSolve::from_env(self.module, &self.points_to))
+    }
+
+    /// Pre-seed the context-sensitive layer with an explicit policy and
+    /// budget, bypassing the environment knobs. A no-op if the layer was
+    /// already initialised (first writer wins). Policy-comparison
+    /// experiments use this to solve the same module under several
+    /// policies without mutating process-global state.
+    pub fn set_ctx_policy(&self, policy: crate::summary::CtxPolicy, budget: usize) {
+        let _ = self
+            .ctx1
+            .set(CtxSolve::analyze(self.module, &self.points_to, policy, budget));
     }
 
     /// Def-use chains of `fid`, computed once per context and shared by

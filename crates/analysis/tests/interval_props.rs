@@ -1,0 +1,159 @@
+//! Property tests for the relational (difference-bounds) layer of the
+//! interval domain: `v ≤ w + k` facts must survive phi joins with the
+//! weaker offset, compose with signed and unsigned guards, and never
+//! under-approximate a concretely reachable value.
+
+use proptest::prelude::*;
+use pythia_analysis::value_ranges;
+use pythia_ir::{CmpPred, FunctionBuilder, Ty};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A diamond writes `v = w + c1` on one arm and `v = w + c2` on the
+    /// other; after the join only the *weaker* bound `v ≤ w + max(c1,c2)`
+    /// may survive. A later guard `w < n` then pins the substituted upper
+    /// bound to exactly `n - 1 + max(c1, c2)` — plain intervals cannot see
+    /// this because `v` was computed while `w` was still unbounded.
+    #[test]
+    fn phi_join_keeps_the_weaker_difference_bound(
+        c1 in -1000i64..1000,
+        c2 in -1000i64..1000,
+        n in -1000i64..1000,
+        w0 in -100_000i64..100_000,
+        take_first in 0u8..2,
+    ) {
+        let mut b = FunctionBuilder::new("f", vec![Ty::I64, Ty::I64], Ty::I64);
+        let b1 = b.new_block("b1");
+        let b2 = b.new_block("b2");
+        let join = b.new_block("join");
+        let guarded = b.new_block("guarded");
+        let out = b.new_block("out");
+        let w = b.func().arg(0);
+        let s = b.func().arg(1);
+        let zero = b.const_i64(0);
+        let cs = b.icmp(CmpPred::Slt, s, zero);
+        b.br(cs, b1, b2);
+        b.switch_to(b1);
+        let k1 = b.const_i64(c1);
+        let v1 = b.add(w, k1);
+        b.jmp(join);
+        b.switch_to(b2);
+        let k2 = b.const_i64(c2);
+        let v2 = b.add(w, k2);
+        b.jmp(join);
+        b.switch_to(join);
+        let v = b.phi(vec![(b1, v1), (b2, v2)]);
+        let nc = b.const_i64(n);
+        let cg = b.icmp(CmpPred::Slt, w, nc);
+        b.br(cg, guarded, out);
+        b.switch_to(guarded);
+        let u = b.add(v, zero);
+        b.ret(Some(u));
+        b.switch_to(out);
+        b.ret(Some(zero));
+        let f = b.finish();
+
+        let r = value_ranges(&f);
+        prop_assert!(r.converged());
+        let range = r.range_before(&f, u, v);
+
+        // Precision: the join must keep exactly max(c1, c2), not the
+        // stronger (unsound) min and not drop the relation entirely.
+        prop_assert_eq!(range.hi, n - 1 + c1.max(c2), "c1={} c2={} n={}", c1, c2, n);
+        prop_assert_eq!(range.lo, i64::MIN);
+
+        // Soundness against a concrete run that reaches `guarded`.
+        if w0 < n {
+            let v_conc = if take_first == 1 { w0 + c1 } else { w0 + c2 };
+            prop_assert!(
+                range.lo <= v_conc && v_conc <= range.hi,
+                "concrete v={} escapes [{}, {}]",
+                v_conc, range.lo, range.hi
+            );
+        }
+    }
+
+    /// Mixed guard chain: `lim ≥ 0` (signed), `i <u lim` (unsigned,
+    /// records `i ≤ lim - 1` because the bound is provably non-negative),
+    /// then `lim < n` (signed, against a constant). Substituting the
+    /// difference bound at the use point yields exactly `i ∈ [0, n - 2]`.
+    #[test]
+    fn unsigned_guard_composes_with_signed_clamp(
+        n in 2i64..4096,
+        i0 in 0i64..100_000,
+        lim0 in 0i64..100_000,
+    ) {
+        let mut b = FunctionBuilder::new("g", vec![Ty::I64, Ty::I64], Ty::I64);
+        let mid = b.new_block("mid");
+        let inner = b.new_block("inner");
+        let usebb = b.new_block("usebb");
+        let out = b.new_block("out");
+        let i = b.func().arg(0);
+        let lim = b.func().arg(1);
+        let zero = b.const_i64(0);
+        let cg = b.icmp(CmpPred::Sge, lim, zero);
+        b.br(cg, mid, out);
+        b.switch_to(mid);
+        let cu = b.icmp(CmpPred::Ult, i, lim);
+        b.br(cu, inner, out);
+        b.switch_to(inner);
+        let nc = b.const_i64(n);
+        let cs = b.icmp(CmpPred::Slt, lim, nc);
+        b.br(cs, usebb, out);
+        b.switch_to(usebb);
+        let u = b.add(i, zero);
+        b.ret(Some(u));
+        b.switch_to(out);
+        b.ret(Some(zero));
+        let f = b.finish();
+
+        let r = value_ranges(&f);
+        prop_assert!(r.converged());
+        let range = r.range_before(&f, u, i);
+        prop_assert_eq!(range.lo, 0);
+        prop_assert_eq!(range.hi, n - 2, "n={}", n);
+
+        // Any concrete (i0, lim0) that passes all three guards must land
+        // inside the derived range.
+        if lim0 >= 0 && (i0 as u64) < (lim0 as u64) && lim0 < n {
+            prop_assert!(range.lo <= i0 && i0 <= range.hi);
+        }
+    }
+
+    /// A negative-capable unsigned bound supports no refinement: with no
+    /// `lim ≥ 0` pre-guard the `i <u lim` edge must record nothing — a
+    /// signed-negative `lim` reinterprets as a huge unsigned bound, so
+    /// deriving `i ≤ lim - 1` (or any interval clamp) would be unsound.
+    #[test]
+    fn unsigned_guard_without_nonneg_bound_is_dropped(
+        n in 2i64..4096,
+    ) {
+        let mut b = FunctionBuilder::new("h", vec![Ty::I64, Ty::I64], Ty::I64);
+        let inner = b.new_block("inner");
+        let usebb = b.new_block("usebb");
+        let out = b.new_block("out");
+        let i = b.func().arg(0);
+        let lim = b.func().arg(1);
+        let zero = b.const_i64(0);
+        let cu = b.icmp(CmpPred::Ult, i, lim);
+        b.br(cu, inner, out);
+        b.switch_to(inner);
+        let nc = b.const_i64(n);
+        let cs = b.icmp(CmpPred::Slt, lim, nc);
+        b.br(cs, usebb, out);
+        b.switch_to(usebb);
+        let u = b.add(i, zero);
+        b.ret(Some(u));
+        b.switch_to(out);
+        b.ret(Some(zero));
+        let f = b.finish();
+
+        let r = value_ranges(&f);
+        prop_assert!(r.converged());
+        let range = r.range_before(&f, u, i);
+        // i = -5, lim = -1 passes both guards (unsigned -5 < unsigned -1,
+        // and -1 < n), so any finite bound on i would exclude it.
+        prop_assert!(range.is_full(), "unsound refinement: [{}, {}]", range.lo, range.hi);
+    }
+}

@@ -1,0 +1,37 @@
+//! Context-policy solver benchmarks: the insensitive base, the cloning
+//! 1-CFA layer, and the summary-based 2-CFA solver over the gcc profile
+//! and a short nginx event-loop module.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pythia_analysis::{CtxPolicy, CtxSolve, PointsTo, CTX_NODE_BUDGET};
+use pythia_workloads::{generate, nginx_module, profile_by_name};
+
+fn bench_alias(c: &mut Criterion) {
+    let modules = [
+        ("gcc", generate(profile_by_name("gcc").unwrap())),
+        ("nginx", nginx_module(20)),
+    ];
+    let policies = [
+        ("insensitive", CtxPolicy::Insensitive),
+        ("1cfa_clone", CtxPolicy::OneCfaClone),
+        ("summary_2cfa", CtxPolicy::KCfa(2)),
+    ];
+
+    for (mname, m) in &modules {
+        let base = PointsTo::analyze(m);
+        for (pname, policy) in policies {
+            c.bench_function(&format!("alias/{pname}_{mname}"), |b| {
+                b.iter(|| {
+                    std::hint::black_box(CtxSolve::analyze(m, &base, policy, CTX_NODE_BUDGET))
+                })
+            });
+        }
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_alias
+}
+criterion_main!(benches);

@@ -5,8 +5,8 @@
 //! [--scenario server [--connections N] [--requests M] [--seed S]]
 //! [--bench-json] [--lint] [--profile] [--smoke] [section...]`
 //! where a section is one of `fig4a fig4b fig5a fig5b fig6a fig6b fig7a
-//! fig7b dist precision dynpa heap campaign models nginx motiv eq6
-//! ablations profile` — or nothing for the full report.
+//! fig7b dist precision policies dynpa heap campaign models nginx motiv
+//! eq6 ablations profile` — or nothing for the full report.
 //!
 //! `--tier` selects the benchmark size tier (DESIGN.md §5g): `standard`
 //! (default) is the historical suite size, `ref` scales every profile to
@@ -376,6 +376,7 @@ fn main() {
             "fig7b" => exp::fig7b(evals.as_ref().unwrap()),
             "dist" => exp::dist(evals.as_ref().unwrap()),
             "precision" => exp::precision(evals.as_ref().unwrap()),
+            "policies" => exp::policies(),
             "dynpa" => exp::dynpa(evals.as_ref().unwrap()),
             "heap" => exp::heap(evals.as_ref().unwrap()),
             "models" => exp::models(evals.as_ref().unwrap()),

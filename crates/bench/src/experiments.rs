@@ -674,7 +674,7 @@ fn bench_json_row(entry: &SuiteEntry, lint: bool, profile: bool) -> String {
                 .max()
                 .unwrap_or(0);
             let summary = format!(
-                ", \"analysis_share\": {:.3}, \"execute_share\": {:.3}, \"peak_resident_bytes\": {}, \"proven_geps\": {}, \"obligations_pruned\": {}, \"reach_top\": {}, \"contexts\": {}, \"ctx_fallback\": {}, \"pythia_heap_pruned\": {}, \"dfi_pruned\": {}",
+                ", \"analysis_share\": {:.3}, \"execute_share\": {:.3}, \"peak_resident_bytes\": {}, \"proven_geps\": {}, \"obligations_pruned\": {}, \"reach_top\": {}, \"contexts\": {}, \"ctx_fallback\": {}, \"pythia_heap_pruned\": {}, \"dfi_pruned\": {}, \"policy\": \"{}\", \"summaries\": {}, \"summary_reuse\": {}, \"strong_updates\": {}",
                 share(t.analysis_secs()),
                 share(t.execute_secs()),
                 peak_resident,
@@ -685,6 +685,10 @@ fn bench_json_row(entry: &SuiteEntry, lint: bool, profile: bool) -> String {
                 ev.analysis.ctx_fallback,
                 ev.analysis.pythia_heap_pruned,
                 ev.analysis.dfi_pruned,
+                ev.analysis.policy,
+                ev.analysis.summaries,
+                ev.analysis.summary_reuse,
+                ev.analysis.strong_updates,
             );
             if profile {
                 let mut out = format!(
@@ -844,6 +848,17 @@ struct SchemeSums {
     resident: u64,
 }
 
+/// Context-solver digest carried per benchmark in [`ProfileAcc`]: the
+/// policy the solver ran under plus the summary-reuse and strong-update
+/// counters surfaced by the analysis.
+#[derive(Debug, Clone, Copy)]
+struct CtxDigest {
+    policy: &'static str,
+    summaries: usize,
+    summary_reuse: usize,
+    strong_updates: usize,
+}
+
 /// Streaming accumulator behind [`profile_section`]: consumes one
 /// evaluation at a time (while its execution profiles are still
 /// attached) and keeps only pooled sums plus one small memo-table row
@@ -863,7 +878,7 @@ pub struct ProfileAcc {
     memo_rows: Vec<(String, u64, u64, f64)>,
     /// Per-benchmark context-solver digest: (name, reach_top, contexts,
     /// fallback, pythia heap pruned, dfi pruned).
-    ctx_rows: Vec<(String, bool, usize, bool, usize, usize)>,
+    ctx_rows: Vec<(String, bool, usize, bool, usize, usize, CtxDigest)>,
 }
 
 impl ProfileAcc {
@@ -934,6 +949,12 @@ impl ProfileAcc {
             ev.analysis.ctx_fallback,
             ev.analysis.pythia_heap_pruned,
             ev.analysis.dfi_pruned,
+            CtxDigest {
+                policy: ev.analysis.policy,
+                summaries: ev.analysis.summaries,
+                summary_reuse: ev.analysis.summary_reuse,
+                strong_updates: ev.analysis.strong_updates,
+            },
         ));
     }
 
@@ -1030,29 +1051,43 @@ impl ProfileAcc {
             t.render()
         ));
 
-        // Context-sensitive points-to digest per benchmark: how many
-        // 1-CFA contexts the solver cloned, whether it fell back to the
-        // insensitive relation, whether overflow reach hit ⊤, and the
-        // heap/DFI obligations the sharper relation pruned.
+        // Context-sensitive points-to digest per benchmark: which policy
+        // the solver ran under, how many contexts it explored, whether it
+        // fell back to the insensitive relation, whether overflow reach hit
+        // ⊤, the summary instantiations shared across callsites, the
+        // singleton stores flow-sensitivity killed, and the heap/DFI
+        // obligations the sharper relation pruned.
         let mut t = Table::new(vec![
             "benchmark",
+            "policy",
             "reach",
             "contexts",
+            "summaries",
             "fallback",
+            "reuse",
+            "kills",
             "heap pruned",
             "dfi pruned",
         ]);
         let (mut ctx_total, mut fb_total, mut hp_total, mut dfi_total) = (0usize, 0usize, 0, 0);
-        for (name, top, ctxs, fb, hp, dfi) in &self.ctx_rows {
+        let (mut reuse_total, mut kill_total, mut sum_total) = (0usize, 0usize, 0usize);
+        for (name, top, ctxs, fb, hp, dfi, d) in &self.ctx_rows {
             ctx_total += ctxs;
             fb_total += *fb as usize;
             hp_total += hp;
             dfi_total += dfi;
+            sum_total += d.summaries;
+            reuse_total += d.summary_reuse;
+            kill_total += d.strong_updates;
             t.row(vec![
                 name.clone(),
+                d.policy.to_owned(),
                 if *top { "TOP" } else { "ok" }.to_owned(),
                 ctxs.to_string(),
+                d.summaries.to_string(),
                 if *fb { "yes" } else { "no" }.to_owned(),
+                d.summary_reuse.to_string(),
+                d.strong_updates.to_string(),
                 hp.to_string(),
                 dfi.to_string(),
             ]);
@@ -1060,13 +1095,17 @@ impl ProfileAcc {
         t.row(vec![
             "TOTAL".to_owned(),
             String::new(),
+            String::new(),
             ctx_total.to_string(),
+            sum_total.to_string(),
             fb_total.to_string(),
+            reuse_total.to_string(),
+            kill_total.to_string(),
             hp_total.to_string(),
             dfi_total.to_string(),
         ]);
         out.push_str(&format!(
-            "### 1-CFA context solver (contexts explored, budget fallbacks, heap/DFI obligations pruned)\n\n{}\n",
+            "### context solver (policy, contexts explored, budget fallbacks, summary reuse, strong-update kills, heap/DFI obligations pruned)\n\n{}\n",
             t.render()
         ));
 
@@ -1684,8 +1723,65 @@ pub fn precision(suite: &[BenchEvaluation]) -> String {
         String::new(),
     ]);
     format!(
-        "## precision — 1-CFA points-to + relational bounds proofs prune PA obligations (no paper counterpart; pruning drops {dropped} of {unpruned_total} CPA sign/auth sites = {}; `ctxs` = 1-CFA contexts, `!` = budget fallback to the insensitive relation)\n\n{}",
+        "## precision — context-sensitive points-to (default policy) + relational bounds proofs prune PA obligations (no paper counterpart; pruning drops {dropped} of {unpruned_total} CPA sign/auth sites = {}; `ctxs` = calling contexts, `!` = budget fallback to the insensitive relation)\n\n{}",
         frac(share),
+        t.render()
+    )
+}
+
+/// Policy-comparison precision table: the same suite analysed under each
+/// context policy (no paper counterpart — the paper's analysis is
+/// context-insensitive). Per benchmark and policy it re-runs only the
+/// analysis pipeline (base points-to → vulnerability report → overflow
+/// reach → obligation pruning), injecting the policy directly via
+/// [`pythia_analysis::SliceContext::set_ctx_policy`] so the comparison never mutates
+/// process-global environment state. Columns are the total obligations
+/// pruned under each policy; the refinement contract requires each column
+/// to be ≥ the one to its left, and strong updates plus k=2 chains give
+/// the summary column its edge on nested-helper shapes.
+pub fn policies() -> String {
+    use pythia_analysis::{CtxPolicy, SliceContext, VulnerabilityReport, CTX_NODE_BUDGET};
+    use pythia_passes::prune_obligations;
+
+    const POLICIES: [(CtxPolicy, &str); 4] = [
+        (CtxPolicy::Insensitive, "insens"),
+        (CtxPolicy::OneCfaClone, "1cfa"),
+        (CtxPolicy::KCfa(2), "summary-2cfa"),
+        (CtxPolicy::ObjSensitive, "objsens"),
+    ];
+    let mut cols = vec!["benchmark".to_owned()];
+    for (_, label) in POLICIES {
+        cols.push(format!("pruned@{label}"));
+        cols.push(format!("ctxs@{label}"));
+    }
+    let mut t = Table::new(cols);
+    let mut totals = [0usize; POLICIES.len()];
+    let mut modules: Vec<(String, Module)> = SPEC_PROFILES
+        .iter()
+        .map(|p| (p.name.to_owned(), generate(p)))
+        .collect();
+    modules.push(("nginx".to_owned(), nginx_module(20)));
+    for (name, m) in &modules {
+        let mut row = vec![name.clone()];
+        for (i, (policy, _)) in POLICIES.iter().enumerate() {
+            let ctx = SliceContext::new(m);
+            ctx.set_ctx_policy(*policy, CTX_NODE_BUDGET);
+            let report = VulnerabilityReport::analyze(&ctx);
+            let pruned = prune_obligations(&ctx, &report);
+            totals[i] += pruned.pruned.total();
+            row.push(pruned.pruned.total().to_string());
+            row.push(pruned.pruned.contexts.to_string());
+        }
+        t.row(row);
+    }
+    let mut total_row = vec!["TOTAL".to_owned()];
+    for n in totals {
+        total_row.push(n.to_string());
+        total_row.push(String::new());
+    }
+    t.row(total_row);
+    format!(
+        "## policies — obligations pruned per context policy (refinement chain: insens ≤ 1cfa ≤ summary-2cfa per row; objsens is an alternative context dimension, sound but not comparable; `summary-2cfa` is the default `PYTHIA_CTX_POLICY`; per-policy wall-clock lives in `scripts/bench.sh`'s trend line, keeping this table deterministic)\n\n{}",
         t.render()
     )
 }
@@ -1934,6 +2030,8 @@ pub fn render_all(entries: &[SuiteEntry]) -> String {
     out.push_str(&dist(&suite));
     out.push('\n');
     out.push_str(&precision(&suite));
+    out.push('\n');
+    out.push_str(&policies());
     out.push('\n');
     out.push_str(&dynpa(&suite));
     out.push('\n');

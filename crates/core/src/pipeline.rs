@@ -116,6 +116,18 @@ pub struct AnalysisSummary {
     pub pythia_heap_pruned: usize,
     /// DFI setdef/chkdef objects whose obligations were pruned.
     pub dfi_pruned: usize,
+    /// Reporting label of the context policy that actually ran
+    /// (`"insensitive"` whenever the context solve fell back, whatever
+    /// `PYTHIA_CTX_POLICY` requested).
+    pub policy: &'static str,
+    /// Distinct per-function summaries the summary solver gathered (0
+    /// for the clone/insensitive engines).
+    pub summaries: usize,
+    /// Call-edge instantiations served by an already-instantiated
+    /// summary instead of a fresh constraint-graph clone.
+    pub summary_reuse: usize,
+    /// Store instructions dropped by flow-sensitive strong updates.
+    pub strong_updates: usize,
 }
 
 impl AnalysisSummary {
@@ -431,6 +443,10 @@ pub fn evaluate(
         ctx_fallback: pruned.pruned.ctx_fallback,
         pythia_heap_pruned: pruned.pruned.pythia_heap_objects,
         dfi_pruned: pruned.pruned.dfi_objects,
+        policy: pruned.pruned.policy,
+        summaries: pruned.pruned.summaries,
+        summary_reuse: pruned.pruned.summary_reuse,
+        strong_updates: pruned.pruned.strong_updates,
     };
 
     let mut all = vec![Scheme::Vanilla];

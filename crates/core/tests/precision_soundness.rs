@@ -14,7 +14,8 @@
 //!    statically-unreachable obligation never costs a detection.
 
 use pythia_analysis::{
-    CtxPointsTo, PointsTo, Precision, SliceContext, SliceMode, VulnerabilityReport,
+    CtxPointsTo, CtxPolicy, PointsTo, Precision, SliceContext, SliceMode, SummaryPointsTo,
+    VulnerabilityReport, CTX_NODE_BUDGET,
 };
 use pythia_core::{instrument_with, run_campaign_with, Scheme, VmConfig};
 use pythia_ir::{Module, ValueId};
@@ -145,6 +146,100 @@ fn one_cfa_is_a_refinement_of_the_insensitive_relation() {
                         assert!(
                             b.objects.contains(&o),
                             "{}: fn{} ctx{} v{}: object {o} missing from the insensitive set",
+                            m.name,
+                            fid.0,
+                            ci,
+                            v.0
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn summary_two_cfa_refines_one_cfa_refines_insensitive() {
+    // The full refinement chain for the summary solver, on every suite
+    // module: each per-context set is ⊆ its function's projection, the
+    // projection is ⊆ the 1-CFA clone projection (deeper chains plus
+    // strong-update kills only shrink sets), and that in turn is ⊆ the
+    // insensitive base relation. ⊤ is likewise monotone down the chain.
+    for m in suite_modules() {
+        let base = PointsTo::analyze_with(&m, Precision::FieldSensitive);
+        let ctx1 = CtxPointsTo::analyze(&m, &base);
+        let sum2 = SummaryPointsTo::analyze(&m, &base, CtxPolicy::KCfa(2), CTX_NODE_BUDGET);
+        assert!(
+            !sum2.is_fallback(),
+            "{}: summary solver exhausted the context-node budget",
+            m.name
+        );
+        assert!(
+            sum2.summaries() > 0,
+            "{}: summary solver built no summaries",
+            m.name
+        );
+        for fid in m.func_ids() {
+            let f = m.func(fid);
+            let nctx = sum2.num_contexts_of(fid);
+            assert!(nctx >= 1, "{}: fn{} has no summary contexts", m.name, fid.0);
+            for v in (0..f.num_values() as u32).map(ValueId) {
+                let b = base.points_to(fid, v);
+                let p1 = ctx1.projected(fid, v).expect("non-fallback 1-CFA");
+                let p2 = sum2.projected(fid, v).expect("non-fallback summary");
+                assert!(
+                    !p1.unknown || b.unknown,
+                    "{}: fn{} v{} is ⊤ only under 1-CFA",
+                    m.name,
+                    fid.0,
+                    v.0
+                );
+                assert!(
+                    !p2.unknown || p1.unknown,
+                    "{}: fn{} v{} is ⊤ only under summary 2-CFA",
+                    m.name,
+                    fid.0,
+                    v.0
+                );
+                if !p1.unknown {
+                    for &o in &p2.objects {
+                        assert!(
+                            p1.objects.contains(&o),
+                            "{}: fn{} v{}: summary object {o} missing from 1-CFA",
+                            m.name,
+                            fid.0,
+                            v.0
+                        );
+                    }
+                }
+                if !b.unknown {
+                    for &o in &p1.objects {
+                        assert!(
+                            b.objects.contains(&o),
+                            "{}: fn{} v{}: 1-CFA object {o} missing from insensitive",
+                            m.name,
+                            fid.0,
+                            v.0
+                        );
+                    }
+                }
+                for ci in 0..nctx {
+                    let s = sum2.points_to_in(fid, ci, v).expect("non-fallback set");
+                    assert!(
+                        !s.unknown || p2.unknown,
+                        "{}: fn{} ctx{} v{} is ⊤ only per-context",
+                        m.name,
+                        fid.0,
+                        ci,
+                        v.0
+                    );
+                    if p2.unknown {
+                        continue;
+                    }
+                    for &o in &s.objects {
+                        assert!(
+                            p2.objects.contains(&o),
+                            "{}: fn{} ctx{} v{}: object {o} missing from the projection",
                             m.name,
                             fid.0,
                             ci,

@@ -22,6 +22,7 @@
 //! | PY-03  | Pythia | each vulnerable stack buffer sits at the overflow-exposed frame end, immediately followed by its canary slot (Alg. 3's re-layout) |
 //! | DFI-01 | DFI    | the runtime `chkdef` set of every protected load equals the static reaching-store set (Castro et al.) |
 //! | OPT-01 | all    | every obligation the precision stage pruned is provably dispensable: its object is overflow-unreachable and shares no access with a retained obligation |
+//! | OPT-02 | all    | on budget-small modules, the summary-composed context-sensitive points-to equals a direct per-context reference solve (same strong-update kill set, independent solving strategy) |
 //!
 //! PY-01/PY-02 are *must* dataflow problems (intersection meet) solved
 //! with [`pythia_analysis::solve`]; DFI-01 additionally cross-checks the
@@ -32,8 +33,9 @@
 //! than a silent protection hole.
 
 use pythia_analysis::{
-    solve, DataflowAnalysis, DefUse, Direction, IcSite, MemObjectKind, ObjId, OverflowReach,
-    ReachingStores, SliceContext, SliceMode, SolveResult, VulnerabilityReport,
+    opt02_equivalence, solve, CtxPolicy, DataflowAnalysis, DefUse, Direction, IcSite,
+    MemObjectKind, ObjId, OverflowReach, ReachingStores, SliceContext, SliceMode, SolveResult,
+    VulnerabilityReport,
 };
 use pythia_ir::{
     dfi_def_id, BlockId, Callee, FuncId, Function, Inst, Module, PaKey, PythiaError, Ty, ValueId,
@@ -61,11 +63,14 @@ pub enum RuleCode {
     /// A pruned obligation is still required (overflow-reachable object,
     /// or coupled to a retained obligation through a shared access).
     Opt01,
+    /// The summary-composed points-to solve disagrees with a direct
+    /// per-context reference solve on a budget-small module.
+    Opt02,
 }
 
 impl RuleCode {
     /// All rules, in report order.
-    pub const ALL: [RuleCode; 7] = [
+    pub const ALL: [RuleCode; 8] = [
         RuleCode::Cpa01,
         RuleCode::Cpa02,
         RuleCode::Py01,
@@ -73,6 +78,7 @@ impl RuleCode {
         RuleCode::Py03,
         RuleCode::Dfi01,
         RuleCode::Opt01,
+        RuleCode::Opt02,
     ];
 
     /// The stable textual code (`"CPA-01"`, ...).
@@ -85,6 +91,7 @@ impl RuleCode {
             RuleCode::Py03 => "PY-03",
             RuleCode::Dfi01 => "DFI-01",
             RuleCode::Opt01 => "OPT-01",
+            RuleCode::Opt02 => "OPT-02",
         }
     }
 
@@ -98,6 +105,7 @@ impl RuleCode {
             RuleCode::Py03 => "vulnerable buffer not at frame end",
             RuleCode::Dfi01 => "check-set / reaching-store mismatch",
             RuleCode::Opt01 => "pruned obligation is still required",
+            RuleCode::Opt02 => "summary composition disagrees with the reference solve",
         }
     }
 
@@ -108,7 +116,7 @@ impl RuleCode {
             RuleCode::Cpa01 | RuleCode::Cpa02 => Some(Scheme::Cpa),
             RuleCode::Py01 | RuleCode::Py02 | RuleCode::Py03 => Some(Scheme::Pythia),
             RuleCode::Dfi01 => Some(Scheme::Dfi),
-            RuleCode::Opt01 => None,
+            RuleCode::Opt01 | RuleCode::Opt02 => None,
         }
     }
 }
@@ -286,6 +294,12 @@ fn json_str(s: &str) -> String {
     out
 }
 
+/// OPT-02 context-plan node cap: modules whose summary plan (Σ contexts ×
+/// function values) exceeds this skip the differential reference solve.
+/// Sized so every smoke-tier module qualifies while suite-scale modules
+/// never pay the flat per-context fixpoint.
+const OPT02_NODE_CAP: usize = 200_000;
+
 /// Lint one instrumented variant against the analysis facts of the
 /// *original* module (`EditPlan` only appends values, so original
 /// instruction ids remain valid in the instrumented module — the keystone
@@ -314,6 +328,7 @@ pub fn lint_instrumented(
     }
     if scheme != Scheme::Vanilla {
         linter.check_pruning(scheme);
+        linter.check_summary_composition(None);
     }
     LintReport {
         scheme,
@@ -960,6 +975,44 @@ impl<'a> Linter<'a> {
         }
     }
 
+    /// OPT-02: on budget-small modules, re-solve the context-sensitive
+    /// points-to *directly* — one flat round-robin fixpoint over every
+    /// (function, context) instance — and demand the summary-composed
+    /// worklist solve produced the exact same value and memory relations.
+    /// The two solvers share per-instruction semantics and the
+    /// strong-update kill set by construction, so a mismatch isolates a
+    /// composition bug (a lost callsite binding, a stale summary reuse, a
+    /// skipped kill). Modules whose context plan exceeds
+    /// [`OPT02_NODE_CAP`] are skipped (`opt02_equivalence` returns
+    /// `None`), as are non-summary policies — the rule is a differential
+    /// proof harness, not a production solver.
+    ///
+    /// `mutation` deliberately drops the n-th strong-update kill from the
+    /// summary side only; tests use it to prove the rule actually
+    /// distinguishes the solvers.
+    fn check_summary_composition(&mut self, mutation: Option<usize>) {
+        let (policy, budget) = CtxPolicy::from_env();
+        let cap = budget.min(OPT02_NODE_CAP);
+        match opt02_equivalence(self.original, &self.ctx.points_to, policy, cap, mutation) {
+            None => {} // non-summary policy, or module too big for the cap
+            Some(true) => self.checks += 1,
+            Some(false) => {
+                self.checks += 1;
+                self.diagnostics.push(Diagnostic {
+                    code: RuleCode::Opt02,
+                    severity: Severity::Error,
+                    function: "<module>".into(),
+                    block: None,
+                    instruction: None,
+                    message: format!(
+                        "summary-composed {} points-to differs from the direct per-context reference solve",
+                        policy.name()
+                    ),
+                });
+            }
+        }
+    }
+
     /// OPT-01 diagnostics anchor to the pruned object's allocation site.
     fn diag_obj(&mut self, o: ObjId, message: String) {
         let pt = &self.ctx.points_to;
@@ -1258,7 +1311,7 @@ mod tests {
         let codes: Vec<&str> = RuleCode::ALL.iter().map(|c| c.as_str()).collect();
         assert_eq!(
             codes,
-            ["CPA-01", "CPA-02", "PY-01", "PY-02", "PY-03", "DFI-01", "OPT-01"]
+            ["CPA-01", "CPA-02", "PY-01", "PY-02", "PY-03", "DFI-01", "OPT-01", "OPT-02"]
         );
         for c in RuleCode::ALL {
             assert!(!c.summary().is_empty());
@@ -1348,5 +1401,78 @@ mod tests {
             "over-pruning must be a lint violation, got:\n{}",
             lint.render()
         );
+    }
+
+    /// A module with an effective strong-update kill: `pp` is re-stored
+    /// before its only load, so the first store's pointee is provably
+    /// stale. The OPT-02 differential harness must agree on the full kill
+    /// set — and notice when one kill is dropped from the summary side.
+    fn restore_module() -> Module {
+        let mut m = Module::new("restore");
+        let mut b = FunctionBuilder::new("f", vec![], Ty::Void);
+        let a = b.alloca(Ty::I64);
+        let d = b.alloca(Ty::I64);
+        let pp = b.alloca(Ty::ptr(Ty::I64));
+        b.store(a, pp);
+        b.store(d, pp);
+        let q = b.load(pp);
+        let _sink = b.load(q);
+        b.ret(None);
+        m.add_function(b.finish());
+        m
+    }
+
+    #[test]
+    fn opt02_certifies_summary_composition_clean() {
+        let m = restore_module();
+        let ctx = SliceContext::new(&m);
+        let report = VulnerabilityReport::analyze(&ctx);
+        let mut linter = Linter {
+            original: &m,
+            ctx: &ctx,
+            report: &report,
+            instrumented: &m,
+            checks: 0,
+            diagnostics: Vec::new(),
+        };
+        linter.check_summary_composition(None);
+        assert_eq!(linter.checks, 1, "the small module must not be skipped");
+        assert!(linter.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn opt02_catches_a_skipped_strong_update() {
+        let m = restore_module();
+        let ctx = SliceContext::new(&m);
+        let report = VulnerabilityReport::analyze(&ctx);
+        let mut linter = Linter {
+            original: &m,
+            ctx: &ctx,
+            report: &report,
+            instrumented: &m,
+            checks: 0,
+            diagnostics: Vec::new(),
+        };
+        // Mutation: the summary-side solve skips its only kill, so the
+        // stale pointee survives and the relations diverge.
+        linter.check_summary_composition(Some(0));
+        assert_eq!(
+            linter
+                .diagnostics
+                .iter()
+                .filter(|d| d.code == RuleCode::Opt02)
+                .count(),
+            1,
+            "a dropped kill must surface as OPT-02:\n{:?}",
+            linter.diagnostics
+        );
+    }
+
+    #[test]
+    fn opt02_runs_inside_the_standard_lint_entry() {
+        let m = restore_module();
+        for report in lint_module(&m, &[Scheme::Pythia]) {
+            assert!(report.is_clean(), "{}", report.render());
+        }
     }
 }

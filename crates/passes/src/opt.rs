@@ -99,6 +99,10 @@ pub fn prune_obligations(
         proven_gep_stores: reach.proven_gep_stores,
         contexts: reach.contexts,
         ctx_fallback: reach.ctx_fallback,
+        policy: reach.policy,
+        summaries: reach.summaries,
+        summary_reuse: reach.summary_reuse,
+        strong_updates: reach.strong_updates,
         ..Default::default()
     };
     if reach.top {

@@ -47,9 +47,18 @@ enum Style {
     /// refinement lets `interval.rs` *prove* the store in-bounds, so the
     /// pruner can discharge the obligation. Ref-tier-only (`w_walk`).
     Walk,
+    /// Nested-helper + re-store: a heap store funneled through the
+    /// module-level `hwrap` wrapper (so the constant capacity sits *two*
+    /// call hops from `hput`'s bounds check — visible to the summary
+    /// k-CFA chain, conflated by a depth-1 clone), followed by a pointer
+    /// slot that is re-pointed from the branch-feeding array to a sink
+    /// array before its only read (so only a flow-sensitive strong update
+    /// can prove the branch array untouched by the tainted store). The
+    /// two shapes the summary policy discharges and 1-CFA cannot.
+    Nest,
 }
 
-const STYLES: [Style; 10] = [
+const STYLES: [Style; 11] = [
     Style::Pure,
     Style::CopyScalar,
     Style::StrBuf,
@@ -60,6 +69,7 @@ const STYLES: [Style; 10] = [
     Style::Heap,
     Style::Forged,
     Style::Walk,
+    Style::Nest,
 ];
 
 fn pick_style(rng: &mut SmallRng, p: &BenchProfile) -> Style {
@@ -104,9 +114,13 @@ pub fn generate(profile: &BenchProfile) -> Module {
     // Added first (before any RNG draw) so worker ids shift uniformly and
     // generation stays deterministic.
     let hput = m.add_function(gen_hput());
+    // The nested wrapper exists only when the profile draws `Nest`
+    // predicates, so nest-free profiles keep their historical modules
+    // bit-for-bit.
+    let hwrap = (profile.w_nest > 0.0).then(|| m.add_function(gen_hwrap(hput)));
     let mut worker_ids = Vec::new();
     for w in 0..profile.functions {
-        let f = gen_worker(profile, &globals, &mut rng, w, hput);
+        let f = gen_worker(profile, &globals, &mut rng, w, Helpers { hput, hwrap });
         worker_ids.push(m.add_function(f));
     }
     let main = gen_main(profile, &worker_ids);
@@ -170,12 +184,44 @@ fn gen_hput() -> pythia_ir::Function {
     b.finish()
 }
 
+/// The module-level indirection over [`gen_hput`]: `hwrap(p, len, i, v)`
+/// just forwards to `hput`. Real code wraps setters in logging/validation
+/// shims exactly like this — and the shim is what breaks depth-1 context
+/// sensitivity: from `hput`'s point of view every `hwrap` callsite is one
+/// context, so the constant `len` each *worker* passes is conflated away.
+/// The summary k-CFA (k ≥ 2) chain `[hput ← hwrap ← worker]` still
+/// reaches the constant, re-arming the relational in-bounds proof.
+fn gen_hwrap(hput: FuncId) -> pythia_ir::Function {
+    let mut b = FunctionBuilder::new(
+        "hwrap",
+        vec![Ty::ptr(Ty::I64), Ty::I64, Ty::I64, Ty::I64],
+        Ty::I64,
+    );
+    let p = b.func().arg(0);
+    let len = b.func().arg(1);
+    let i = b.func().arg(2);
+    let v = b.func().arg(3);
+    let r = b.call(hput, vec![p, len, i, v], Ty::I64);
+    b.ret(Some(r));
+    b.finish()
+}
+
+/// The shared helper functions a worker's predicates may call into.
+#[derive(Clone, Copy)]
+struct Helpers {
+    /// The bounds-checked heap setter (`hput`).
+    hput: FuncId,
+    /// The module-level forwarding wrapper over `hput`; only emitted
+    /// when the profile carries `Nest` predicates.
+    hwrap: Option<FuncId>,
+}
+
 fn gen_worker(
     profile: &BenchProfile,
     globals: &Globals,
     rng: &mut SmallRng,
     index: usize,
-    hput: FuncId,
+    helpers: Helpers,
 ) -> pythia_ir::Function {
     let mut b = FunctionBuilder::new(format!("work_{index}"), vec![Ty::I64], Ty::I64);
     let x = b.func().arg(0);
@@ -207,6 +253,7 @@ fn gen_worker(
                 b.alloca(Ty::I64),
                 b.alloca(Ty::array(Ty::I64, 8)),
             ],
+            Style::Nest => nest_slots(&mut b),
         };
         // Scalar channels (memcpy/scanf into one word) run on the hot
         // path unconditionally; bulk channels sit behind parsing guards.
@@ -252,6 +299,19 @@ fn gen_worker(
             guarded: false,
         });
     }
+    // Same structural guarantee for the nested-helper/re-store style: a
+    // profile that asks for it (`w_nest > 0`) carries at least one per
+    // worker, so the summary policy's pruning deltas over 1-CFA (constant
+    // capacity through two call hops, strong-update kill) never ride on
+    // draw luck. Gated on `w_nest` so nest-free profiles are untouched.
+    if profile.w_nest > 0.0 && !preds.iter().any(|p| p.style == Style::Nest) {
+        let slots = nest_slots(&mut b);
+        preds.push(Pred {
+            style: Style::Nest,
+            slots,
+            guarded: false,
+        });
+    }
     let has_loop = rng.gen_bool(profile.inner_loop);
     let loop_arr = has_loop.then(|| b.alloca(Ty::array(Ty::I64, 4)));
 
@@ -275,7 +335,7 @@ fn gen_worker(
             let pj = b.new_block(format!("pj{j}"));
             b.br(g, icb, skipb);
             b.switch_to(icb);
-            let cond_ic = emit_predicate(&mut b, pred, x, globals, rng, j, hput);
+            let cond_ic = emit_predicate(&mut b, pred, x, globals, rng, j, helpers);
             // Predicates with internal control flow (Walk) end in a block
             // of their own; the join phi must name the actual predecessor.
             let ic_end = b.current_block();
@@ -291,7 +351,7 @@ fn gen_worker(
             b.switch_to(pj);
             b.phi(vec![(ic_end, cond_ic), (skipb, cond_skip)])
         } else {
-            emit_predicate(&mut b, pred, x, globals, rng, j, hput)
+            emit_predicate(&mut b, pred, x, globals, rng, j, helpers)
         };
         let tb = b.new_block(format!("t{j}"));
         let eb = b.new_block(format!("e{j}"));
@@ -343,6 +403,19 @@ fn gen_worker(
     b.finish()
 }
 
+/// Entry-block slots for one `Nest` predicate: channel staging + index
+/// slot, the re-pointed pointer slot, the branch-feeding array, and the
+/// sacrificial sink array.
+fn nest_slots(b: &mut FunctionBuilder) -> Vec<ValueId> {
+    vec![
+        b.alloca(Ty::I64),
+        b.alloca(Ty::I64),
+        b.alloca(Ty::ptr(Ty::array(Ty::I64, 8))),
+        b.alloca(Ty::array(Ty::I64, 8)),
+        b.alloca(Ty::array(Ty::I64, 8)),
+    ]
+}
+
 /// Emit the predicate computation for one diamond; returns the `i1` cond.
 /// `j` is the diamond index, used to keep block names unique for styles
 /// that emit internal control flow.
@@ -353,7 +426,7 @@ fn emit_predicate(
     globals: &Globals,
     rng: &mut SmallRng,
     j: usize,
-    hput: FuncId,
+    helpers: Helpers,
 ) -> ValueId {
     let ca = b.const_i64(rng.gen_range(1..7));
     let hundred = b.const_i64(100);
@@ -479,7 +552,7 @@ fn emit_predicate(
             // attacker-influenced data (so Pythia's refinement keeps its
             // obligation) while remaining out of overflow reach — the
             // prunable shape.
-            let r = b.call(hput, vec![h, wordsc, idx, idx], Ty::I64);
+            let r = b.call(helpers.hput, vec![h, wordsc, idx, idx], Ty::I64);
             let lv = b.load(h);
             b.call_intrinsic(Intrinsic::Free, vec![h], Ty::Void);
             let t2 = b.add(lv, r);
@@ -565,6 +638,55 @@ fn emit_predicate(
             b.jmp(joinb);
             b.switch_to(joinb);
             b.phi(vec![(ok_end, cond_ok), (badb, cond_bad)])
+        }
+        Style::Nest => {
+            let (staging, idxslot, pp) = (pred.slots[0], pred.slots[1], pred.slots[2]);
+            let (arr_a, arr_d) = (pred.slots[3], pred.slots[4]);
+            let zero = b.const_i64(0);
+            // The index arrives through the move/copy channel, as in
+            // Heap/Walk: it is attacker-tainted from here on.
+            let xv = b.mul(x, ca);
+            let thirty_two = b.const_i64(32);
+            let t0 = b.bin(pythia_ir::BinOp::Srem, xv, thirty_two);
+            b.store(t0, staging);
+            b.call_intrinsic(
+                Intrinsic::Memcpy,
+                vec![idxslot, staging, eight],
+                Ty::ptr(Ty::I8),
+            );
+            let idx = b.load(idxslot);
+            // Heap store through the *nested* wrapper: the constant
+            // capacity (8 words) sits two call hops from `hput`'s bounds
+            // check. A depth-1 context cannot recover it; the summary
+            // k-CFA chain can, and the interval proof discharges the
+            // heap obligation.
+            let bytes = b.const_i64(64);
+            let h = b.call_intrinsic(Intrinsic::Malloc, vec![bytes], Ty::ptr(Ty::I64));
+            let p0 = b.gep(h, zero);
+            b.store(xv, p0);
+            let hw = helpers.hwrap.expect("Nest style requires the hwrap helper");
+            let r = b.call(hw, vec![h, eight, idx, idx], Ty::I64);
+            let hv = b.load(h);
+            b.call_intrinsic(Intrinsic::Free, vec![h], Ty::Void);
+            // Re-store: `pp` briefly points at the branch-feeding array,
+            // then is re-pointed at the sink array before its only read.
+            // The tainted unproven-index store below therefore lands in
+            // `arr_d` on every execution — but only a flow-sensitive
+            // strong update can kill the stale `arr_a` pointee and keep
+            // the branch array out of overflow reach.
+            let pa_init = b.gep(arr_a, zero);
+            b.store(xv, pa_init);
+            b.store(arr_a, pp);
+            b.store(arr_d, pp);
+            let q = b.load(pp);
+            let i2 = b.bin(pythia_ir::BinOp::Srem, idx, eight);
+            let pw = b.gep(q, i2);
+            b.store(r, pw);
+            // The branch reads the (provably untouched) first array.
+            let av = b.load(pa_init);
+            let t2 = b.add(av, hv);
+            let t3 = b.bin(pythia_ir::BinOp::Srem, t2, hundred);
+            b.icmp(CmpPred::Sgt, t3, fifty)
         }
     }
 }

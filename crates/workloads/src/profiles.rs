@@ -50,6 +50,14 @@ pub struct BenchProfile {
     /// base profiles predate the tier system and must stay byte-identical);
     /// [`BenchProfile::at_tier`] turns it on for the ref tier.
     pub w_walk: f64,
+    /// Weight: nested-helper/re-store predicate — a heap store whose
+    /// constant capacity sits two call hops away (through the `hwrap`
+    /// shim) plus a pointer slot re-pointed before its only read. Only
+    /// the summary k-CFA policy (k ≥ 2, with flow-sensitive strong
+    /// updates) discharges these obligations; a depth-1 clone cannot.
+    /// Nonzero on the pointer-richer profiles; zero elsewhere so those
+    /// modules stay bit-identical (no `hwrap` function is even emitted).
+    pub w_nest: f64,
     /// Probability of a `printf` filler per diamond (print ICs).
     pub print_filler: f64,
     /// Probability a worker carries an inner summing loop.
@@ -61,10 +69,12 @@ pub struct BenchProfile {
 }
 
 impl BenchProfile {
-    /// Normalized weights over the ten predicate styles. `w_walk` is zero
-    /// for every base profile, so the standard-tier draw distribution (and
-    /// therefore every generated module) is unchanged by its addition.
-    pub fn style_weights(&self) -> [f64; 10] {
+    /// Normalized weights over the eleven predicate styles. `w_walk` is
+    /// zero for every base profile, so the standard-tier draw distribution
+    /// (and therefore every generated module) is unchanged by its
+    /// addition; `w_nest` takes its weight from `w_pure` on the profiles
+    /// that carry it.
+    pub fn style_weights(&self) -> [f64; 11] {
         [
             self.w_pure,
             self.w_copy_scalar,
@@ -76,6 +86,7 @@ impl BenchProfile {
             self.w_heap,
             self.w_forged,
             self.w_walk,
+            self.w_nest,
         ]
     }
 
@@ -177,7 +188,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         seed: 0x500,
         functions: 22,
         branches_per_fn: (4, 9),
-        w_pure: 0.66,
+        w_pure: 0.63,
         mem_pressure: 0.75,
         w_copy_scalar: 0.12,
         w_strbuf: 0.08,
@@ -188,6 +199,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_heap: 0.03,
         w_forged: 0.025,
         w_walk: 0.0,
+        w_nest: 0.03,
         print_filler: 0.25,
         inner_loop: 0.7,
         loop_iters: 12,
@@ -198,7 +210,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         seed: 0x502,
         functions: 34,
         branches_per_fn: (5, 10),
-        w_pure: 0.58,
+        w_pure: 0.54,
         mem_pressure: 0.85,
         w_copy_scalar: 0.16,
         w_strbuf: 0.08,
@@ -209,6 +221,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_heap: 0.03,
         w_forged: 0.03,
         w_walk: 0.0,
+        w_nest: 0.04,
         print_filler: 0.3,
         inner_loop: 0.7,
         loop_iters: 10,
@@ -230,6 +243,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_heap: 0.04,
         w_forged: 0.0,
         w_walk: 0.0,
+        w_nest: 0.0,
         print_filler: 0.15,
         inner_loop: 0.8,
         loop_iters: 26,
@@ -251,6 +265,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_heap: 0.02,
         w_forged: 0.025,
         w_walk: 0.0,
+        w_nest: 0.0,
         print_filler: 0.2,
         inner_loop: 0.9,
         loop_iters: 18,
@@ -261,7 +276,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         seed: 0x510,
         functions: 30,
         branches_per_fn: (5, 10),
-        w_pure: 0.56,
+        w_pure: 0.53,
         mem_pressure: 0.82,
         w_copy_scalar: 0.16,
         w_strbuf: 0.1,
@@ -272,6 +287,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_heap: 0.03,
         w_forged: 0.025,
         w_walk: 0.0,
+        w_nest: 0.03,
         print_filler: 0.35,
         inner_loop: 0.8,
         loop_iters: 10,
@@ -293,6 +309,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_heap: 0.03,
         w_forged: 0.025,
         w_walk: 0.0,
+        w_nest: 0.0,
         print_filler: 0.25,
         inner_loop: 0.7,
         loop_iters: 12,
@@ -314,6 +331,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_heap: 0.02,
         w_forged: 0.0,
         w_walk: 0.0,
+        w_nest: 0.0,
         print_filler: 0.1,
         inner_loop: 0.95,
         loop_iters: 40,
@@ -324,7 +342,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         seed: 0x520,
         functions: 18,
         branches_per_fn: (4, 8),
-        w_pure: 0.62,
+        w_pure: 0.59,
         mem_pressure: 0.7,
         w_copy_scalar: 0.13,
         w_strbuf: 0.07,
@@ -335,6 +353,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_heap: 0.04,
         w_forged: 0.025,
         w_walk: 0.0,
+        w_nest: 0.03,
         print_filler: 0.3,
         inner_loop: 0.9,
         loop_iters: 16,
@@ -345,7 +364,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         seed: 0x523,
         functions: 24,
         branches_per_fn: (5, 9),
-        w_pure: 0.6,
+        w_pure: 0.57,
         mem_pressure: 0.78,
         w_copy_scalar: 0.14,
         w_strbuf: 0.08,
@@ -356,6 +375,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_heap: 0.03,
         w_forged: 0.03,
         w_walk: 0.0,
+        w_nest: 0.03,
         print_filler: 0.3,
         inner_loop: 0.9,
         loop_iters: 11,
@@ -366,7 +386,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         seed: 0x525,
         functions: 14,
         branches_per_fn: (4, 8),
-        w_pure: 0.71,
+        w_pure: 0.68,
         mem_pressure: 0.5,
         w_copy_scalar: 0.14,
         w_strbuf: 0.04,
@@ -377,6 +397,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_heap: 0.06,
         w_forged: 0.0,
         w_walk: 0.0,
+        w_nest: 0.03,
         print_filler: 0.2,
         inner_loop: 0.9,
         loop_iters: 16,
@@ -398,6 +419,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_heap: 0.04,
         w_forged: 0.025,
         w_walk: 0.0,
+        w_nest: 0.0,
         print_filler: 0.25,
         inner_loop: 0.7,
         loop_iters: 9,
@@ -419,6 +441,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_heap: 0.04,
         w_forged: 0.025,
         w_walk: 0.0,
+        w_nest: 0.0,
         print_filler: 0.2,
         inner_loop: 0.8,
         loop_iters: 16,
@@ -440,6 +463,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_heap: 0.03,
         w_forged: 0.025,
         w_walk: 0.0,
+        w_nest: 0.0,
         print_filler: 0.2,
         inner_loop: 0.8,
         loop_iters: 13,
@@ -461,6 +485,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_heap: 0.03,
         w_forged: 0.025,
         w_walk: 0.0,
+        w_nest: 0.0,
         print_filler: 0.25,
         inner_loop: 0.7,
         loop_iters: 14,
@@ -482,6 +507,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_heap: 0.03,
         w_forged: 0.025,
         w_walk: 0.0,
+        w_nest: 0.0,
         print_filler: 0.15,
         inner_loop: 0.9,
         loop_iters: 18,
@@ -492,7 +518,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         seed: 0x557,
         functions: 10,
         branches_per_fn: (3, 7),
-        w_pure: 0.74,
+        w_pure: 0.71,
         mem_pressure: 0.55,
         w_copy_scalar: 0.13,
         w_strbuf: 0.05,
@@ -503,6 +529,7 @@ pub const SPEC_PROFILES: [BenchProfile; 16] = [
         w_heap: 0.03,
         w_forged: 0.025,
         w_walk: 0.0,
+        w_nest: 0.03,
         print_filler: 0.2,
         inner_loop: 0.8,
         loop_iters: 16,

@@ -135,7 +135,67 @@ if ! grep -qE '"contexts": [1-9]' "$JSON"; then
     grep '"contexts"' "$JSON" >&2
     exit 1
 fi
-echo "OK: 1-CFA context solver prunes heap obligations with zero budget fallbacks"
+echo "OK: context solver prunes heap obligations with zero budget fallbacks"
+
+# Policy differential gate: the same smoke suite under the clone 1-CFA
+# policy and the default summary 2-CFA policy (DESIGN.md §5j). The
+# attack-outcome figures (fig7b branch coverage, dist attack distance,
+# campaign detection rates) must be byte-identical across every policy —
+# a sharper relation may only prune proof obligations, never change a
+# detection. Overhead figures (fig4a etc.) legitimately shift with the
+# policy: pruning removes instrumentation, which is the point. The
+# per-benchmark pruned counts may only grow under the deeper policy,
+# with zero budget fallbacks on either side. A PYTHIA_CTX_BUDGET=0 run
+# must relabel itself "insensitive" and still render the same outcomes.
+echo "== policy differential gate (1cfa vs summary-2cfa vs budget=0, smoke) =="
+PYTHIA_CTX_POLICY=1cfa target/release/reproduce --smoke --bench-json \
+    --out "$OUT/pol-1cfa" >/dev/null
+PYTHIA_CTX_POLICY=summary-2cfa target/release/reproduce --smoke --bench-json \
+    --out "$OUT/pol-summary" >/dev/null
+PYTHIA_CTX_POLICY=summary-2cfa target/release/reproduce --smoke fig7b dist campaign \
+    > "$OUT/pol-summary-attack.txt" 2>/dev/null
+for pol_env in "PYTHIA_CTX_POLICY=1cfa" "PYTHIA_CTX_BUDGET=0" "PYTHIA_CTX_POLICY=objsens"; do
+    env "$pol_env" target/release/reproduce --smoke fig7b dist campaign \
+        > "$OUT/pol-attack-alt.txt" 2>/dev/null
+    if ! diff -q "$OUT/pol-attack-alt.txt" "$OUT/pol-summary-attack.txt"; then
+        echo "FAIL: $pol_env changed an attack outcome vs summary-2cfa" >&2
+        diff -u "$OUT/pol-attack-alt.txt" "$OUT/pol-summary-attack.txt" | head -30 >&2
+        exit 1
+    fi
+done
+for pol in 1cfa summary; do
+    PJ="$OUT/pol-$pol/BENCH_suite.json"
+    if grep -q '"ctx_fallback": true' "$PJ"; then
+        echo "FAIL: budget fallback under the $pol policy run:" >&2
+        grep '"ctx_fallback"' "$PJ" >&2
+        exit 1
+    fi
+done
+if ! grep -q '"policy": "1cfa"' "$OUT/pol-1cfa/BENCH_suite.json"; then
+    echo "FAIL: 1cfa run does not report policy=1cfa" >&2
+    exit 1
+fi
+if ! grep -q '"policy": "summary-2cfa"' "$OUT/pol-summary/BENCH_suite.json"; then
+    echo "FAIL: summary run does not report policy=summary-2cfa" >&2
+    exit 1
+fi
+# Per-benchmark monotonicity: rows render in deterministic suite order,
+# so a positional pairing of the pruned counters is exact.
+if ! paste \
+    <(grep -o '"obligations_pruned": [0-9]*' "$OUT/pol-1cfa/BENCH_suite.json" | grep -o '[0-9]*$') \
+    <(grep -o '"obligations_pruned": [0-9]*' "$OUT/pol-summary/BENCH_suite.json" | grep -o '[0-9]*$') \
+    | awk '$2 < $1 { bad = 1 } END { exit bad }'; then
+    echo "FAIL: summary-2cfa pruned fewer obligations than 1cfa on a smoke benchmark" >&2
+    exit 1
+fi
+PYTHIA_CTX_BUDGET=0 target/release/reproduce --smoke --bench-json \
+    --out "$OUT/pol-insens" >/dev/null
+if ! grep -q '"policy": "insensitive"' "$OUT/pol-insens/BENCH_suite.json"; then
+    echo "FAIL: PYTHIA_CTX_BUDGET=0 run does not report policy=insensitive:" >&2
+    grep '"policy"' "$OUT/pol-insens/BENCH_suite.json" >&2
+    exit 1
+fi
+echo "OK: policies agree on every attack outcome; summary-2cfa pruning dominates 1cfa; budget=0 reports insensitive"
 
 # Ref-tier gate: one fast benchmark at --tier ref through the streaming
 # runner. The tier's bounded-loop array walks must give the interval
